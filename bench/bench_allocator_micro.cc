@@ -1,0 +1,132 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the allocator implementations'
+ * host-side data-structure costs: allocate/deallocate round trips,
+ * pool-search scaling, and BestFit over growing pools. These measure
+ * real wall-clock time of the bookkeeping code (the simulated device
+ * latencies are separate and covered by bench_table1/bench_fig6).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "alloc/caching_allocator.hh"
+#include "core/best_fit.hh"
+#include "core/gmlake_allocator.hh"
+#include "support/rng.hh"
+#include "support/units.hh"
+#include "vmm/device.hh"
+#include "workload/tracegen.hh"
+
+using namespace gmlake;
+using namespace gmlake::literals;
+
+namespace
+{
+
+vmm::DeviceConfig
+bigDevice()
+{
+    vmm::DeviceConfig cfg;
+    cfg.capacity = 64_GiB;
+    return cfg;
+}
+
+void
+BM_CachingAllocateFree(benchmark::State &state)
+{
+    vmm::Device dev(bigDevice());
+    alloc::CachingAllocator allocator(dev);
+    const Bytes size = static_cast<Bytes>(state.range(0));
+    // Warm the pool so the loop measures cache hits.
+    const auto warm = allocator.allocate(size);
+    (void)allocator.deallocate(warm->id);
+    for (auto _ : state) {
+        const auto a = allocator.allocate(size);
+        benchmark::DoNotOptimize(a.value().addr);
+        (void)allocator.deallocate(a->id);
+    }
+}
+BENCHMARK(BM_CachingAllocateFree)->Arg(4096)->Arg(2_MiB)->Arg(64_MiB);
+
+void
+BM_GmlakeAllocateFree(benchmark::State &state)
+{
+    vmm::Device dev(bigDevice());
+    core::GMLakeAllocator allocator(dev);
+    const Bytes size = static_cast<Bytes>(state.range(0));
+    const auto warm = allocator.allocate(size);
+    (void)allocator.deallocate(warm->id);
+    for (auto _ : state) {
+        const auto a = allocator.allocate(size);
+        benchmark::DoNotOptimize(a.value().addr);
+        (void)allocator.deallocate(a->id);
+    }
+}
+BENCHMARK(BM_GmlakeAllocateFree)->Arg(4096)->Arg(2_MiB)->Arg(64_MiB);
+
+void
+BM_GmlakeStitchPath(benchmark::State &state)
+{
+    // Force the S3 stitch path every iteration: two cached fragments
+    // serve one double-size request, which is then torn back down.
+    vmm::Device dev(bigDevice());
+    core::GMLakeConfig gc;
+    gc.restitchOnSplit = false;
+    gc.maxCachedSBlocks = 1; // evict immediately: always re-stitch
+    core::GMLakeAllocator allocator(dev, gc);
+
+    const auto a = allocator.allocate(16_MiB);
+    const auto spacer = allocator.allocate(2_MiB);
+    const auto b = allocator.allocate(16_MiB);
+    (void)spacer;
+    (void)allocator.deallocate(a->id);
+    (void)allocator.deallocate(b->id);
+
+    for (auto _ : state) {
+        const auto big = allocator.allocate(32_MiB);
+        benchmark::DoNotOptimize(big.value().addr);
+        (void)allocator.deallocate(big->id);
+    }
+    state.counters["stitches"] = static_cast<double>(
+        allocator.strategy().stitches);
+}
+BENCHMARK(BM_GmlakeStitchPath);
+
+void
+BM_BestFitScaling(benchmark::State &state)
+{
+    // BestFit over an inactive pool of the given size.
+    Rng rng(42);
+    std::vector<Bytes> pool;
+    for (int i = 0; i < state.range(0); ++i)
+        pool.push_back(2_MiB * rng.uniformInt(1, 256));
+    std::sort(pool.rbegin(), pool.rend());
+    const Bytes want = 2_MiB * 300; // forces a full scan
+    for (auto _ : state) {
+        const auto r = core::bestFit(want, {}, pool, 0);
+        benchmark::DoNotOptimize(r.candidateBytes);
+    }
+}
+BENCHMARK(BM_BestFitScaling)->Arg(64)->Arg(512)->Arg(4096);
+
+void
+BM_TraceGeneration(benchmark::State &state)
+{
+    workload::TrainConfig cfg;
+    cfg.model = workload::findModel("OPT-13B");
+    cfg.strategies = workload::Strategies::parse("LR");
+    cfg.gpus = 4;
+    cfg.batchSize = 16;
+    cfg.iterations = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        const auto trace = workload::generateTrainingTrace(cfg);
+        benchmark::DoNotOptimize(trace.size());
+    }
+}
+BENCHMARK(BM_TraceGeneration)->Arg(1)->Arg(8);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Shared helpers for the experiment harnesses: one banner format and
+ * a couple of row formatters so every bench prints comparable output.
+ */
+
+#ifndef GMLAKE_BENCH_COMMON_HH
+#define GMLAKE_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "sim/runner.hh"
+#include "support/strings.hh"
+#include "support/table.hh"
+#include "workload/tracegen.hh"
+
+namespace gmlake::bench
+{
+
+inline void
+banner(const std::string &experiment, const std::string &claim)
+{
+    std::cout << "\n==================================================="
+                 "=====================\n"
+              << experiment << "\n" << claim << "\n"
+              << "====================================================="
+                 "===================\n";
+}
+
+inline std::string
+gb(Bytes bytes)
+{
+    return formatDouble(static_cast<double>(bytes) / (1024.0 * 1024.0 *
+                                                      1024.0),
+                        1);
+}
+
+inline std::string
+oomOr(const sim::RunResult &r, const std::string &value)
+{
+    return r.oom ? "OOM" : value;
+}
+
+/** Run the scenario under both allocators of interest. */
+struct Pair
+{
+    sim::RunResult caching;
+    sim::RunResult gmlake;
+};
+
+inline Pair
+runPair(const workload::TrainConfig &config,
+        const sim::ScenarioOptions &options = {})
+{
+    return Pair{
+        sim::runScenario(config, sim::AllocatorKind::caching, options),
+        sim::runScenario(config, sim::AllocatorKind::gmlake, options),
+    };
+}
+
+} // namespace gmlake::bench
+
+#endif // GMLAKE_BENCH_COMMON_HH

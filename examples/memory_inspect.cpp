@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Introspection example: the Figure 1 picture, live.
+ *
+ * Runs a few fine-tuning iterations under the caching allocator and
+ * under GMLake, then prints each allocator's memory snapshot and an
+ * ASCII map of the device's physical address space. The baseline's
+ * map shows scattered free holes trapped between pinned segments;
+ * GMLake's uniform 2 MB chunks keep the physical space dense.
+ */
+
+#include <iostream>
+#include <unordered_map>
+
+#include "alloc/snapshot.hh"
+#include "sim/runner.hh"
+#include "support/strings.hh"
+#include "vmm/device.hh"
+#include "workload/tracegen.hh"
+
+using namespace gmlake;
+
+namespace
+{
+
+void
+inspect(sim::AllocatorKind kind, const workload::Trace &trace)
+{
+    vmm::Device device;
+    const auto allocator = sim::makeAllocator(kind, device);
+
+    // Replay until mid-run (backward pass of a late iteration) so the
+    // snapshot shows the allocator under load, not after teardown.
+    const std::size_t stopAt = trace.size() * 3 / 5;
+    std::unordered_map<workload::TensorId, alloc::AllocId> live;
+    std::size_t index = 0;
+    for (const auto &e : trace.events()) {
+        if (++index > stopAt)
+            break;
+        switch (e.kind) {
+          case workload::EventKind::alloc:
+            live[e.tensor] =
+                allocator->allocate(e.bytes, e.stream).value().id;
+            break;
+          case workload::EventKind::free:
+            (void)allocator->deallocate(live[e.tensor]);
+            live.erase(e.tensor);
+            break;
+          case workload::EventKind::compute:
+            device.clock().advance(e.computeNs);
+            break;
+          case workload::EventKind::iterationMark:
+            break;
+          case workload::EventKind::streamSync:
+            if (e.stream == kAnyStream)
+                allocator->deviceSynchronize();
+            else
+                allocator->streamSynchronize(e.stream);
+            break;
+        }
+    }
+
+    std::cout << allocator->snapshot().summary();
+    const auto &stats = allocator->stats();
+    std::cout << "  utilization: "
+              << formatPercent(stats.utilizationRatio()) << "\n";
+    std::cout << "  physical address space ('#' used, '.' free):\n  "
+              << alloc::renderPhysicalMap(device.phys(), 72) << "\n\n";
+}
+
+} // namespace
+
+int
+main()
+{
+    workload::TrainConfig cfg;
+    cfg.model = workload::findModel("GPT-NeoX-20B");
+    cfg.strategies = workload::Strategies::parse("LR");
+    cfg.gpus = 4;
+    cfg.batchSize = 48;
+    cfg.iterations = 6;
+
+    std::cout << "Workload: " << cfg.describe() << "\n\n";
+
+    const auto trace = workload::generateTrainingTrace(cfg);
+    inspect(sim::AllocatorKind::caching, trace);
+    inspect(sim::AllocatorKind::gmlake, trace);
+
+    std::cout << "The caching allocator's space is pocked with "
+                 "trapped holes; GMLake's\nchunk pool stays dense — "
+                 "that density is exactly the reserved-memory\n"
+                 "difference the paper reports.\n";
+    return 0;
+}

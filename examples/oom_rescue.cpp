@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Scenario example: how large a batch can you actually train?
+ *
+ * For each allocator, binary-search the largest per-GPU batch size
+ * that completes a GPT-NeoX-20B fine-tuning run without OOM on the
+ * 80 GB device. GMLake's defragmentation converts reserved-but-
+ * wasted memory back into batch headroom (the Fig 13 story).
+ */
+
+#include <iostream>
+
+#include "sim/runner.hh"
+#include "support/strings.hh"
+#include "workload/tracegen.hh"
+
+using namespace gmlake;
+
+namespace
+{
+
+workload::TrainConfig
+config(int batch)
+{
+    workload::TrainConfig cfg;
+    cfg.model = workload::findModel("GPT-NeoX-20B");
+    cfg.strategies = workload::Strategies::parse("LR");
+    cfg.gpus = 4;
+    cfg.batchSize = batch;
+    cfg.iterations = 6;
+    return cfg;
+}
+
+int
+largestFittingBatch(sim::AllocatorKind kind)
+{
+    int lo = 1, hi = 256;
+    // Invariant: lo fits, hi does not.
+    if (sim::runScenario(config(hi), kind).oom == false)
+        return hi;
+    while (hi - lo > 1) {
+        const int mid = (lo + hi) / 2;
+        const auto r = sim::runScenario(config(mid), kind);
+        (r.oom ? hi : lo) = mid;
+    }
+    return lo;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "GPT-NeoX-20B, LoRA + recomputation, 4x80GB "
+                 "(ZeRO-3):\n\n";
+
+    const int cachingMax =
+        largestFittingBatch(sim::AllocatorKind::caching);
+    const int lakeMax = largestFittingBatch(sim::AllocatorKind::gmlake);
+
+    const auto atCachingLimit =
+        sim::runScenario(config(cachingMax),
+                         sim::AllocatorKind::caching);
+    const auto atLakeLimit =
+        sim::runScenario(config(lakeMax), sim::AllocatorKind::gmlake);
+
+    std::cout << "  caching allocator: max batch " << cachingMax
+              << " per GPU (reserved "
+              << formatBytes(atCachingLimit.peakReserved)
+              << ", utilization "
+              << formatPercent(atCachingLimit.utilization) << ")\n";
+    std::cout << "  GMLake:            max batch " << lakeMax
+              << " per GPU (reserved "
+              << formatBytes(atLakeLimit.peakReserved)
+              << ", utilization "
+              << formatPercent(atLakeLimit.utilization) << ")\n\n";
+
+    if (lakeMax > cachingMax) {
+        std::cout << "GMLake sustains a "
+                  << formatPercent(
+                         static_cast<double>(lakeMax - cachingMax) /
+                             cachingMax,
+                         0)
+                  << " larger batch on the same hardware — the "
+                     "memory the baseline loses to\nfragmentation "
+                     "becomes usable batch headroom.\n";
+    }
+    return 0;
+}

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Scenario example: scaling GPT-NeoX-20B fine-tuning from one GPU to
+ * a 16-GPU ZeRO-3 job.
+ *
+ * Sharding shrinks the per-GPU model state, but the full-size
+ * parameter gathers and shard-sized communication buffers make the
+ * request stream more irregular with every doubling (the paper's
+ * Observation 2). This example shows the per-GPU memory picture and
+ * the global throughput under both allocators at every scale.
+ */
+
+#include <iostream>
+
+#include "sim/runner.hh"
+#include "support/strings.hh"
+#include "support/table.hh"
+#include "workload/tracegen.hh"
+
+using namespace gmlake;
+
+int
+main()
+{
+    workload::TrainConfig base;
+    base.model = workload::findModel("GPT-NeoX-20B");
+    base.platform = workload::Platform::deepspeedZero3;
+    base.strategies = workload::Strategies::parse("LR");
+    base.batchSize = 12;
+    base.iterations = 10;
+
+    std::cout << "Scaling " << base.model.name
+              << " fine-tuning (LoRA + recompute, ZeRO-3), batch "
+              << base.batchSize << " per GPU\n\n";
+
+    Table table({"GPUs", "Model state/GPU", "Caching: frag",
+                 "GMLake: frag", "Reserved saved", "Global thr (s/s)"});
+    for (const int gpus : {1, 2, 4, 8, 16}) {
+        workload::TrainConfig cfg = base;
+        cfg.gpus = gpus;
+        const auto caching =
+            sim::runScenario(cfg, sim::AllocatorKind::caching);
+        const auto lake =
+            sim::runScenario(cfg, sim::AllocatorKind::gmlake);
+        const Bytes saved =
+            caching.peakReserved > lake.peakReserved
+                ? caching.peakReserved - lake.peakReserved
+                : 0;
+        table.addRow(
+            {std::to_string(gpus),
+             formatBytes(workload::estimatePersistentBytes(cfg)),
+             formatPercent(caching.fragmentation),
+             formatPercent(lake.fragmentation), formatBytes(saved),
+             formatDouble(lake.samplesPerSec, 1)});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nThe per-GPU state shrinks with scale, but the "
+                 "baseline's fragmentation ratio\ngrows; stitching "
+                 "keeps it flat, so the memory you paid for stays "
+                 "usable.\n";
+    return 0;
+}

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Abstract allocator interface. All three strategies the paper
+ * compares (native, caching/BFC, GMLake) implement it, so the
+ * simulation engine and the benchmarks are allocator-agnostic —
+ * exactly the transparency property GMLake claims.
+ */
+
+#ifndef GMLAKE_ALLOC_ALLOCATOR_HH
+#define GMLAKE_ALLOC_ALLOCATOR_HH
+
+#include <cstdint>
+#include <string>
+
+#include "alloc/snapshot.hh"
+#include "alloc/stats.hh"
+#include "support/expected.hh"
+#include "support/types.hh"
+
+namespace gmlake::alloc
+{
+
+/** Identifier of a live allocation, returned to the "tensor" layer. */
+using AllocId = std::uint64_t;
+
+/** Result of a successful allocation. */
+struct Allocation
+{
+    AllocId id = 0;
+    /** Bytes the caller asked for. */
+    Bytes requested = 0;
+    /** Device virtual address the tensor would use. */
+    VirtAddr addr = kNullAddr;
+};
+
+class Allocator
+{
+  public:
+    virtual ~Allocator() = default;
+
+    /**
+     * Allocate @p size bytes for use on @p stream;
+     * Errc::outOfMemory is a normal result. Cached memory freed by a
+     * different, unsynchronized stream is not eligible for reuse.
+     */
+    virtual Expected<Allocation> allocate(Bytes size,
+                                          StreamId stream) = 0;
+
+    /** Convenience: allocate on the default stream. */
+    Expected<Allocation>
+    allocate(Bytes size)
+    {
+        return allocate(size, kDefaultStream);
+    }
+
+    /** Return allocation @p id; invalidValue for unknown ids. */
+    virtual Status deallocate(AllocId id) = 0;
+
+    /**
+     * Stream synchronization: cached blocks freed on @p stream become
+     * reusable by every stream.
+     */
+    virtual void streamSynchronize(StreamId stream) { (void)stream; }
+
+    /** Device-wide synchronization: all cached blocks become free. */
+    virtual void deviceSynchronize() {}
+
+    /** Release cached device memory back to the device, best effort. */
+    virtual void emptyCache() {}
+
+    virtual const AllocatorStats &stats() const = 0;
+
+    virtual std::string name() const = 0;
+
+    /** Structured inventory of the allocator's current blocks. */
+    virtual MemorySnapshot
+    snapshot() const
+    {
+        MemorySnapshot snap;
+        snap.allocator = name();
+        snap.activeBytes = stats().activeBytes();
+        snap.reservedBytes = stats().reservedBytes();
+        return snap;
+    }
+};
+
+} // namespace gmlake::alloc
+
+#endif // GMLAKE_ALLOC_ALLOCATOR_HH

@@ -1,0 +1,431 @@
+#include "alloc/caching_allocator.hh"
+
+#include <algorithm>
+#include <bit>
+#include <map>
+
+#include "support/logging.hh"
+#include "support/strings.hh"
+#include "support/units.hh"
+
+namespace gmlake::alloc
+{
+
+bool
+CachingAllocator::BlockCmp::operator()(const Block *a,
+                                       const Block *b) const
+{
+    if (a->stream != b->stream)
+        return a->stream < b->stream;
+    if (a->size != b->size)
+        return a->size < b->size;
+    return a->addr < b->addr;
+}
+
+CachingAllocator::CachingAllocator(vmm::Device &device,
+                                   CachingConfig config)
+    : mDevice(device), mConfig(config)
+{
+}
+
+CachingAllocator::~CachingAllocator() = default;
+
+Bytes
+CachingAllocator::roundSize(Bytes size) const
+{
+    if (size < mConfig.minBlockSize)
+        return mConfig.minBlockSize;
+    Bytes rounded = roundUp(size, mConfig.minBlockSize);
+    if (mConfig.roundupPower2Divisions > 0 &&
+        rounded > mConfig.minBlockSize) {
+        // Round up to the next 1/N fraction of the enclosing power
+        // of two, e.g. N=4: 1200 KiB -> 1280 KiB (1 MiB + 1/4 MiB).
+        const Bytes pow2 = std::bit_ceil(rounded);
+        const Bytes step = std::max<Bytes>(
+            pow2 / mConfig.roundupPower2Divisions,
+            mConfig.minBlockSize);
+        rounded = roundUp(rounded, step);
+    }
+    return rounded;
+}
+
+Bytes
+CachingAllocator::allocationSize(Bytes rounded) const
+{
+    if (rounded <= mConfig.smallSize)
+        return mConfig.smallBuffer;
+    if (rounded < mConfig.minLargeAlloc)
+        return mConfig.largeBuffer;
+    return roundUp(rounded, mConfig.roundLarge);
+}
+
+CachingAllocator::FreePool &
+CachingAllocator::poolFor(Bytes rounded)
+{
+    return rounded <= mConfig.smallSize ? mSmallPool : mLargePool;
+}
+
+bool
+CachingAllocator::shouldSplit(const Block &block, Bytes rounded) const
+{
+    if (block.size > mConfig.maxSplitSize)
+        return false; // oversize blocks are never split
+    const Bytes remaining = block.size - rounded;
+    if (block.pool == &mSmallPool)
+        return remaining >= mConfig.minBlockSize;
+    return remaining > mConfig.smallSize;
+}
+
+CachingAllocator::Block *
+CachingAllocator::newBlock(VirtAddr addr, Bytes size, VirtAddr segment,
+                           FreePool *pool, StreamId stream)
+{
+    auto owned = std::make_unique<Block>();
+    Block *raw = owned.get();
+    raw->addr = addr;
+    raw->size = size;
+    raw->segment = segment;
+    raw->pool = pool;
+    raw->stream = stream;
+    mBlocks.emplace(raw, std::move(owned));
+    return raw;
+}
+
+void
+CachingAllocator::destroyBlock(Block *block)
+{
+    const auto erased = mBlocks.erase(block);
+    GMLAKE_ASSERT(erased == 1, "destroy of unowned block");
+}
+
+Expected<CachingAllocator::Block *>
+CachingAllocator::growSegment(Bytes rounded, StreamId stream)
+{
+    // garbage_collection_threshold: trim the cache before growing
+    // past the configured share of device memory.
+    if (mConfig.gcThreshold > 0.0 &&
+        static_cast<double>(mStats.reservedBytes()) >
+            mConfig.gcThreshold *
+                static_cast<double>(mDevice.capacity())) {
+        emptyCache();
+    }
+
+    const Bytes segSize = allocationSize(rounded);
+    auto va = mDevice.mallocNative(segSize);
+    if (!va.ok()) {
+        // PyTorch behaviour: release every cached segment and retry
+        // (cudaMalloc failure implies a device synchronization, so
+        // stream-pinned cached blocks become reclaimable first).
+        releaseStream(kAnyStream);
+        emptyCache();
+        va = mDevice.mallocNative(segSize);
+        if (!va.ok())
+            return va.error();
+    }
+    mSegments.emplace(*va, segSize);
+    mStats.onReserve(segSize);
+    Block *block =
+        newBlock(*va, segSize, *va, &poolFor(rounded), stream);
+    return block;
+}
+
+CachingAllocator::Block *
+CachingAllocator::findFit(FreePool &pool, Bytes rounded,
+                          StreamId stream)
+{
+    // Best fit across the stream-tag segments of the pool: blocks of
+    // the requesting stream and stream-neutral blocks are always
+    // usable; blocks freed on another stream become usable once
+    // their free event has lapsed. Among the usable candidates the
+    // smallest sufficient block wins.
+    const Tick now = mDevice.now();
+    Block *best = nullptr;
+    auto it = pool.begin();
+    while (it != pool.end()) {
+        const StreamId tag = (*it)->stream;
+        // Jump to the first sufficiently large block of this tag.
+        Block probe;
+        probe.stream = tag;
+        probe.size = rounded;
+        probe.addr = 0;
+        it = pool.lower_bound(&probe);
+        if (it != pool.end() && (*it)->stream == tag) {
+            Block *cand = *it;
+            bool usable =
+                tag == stream || tag == kAnyStream ||
+                cand->freedAt + mConfig.streamEventLagNs <= now;
+            // max_split_size discipline: an oversize (unsplittable)
+            // block may only serve requests that use most of it.
+            if (cand->size > mConfig.maxSplitSize &&
+                cand->size - rounded > mConfig.largeBuffer)
+                usable = false;
+            if (usable && (!best || cand->size < best->size))
+                best = cand;
+        }
+        // Skip to the next stream tag.
+        probe.stream = tag;
+        probe.size = ~Bytes{0};
+        probe.addr = ~VirtAddr{0};
+        it = pool.upper_bound(&probe);
+    }
+    if (best)
+        pool.erase(best);
+    return best;
+}
+
+Expected<Allocation>
+CachingAllocator::allocate(Bytes size, StreamId stream)
+{
+    if (size == 0)
+        return makeError(Errc::invalidValue, "allocate of zero bytes");
+    if (stream == kAnyStream)
+        return makeError(Errc::invalidValue,
+                         "cannot allocate on the sentinel stream");
+    mDevice.chargeCachedOp();
+
+    const Bytes rounded = roundSize(size);
+    FreePool &pool = poolFor(rounded);
+
+    Block *block = findFit(pool, rounded, stream);
+    if (!block) {
+        auto grown = growSegment(rounded, stream);
+        if (!grown.ok())
+            return grown.error();
+        block = *grown;
+    }
+    // The block is about to be written by this stream.
+    block->stream = stream;
+
+    if (shouldSplit(*block, rounded)) {
+        Block *rest = newBlock(block->addr + rounded,
+                               block->size - rounded, block->segment,
+                               block->pool, stream);
+        rest->prev = block;
+        rest->next = block->next;
+        if (rest->next)
+            rest->next->prev = rest;
+        block->next = rest;
+        block->size = rounded;
+        pool.insert(rest);
+    }
+
+    block->allocated = true;
+    const AllocId id = mNextId++;
+    mLive.emplace(id, block);
+    // PyTorch reports the block size it hands out as allocated bytes.
+    mStats.onAllocate(block->size);
+    return Allocation{id, size, block->addr};
+}
+
+CachingAllocator::Block *
+CachingAllocator::coalesce(Block *block)
+{
+    FreePool &pool = *block->pool;
+    if (Block *n = block->next;
+        n && !n->allocated && n->stream == block->stream) {
+        pool.erase(n);
+        block->size += n->size;
+        if (n->freedAt > block->freedAt)
+            block->freedAt = n->freedAt;
+        block->next = n->next;
+        if (block->next)
+            block->next->prev = block;
+        destroyBlock(n);
+    }
+    if (Block *p = block->prev;
+        p && !p->allocated && p->stream == block->stream) {
+        pool.erase(p);
+        p->size += block->size;
+        if (block->freedAt > p->freedAt)
+            p->freedAt = block->freedAt;
+        p->next = block->next;
+        if (p->next)
+            p->next->prev = p;
+        destroyBlock(block);
+        block = p;
+    }
+    return block;
+}
+
+Status
+CachingAllocator::deallocate(AllocId id)
+{
+    auto it = mLive.find(id);
+    if (it == mLive.end())
+        return makeError(Errc::invalidValue, "unknown allocation id");
+    mDevice.chargeCachedOp();
+
+    Block *block = it->second;
+    mLive.erase(it);
+    mStats.onDeallocate(block->size);
+
+    block->allocated = false;
+    block->freedAt = mDevice.now();
+    block = coalesce(block);
+    if (block->freedAt < mDevice.now())
+        block->freedAt = mDevice.now();
+    block->pool->insert(block);
+    return Status::success();
+}
+
+void
+CachingAllocator::releaseStream(StreamId stream)
+{
+    // Retag the free blocks pinned to @p stream (or every stream for
+    // the kAnyStream sentinel) as reusable by anyone, then merge
+    // newly compatible neighbours. Retagging changes the pool sort
+    // key, so the blocks are re-inserted.
+    auto sweep = [&](FreePool &pool) {
+        std::vector<Block *> retag;
+        for (Block *b : pool) {
+            if (b->stream != kAnyStream &&
+                (stream == kAnyStream || b->stream == stream))
+                retag.push_back(b);
+        }
+        for (Block *b : retag) {
+            pool.erase(b);
+            b->stream = kAnyStream;
+            pool.insert(b);
+        }
+        // Merge pass: re-coalesce every free block.
+        std::vector<Block *> frees(pool.begin(), pool.end());
+        for (Block *b : frees) {
+            if (mBlocks.count(b) == 0 || b->allocated)
+                continue; // already merged away
+            pool.erase(b);
+            Block *merged = coalesce(b);
+            pool.insert(merged);
+        }
+    };
+    sweep(mSmallPool);
+    sweep(mLargePool);
+}
+
+void
+CachingAllocator::streamSynchronize(StreamId stream)
+{
+    mDevice.syncPenalty();
+    releaseStream(stream);
+}
+
+void
+CachingAllocator::deviceSynchronize()
+{
+    mDevice.syncPenalty();
+    releaseStream(kAnyStream);
+}
+
+void
+CachingAllocator::emptyCache()
+{
+    auto sweep = [&](FreePool &pool) {
+        for (auto it = pool.begin(); it != pool.end();) {
+            Block *block = *it;
+            if (!block->prev && !block->next) {
+                // Block spans its whole segment; release it.
+                const auto seg = mSegments.find(block->segment);
+                GMLAKE_ASSERT(seg != mSegments.end(),
+                              "free block with unknown segment");
+                GMLAKE_ASSERT(seg->second == block->size,
+                              "whole-segment block size mismatch");
+                const Status s = mDevice.freeNative(block->segment);
+                GMLAKE_ASSERT(s.ok(), "segment must free cleanly: ",
+                              s.ok() ? "" : s.error().message);
+                mStats.onRelease(seg->second);
+                mSegments.erase(seg);
+                it = pool.erase(it);
+                destroyBlock(block);
+            } else {
+                ++it;
+            }
+        }
+    };
+    sweep(mSmallPool);
+    sweep(mLargePool);
+}
+
+Bytes
+CachingAllocator::cachedBytes() const
+{
+    Bytes total = 0;
+    for (const Block *b : mSmallPool)
+        total += b->size;
+    for (const Block *b : mLargePool)
+        total += b->size;
+    return total;
+}
+
+MemorySnapshot
+CachingAllocator::snapshot() const
+{
+    MemorySnapshot snap;
+    snap.allocator = name();
+    snap.activeBytes = mStats.activeBytes();
+    snap.reservedBytes = mStats.reservedBytes();
+
+    // Group the block chains by segment, in address order.
+    std::map<VirtAddr, RegionSnapshot> regions;
+    for (const auto &[base, size] : mSegments) {
+        RegionSnapshot region;
+        region.kind = "segment";
+        region.base = base;
+        region.size = size;
+        regions.emplace(base, std::move(region));
+    }
+    for (const auto &[raw, owned] : mBlocks) {
+        (void)owned;
+        const Block *b = raw;
+        auto it = regions.find(b->segment);
+        GMLAKE_ASSERT(it != regions.end(), "block without segment");
+        it->second.blocks.push_back(
+            BlockSnapshot{b->addr, b->size, b->allocated, b->stream});
+    }
+    for (auto &[base, region] : regions) {
+        (void)base;
+        std::sort(region.blocks.begin(), region.blocks.end(),
+                  [](const BlockSnapshot &a, const BlockSnapshot &b) {
+                      return a.addr < b.addr;
+                  });
+        snap.regions.push_back(std::move(region));
+    }
+    return snap;
+}
+
+void
+CachingAllocator::checkConsistency() const
+{
+    // Every block chain must tile its segment exactly, and the free
+    // pools must contain exactly the non-allocated blocks.
+    Bytes chained = 0;
+    std::size_t freeBlocks = 0;
+    for (const auto &[raw, owned] : mBlocks) {
+        const Block *b = raw;
+        (void)owned;
+        chained += b->size;
+        if (!b->allocated)
+            ++freeBlocks;
+        if (b->next) {
+            GMLAKE_ASSERT(b->next->addr == b->addr + b->size,
+                          "adjacent blocks must be contiguous");
+            GMLAKE_ASSERT(b->next->prev == b, "broken back link");
+            GMLAKE_ASSERT(b->next->segment == b->segment,
+                          "next block crosses a segment");
+        }
+        GMLAKE_ASSERT(mSegments.count(b->segment) == 1,
+                      "block with unknown segment");
+    }
+    Bytes segTotal = 0;
+    for (const auto &[base, size] : mSegments) {
+        (void)base;
+        segTotal += size;
+    }
+    GMLAKE_ASSERT(chained == segTotal,
+                  "blocks must tile segments: ", chained, " vs ",
+                  segTotal);
+    GMLAKE_ASSERT(freeBlocks == mSmallPool.size() + mLargePool.size(),
+                  "pool membership mismatch");
+    GMLAKE_ASSERT(mStats.reservedBytes() == segTotal,
+                  "reserved accounting drifted");
+}
+
+} // namespace gmlake::alloc

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Best-fit-with-coalescing (BFC) caching allocator, modeled on the
+ * PyTorch CUDACachingAllocator (the paper's baseline, Fig 2b).
+ *
+ * Requests are rounded to 512 B; small requests (<= 1 MiB) are served
+ * from 2 MiB segments, mid-size ones from 20 MiB segments, large ones
+ * from exact-size segments rounded to 2 MiB. Free blocks are kept in
+ * per-pool best-fit sets, split on allocation when the remainder is
+ * worth keeping, and coalesced with free neighbours on deallocation.
+ * Segments are obtained with cudaMalloc and returned only by
+ * emptyCache() — which is why unusable free space inside segments
+ * shows up as reserved-but-not-active memory, i.e. fragmentation.
+ */
+
+#ifndef GMLAKE_ALLOC_CACHING_ALLOCATOR_HH
+#define GMLAKE_ALLOC_CACHING_ALLOCATOR_HH
+
+#include <memory>
+#include <set>
+#include <unordered_map>
+
+#include "alloc/allocator.hh"
+#include "vmm/device.hh"
+
+namespace gmlake::alloc
+{
+
+/** Pool-geometry knobs; defaults mirror PyTorch. */
+struct CachingConfig
+{
+    Bytes minBlockSize = 512;
+    /**
+     * Cross-stream reuse event lag: a block freed on stream S becomes
+     * reusable by other streams once the event recorded at free time
+     * completes, modelled as this many simulated nanoseconds after
+     * the free (PyTorch's process_events mechanism).
+     */
+    Tick streamEventLagNs = 2'000'000;
+    Bytes smallSize = Bytes{1} * 1024 * 1024;        //!< <= -> small pool
+    Bytes smallBuffer = Bytes{2} * 1024 * 1024;      //!< small segment
+    Bytes largeBuffer = Bytes{20} * 1024 * 1024;     //!< mid segment
+    Bytes minLargeAlloc = Bytes{10} * 1024 * 1024;   //!< < -> largeBuffer
+    Bytes roundLarge = Bytes{2} * 1024 * 1024;       //!< large rounding
+
+    /**
+     * PyTorch's max_split_size_mb: blocks larger than this are never
+     * split, and may only serve requests whose leftover would stay
+     * below the large-buffer size (prevents big cached blocks from
+     * being nibbled into unusable pieces). Unlimited by default.
+     */
+    Bytes maxSplitSize = ~Bytes{0};
+
+    /**
+     * PyTorch's roundup_power2_divisions: when non-zero, request
+     * sizes round up to the next 1/N fraction of a power of two,
+     * collapsing near-miss sizes into shared size classes.
+     */
+    unsigned roundupPower2Divisions = 0;
+
+    /**
+     * PyTorch's garbage_collection_threshold: when reserved memory
+     * exceeds this fraction of device capacity, fully-free cached
+     * segments are returned to the device before growing a new one.
+     * Disabled at 0.
+     */
+    double gcThreshold = 0.0;
+};
+
+class CachingAllocator : public Allocator
+{
+  public:
+    CachingAllocator(vmm::Device &device, CachingConfig config = {});
+    ~CachingAllocator() override;
+
+    using Allocator::allocate;
+    Expected<Allocation> allocate(Bytes size,
+                                  StreamId stream) override;
+    Status deallocate(AllocId id) override;
+    void streamSynchronize(StreamId stream) override;
+    void deviceSynchronize() override;
+    void emptyCache() override;
+    const AllocatorStats &stats() const override { return mStats; }
+    std::string name() const override { return "caching"; }
+
+    /** Free bytes currently cached in the pools (reserved - active). */
+    Bytes cachedBytes() const;
+    std::size_t segmentCount() const { return mSegments.size(); }
+
+    MemorySnapshot snapshot() const override;
+
+    /** Internal invariant check used by tests; panics on violation. */
+    void checkConsistency() const;
+
+  private:
+    struct Block;
+    struct BlockCmp
+    {
+        bool operator()(const Block *a, const Block *b) const;
+    };
+    using FreePool = std::set<Block *, BlockCmp>;
+
+    struct Block
+    {
+        VirtAddr addr = kNullAddr;
+        Bytes size = 0;
+        bool allocated = false;
+        Block *prev = nullptr;   //!< address-adjacent within segment
+        Block *next = nullptr;
+        VirtAddr segment = kNullAddr;
+        FreePool *pool = nullptr;
+        /** Stream that may reuse this block (kAnyStream after sync). */
+        StreamId stream = kDefaultStream;
+        /** Simulated time of the last free (for the event lag). */
+        Tick freedAt = 0;
+    };
+
+    vmm::Device &mDevice;
+    CachingConfig mConfig;
+    AllocatorStats mStats;
+    AllocId mNextId = 1;
+
+    FreePool mSmallPool;
+    FreePool mLargePool;
+    /** Segment base address -> segment size. */
+    std::unordered_map<VirtAddr, Bytes> mSegments;
+    /** Ownership of all block nodes. */
+    std::unordered_map<Block *, std::unique_ptr<Block>> mBlocks;
+    /** Live allocations. */
+    std::unordered_map<AllocId, Block *> mLive;
+
+    Bytes roundSize(Bytes size) const;
+    Bytes allocationSize(Bytes rounded) const;
+    FreePool &poolFor(Bytes rounded);
+    bool shouldSplit(const Block &block, Bytes rounded) const;
+
+    Block *newBlock(VirtAddr addr, Bytes size, VirtAddr segment,
+                    FreePool *pool, StreamId stream);
+    void destroyBlock(Block *block);
+
+    /** Acquire a fresh segment from the device. */
+    Expected<Block *> growSegment(Bytes rounded, StreamId stream);
+
+    /** Best-fit lookup restricted to blocks reusable by @p stream. */
+    Block *findFit(FreePool &pool, Bytes rounded, StreamId stream);
+
+    /** Merge @p block with free same-stream neighbours. */
+    Block *coalesce(Block *block);
+
+    /** Retag free blocks of @p stream (kAnyStream = all) and merge. */
+    void releaseStream(StreamId stream);
+};
+
+} // namespace gmlake::alloc
+
+#endif // GMLAKE_ALLOC_CACHING_ALLOCATOR_HH

@@ -1,0 +1,356 @@
+#include "alloc/expandable_allocator.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+#include "support/strings.hh"
+#include "support/units.hh"
+
+namespace gmlake::alloc
+{
+
+ExpandableSegmentsAllocator::ExpandableSegmentsAllocator(
+    vmm::Device &device, ExpandableConfig config)
+    : mDevice(device), mConfig(config)
+{
+    GMLAKE_ASSERT(isAligned(mConfig.chunkSize, device.granularity()),
+                  "chunk size must be a granularity multiple");
+}
+
+ExpandableSegmentsAllocator::~ExpandableSegmentsAllocator() = default;
+
+ExpandableSegmentsAllocator::Segment &
+ExpandableSegmentsAllocator::segmentFor(StreamId stream)
+{
+    for (auto &segment : mSegments) {
+        if (segment.stream == stream)
+            return segment;
+    }
+    const auto va = mDevice.memAddressReserve(mConfig.segmentVaSize);
+    GMLAKE_ASSERT(va.ok(), "segment VA reservation failed: ",
+                  va.ok() ? "" : va.error().message);
+    Segment segment;
+    segment.base = *va;
+    segment.vaSize = mConfig.segmentVaSize;
+    segment.stream = stream;
+    mSegments.push_back(std::move(segment));
+    return mSegments.back();
+}
+
+Status
+ExpandableSegmentsAllocator::growMapping(Segment &segment, Bytes upTo)
+{
+    const Bytes target = roundUp(upTo, mConfig.chunkSize);
+    GMLAKE_ASSERT(target <= segment.vaSize,
+                  "segment VA reservation exhausted");
+    if (target <= segment.mapped)
+        return Status::success();
+
+    const Bytes growStart = segment.mapped;
+    std::vector<PhysHandle> fresh;
+    for (Bytes at = growStart; at < target; at += mConfig.chunkSize) {
+        const auto h = mDevice.memCreate(mConfig.chunkSize);
+        if (!h.ok()) {
+            // Roll back this growth attempt.
+            for (std::size_t i = 0; i < fresh.size(); ++i) {
+                const VirtAddr va =
+                    segment.base + growStart +
+                    static_cast<VirtAddr>(i) * mConfig.chunkSize;
+                Status s = mDevice.memUnmap(va, mConfig.chunkSize);
+                GMLAKE_ASSERT(s.ok(), "growth rollback unmap failed");
+                s = mDevice.memRelease(fresh[i]);
+                GMLAKE_ASSERT(s.ok(),
+                              "growth rollback release failed");
+            }
+            return h.error();
+        }
+        const Status mapped = mDevice.memMap(segment.base + at, *h);
+        GMLAKE_ASSERT(mapped.ok(), "tail mapping failed");
+        fresh.push_back(*h);
+        ++mChunkMaps;
+    }
+    const Status acc = mDevice.memSetAccess(segment.base + growStart,
+                                            target - growStart);
+    GMLAKE_ASSERT(acc.ok(), "tail access failed");
+
+    segment.chunks.insert(segment.chunks.end(), fresh.begin(),
+                          fresh.end());
+    segment.mapped = target;
+    mStats.onReserve(target - growStart);
+    return Status::success();
+}
+
+void
+ExpandableSegmentsAllocator::trimTail(Segment &segment)
+{
+    // The tail is trimmable when the last gap of the mapped range is
+    // free: unmap the chunk-aligned part of that gap.
+    if (segment.free.empty())
+        return;
+    auto last = std::prev(segment.free.end());
+    const Bytes gapStart = last->first;
+    if (gapStart + last->second.size != segment.mapped)
+        return; // the tail is live
+    const Bytes keep = roundUp(gapStart, mConfig.chunkSize);
+    if (keep >= segment.mapped)
+        return; // less than one chunk to give back
+
+    const Bytes dropBytes = segment.mapped - keep;
+    const std::size_t dropChunks = dropBytes / mConfig.chunkSize;
+    const Status s = mDevice.memUnmap(segment.base + keep, dropBytes);
+    GMLAKE_ASSERT(s.ok(), "tail unmap failed");
+    for (std::size_t i = 0; i < dropChunks; ++i) {
+        const Status r = mDevice.memRelease(segment.chunks.back());
+        GMLAKE_ASSERT(r.ok(), "tail release failed");
+        segment.chunks.pop_back();
+        ++mChunkUnmaps;
+    }
+    segment.mapped = keep;
+    mStats.onRelease(dropBytes);
+
+    // Shrink or drop the tail gap.
+    if (gapStart == keep) {
+        segment.free.erase(last);
+    } else {
+        last->second.size = keep - gapStart;
+    }
+}
+
+void
+ExpandableSegmentsAllocator::insertFree(Segment &segment, Bytes offset,
+                                        Bytes size)
+{
+    FreeBlock blk;
+    blk.size = size;
+    blk.freedAt = mDevice.now();
+    blk.freedBy = segment.stream;
+
+    // Coalesce with the following gap.
+    auto next = segment.free.lower_bound(offset);
+    if (next != segment.free.end() &&
+        offset + size == next->first) {
+        blk.size += next->second.size;
+        blk.freedAt = std::max(blk.freedAt, next->second.freedAt);
+        segment.free.erase(next);
+    }
+    // Coalesce with the preceding gap.
+    auto prev = segment.free.lower_bound(offset);
+    if (prev != segment.free.begin()) {
+        --prev;
+        if (prev->first + prev->second.size == offset) {
+            offset = prev->first;
+            blk.size += prev->second.size;
+            blk.freedAt = std::max(blk.freedAt, prev->second.freedAt);
+            segment.free.erase(prev);
+        }
+    }
+    segment.free.emplace(offset, blk);
+}
+
+VirtAddr
+ExpandableSegmentsAllocator::place(std::size_t segIndex, Bytes offset,
+                                   Bytes size, AllocId id)
+{
+    Segment &segment = mSegments[segIndex];
+    const auto gap = segment.free.find(offset);
+    GMLAKE_ASSERT(gap != segment.free.end() &&
+                  gap->second.size >= size,
+                  "place target is not a sufficient gap");
+    FreeBlock rest = gap->second;
+    segment.free.erase(gap);
+    if (rest.size > size) {
+        rest.size -= size;
+        segment.free.emplace(offset + size, rest);
+    }
+    segment.live.emplace(offset, std::make_pair(size, id));
+    mLive.emplace(id, std::make_pair(segIndex, offset));
+    mStats.onAllocate(size);
+    return segment.base + offset;
+}
+
+Expected<Allocation>
+ExpandableSegmentsAllocator::allocate(Bytes size, StreamId stream)
+{
+    if (size == 0)
+        return makeError(Errc::invalidValue, "allocate of zero bytes");
+    if (stream == kAnyStream)
+        return makeError(Errc::invalidValue,
+                         "cannot allocate on the sentinel stream");
+    mDevice.chargeCachedOp();
+
+    const Bytes rounded = roundUp(std::max(size, mConfig.roundTo),
+                                  mConfig.roundTo);
+    Segment &segment = segmentFor(stream);
+    const std::size_t segIndex = static_cast<std::size_t>(
+        &segment - mSegments.data());
+    const Tick now = mDevice.now();
+
+    // 1. Best fit over the usable free gaps of this segment.
+    Bytes bestOffset = 0;
+    Bytes bestSize = ~Bytes{0};
+    bool found = false;
+    for (const auto &[offset, gap] : segment.free) {
+        const bool usable =
+            gap.freedBy == stream || gap.freedBy == kAnyStream ||
+            gap.freedAt + mConfig.streamEventLagNs <= now;
+        if (usable && gap.size >= rounded && gap.size < bestSize) {
+            bestOffset = offset;
+            bestSize = gap.size;
+            found = true;
+        }
+    }
+    if (found) {
+        const AllocId id = mNextId++;
+        return Allocation{id, size,
+                          place(segIndex, bestOffset, rounded, id)};
+    }
+
+    // 2. Extend the tail. If the mapped range ends in a free gap, the
+    // growth only needs the difference.
+    Bytes tailStart = segment.mapped;
+    if (!segment.free.empty()) {
+        const auto last = std::prev(segment.free.end());
+        if (last->first + last->second.size == segment.mapped)
+            tailStart = last->first;
+    }
+    const Bytes oldMapped = segment.mapped;
+    Status grown = growMapping(segment, tailStart + rounded);
+    if (!grown.ok()) {
+        // Give back every other segment's free tail and retry.
+        for (auto &other : mSegments)
+            trimTail(other);
+        grown = growMapping(segment, tailStart + rounded);
+        if (!grown.ok())
+            return grown.error();
+    }
+    // The newly mapped range joins (or forms) the tail gap.
+    if (segment.mapped > oldMapped)
+        insertFree(segment, oldMapped, segment.mapped - oldMapped);
+
+    const AllocId id = mNextId++;
+    return Allocation{id, size,
+                      place(segIndex, tailStart, rounded, id)};
+}
+
+Status
+ExpandableSegmentsAllocator::deallocate(AllocId id)
+{
+    const auto it = mLive.find(id);
+    if (it == mLive.end())
+        return makeError(Errc::invalidValue, "unknown allocation id");
+    mDevice.chargeCachedOp();
+
+    Segment &segment = mSegments[it->second.first];
+    const auto blk = segment.live.find(it->second.second);
+    GMLAKE_ASSERT(blk != segment.live.end(), "live map out of sync");
+    mStats.onDeallocate(blk->second.first);
+    insertFree(segment, blk->first, blk->second.first);
+    segment.live.erase(blk);
+    mLive.erase(it);
+    return Status::success();
+}
+
+void
+ExpandableSegmentsAllocator::streamSynchronize(StreamId stream)
+{
+    mDevice.syncPenalty();
+    for (auto &segment : mSegments) {
+        for (auto &[offset, gap] : segment.free) {
+            (void)offset;
+            if (stream == kAnyStream || gap.freedBy == stream)
+                gap.freedBy = kAnyStream;
+        }
+    }
+}
+
+void
+ExpandableSegmentsAllocator::deviceSynchronize()
+{
+    streamSynchronize(kAnyStream);
+}
+
+void
+ExpandableSegmentsAllocator::emptyCache()
+{
+    for (auto &segment : mSegments)
+        trimTail(segment);
+}
+
+MemorySnapshot
+ExpandableSegmentsAllocator::snapshot() const
+{
+    MemorySnapshot snap;
+    snap.allocator = name();
+    snap.activeBytes = mStats.activeBytes();
+    snap.reservedBytes = mStats.reservedBytes();
+    for (const auto &segment : mSegments) {
+        RegionSnapshot region;
+        region.kind = "segment";
+        region.base = segment.base;
+        region.size = segment.mapped;
+        for (const auto &[offset, blk] : segment.live) {
+            region.blocks.push_back(
+                BlockSnapshot{segment.base + offset, blk.first, true,
+                              segment.stream});
+        }
+        for (const auto &[offset, gap] : segment.free) {
+            region.blocks.push_back(
+                BlockSnapshot{segment.base + offset, gap.size, false,
+                              gap.freedBy});
+        }
+        std::sort(region.blocks.begin(), region.blocks.end(),
+                  [](const BlockSnapshot &a, const BlockSnapshot &b) {
+                      return a.addr < b.addr;
+                  });
+        snap.regions.push_back(std::move(region));
+    }
+    return snap;
+}
+
+void
+ExpandableSegmentsAllocator::checkConsistency() const
+{
+    Bytes active = 0;
+    Bytes mapped = 0;
+    for (const auto &segment : mSegments) {
+        mapped += segment.mapped;
+        GMLAKE_ASSERT(segment.chunks.size() * mConfig.chunkSize ==
+                      segment.mapped,
+                      "chunk count / mapped bytes mismatch");
+        // live and free must tile [0, mapped) exactly.
+        Bytes cursor = 0;
+        auto liveIt = segment.live.begin();
+        auto freeIt = segment.free.begin();
+        while (liveIt != segment.live.end() ||
+               freeIt != segment.free.end()) {
+            if (liveIt != segment.live.end() &&
+                liveIt->first == cursor) {
+                active += liveIt->second.first;
+                cursor += liveIt->second.first;
+                ++liveIt;
+            } else if (freeIt != segment.free.end() &&
+                       freeIt->first == cursor) {
+                cursor += freeIt->second.size;
+                ++freeIt;
+            } else {
+                GMLAKE_PANIC("gap in segment tiling at ", cursor);
+            }
+        }
+        GMLAKE_ASSERT(cursor == segment.mapped,
+                      "segment tiling does not reach mapped end");
+    }
+    GMLAKE_ASSERT(active == mStats.activeBytes(),
+                  "active accounting drifted");
+    GMLAKE_ASSERT(mapped == mStats.reservedBytes(),
+                  "reserved accounting drifted");
+    GMLAKE_ASSERT(mLive.size() ==
+                  [this] {
+                      std::size_t n = 0;
+                      for (const auto &s : mSegments)
+                          n += s.live.size();
+                      return n;
+                  }(),
+                  "stray live entries");
+}
+
+} // namespace gmlake::alloc

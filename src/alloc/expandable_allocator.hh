@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Expandable-segments allocator: the design PyTorch shipped after
+ * GMLake demonstrated VMM-based defragmentation
+ * (`PYTORCH_CUDA_ALLOC_CONF=expandable_segments:True`).
+ *
+ * Instead of many fixed-size cudaMalloc segments, each (pool, stream)
+ * owns ONE segment with a huge reserved virtual address range.
+ * Physical 2 MB chunks are mapped at the tail as the segment grows
+ * and unmapped when the tail is free, so all block splitting and
+ * coalescing happens inside a single contiguous address range: a
+ * freed region always coalesces with its neighbours, and any large
+ * request can be served at the tail by mapping fresh chunks.
+ *
+ * Compared with GMLake: both use the driver VMM API and uniform
+ * chunks, but expandable segments cannot re-use *interior* holes for
+ * a larger request (the hole's VA is fixed); GMLake's stitching maps
+ * the same physical chunks under a new contiguous VA instead. The
+ * comparison bench quantifies the difference.
+ */
+
+#ifndef GMLAKE_ALLOC_EXPANDABLE_ALLOCATOR_HH
+#define GMLAKE_ALLOC_EXPANDABLE_ALLOCATOR_HH
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "alloc/allocator.hh"
+#include "vmm/device.hh"
+
+namespace gmlake::alloc
+{
+
+struct ExpandableConfig
+{
+    /** Physical mapping granularity (2 MiB on real devices). */
+    Bytes chunkSize = Bytes{2} * 1024 * 1024;
+    /** Request rounding granularity (PyTorch: 512 B). */
+    Bytes roundTo = 512;
+    /**
+     * Virtual address range reserved per segment; physical chunks
+     * are mapped into it on demand. Defaults to 128 GiB (the device
+     * capacity bounds actual usage).
+     */
+    Bytes segmentVaSize = Bytes{128} * 1024 * 1024 * 1024;
+    /** Cross-stream reuse event lag (see CachingConfig). */
+    Tick streamEventLagNs = 2'000'000;
+};
+
+class ExpandableSegmentsAllocator : public Allocator
+{
+  public:
+    ExpandableSegmentsAllocator(vmm::Device &device,
+                                ExpandableConfig config = {});
+    ~ExpandableSegmentsAllocator() override;
+
+    using Allocator::allocate;
+    Expected<Allocation> allocate(Bytes size,
+                                  StreamId stream) override;
+    Status deallocate(AllocId id) override;
+    void streamSynchronize(StreamId stream) override;
+    void deviceSynchronize() override;
+    void emptyCache() override;
+    const AllocatorStats &stats() const override { return mStats; }
+    std::string name() const override { return "expandable"; }
+    MemorySnapshot snapshot() const override;
+
+    std::size_t segmentCount() const { return mSegments.size(); }
+    /** Chunk map/unmap operations performed (growth/trim traffic). */
+    std::uint64_t chunkMaps() const { return mChunkMaps; }
+    std::uint64_t chunkUnmaps() const { return mChunkUnmaps; }
+
+    /** Internal invariant check used by tests; panics on violation. */
+    void checkConsistency() const;
+
+  private:
+    struct FreeBlock
+    {
+        Bytes size = 0;
+        Tick freedAt = 0;
+        StreamId freedBy = kDefaultStream;
+    };
+
+    struct Segment
+    {
+        VirtAddr base = kNullAddr;
+        Bytes vaSize = 0;
+        /** Bytes of the range currently backed by mapped chunks. */
+        Bytes mapped = 0;
+        StreamId stream = kDefaultStream;
+        std::vector<PhysHandle> chunks;
+        /** Free gaps inside [0, mapped): offset -> info. */
+        std::map<Bytes, FreeBlock> free;
+        /** Live blocks: offset -> (size, id). */
+        std::map<Bytes, std::pair<Bytes, AllocId>> live;
+    };
+
+    vmm::Device &mDevice;
+    ExpandableConfig mConfig;
+    AllocatorStats mStats;
+    AllocId mNextId = 1;
+    std::uint64_t mChunkMaps = 0;
+    std::uint64_t mChunkUnmaps = 0;
+
+    std::vector<Segment> mSegments;
+    /** id -> (segment index, offset). */
+    std::unordered_map<AllocId, std::pair<std::size_t, Bytes>> mLive;
+
+    Segment &segmentFor(StreamId stream);
+
+    /** Map chunks so the segment covers at least @p upTo bytes. */
+    Status growMapping(Segment &segment, Bytes upTo);
+
+    /** Unmap the free tail of @p segment down to its last live byte. */
+    void trimTail(Segment &segment);
+
+    /** Place @p size at @p offset (which must be a free gap). */
+    VirtAddr place(std::size_t segIndex, Bytes offset, Bytes size,
+                   AllocId id);
+
+    void insertFree(Segment &segment, Bytes offset, Bytes size);
+};
+
+} // namespace gmlake::alloc
+
+#endif // GMLAKE_ALLOC_EXPANDABLE_ALLOCATOR_HH

@@ -1,0 +1,48 @@
+#include "alloc/native_allocator.hh"
+
+#include "support/units.hh"
+
+namespace gmlake::alloc
+{
+
+NativeAllocator::NativeAllocator(vmm::Device &device)
+    : mDevice(device)
+{
+}
+
+Expected<Allocation>
+NativeAllocator::allocate(Bytes size, StreamId stream)
+{
+    (void)stream; // cudaMalloc synchronizes the whole device
+    if (size == 0)
+        return makeError(Errc::invalidValue, "allocate of zero bytes");
+    const auto va = mDevice.mallocNative(size);
+    if (!va.ok())
+        return va.error();
+    mDevice.syncPenalty();
+
+    const Bytes reserved = roundUp(size, mDevice.granularity());
+    const AllocId id = mNextId++;
+    mLive.emplace(id, Record{*va, size, reserved});
+    mStats.onAllocate(size);
+    mStats.onReserve(reserved);
+    return Allocation{id, size, *va};
+}
+
+Status
+NativeAllocator::deallocate(AllocId id)
+{
+    auto it = mLive.find(id);
+    if (it == mLive.end())
+        return makeError(Errc::invalidValue, "unknown allocation id");
+    const Status s = mDevice.freeNative(it->second.addr);
+    if (!s.ok())
+        return s;
+    mDevice.syncPenalty();
+    mStats.onDeallocate(it->second.requested);
+    mStats.onRelease(it->second.reserved);
+    mLive.erase(it);
+    return Status::success();
+}
+
+} // namespace gmlake::alloc

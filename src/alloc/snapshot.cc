@@ -1,0 +1,115 @@
+#include "alloc/snapshot.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/strings.hh"
+#include "vmm/phys_memory.hh"
+
+namespace gmlake::alloc
+{
+
+std::size_t
+MemorySnapshot::regionCount(const std::string &kind) const
+{
+    std::size_t n = 0;
+    for (const auto &r : regions)
+        n += r.kind == kind ? 1 : 0;
+    return n;
+}
+
+Bytes
+MemorySnapshot::freeBlockBytes() const
+{
+    Bytes total = 0;
+    for (const auto &r : regions) {
+        if (r.kind == "sblock")
+            continue; // aliases of pblock memory
+        for (const auto &b : r.blocks)
+            total += b.allocated ? 0 : b.size;
+    }
+    return total;
+}
+
+std::size_t
+MemorySnapshot::freeBlockCount() const
+{
+    std::size_t n = 0;
+    for (const auto &r : regions) {
+        if (r.kind == "sblock")
+            continue;
+        for (const auto &b : r.blocks)
+            n += b.allocated ? 0 : 1;
+    }
+    return n;
+}
+
+Bytes
+MemorySnapshot::largestFreeBlock() const
+{
+    Bytes largest = 0;
+    for (const auto &r : regions) {
+        if (r.kind == "sblock")
+            continue;
+        for (const auto &b : r.blocks) {
+            if (!b.allocated && b.size > largest)
+                largest = b.size;
+        }
+    }
+    return largest;
+}
+
+std::string
+MemorySnapshot::summary() const
+{
+    std::ostringstream oss;
+    oss << "=== " << allocator << " memory snapshot ===\n"
+        << "  active:   " << formatBytes(activeBytes) << "\n"
+        << "  reserved: " << formatBytes(reservedBytes) << "\n"
+        << "  cached:   " << formatBytes(freeBlockBytes()) << " in "
+        << freeBlockCount() << " free blocks (largest "
+        << formatBytes(largestFreeBlock()) << ")\n";
+    for (const char *kind : {"segment", "pblock", "sblock"}) {
+        const std::size_t n = regionCount(kind);
+        if (n > 0)
+            oss << "  " << kind << "s: " << n << "\n";
+    }
+    return oss.str();
+}
+
+std::string
+renderPhysicalMap(const vmm::PhysMemory &phys, std::size_t width)
+{
+    if (width == 0)
+        width = 1;
+    const Bytes capacity = phys.capacity();
+    const double cell =
+        static_cast<double>(capacity) / static_cast<double>(width);
+
+    // Per-cell used byte counts from the live ranges.
+    std::vector<double> used(width, 0.0);
+    for (const auto &[base, size] : phys.liveRanges()) {
+        const double lo = static_cast<double>(base);
+        const double hi = static_cast<double>(base + size);
+        const auto first = static_cast<std::size_t>(lo / cell);
+        const auto last = std::min<std::size_t>(
+            width - 1, static_cast<std::size_t>((hi - 1) / cell));
+        for (std::size_t c = first; c <= last; ++c) {
+            const double cellLo = static_cast<double>(c) * cell;
+            const double cellHi = cellLo + cell;
+            used[c] += std::min(hi, cellHi) - std::max(lo, cellLo);
+        }
+    }
+
+    std::string out;
+    out.reserve(width + 2);
+    out.push_back('[');
+    for (std::size_t c = 0; c < width; ++c) {
+        const double frac = used[c] / cell;
+        out.push_back(frac >= 0.999 ? '#' : frac > 0.001 ? '+' : '.');
+    }
+    out.push_back(']');
+    return out;
+}
+
+} // namespace gmlake::alloc

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Allocator introspection: a structured snapshot of every block an
+ * allocator currently manages (the torch.cuda.memory_snapshot
+ * analogue), plus an ASCII renderer for the device's physical address
+ * space that makes external fragmentation visible — the Figure 1
+ * picture of the paper.
+ */
+
+#ifndef GMLAKE_ALLOC_SNAPSHOT_HH
+#define GMLAKE_ALLOC_SNAPSHOT_HH
+
+#include <string>
+#include <vector>
+
+#include "support/types.hh"
+
+namespace gmlake::vmm
+{
+class PhysMemory;
+} // namespace gmlake::vmm
+
+namespace gmlake::alloc
+{
+
+/** One block in an allocator's inventory. */
+struct BlockSnapshot
+{
+    VirtAddr addr = kNullAddr;
+    Bytes size = 0;
+    bool allocated = false;
+    StreamId stream = kDefaultStream;
+};
+
+/** One region (caching segment / GMLake pBlock / sBlock). */
+struct RegionSnapshot
+{
+    /** "segment", "pblock" or "sblock". */
+    std::string kind;
+    VirtAddr base = kNullAddr;
+    Bytes size = 0;
+    std::vector<BlockSnapshot> blocks;
+};
+
+struct MemorySnapshot
+{
+    std::string allocator;
+    Bytes activeBytes = 0;
+    Bytes reservedBytes = 0;
+    std::vector<RegionSnapshot> regions;
+
+    std::size_t regionCount(const std::string &kind) const;
+    Bytes freeBlockBytes() const;
+    std::size_t freeBlockCount() const;
+    /** Size of the largest free (cached, unallocated) block. */
+    Bytes largestFreeBlock() const;
+
+    /** Multi-line human-readable report. */
+    std::string summary() const;
+};
+
+/**
+ * Render the physical address space of @p phys as one line of @p
+ * width cells: '#' fully used, '+' partially used, '.' free hole.
+ */
+std::string renderPhysicalMap(const vmm::PhysMemory &phys,
+                              std::size_t width = 64);
+
+} // namespace gmlake::alloc
+
+#endif // GMLAKE_ALLOC_SNAPSHOT_HH

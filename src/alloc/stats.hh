@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Allocator accounting shared by every allocator implementation.
+ *
+ * Terminology follows the paper (Section 5.1):
+ *  - active memory: bytes currently assigned to live tensors
+ *  - reserved memory: bytes held from the device (pool segments or
+ *    physical chunks), whether or not they are assigned
+ *  - utilization ratio: peak active / peak reserved
+ *  - fragmentation ratio: 1 - utilization ratio
+ */
+
+#ifndef GMLAKE_ALLOC_STATS_HH
+#define GMLAKE_ALLOC_STATS_HH
+
+#include <cstdint>
+
+#include "support/types.hh"
+
+namespace gmlake::alloc
+{
+
+class AllocatorStats
+{
+  public:
+    void
+    onAllocate(Bytes active)
+    {
+        ++mAllocCount;
+        mActive += active;
+        if (mActive > mPeakActive)
+            mPeakActive = mActive;
+    }
+
+    void
+    onDeallocate(Bytes active)
+    {
+        ++mFreeCount;
+        mActive -= active;
+    }
+
+    void
+    onReserve(Bytes reserved)
+    {
+        mReserved += reserved;
+        if (mReserved > mPeakReserved)
+            mPeakReserved = mReserved;
+    }
+
+    void onRelease(Bytes reserved) { mReserved -= reserved; }
+
+    Bytes activeBytes() const { return mActive; }
+    Bytes reservedBytes() const { return mReserved; }
+    Bytes peakActiveBytes() const { return mPeakActive; }
+    Bytes peakReservedBytes() const { return mPeakReserved; }
+    std::uint64_t allocCount() const { return mAllocCount; }
+    std::uint64_t freeCount() const { return mFreeCount; }
+
+    /** Peak active / peak reserved; 1.0 when nothing was reserved. */
+    double
+    utilizationRatio() const
+    {
+        if (mPeakReserved == 0)
+            return 1.0;
+        return static_cast<double>(mPeakActive) /
+               static_cast<double>(mPeakReserved);
+    }
+
+    /** The paper's fragmentation metric: 1 - utilization. */
+    double fragmentationRatio() const { return 1.0 - utilizationRatio(); }
+
+  private:
+    Bytes mActive = 0;
+    Bytes mReserved = 0;
+    Bytes mPeakActive = 0;
+    Bytes mPeakReserved = 0;
+    std::uint64_t mAllocCount = 0;
+    std::uint64_t mFreeCount = 0;
+};
+
+} // namespace gmlake::alloc
+
+#endif // GMLAKE_ALLOC_STATS_HH

@@ -1,0 +1,97 @@
+#include "core/best_fit.hh"
+
+#include "support/logging.hh"
+
+namespace gmlake::core
+{
+
+FitResult
+bestFit(Bytes bSize, const std::vector<Bytes> &sBlockSizes,
+        const std::vector<Bytes> &pBlockSizes, Bytes fragLimit)
+{
+    FitResult result;
+
+    // S1: exact match, the only state allowed to return an sBlock
+    // (Algorithm 1, lines 2-4).
+    for (std::size_t i = 0; i < sBlockSizes.size(); ++i) {
+        if (sBlockSizes[i] == bSize) {
+            result.state = FitState::exactMatch;
+            result.useSBlock = true;
+            result.sIndex = i;
+            result.candidateBytes = bSize;
+            return result;
+        }
+    }
+    for (std::size_t i = 0; i < pBlockSizes.size(); ++i) {
+        if (pBlockSizes[i] == bSize) {
+            result.state = FitState::exactMatch;
+            result.pIndices = {i};
+            result.candidateBytes = bSize;
+            return result;
+        }
+    }
+
+    // Lines 5-15: scan pBlocks in descending size order. Larger-than-
+    // request blocks keep overwriting the single candidate, so the
+    // loop ends with the smallest block that still fits; once blocks
+    // are smaller than the request, greedily accumulate them until
+    // the sum suffices.
+    std::vector<std::size_t> cb;
+    Bytes cbSize = 0;
+    bool single = false;
+    for (std::size_t i = 0; i < pBlockSizes.size(); ++i) {
+        const Bytes size = pBlockSizes[i];
+        GMLAKE_ASSERT(i == 0 || size <= pBlockSizes[i - 1],
+                      "pBlock sizes must be sorted descending");
+        if (size >= bSize) {
+            cb = {i};
+            cbSize = size;
+            single = true;
+        } else if (cbSize < bSize) {
+            if (single)
+                break; // a single fitting block was already found
+            // Fragmentation limit (Section 4.2.3): never stitch
+            // blocks below the limit.
+            if (fragLimit != 0 && size < fragLimit)
+                continue;
+            cb.push_back(i);
+            cbSize += size;
+        } else {
+            break;
+        }
+    }
+
+    // When the greedy set overshoots, try to swap the final candidate
+    // for a block that completes the sum exactly: stitching an exact
+    // set avoids the trim split, which would destroy every cached
+    // sBlock sharing the trimmed block (and with it the exact-match
+    // convergence of Section 4.2.2).
+    if (!single && cbSize > bSize && cb.size() >= 1) {
+        const Bytes lastSize = pBlockSizes[cb.back()];
+        const Bytes needLast = bSize - (cbSize - lastSize);
+        for (std::size_t i = cb.back() + 1; i < pBlockSizes.size();
+             ++i) {
+            if (pBlockSizes[i] < needLast)
+                break; // sorted descending: no exact block exists
+            if (pBlockSizes[i] == needLast) {
+                cb.back() = i;
+                cbSize = bSize;
+                break;
+            }
+        }
+    }
+
+    result.pIndices = std::move(cb);
+    result.candidateBytes = cbSize;
+    if (single) {
+        GMLAKE_ASSERT(cbSize > bSize, "exact sizes handled in S1");
+        result.state = FitState::singleBlock;
+    } else if (cbSize >= bSize) {
+        result.state = FitState::multiBlocks;
+    } else {
+        result.state = FitState::insufficient;
+    }
+    return result;
+}
+
+} // namespace gmlake::core

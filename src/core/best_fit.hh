@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Algorithm 1 of the paper: the BestFit candidate search over the
+ * inactive sBlocks and pBlocks. Factored out as a pure function over
+ * size lists so it can be unit-tested exhaustively.
+ */
+
+#ifndef GMLAKE_CORE_BEST_FIT_HH
+#define GMLAKE_CORE_BEST_FIT_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "support/types.hh"
+
+namespace gmlake::core
+{
+
+/** The four states of Algorithm 1 (plus S5 = OOM at a higher level). */
+enum class FitState
+{
+    exactMatch = 1,     //!< S1: a block of exactly the requested size
+    singleBlock = 2,    //!< S2: smallest single pBlock larger than it
+    multiBlocks = 3,    //!< S3: several pBlocks whose sum suffices
+    insufficient = 4,   //!< S4: even the sum of all candidates is short
+};
+
+struct FitResult
+{
+    FitState state = FitState::insufficient;
+    /** S1 only: true when the exact match is an sBlock. */
+    bool useSBlock = false;
+    /** S1 with useSBlock: index into the sBlock size list. */
+    std::size_t sIndex = 0;
+    /** Candidate indices into the pBlock size list (all states). */
+    std::vector<std::size_t> pIndices;
+    /** Total size of the candidates in pIndices. */
+    Bytes candidateBytes = 0;
+};
+
+/**
+ * Run Algorithm 1.
+ *
+ * @param bSize requested block size (already chunk-rounded)
+ * @param sBlockSizes inactive, eligible sBlock sizes, descending
+ * @param pBlockSizes inactive pBlock sizes, descending
+ * @param fragLimit pBlocks smaller than this are skipped when
+ *        accumulating multi-block candidates (0 disables the limit;
+ *        exact matches are always taken)
+ */
+FitResult bestFit(Bytes bSize,
+                  const std::vector<Bytes> &sBlockSizes,
+                  const std::vector<Bytes> &pBlockSizes,
+                  Bytes fragLimit);
+
+} // namespace gmlake::core
+
+#endif // GMLAKE_CORE_BEST_FIT_HH

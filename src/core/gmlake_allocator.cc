@@ -1,0 +1,888 @@
+#include "core/gmlake_allocator.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+#include "support/strings.hh"
+#include "support/units.hh"
+
+namespace gmlake::core
+{
+
+GMLakeAllocator::GMLakeAllocator(vmm::Device &device, GMLakeConfig config)
+    : mDevice(device), mConfig(config), mSmallPath(device)
+{
+    GMLAKE_ASSERT(mConfig.chunkSize > 0 &&
+                  isAligned(mConfig.chunkSize, device.granularity()),
+                  "chunk size must be a multiple of the device "
+                  "granularity");
+    GMLAKE_ASSERT(mConfig.smallThreshold <= mConfig.chunkSize,
+                  "small threshold cannot exceed the chunk size");
+}
+
+GMLakeAllocator::~GMLakeAllocator() = default;
+
+// --------------------------------------------------------------------
+// Small-path bridging
+// --------------------------------------------------------------------
+
+void
+GMLakeAllocator::syncSmallPathStats()
+{
+    const Bytes cur = mSmallPath.stats().reservedBytes();
+    if (cur > mSmallReservedSeen)
+        mStats.onReserve(cur - mSmallReservedSeen);
+    else if (cur < mSmallReservedSeen)
+        mStats.onRelease(mSmallReservedSeen - cur);
+    mSmallReservedSeen = cur;
+}
+
+// --------------------------------------------------------------------
+// pBlock lifecycle
+// --------------------------------------------------------------------
+
+Expected<GMLakeAllocator::PBlock *>
+GMLakeAllocator::allocPBlock(Bytes size, StreamId stream)
+{
+    GMLAKE_ASSERT(size > 0 && isAligned(size, mConfig.chunkSize),
+                  "pBlock size must be a chunk multiple");
+
+    const auto va = mDevice.memAddressReserve(size);
+    if (!va.ok())
+        return va.error();
+
+    const std::size_t chunkCount = size / mConfig.chunkSize;
+    std::vector<PhysHandle> chunks;
+    chunks.reserve(chunkCount);
+    for (std::size_t i = 0; i < chunkCount; ++i) {
+        auto h = mDevice.memCreate(mConfig.chunkSize);
+        if (!h.ok()) {
+            // Roll back everything created so far.
+            for (std::size_t j = 0; j < chunks.size(); ++j) {
+                const VirtAddr at =
+                    *va + static_cast<VirtAddr>(j) * mConfig.chunkSize;
+                Status s = mDevice.memUnmap(at, mConfig.chunkSize);
+                GMLAKE_ASSERT(s.ok(), "rollback unmap failed");
+                s = mDevice.memRelease(chunks[j]);
+                GMLAKE_ASSERT(s.ok(), "rollback release failed");
+            }
+            const Status s = mDevice.memAddressFree(*va);
+            GMLAKE_ASSERT(s.ok(), "rollback addressFree failed");
+            return h.error();
+        }
+        const VirtAddr at =
+            *va + static_cast<VirtAddr>(i) * mConfig.chunkSize;
+        const Status mapped = mDevice.memMap(at, *h);
+        GMLAKE_ASSERT(mapped.ok(), "fresh VA must map: ",
+                      mapped.ok() ? "" : mapped.error().message);
+        chunks.push_back(*h);
+    }
+    const Status acc = mDevice.memSetAccess(*va, size);
+    GMLAKE_ASSERT(acc.ok(), "fresh mapping must accept access");
+
+    auto owned = std::make_unique<PBlock>();
+    PBlock *block = owned.get();
+    block->id = mNextBlockId++;
+    block->va = *va;
+    block->size = size;
+    block->chunks = std::move(chunks);
+    block->lastUse = mDevice.now();
+    block->stream = stream;
+    mPBlocks.emplace(block, std::move(owned));
+    mInactiveP.insert(block);
+
+    mPhysicalBytes += size;
+    mStats.onReserve(size);
+    return block;
+}
+
+void
+GMLakeAllocator::releasePBlock(PBlock *block)
+{
+    GMLAKE_ASSERT(!block->active, "release of an active pBlock");
+    // Destroy any sBlock still referencing this block first.
+    while (!block->sharers.empty())
+        destroySBlock(*block->sharers.begin());
+
+    Status s = mDevice.memUnmap(block->va, block->size);
+    GMLAKE_ASSERT(s.ok(), "pBlock unmap failed");
+    for (PhysHandle h : block->chunks) {
+        s = mDevice.memRelease(h);
+        GMLAKE_ASSERT(s.ok(), "pBlock chunk release failed");
+    }
+    s = mDevice.memAddressFree(block->va);
+    GMLAKE_ASSERT(s.ok(), "pBlock addressFree failed");
+
+    mPhysicalBytes -= block->size;
+    mStats.onRelease(block->size);
+    mInactiveP.erase(block);
+    const auto erased = mPBlocks.erase(block);
+    GMLAKE_ASSERT(erased == 1, "release of unowned pBlock");
+}
+
+Expected<GMLakeAllocator::PBlock *>
+GMLakeAllocator::splitPBlock(PBlock *block, Bytes sizeA)
+{
+    GMLAKE_ASSERT(!block->active, "split of an active pBlock");
+    GMLAKE_ASSERT(isAligned(sizeA, mConfig.chunkSize) &&
+                  sizeA < block->size,
+                  "split size must be a chunk multiple below the "
+                  "block size");
+    ++mCounters.splits;
+
+    // Any sBlock stitched over the original block becomes stale: the
+    // paper removes the previous pBlock structure from the pPool, so
+    // its sharers are dropped (they are inactive by construction).
+    while (!block->sharers.empty())
+        destroySBlock(*block->sharers.begin());
+
+    const Bytes sizeB = block->size - sizeA;
+    const std::size_t chunksA = sizeA / mConfig.chunkSize;
+
+    auto makeHalf =
+        [&](const std::vector<PhysHandle> &chunks,
+            Bytes size) -> Expected<PBlock *> {
+        const auto va = mDevice.memAddressReserve(size);
+        if (!va.ok())
+            return va.error();
+        for (std::size_t i = 0; i < chunks.size(); ++i) {
+            const VirtAddr at =
+                *va + static_cast<VirtAddr>(i) * mConfig.chunkSize;
+            const Status s = mDevice.memMap(at, chunks[i]);
+            GMLAKE_ASSERT(s.ok(), "split remap failed");
+        }
+        const Status acc = mDevice.memSetAccess(*va, size);
+        GMLAKE_ASSERT(acc.ok(), "split access failed");
+
+        auto owned = std::make_unique<PBlock>();
+        PBlock *half = owned.get();
+        half->id = mNextBlockId++;
+        half->va = *va;
+        half->size = size;
+        half->chunks = chunks;
+        half->lastUse = mDevice.now();
+        half->stream = block->stream;
+        mPBlocks.emplace(half, std::move(owned));
+        mInactiveP.insert(half);
+        return half;
+    };
+
+    const std::vector<PhysHandle> firstChunks(
+        block->chunks.begin(),
+        block->chunks.begin() + static_cast<std::ptrdiff_t>(chunksA));
+    const std::vector<PhysHandle> restChunks(
+        block->chunks.begin() + static_cast<std::ptrdiff_t>(chunksA),
+        block->chunks.end());
+
+    const auto halfA = makeHalf(firstChunks, sizeA);
+    if (!halfA.ok())
+        return halfA.error();
+    const auto halfB = makeHalf(restChunks, sizeB);
+    if (!halfB.ok()) {
+        // Extremely unlikely (VA space exhaustion); undo half A.
+        PBlock *a = *halfA;
+        Status s = mDevice.memUnmap(a->va, a->size);
+        GMLAKE_ASSERT(s.ok(), "split rollback unmap failed");
+        s = mDevice.memAddressFree(a->va);
+        GMLAKE_ASSERT(s.ok(), "split rollback addressFree failed");
+        mInactiveP.erase(a);
+        mPBlocks.erase(a);
+        return halfB.error();
+    }
+
+    // Retire the original block: its VA goes away, the chunks live on
+    // in the two halves. Physical accounting is unchanged.
+    Status s = mDevice.memUnmap(block->va, block->size);
+    GMLAKE_ASSERT(s.ok(), "split retire unmap failed");
+    s = mDevice.memAddressFree(block->va);
+    GMLAKE_ASSERT(s.ok(), "split retire addressFree failed");
+    mInactiveP.erase(block);
+    mPBlocks.erase(block);
+
+    // Keep the original footprint reachable for the repeating training
+    // pattern: re-stitch the halves into an sBlock of the old size.
+    if (mConfig.restitchOnSplit && mConfig.enableStitching) {
+        const auto restitched =
+            stitch({*halfA, *halfB}, (*halfA)->stream);
+        if (!restitched.ok()) {
+            GMLAKE_WARN("re-stitch after split failed: ",
+                        restitched.error().message);
+        }
+    }
+    return *halfA;
+}
+
+// --------------------------------------------------------------------
+// sBlock lifecycle
+// --------------------------------------------------------------------
+
+Expected<GMLakeAllocator::SBlock *>
+GMLakeAllocator::stitch(const std::vector<PBlock *> &members,
+                        StreamId stream)
+{
+    GMLAKE_ASSERT(!members.empty(), "stitch of zero blocks");
+    GMLAKE_ASSERT(mConfig.enableStitching, "stitching is disabled");
+    ++mCounters.stitches;
+
+    Bytes total = 0;
+    for (const PBlock *m : members) {
+        GMLAKE_ASSERT(!m->active, "stitch of an active pBlock");
+        total += m->size;
+    }
+
+    const auto va = mDevice.memAddressReserve(total);
+    if (!va.ok())
+        return va.error();
+
+    // Map every member's chunks back-to-back under the new VA. The
+    // sBlock never creates physical chunks (paper Section 3.3.1).
+    VirtAddr cursor = *va;
+    for (const PBlock *m : members) {
+        for (PhysHandle h : m->chunks) {
+            const Status s = mDevice.memMap(cursor, h);
+            GMLAKE_ASSERT(s.ok(), "stitch map failed: ",
+                          s.ok() ? "" : s.error().message);
+            cursor += mConfig.chunkSize;
+        }
+    }
+    const Status acc = mDevice.memSetAccess(*va, total);
+    GMLAKE_ASSERT(acc.ok(), "stitch access failed");
+
+    auto owned = std::make_unique<SBlock>();
+    SBlock *sblock = owned.get();
+    sblock->id = mNextBlockId++;
+    sblock->va = *va;
+    sblock->size = total;
+    sblock->members = members;
+    sblock->lastUse = mDevice.now();
+    sblock->stream = stream;
+    mSBlocks.emplace(sblock, std::move(owned));
+    mInactiveS.insert(sblock);
+    for (PBlock *m : members)
+        m->sharers.insert(sblock);
+
+    mStitchedVaBytes += total;
+    return sblock;
+}
+
+void
+GMLakeAllocator::destroySBlock(SBlock *sblock)
+{
+    GMLAKE_ASSERT(!sblock->active, "destroy of an active sBlock");
+    Status s = mDevice.memUnmap(sblock->va, sblock->size);
+    GMLAKE_ASSERT(s.ok(), "sBlock unmap failed");
+    s = mDevice.memAddressFree(sblock->va);
+    GMLAKE_ASSERT(s.ok(), "sBlock addressFree failed");
+
+    for (PBlock *m : sblock->members)
+        m->sharers.erase(sblock);
+    mStitchedVaBytes -= sblock->size;
+    mInactiveS.erase(sblock);
+    const auto erased = mSBlocks.erase(sblock);
+    GMLAKE_ASSERT(erased == 1, "destroy of unowned sBlock");
+}
+
+bool
+GMLakeAllocator::eligible(const SBlock &sblock, StreamId stream) const
+{
+    if (sblock.active ||
+        !streamOk(sblock.stream, sblock.lastUse, stream))
+        return false;
+    return std::all_of(
+        sblock.members.begin(), sblock.members.end(),
+        [&](const PBlock *m) {
+            return !m->active &&
+                   streamOk(m->stream, m->lastUse, stream);
+        });
+}
+
+void
+GMLakeAllocator::stitchFree()
+{
+    const Bytes vaCap = static_cast<Bytes>(
+        mConfig.maxVaOverscribe *
+        static_cast<double>(mDevice.capacity()));
+
+    auto overLimit = [&] {
+        return mInactiveS.size() > mConfig.maxCachedSBlocks ||
+               mStitchedVaBytes > vaCap;
+    };
+    while (overLimit()) {
+        // Evict the least recently used inactive sBlock. Only
+        // structures are released; physical memory stays put.
+        SBlock *victim = nullptr;
+        for (SBlock *s : mInactiveS) {
+            if (!victim || s->lastUse < victim->lastUse)
+                victim = s;
+        }
+        if (!victim)
+            break; // everything is active; nothing to evict
+        ++mCounters.stitchFrees;
+        destroySBlock(victim);
+    }
+}
+
+// --------------------------------------------------------------------
+// Active-state management
+// --------------------------------------------------------------------
+
+void
+GMLakeAllocator::markPActive(PBlock *block, bool active)
+{
+    if (block->active == active)
+        return;
+    if (active) {
+        mInactiveP.erase(block);
+        block->active = true;
+    } else {
+        block->active = false;
+        block->lastUse = mDevice.now();
+        mInactiveP.insert(block);
+    }
+}
+
+void
+GMLakeAllocator::markSActive(SBlock *sblock, bool active)
+{
+    if (active) {
+        GMLAKE_ASSERT(!sblock->active, "double-activation of sBlock");
+        mInactiveS.erase(sblock);
+        sblock->active = true;
+        for (PBlock *m : sblock->members)
+            markPActive(m, true);
+    } else {
+        sblock->active = false;
+        sblock->lastUse = mDevice.now();
+        mInactiveS.insert(sblock);
+        for (PBlock *m : sblock->members)
+            markPActive(m, false);
+    }
+}
+
+// --------------------------------------------------------------------
+// Allocation strategy (Fig 9)
+// --------------------------------------------------------------------
+
+Expected<alloc::Allocation>
+GMLakeAllocator::allocate(Bytes size, StreamId stream)
+{
+    if (size == 0)
+        return makeError(Errc::invalidValue, "allocate of zero bytes");
+    if (stream == kAnyStream)
+        return makeError(Errc::invalidValue,
+                         "cannot allocate on the sentinel stream");
+    mDevice.chargeCachedOp();
+
+    if (size < mConfig.smallThreshold) {
+        ++mCounters.smallPath;
+        const auto inner = mSmallPath.allocate(size, stream);
+        syncSmallPathStats();
+        if (!inner.ok())
+            return inner.error();
+        const alloc::AllocId id = mNextAllocId++;
+        Live live;
+        live.requested = size;
+        live.smallId = inner->id;
+        mLive.emplace(id, live);
+        mStats.onAllocate(size);
+        return alloc::Allocation{id, size, inner->addr};
+    }
+    return allocateLarge(size, stream);
+}
+
+Expected<alloc::Allocation>
+GMLakeAllocator::allocateLarge(Bytes size, StreamId stream)
+{
+    const Bytes rounded = roundUp(size, mConfig.chunkSize);
+    // Largest acceptable over-allocation for a whole-block hand-out.
+    const Bytes slack = roundDown(
+        std::min(static_cast<Bytes>(mConfig.nearMatchTolerance *
+                                    static_cast<double>(rounded)),
+                 mConfig.nearMatchSlackCap),
+        mConfig.chunkSize);
+
+    // Robustness guard (Section 4.2.3): cap the cached stitch set
+    // before searching it. Running the guard here (and not inside
+    // stitch()) guarantees a freshly stitched block is never evicted
+    // before its first use.
+    stitchFree();
+
+    for (int attempt = 0; attempt < 2; ++attempt) {
+        // S1 fast path: most-recently-used exact match. Taking the
+        // MRU candidate (rather than an arbitrary one) makes the
+        // block-to-request assignment stable across the repeating
+        // iterations of DNN training, which is what lets the pattern
+        // tape of Section 4.2.2 converge instead of oscillating.
+        {
+            // Scan all cached blocks in [rounded, rounded + slack],
+            // preferring the tightest size, then the most recent.
+            SBlock sProbe;
+            sProbe.size = rounded + slack;
+            sProbe.id = 0; // sorts before all real ids of this size
+            SBlock *sHit = nullptr;
+            for (auto it = mInactiveS.lower_bound(&sProbe);
+                 it != mInactiveS.end() && (*it)->size >= rounded;
+                 ++it) {
+                if (eligible(**it, stream) &&
+                    (!sHit || (*it)->size < sHit->size ||
+                     ((*it)->size == sHit->size &&
+                      (*it)->lastUse > sHit->lastUse)))
+                    sHit = *it;
+            }
+            PBlock pProbe;
+            pProbe.size = rounded + slack;
+            pProbe.id = 0;
+            PBlock *pHit = nullptr;
+            for (auto it = mInactiveP.lower_bound(&pProbe);
+                 it != mInactiveP.end() && (*it)->size >= rounded;
+                 ++it) {
+                if (!streamOk((*it)->stream, (*it)->lastUse, stream))
+                    continue;
+                if (!pHit || (*it)->size < pHit->size ||
+                    ((*it)->size == pHit->size &&
+                     (*it)->lastUse > pHit->lastUse))
+                    pHit = *it;
+            }
+            if (sHit || pHit) {
+                ++mCounters.s1ExactMatch;
+                const alloc::AllocId id = mNextAllocId++;
+                Live live;
+                live.requested = size;
+                const bool useS =
+                    sHit &&
+                    (!pHit || sHit->size < pHit->size ||
+                     (sHit->size == pHit->size &&
+                      sHit->lastUse >= pHit->lastUse));
+                if (useS) {
+                    markSActive(sHit, true);
+                    sHit->stream = stream;
+                    for (PBlock *m : sHit->members)
+                        m->stream = stream;
+                    live.s = sHit;
+                    mLive.emplace(id, live);
+                    mStats.onAllocate(sHit->size);
+                    return alloc::Allocation{id, size, sHit->va};
+                }
+                markPActive(pHit, true);
+                pHit->stream = stream;
+                live.p = pHit;
+                mLive.emplace(id, live);
+                mStats.onAllocate(pHit->size);
+                return alloc::Allocation{id, size, pHit->va};
+            }
+        }
+
+        // Build the BestFit inputs: eligible inactive sBlocks and all
+        // inactive pBlocks, size-descending (the pools are sorted).
+        std::vector<Bytes> sSizes;
+        std::vector<SBlock *> sRefs;
+        if (mConfig.enableStitching) {
+            sSizes.reserve(mInactiveS.size());
+            for (SBlock *s : mInactiveS) {
+                if (!eligible(*s, stream))
+                    continue;
+                sSizes.push_back(s->size);
+                sRefs.push_back(s);
+            }
+        }
+        std::vector<Bytes> pSizes;
+        std::vector<PBlock *> pRefs;
+        pSizes.reserve(mInactiveP.size());
+        for (PBlock *p : mInactiveP) {
+            if (!streamOk(p->stream, p->lastUse, stream))
+                continue;
+            pSizes.push_back(p->size);
+            pRefs.push_back(p);
+        }
+
+        const Bytes fragLimit = mConfig.enableStitching
+                                    ? mConfig.fragLimit
+                                    : ~Bytes{0};
+
+        // Two-phase search: first try to satisfy the request from
+        // pBlocks that no cached sBlock references. Splitting or
+        // stitching a shared pBlock destroys or blocks every cached
+        // composition over it, which would force the repeating
+        // training pattern to re-stitch each iteration; preferring
+        // unshared blocks keeps the pattern tape intact.
+        std::vector<Bytes> pFreeSizes;
+        std::vector<PBlock *> pFreeRefs;
+        pFreeSizes.reserve(pSizes.size());
+        for (PBlock *p : mInactiveP) {
+            if (p->sharers.empty() &&
+                streamOk(p->stream, p->lastUse, stream)) {
+                pFreeSizes.push_back(p->size);
+                pFreeRefs.push_back(p);
+            }
+        }
+        FitResult fit =
+            bestFit(rounded, sSizes, pFreeSizes, fragLimit);
+        if (fit.state == FitState::insufficient) {
+            fit = bestFit(rounded, sSizes, pSizes, fragLimit);
+        } else {
+            pRefs = std::move(pFreeRefs);
+        }
+
+        switch (fit.state) {
+          case FitState::exactMatch: {
+            ++mCounters.s1ExactMatch;
+            const alloc::AllocId id = mNextAllocId++;
+            Live live;
+            live.requested = size;
+            if (fit.useSBlock) {
+                SBlock *s = sRefs[fit.sIndex];
+                markSActive(s, true);
+                s->stream = stream;
+                for (PBlock *m : s->members)
+                    m->stream = stream;
+                live.s = s;
+                mLive.emplace(id, live);
+                mStats.onAllocate(s->size);
+                return alloc::Allocation{id, size, s->va};
+            }
+            PBlock *p = pRefs[fit.pIndices.front()];
+            markPActive(p, true);
+            p->stream = stream;
+            live.p = p;
+            mLive.emplace(id, live);
+            mStats.onAllocate(p->size);
+            return alloc::Allocation{id, size, p->va};
+          }
+
+          case FitState::singleBlock: {
+            ++mCounters.s2SingleBlock;
+            PBlock *p = pRefs[fit.pIndices.front()];
+            // Fragmentation limit (Section 4.2.3): never create a
+            // remainder below the limit — such fragments would be
+            // excluded from stitching forever and only bloat the
+            // pool. Hand the block out whole instead.
+            const bool splittable =
+                p->size - rounded >=
+                std::max(mConfig.fragLimit, mConfig.chunkSize);
+            if (splittable) {
+                const auto half = splitPBlock(p, rounded);
+                if (half.ok())
+                    p = *half;
+            }
+            markPActive(p, true);
+            p->stream = stream;
+            const alloc::AllocId id = mNextAllocId++;
+            Live live;
+            live.requested = size;
+            live.p = p;
+            mLive.emplace(id, live);
+            mStats.onAllocate(p->size);
+            return alloc::Allocation{id, size, p->va};
+          }
+
+          case FitState::multiBlocks: {
+            ++mCounters.s3MultiBlocks;
+            std::vector<PBlock *> members;
+            members.reserve(fit.pIndices.size());
+            for (std::size_t idx : fit.pIndices)
+                members.push_back(pRefs[idx]);
+
+            // Trim the final candidate so the stitched size matches
+            // the request (Fig 9: the final pBlock can be split) —
+            // but only when the cut-off piece stays above the
+            // fragmentation limit; otherwise keep the overshoot
+            // inside the sBlock.
+            const Bytes excess = fit.candidateBytes - rounded;
+            PBlock *last = members.back();
+            if (excess > std::max({slack, mConfig.fragLimit,
+                                   mConfig.chunkSize}) &&
+                last->size - excess >= mConfig.chunkSize) {
+                const auto trimmed =
+                    splitPBlock(last, last->size - excess);
+                if (trimmed.ok())
+                    members.back() = *trimmed;
+            }
+
+            const auto sblock = stitch(members, stream);
+            if (!sblock.ok())
+                return sblock.error();
+            markSActive(*sblock, true);
+            for (PBlock *m : (*sblock)->members)
+                m->stream = stream;
+            const alloc::AllocId id = mNextAllocId++;
+            Live live;
+            live.requested = size;
+            live.s = *sblock;
+            mLive.emplace(id, live);
+            mStats.onAllocate((*sblock)->size);
+            return alloc::Allocation{id, size, (*sblock)->va};
+          }
+
+          case FitState::insufficient: {
+            ++mCounters.s4Insufficient;
+            std::vector<PBlock *> members;
+            Bytes have = 0;
+            if (mConfig.enableStitching) {
+                for (std::size_t idx : fit.pIndices)
+                    members.push_back(pRefs[idx]);
+                have = fit.candidateBytes;
+            }
+            const Bytes need = rounded - have;
+            const auto fresh = allocPBlock(need, stream);
+            if (!fresh.ok()) {
+                if (attempt == 0) {
+                    // Fallback: drop cached stitches and cached
+                    // physical blocks, then retry the whole search.
+                    releaseCached();
+                    continue;
+                }
+                ++mCounters.s5Oom;
+                return fresh.error();
+            }
+
+            const alloc::AllocId id = mNextAllocId++;
+            Live live;
+            live.requested = size;
+            if (members.empty()) {
+                PBlock *p = *fresh;
+                markPActive(p, true);
+                p->stream = stream;
+                live.p = p;
+                mLive.emplace(id, live);
+                mStats.onAllocate(p->size);
+                return alloc::Allocation{id, size, p->va};
+            }
+            members.push_back(*fresh);
+            const auto sblock = stitch(members, stream);
+            if (!sblock.ok())
+                return sblock.error();
+            markSActive(*sblock, true);
+            for (PBlock *m : (*sblock)->members)
+                m->stream = stream;
+            live.s = *sblock;
+            mLive.emplace(id, live);
+            mStats.onAllocate((*sblock)->size);
+            return alloc::Allocation{id, size, (*sblock)->va};
+          }
+        }
+        GMLAKE_PANIC("unreachable BestFit state");
+    }
+    ++mCounters.s5Oom;
+    return makeError(Errc::outOfMemory,
+                     "GMLake: out of memory allocating " +
+                     formatBytes(size));
+}
+
+Status
+GMLakeAllocator::deallocate(alloc::AllocId id)
+{
+    auto it = mLive.find(id);
+    if (it == mLive.end())
+        return makeError(Errc::invalidValue, "unknown allocation id");
+    mDevice.chargeCachedOp();
+
+    Live &live = it->second;
+    if (live.smallId != 0) {
+        const Status s = mSmallPath.deallocate(live.smallId);
+        syncSmallPathStats();
+        if (!s.ok())
+            return s;
+        mStats.onDeallocate(live.requested);
+    } else if (live.s) {
+        // Update (Section 3.3.2): only flip the active state; the
+        // stitched structure stays cached for the repeating pattern.
+        mStats.onDeallocate(live.s->size);
+        markSActive(live.s, false);
+    } else {
+        GMLAKE_ASSERT(live.p, "live allocation with no target");
+        mStats.onDeallocate(live.p->size);
+        markPActive(live.p, false);
+    }
+    mLive.erase(it);
+    return Status::success();
+}
+
+void
+GMLakeAllocator::streamSynchronize(StreamId stream)
+{
+    mDevice.syncPenalty();
+    for (PBlock *p : mInactiveP) {
+        if (p->stream == stream)
+            p->stream = kAnyStream;
+    }
+    for (SBlock *s : mInactiveS) {
+        if (s->stream == stream)
+            s->stream = kAnyStream;
+    }
+    mSmallPath.streamSynchronize(stream);
+    syncSmallPathStats();
+}
+
+void
+GMLakeAllocator::deviceSynchronize()
+{
+    mDevice.syncPenalty();
+    for (PBlock *p : mInactiveP)
+        p->stream = kAnyStream;
+    for (SBlock *s : mInactiveS)
+        s->stream = kAnyStream;
+    mSmallPath.deviceSynchronize();
+    syncSmallPathStats();
+}
+
+void
+GMLakeAllocator::releaseCached()
+{
+    // Destroy every eligible cached sBlock first (they pin pBlocks).
+    // Cache release implies a device synchronization, so stream tags
+    // do not constrain it — only activity does.
+    std::vector<SBlock *> victims;
+    for (SBlock *s : mInactiveS) {
+        const bool membersIdle =
+            std::all_of(s->members.begin(), s->members.end(),
+                        [](const PBlock *m) { return !m->active; });
+        if (membersIdle)
+            victims.push_back(s);
+    }
+    for (SBlock *s : victims) {
+        ++mCounters.stitchFrees;
+        destroySBlock(s);
+    }
+    // Then return every unshared inactive pBlock to the device.
+    std::vector<PBlock *> blocks(mInactiveP.begin(), mInactiveP.end());
+    for (PBlock *p : blocks) {
+        if (p->sharers.empty())
+            releasePBlock(p);
+    }
+    mSmallPath.emptyCache();
+    syncSmallPathStats();
+}
+
+void
+GMLakeAllocator::emptyCache()
+{
+    releaseCached();
+}
+
+alloc::MemorySnapshot
+GMLakeAllocator::snapshot() const
+{
+    alloc::MemorySnapshot snap = mSmallPath.snapshot();
+    snap.allocator = name();
+    snap.activeBytes = mStats.activeBytes();
+    snap.reservedBytes = mStats.reservedBytes();
+
+    std::vector<const PBlock *> pblocks;
+    pblocks.reserve(mPBlocks.size());
+    for (const auto &[raw, owned] : mPBlocks) {
+        (void)owned;
+        pblocks.push_back(raw);
+    }
+    std::sort(pblocks.begin(), pblocks.end(),
+              [](const PBlock *a, const PBlock *b) {
+                  return a->va < b->va;
+              });
+    for (const PBlock *p : pblocks) {
+        alloc::RegionSnapshot region;
+        region.kind = "pblock";
+        region.base = p->va;
+        region.size = p->size;
+        region.blocks.push_back(alloc::BlockSnapshot{
+            p->va, p->size, p->active, p->stream});
+        snap.regions.push_back(std::move(region));
+    }
+
+    std::vector<const SBlock *> sblocks;
+    sblocks.reserve(mSBlocks.size());
+    for (const auto &[raw, owned] : mSBlocks) {
+        (void)owned;
+        sblocks.push_back(raw);
+    }
+    std::sort(sblocks.begin(), sblocks.end(),
+              [](const SBlock *a, const SBlock *b) {
+                  return a->va < b->va;
+              });
+    for (const SBlock *s : sblocks) {
+        alloc::RegionSnapshot region;
+        region.kind = "sblock";
+        region.base = s->va;
+        region.size = s->size;
+        for (const PBlock *m : s->members) {
+            region.blocks.push_back(alloc::BlockSnapshot{
+                m->va, m->size, m->active, m->stream});
+        }
+        snap.regions.push_back(std::move(region));
+    }
+    return snap;
+}
+
+// --------------------------------------------------------------------
+// Invariants
+// --------------------------------------------------------------------
+
+void
+GMLakeAllocator::checkConsistency() const
+{
+    Bytes pTotal = 0;
+    std::size_t inactiveP = 0;
+    for (const auto &[raw, owned] : mPBlocks) {
+        const PBlock *p = raw;
+        (void)owned;
+        pTotal += p->size;
+        GMLAKE_ASSERT(p->size / mConfig.chunkSize == p->chunks.size(),
+                      "pBlock chunk count mismatch");
+        GMLAKE_ASSERT(isAligned(p->size, mConfig.chunkSize),
+                      "pBlock size not chunk aligned");
+        if (!p->active)
+            ++inactiveP;
+        GMLAKE_ASSERT(mInactiveP.count(const_cast<PBlock *>(p)) ==
+                      (p->active ? 0u : 1u),
+                      "inactive pPool membership mismatch");
+        for (const SBlock *s : p->sharers) {
+            GMLAKE_ASSERT(
+                mSBlocks.count(const_cast<SBlock *>(s)) == 1,
+                "sharer points to a dead sBlock");
+        }
+    }
+    GMLAKE_ASSERT(pTotal == mPhysicalBytes,
+                  "physical byte accounting drifted");
+    GMLAKE_ASSERT(inactiveP == mInactiveP.size(),
+                  "inactive pPool size mismatch");
+
+    Bytes sVaTotal = 0;
+    for (const auto &[raw, owned] : mSBlocks) {
+        const SBlock *s = raw;
+        (void)owned;
+        sVaTotal += s->size;
+        Bytes memberTotal = 0;
+        for (const PBlock *m : s->members) {
+            memberTotal += m->size;
+            GMLAKE_ASSERT(m->sharers.count(const_cast<SBlock *>(s)),
+                          "member does not know its sharer");
+        }
+        GMLAKE_ASSERT(memberTotal == s->size,
+                      "sBlock size != sum of members");
+        GMLAKE_ASSERT(mInactiveS.count(const_cast<SBlock *>(s)) ==
+                      (s->active ? 0u : 1u),
+                      "inactive sPool membership mismatch");
+    }
+    GMLAKE_ASSERT(sVaTotal == mStitchedVaBytes,
+                  "stitched VA accounting drifted");
+
+    // Exclusive tensor use: every live allocation targets an active
+    // block, and no two live allocations share a pBlock.
+    std::set<const PBlock *> used;
+    for (const auto &[id, live] : mLive) {
+        (void)id;
+        if (live.smallId != 0)
+            continue;
+        if (live.s) {
+            GMLAKE_ASSERT(live.s->active, "live sBlock inactive");
+            for (const PBlock *m : live.s->members) {
+                GMLAKE_ASSERT(used.insert(m).second,
+                              "pBlock used by two tensors");
+            }
+        } else {
+            GMLAKE_ASSERT(live.p->active, "live pBlock inactive");
+            GMLAKE_ASSERT(used.insert(live.p).second,
+                          "pBlock used by two tensors");
+        }
+    }
+}
+
+} // namespace gmlake::core

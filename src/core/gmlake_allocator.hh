@@ -1,0 +1,235 @@
+/**
+ * @file
+ * The GMLake allocator: virtual memory stitching (VMS) on top of the
+ * low-level VMM device API (paper Sections 3 and 4).
+ *
+ * Structure mirrors the paper:
+ *  - pBlock / pPool: primitive blocks, each owning physical chunks and
+ *    a contiguous VA mapping of its own;
+ *  - sBlock / sPool: stitched blocks, a second VA that maps the chunks
+ *    of several pBlocks back-to-back (the chunks are never duplicated,
+ *    one physical chunk may be visible through several VAs);
+ *  - Alloc / Split / Stitch: the only three mutators of the pools;
+ *  - BestFit: Algorithm 1, producing states S1..S4;
+ *  - Update: deallocation only flips active flags;
+ *  - StitchFree: LRU eviction of cached sBlocks.
+ *
+ * Requests below the 2 MB threshold are served by an embedded
+ * splitting-based caching allocator, exactly as GMLake delegates
+ * small allocations to the original PyTorch path.
+ */
+
+#ifndef GMLAKE_CORE_GMLAKE_ALLOCATOR_HH
+#define GMLAKE_CORE_GMLAKE_ALLOCATOR_HH
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "alloc/allocator.hh"
+#include "alloc/caching_allocator.hh"
+#include "core/best_fit.hh"
+#include "core/gmlake_config.hh"
+#include "vmm/device.hh"
+
+namespace gmlake::core
+{
+
+/** Counters for the allocation strategy states (Fig 9), for tests. */
+struct StrategyCounters
+{
+    std::uint64_t s1ExactMatch = 0;
+    std::uint64_t s2SingleBlock = 0;
+    std::uint64_t s3MultiBlocks = 0;
+    std::uint64_t s4Insufficient = 0;
+    std::uint64_t s5Oom = 0;
+    std::uint64_t stitches = 0;
+    std::uint64_t splits = 0;
+    std::uint64_t stitchFrees = 0;
+    std::uint64_t smallPath = 0;
+};
+
+class GMLakeAllocator : public alloc::Allocator
+{
+  public:
+    GMLakeAllocator(vmm::Device &device, GMLakeConfig config = {});
+    ~GMLakeAllocator() override;
+
+    using alloc::Allocator::allocate;
+    Expected<alloc::Allocation> allocate(Bytes size,
+                                         StreamId stream) override;
+    Status deallocate(alloc::AllocId id) override;
+    void streamSynchronize(StreamId stream) override;
+    void deviceSynchronize() override;
+    void emptyCache() override;
+    const alloc::AllocatorStats &stats() const override
+    {
+        return mStats;
+    }
+    std::string name() const override { return "gmlake"; }
+
+    const StrategyCounters &strategy() const { return mCounters; }
+    const GMLakeConfig &config() const { return mConfig; }
+
+    /** Pool introspection for tests and traces. */
+    std::size_t pBlockCount() const { return mPBlocks.size(); }
+    std::size_t sBlockCount() const { return mSBlocks.size(); }
+    std::size_t inactivePBlockCount() const { return mInactiveP.size(); }
+    /** Physical bytes held by pBlocks (== reserved large memory). */
+    Bytes physicalBytes() const { return mPhysicalBytes; }
+    /** Total VA bytes held by live sBlocks. */
+    Bytes stitchedVaBytes() const { return mStitchedVaBytes; }
+
+    alloc::MemorySnapshot snapshot() const override;
+
+    /** Internal invariant check used by tests; panics on violation. */
+    void checkConsistency() const;
+
+  private:
+    struct SBlock;
+
+    /** Primitive block: owns physical chunks and a VA of its own. */
+    struct PBlock
+    {
+        std::uint64_t id = 0;
+        VirtAddr va = kNullAddr;
+        Bytes size = 0;
+        std::vector<PhysHandle> chunks;
+        bool active = false;
+        Tick lastUse = 0;
+        /** Stream that may reuse this block (kAnyStream after sync). */
+        StreamId stream = kDefaultStream;
+        /** sBlocks whose VA also maps this block's chunks. */
+        std::set<SBlock *> sharers;
+    };
+
+    /** Stitched block: a VA spanning the chunks of several pBlocks. */
+    struct SBlock
+    {
+        std::uint64_t id = 0;
+        VirtAddr va = kNullAddr;
+        Bytes size = 0;
+        std::vector<PBlock *> members;
+        bool active = false;
+        Tick lastUse = 0;
+        /** Stream that may reuse this block (kAnyStream after sync). */
+        StreamId stream = kDefaultStream;
+    };
+
+    /** Descending size order; ties broken by id for determinism. */
+    struct PBlockCmp
+    {
+        bool
+        operator()(const PBlock *a, const PBlock *b) const
+        {
+            if (a->size != b->size)
+                return a->size > b->size;
+            return a->id < b->id;
+        }
+    };
+    struct SBlockCmp
+    {
+        bool
+        operator()(const SBlock *a, const SBlock *b) const
+        {
+            if (a->size != b->size)
+                return a->size > b->size;
+            return a->id < b->id;
+        }
+    };
+
+    vmm::Device &mDevice;
+    GMLakeConfig mConfig;
+    alloc::AllocatorStats mStats;
+    StrategyCounters mCounters;
+
+    std::uint64_t mNextBlockId = 1;
+    alloc::AllocId mNextAllocId = 1;
+
+    /** Ownership of all block metadata. */
+    std::unordered_map<PBlock *, std::unique_ptr<PBlock>> mPBlocks;
+    std::unordered_map<SBlock *, std::unique_ptr<SBlock>> mSBlocks;
+
+    /** Inactive (allocatable) blocks, size-descending. */
+    std::set<PBlock *, PBlockCmp> mInactiveP;
+    std::set<SBlock *, SBlockCmp> mInactiveS;
+
+    /** Live allocations: id -> target block (exactly one non-null). */
+    struct Live
+    {
+        PBlock *p = nullptr;
+        SBlock *s = nullptr;
+        Bytes requested = 0;
+        alloc::AllocId smallId = 0; //!< id inside the small path
+    };
+    std::unordered_map<alloc::AllocId, Live> mLive;
+
+    Bytes mPhysicalBytes = 0;
+    Bytes mStitchedVaBytes = 0;
+
+    /** Small (<2 MB) allocations go through the original splitter. */
+    alloc::CachingAllocator mSmallPath;
+    Bytes mSmallReservedSeen = 0;
+
+    // --- the three mutators (Section 3.3.1) ---------------------------
+
+    /** Alloc: create a brand new pBlock of @p size bytes. */
+    Expected<PBlock *> allocPBlock(Bytes size, StreamId stream);
+
+    /**
+     * Split @p block into [sizeA | rest]; both halves become new
+     * pBlocks reusing the original physical chunks. Any sBlock
+     * sharing the original is destroyed first (they must be
+     * inactive). Returns the first half.
+     */
+    Expected<PBlock *> splitPBlock(PBlock *block, Bytes sizeA);
+
+    /** Stitch @p members (inactive) into a new sBlock. */
+    Expected<SBlock *> stitch(const std::vector<PBlock *> &members,
+                              StreamId stream);
+
+    // --- lifecycle helpers --------------------------------------------
+
+    void destroySBlock(SBlock *sblock);
+    void releasePBlock(PBlock *block);
+
+    void markPActive(PBlock *block, bool active);
+    void markSActive(SBlock *sblock, bool active);
+
+    /**
+     * True when a block freed on @p blockStream at @p freedAt may
+     * serve a request on @p stream now: same stream, synchronized, or
+     * the free event has lapsed.
+     */
+    bool
+    streamOk(StreamId blockStream, Tick freedAt,
+             StreamId stream) const
+    {
+        return blockStream == stream || blockStream == kAnyStream ||
+               freedAt + mConfig.streamEventLagNs <= mDevice.now();
+    }
+
+    /** True when the sBlock and all its members are inactive and
+     *  reusable by @p stream. */
+    bool eligible(const SBlock &sblock, StreamId stream) const;
+
+    /** LRU eviction of cached sBlocks down to the configured bounds. */
+    void stitchFree();
+
+    /** Last-resort release of cached memory, then used by retries. */
+    void releaseCached();
+
+    /** Serve one large request; factor of allocate(). */
+    Expected<alloc::Allocation> allocateLarge(Bytes size,
+                                              StreamId stream);
+
+    /** Bridge small-path stats into the unified stats object. */
+    void syncSmallPathStats();
+};
+
+} // namespace gmlake::core
+
+#endif // GMLAKE_CORE_GMLAKE_ALLOCATOR_HH

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Multi-rank cluster simulation: run every data-parallel rank on its
+ * own simulated device and allocator instead of only rank 0.
+ *
+ * Ranks process different data, so their sequence-length draws and
+ * transient sizes diverge — each rank fragments differently, and the
+ * job's fate is decided by the *worst* rank: one OOM kills the whole
+ * job, and lockstep collectives make the slowest rank set the pace.
+ */
+
+#ifndef GMLAKE_SIM_CLUSTER_HH
+#define GMLAKE_SIM_CLUSTER_HH
+
+#include <vector>
+
+#include "sim/runner.hh"
+
+namespace gmlake::sim
+{
+
+struct ClusterResult
+{
+    std::vector<RunResult> ranks;
+
+    bool anyOom() const;
+    /** Index of the rank with the highest peak reserved memory. */
+    std::size_t worstRank() const;
+    Bytes maxPeakReserved() const;
+    Bytes minPeakReserved() const;
+    double minUtilization() const;
+    /**
+     * Global samples/s under lockstep synchronization: the slowest
+     * rank gates every iteration.
+     */
+    double globalSamplesPerSec(const workload::TrainConfig &c) const;
+};
+
+/**
+ * Run @p config on every rank (config.gpus devices). Rank r uses
+ * workload seed config.seed + 1000 * r, modelling per-rank data.
+ */
+ClusterResult runCluster(const workload::TrainConfig &config,
+                         AllocatorKind kind,
+                         const ScenarioOptions &options = {});
+
+} // namespace gmlake::sim
+
+#endif // GMLAKE_SIM_CLUSTER_HH

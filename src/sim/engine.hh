@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Replay engine: drives an allocator with a workload trace on a
+ * simulated device and gathers the paper's metrics (peak active and
+ * reserved memory, utilization/fragmentation ratio, throughput, and
+ * the memory-footprint time series of Fig 14).
+ */
+
+#ifndef GMLAKE_SIM_ENGINE_HH
+#define GMLAKE_SIM_ENGINE_HH
+
+#include <string>
+#include <vector>
+
+#include "alloc/allocator.hh"
+#include "vmm/device.hh"
+#include "workload/trace.hh"
+#include "workload/train_config.hh"
+
+namespace gmlake::sim
+{
+
+struct SamplePoint
+{
+    Tick time = 0;
+    Bytes active = 0;
+    Bytes reserved = 0;
+};
+
+struct RunResult
+{
+    std::string allocator;
+    bool oom = false;
+    Tick oomAt = 0;
+    int iterationsDone = 0;
+    Tick simTime = 0;
+
+    Bytes peakActive = 0;
+    Bytes peakReserved = 0;
+    double utilization = 1.0;    //!< peak active / peak reserved
+    double fragmentation = 0.0;  //!< 1 - utilization
+
+    /** Global throughput in samples/s (all GPUs), 0 without config. */
+    double samplesPerSec = 0.0;
+
+    std::uint64_t allocCount = 0;
+    std::uint64_t freeCount = 0;
+    /** Simulated time spent inside device memory APIs. */
+    Tick deviceApiTime = 0;
+
+    std::vector<SamplePoint> series;
+};
+
+struct EngineOptions
+{
+    /** Upper bound on recorded series points (decimated above it). */
+    std::size_t maxSeriesPoints = 4096;
+    /** Record the time series at all. */
+    bool recordSeries = true;
+};
+
+/**
+ * Replay @p trace through @p allocator on @p device.
+ *
+ * @param config optional training config used to derive throughput
+ *        (samples/s = iterations x batch x gpus / elapsed time)
+ */
+RunResult runTrace(alloc::Allocator &allocator, vmm::Device &device,
+                   const workload::Trace &trace,
+                   const workload::TrainConfig *config = nullptr,
+                   EngineOptions options = {});
+
+} // namespace gmlake::sim
+
+#endif // GMLAKE_SIM_ENGINE_HH

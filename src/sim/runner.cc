@@ -1,0 +1,61 @@
+#include "sim/runner.hh"
+
+#include "alloc/caching_allocator.hh"
+#include "alloc/compacting_allocator.hh"
+#include "alloc/expandable_allocator.hh"
+#include "alloc/native_allocator.hh"
+#include "core/gmlake_allocator.hh"
+#include "support/logging.hh"
+#include "workload/tracegen.hh"
+
+namespace gmlake::sim
+{
+
+const char *
+allocatorKindName(AllocatorKind kind)
+{
+    switch (kind) {
+      case AllocatorKind::native: return "native";
+      case AllocatorKind::caching: return "caching";
+      case AllocatorKind::gmlake: return "gmlake";
+      case AllocatorKind::compacting: return "compacting";
+      case AllocatorKind::expandable: return "expandable";
+    }
+    return "unknown";
+}
+
+std::unique_ptr<alloc::Allocator>
+makeAllocator(AllocatorKind kind, vmm::Device &device,
+              const core::GMLakeConfig &gmlakeConfig)
+{
+    switch (kind) {
+      case AllocatorKind::native:
+        return std::make_unique<alloc::NativeAllocator>(device);
+      case AllocatorKind::caching:
+        return std::make_unique<alloc::CachingAllocator>(device);
+      case AllocatorKind::gmlake:
+        return std::make_unique<core::GMLakeAllocator>(device,
+                                                       gmlakeConfig);
+      case AllocatorKind::compacting:
+        return std::make_unique<alloc::CompactingAllocator>(device);
+      case AllocatorKind::expandable:
+        return std::make_unique<alloc::ExpandableSegmentsAllocator>(
+            device);
+    }
+    GMLAKE_PANIC("unknown allocator kind");
+}
+
+RunResult
+runScenario(const workload::TrainConfig &config, AllocatorKind kind,
+            const ScenarioOptions &options)
+{
+    vmm::Device device(options.device);
+    const auto allocator =
+        makeAllocator(kind, device, options.gmlake);
+    const workload::Trace trace =
+        workload::generateTrainingTrace(config);
+    return runTrace(*allocator, device, trace, &config,
+                    options.engine);
+}
+
+} // namespace gmlake::sim

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * One-call experiment runner: build device + allocator + trace from a
+ * training configuration and replay it. This is the entry point the
+ * examples and every benchmark harness use.
+ */
+
+#ifndef GMLAKE_SIM_RUNNER_HH
+#define GMLAKE_SIM_RUNNER_HH
+
+#include <memory>
+#include <string>
+
+#include "alloc/allocator.hh"
+#include "core/gmlake_config.hh"
+#include "sim/engine.hh"
+#include "vmm/device.hh"
+#include "workload/train_config.hh"
+
+namespace gmlake::sim
+{
+
+enum class AllocatorKind
+{
+    native,
+    caching,
+    gmlake,
+    compacting, //!< moving-defragmentation baseline (related work)
+    expandable, //!< PyTorch expandable_segments (GMLake-inspired)
+};
+
+const char *allocatorKindName(AllocatorKind kind);
+
+/** Construct an allocator of @p kind bound to @p device. */
+std::unique_ptr<alloc::Allocator>
+makeAllocator(AllocatorKind kind, vmm::Device &device,
+              const core::GMLakeConfig &gmlakeConfig = {});
+
+struct ScenarioOptions
+{
+    vmm::DeviceConfig device{};
+    core::GMLakeConfig gmlake{};
+    EngineOptions engine{};
+};
+
+/**
+ * Run one training scenario end to end on a fresh device and return
+ * the metrics. The same generated trace is used for any allocator
+ * kind given the same config (generation is seed-deterministic).
+ */
+RunResult runScenario(const workload::TrainConfig &config,
+                      AllocatorKind kind,
+                      const ScenarioOptions &options = {});
+
+} // namespace gmlake::sim
+
+#endif // GMLAKE_SIM_RUNNER_HH

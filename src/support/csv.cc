@@ -1,0 +1,47 @@
+#include "support/csv.hh"
+
+#include "support/logging.hh"
+
+namespace gmlake
+{
+
+CsvWriter::CsvWriter(const std::string &path,
+                     std::vector<std::string> header)
+    : mOut(path), mColumns(header.size())
+{
+    if (!mOut)
+        GMLAKE_FATAL("cannot open CSV output file: ", path);
+    emit(header);
+}
+
+void
+CsvWriter::addRow(const std::vector<std::string> &row)
+{
+    GMLAKE_ASSERT(row.size() == mColumns, "CSV row width mismatch");
+    emit(row);
+}
+
+void
+CsvWriter::emit(const std::vector<std::string> &cells)
+{
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (i)
+            mOut << ",";
+        // Quote cells containing separators.
+        if (cells[i].find_first_of(",\"\n") != std::string::npos) {
+            mOut << '"';
+            for (char ch : cells[i]) {
+                if (ch == '"')
+                    mOut << "\"\"";
+                else
+                    mOut << ch;
+            }
+            mOut << '"';
+        } else {
+            mOut << cells[i];
+        }
+    }
+    mOut << "\n";
+}
+
+} // namespace gmlake

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Tiny CSV writer so experiment series can also be saved for plotting.
+ */
+
+#ifndef GMLAKE_SUPPORT_CSV_HH
+#define GMLAKE_SUPPORT_CSV_HH
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace gmlake
+{
+
+class CsvWriter
+{
+  public:
+    /**
+     * Open @p path for writing and emit the header row.
+     * Throws (fatal) when the file cannot be opened.
+     */
+    CsvWriter(const std::string &path, std::vector<std::string> header);
+
+    void addRow(const std::vector<std::string> &row);
+
+  private:
+    std::ofstream mOut;
+    std::size_t mColumns;
+
+    void emit(const std::vector<std::string> &cells);
+};
+
+} // namespace gmlake
+
+#endif // GMLAKE_SUPPORT_CSV_HH

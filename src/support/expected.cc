@@ -1,0 +1,22 @@
+#include "support/expected.hh"
+
+namespace gmlake
+{
+
+const char *
+errcName(Errc e)
+{
+    switch (e) {
+      case Errc::ok: return "ok";
+      case Errc::outOfMemory: return "outOfMemory";
+      case Errc::invalidValue: return "invalidValue";
+      case Errc::alreadyMapped: return "alreadyMapped";
+      case Errc::notMapped: return "notMapped";
+      case Errc::notReserved: return "notReserved";
+      case Errc::handleInUse: return "handleInUse";
+      case Errc::addressSpaceFull: return "addressSpaceFull";
+    }
+    return "unknown";
+}
+
+} // namespace gmlake

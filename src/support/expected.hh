@@ -1,0 +1,127 @@
+/**
+ * @file
+ * A small Expected<T, E> (C++20 has no std::expected yet). Used for
+ * device-API results where failure (e.g. out-of-memory) is a normal
+ * outcome the caller must handle, not an exception.
+ */
+
+#ifndef GMLAKE_SUPPORT_EXPECTED_HH
+#define GMLAKE_SUPPORT_EXPECTED_HH
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "support/logging.hh"
+
+namespace gmlake
+{
+
+/** Error codes mirrored on CUDA driver result codes we care about. */
+enum class Errc
+{
+    ok,
+    outOfMemory,        //!< physical capacity exhausted
+    invalidValue,       //!< bad size/alignment/handle
+    alreadyMapped,      //!< VA range already has a mapping
+    notMapped,          //!< unmap of a VA range with no mapping
+    notReserved,        //!< map into an unreserved VA range
+    handleInUse,        //!< release of a still-mapped handle
+    addressSpaceFull,   //!< VA space exhausted (practically impossible)
+};
+
+/** Human-readable name of an error code. */
+const char *errcName(Errc e);
+
+/** Failure payload: a code and a context message. */
+struct Error
+{
+    Errc code = Errc::ok;
+    std::string message;
+};
+
+/**
+ * Minimal expected-or-error holder.
+ *
+ * value() panics when called on an error — retrieving a value without
+ * checking ok() first is a simulator bug, not a user error.
+ */
+template <typename T>
+class Expected
+{
+  public:
+    Expected(T value) : mState(std::move(value)) {}
+    Expected(Error error) : mState(std::move(error)) {}
+
+    bool ok() const { return std::holds_alternative<T>(mState); }
+    explicit operator bool() const { return ok(); }
+
+    const T &
+    value() const
+    {
+        GMLAKE_ASSERT(ok(), "Expected::value() on error: ",
+                      error().message);
+        return std::get<T>(mState);
+    }
+
+    T &
+    value()
+    {
+        GMLAKE_ASSERT(ok(), "Expected::value() on error: ",
+                      error().message);
+        return std::get<T>(mState);
+    }
+
+    const Error &
+    error() const
+    {
+        GMLAKE_ASSERT(!ok(), "Expected::error() on value");
+        return std::get<Error>(mState);
+    }
+
+    Errc code() const { return ok() ? Errc::ok : error().code; }
+
+    const T &operator*() const { return value(); }
+    T &operator*() { return value(); }
+    const T *operator->() const { return &value(); }
+    T *operator->() { return &value(); }
+
+  private:
+    std::variant<T, Error> mState;
+};
+
+/** Expected<void> analogue: success or an Error. */
+class Status
+{
+  public:
+    Status() = default;
+    Status(Error error) : mError(std::move(error)) {}
+
+    static Status success() { return Status(); }
+
+    bool ok() const { return mError.code == Errc::ok; }
+    explicit operator bool() const { return ok(); }
+
+    const Error &
+    error() const
+    {
+        GMLAKE_ASSERT(!ok(), "Status::error() on success");
+        return mError;
+    }
+
+    Errc code() const { return mError.code; }
+
+  private:
+    Error mError;
+};
+
+/** Convenience factory. */
+inline Error
+makeError(Errc code, std::string message)
+{
+    return Error{code, std::move(message)};
+}
+
+} // namespace gmlake
+
+#endif // GMLAKE_SUPPORT_EXPECTED_HH

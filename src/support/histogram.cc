@@ -1,0 +1,86 @@
+#include "support/histogram.hh"
+
+#include <bit>
+#include <cmath>
+#include <sstream>
+
+#include "support/logging.hh"
+#include "support/strings.hh"
+
+namespace gmlake
+{
+
+void
+SummaryStats::add(double v)
+{
+    if (mCount == 0) {
+        mMin = mMax = v;
+    } else {
+        if (v < mMin) mMin = v;
+        if (v > mMax) mMax = v;
+    }
+    ++mCount;
+    mSum += v;
+    mSumSq += v * v;
+}
+
+double
+SummaryStats::min() const
+{
+    GMLAKE_ASSERT(mCount > 0, "min() of empty stats");
+    return mMin;
+}
+
+double
+SummaryStats::max() const
+{
+    GMLAKE_ASSERT(mCount > 0, "max() of empty stats");
+    return mMax;
+}
+
+double
+SummaryStats::mean() const
+{
+    return mCount == 0 ? 0.0 : mSum / static_cast<double>(mCount);
+}
+
+double
+SummaryStats::stddev() const
+{
+    if (mCount == 0)
+        return 0.0;
+    const double m = mean();
+    const double var = mSumSq / static_cast<double>(mCount) - m * m;
+    return var > 0.0 ? std::sqrt(var) : 0.0;
+}
+
+void
+SizeHistogram::add(std::uint64_t bytes)
+{
+    mStats.add(static_cast<double>(bytes));
+    const int k = bytes == 0 ? 0 : std::bit_width(bytes) - 1;
+    ++mBuckets[static_cast<std::size_t>(k)];
+}
+
+std::uint64_t
+SizeHistogram::bucketCount(int k) const
+{
+    GMLAKE_ASSERT(k >= 0 && k < 64, "bucket index out of range");
+    return mBuckets[static_cast<std::size_t>(k)];
+}
+
+std::string
+SizeHistogram::render() const
+{
+    std::ostringstream oss;
+    for (int k = 0; k < 64; ++k) {
+        const auto n = mBuckets[static_cast<std::size_t>(k)];
+        if (n == 0)
+            continue;
+        oss << "  [" << formatBytes(1ULL << k) << ", "
+            << formatBytes(2ULL << k) << "): " << n << "\n";
+    }
+    return oss.str();
+}
+
+} // namespace gmlake

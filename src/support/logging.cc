@@ -1,0 +1,53 @@
+#include "support/logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace gmlake
+{
+
+namespace
+{
+bool gVerbose = false;
+} // namespace
+
+void setVerbose(bool verbose) { gVerbose = verbose; }
+bool verbose() { return gVerbose; }
+
+namespace detail
+{
+
+[[noreturn]] void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::fflush(stderr);
+    // Throw instead of abort() so unit tests can observe panics; the
+    // exception derives from std::logic_error because a panic is a bug.
+    throw std::logic_error("panic: " + msg);
+}
+
+[[noreturn]] void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::fflush(stderr);
+    throw std::runtime_error("fatal: " + msg);
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+informImpl(const std::string &msg)
+{
+    if (gVerbose)
+        std::fprintf(stdout, "info: %s\n", msg.c_str());
+}
+
+} // namespace detail
+} // namespace gmlake

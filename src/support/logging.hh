@@ -1,0 +1,71 @@
+/**
+ * @file
+ * gem5-style status and error reporting.
+ *
+ * panic()  — an internal invariant was violated; this is a bug in the
+ *            simulator itself. Aborts.
+ * fatal()  — the simulation cannot continue because of user input
+ *            (bad configuration, impossible workload). Exits with 1.
+ * warn()   — something suspicious but survivable happened.
+ * inform() — plain status output.
+ */
+
+#ifndef GMLAKE_SUPPORT_LOGGING_HH
+#define GMLAKE_SUPPORT_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace gmlake
+{
+
+namespace detail
+{
+
+[[noreturn]] void panicImpl(const char *file, int line, const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line, const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+/** Concatenate a parameter pack into one string via operator<<. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(args));
+    return oss.str();
+}
+
+} // namespace detail
+
+/** Global verbosity switch for inform(); warn() is always printed. */
+void setVerbose(bool verbose);
+bool verbose();
+
+} // namespace gmlake
+
+#define GMLAKE_PANIC(...) \
+    ::gmlake::detail::panicImpl(__FILE__, __LINE__, \
+                                ::gmlake::detail::concat(__VA_ARGS__))
+
+#define GMLAKE_FATAL(...) \
+    ::gmlake::detail::fatalImpl(__FILE__, __LINE__, \
+                                ::gmlake::detail::concat(__VA_ARGS__))
+
+#define GMLAKE_WARN(...) \
+    ::gmlake::detail::warnImpl(::gmlake::detail::concat(__VA_ARGS__))
+
+#define GMLAKE_INFORM(...) \
+    ::gmlake::detail::informImpl(::gmlake::detail::concat(__VA_ARGS__))
+
+/** Invariant check that survives NDEBUG: panics with a message. */
+#define GMLAKE_ASSERT(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            GMLAKE_PANIC("assertion `" #cond "` failed: ", \
+                         ::gmlake::detail::concat(__VA_ARGS__)); \
+        } \
+    } while (0)
+
+#endif // GMLAKE_SUPPORT_LOGGING_HH

@@ -1,0 +1,95 @@
+#include "support/rng.hh"
+
+#include <cmath>
+
+#include "support/logging.hh"
+
+namespace gmlake
+{
+
+namespace
+{
+
+/** splitmix64, used only to expand the seed into the xoshiro state. */
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t s = seed;
+    for (auto &w : mState)
+        w = splitmix64(s);
+}
+
+std::uint64_t
+Rng::rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(mState[1] * 5, 7) * 9;
+    const std::uint64_t t = mState[1] << 17;
+
+    mState[2] ^= mState[0];
+    mState[3] ^= mState[1];
+    mState[1] ^= mState[2];
+    mState[0] ^= mState[3];
+    mState[2] ^= t;
+    mState[3] = rotl(mState[3], 45);
+
+    return result;
+}
+
+std::uint64_t
+Rng::uniformInt(std::uint64_t lo, std::uint64_t hi)
+{
+    GMLAKE_ASSERT(lo <= hi, "uniformInt: lo > hi");
+    const std::uint64_t span = hi - lo + 1;
+    if (span == 0) // full 64-bit range
+        return next();
+    return lo + next() % span;
+}
+
+double
+Rng::uniformReal()
+{
+    // 53 high bits -> double in [0, 1).
+    return (next() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::chance(double p)
+{
+    return uniformReal() < p;
+}
+
+double
+Rng::normal()
+{
+    double u1 = uniformReal();
+    double u2 = uniformReal();
+    if (u1 <= 0.0)
+        u1 = 1e-12;
+    return std::sqrt(-2.0 * std::log(u1)) *
+           std::cos(2.0 * M_PI * u2);
+}
+
+double
+Rng::logNormal(double median, double sigma)
+{
+    return median * std::exp(sigma * normal());
+}
+
+} // namespace gmlake

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Deterministic xoshiro256** random number generator.
+ *
+ * Every stochastic choice in the workload generator flows through this
+ * RNG so that all experiments are bit-reproducible from a seed.
+ */
+
+#ifndef GMLAKE_SUPPORT_RNG_HH
+#define GMLAKE_SUPPORT_RNG_HH
+
+#include <cstdint>
+
+namespace gmlake
+{
+
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Uniform 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform integer in [lo, hi] inclusive; requires lo <= hi. */
+    std::uint64_t uniformInt(std::uint64_t lo, std::uint64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double uniformReal();
+
+    /** Bernoulli trial with probability p of returning true. */
+    bool chance(double p);
+
+    /**
+     * Log-normal-ish positive sample centred on @p median with spread
+     * factor @p sigma (sigma of the underlying normal). Used to model
+     * the heavy-tailed size distribution of DNN workspace allocations.
+     */
+    double logNormal(double median, double sigma);
+
+  private:
+    std::uint64_t mState[4];
+
+    static std::uint64_t rotl(std::uint64_t x, int k);
+    /** Standard normal via Box-Muller on two uniform draws. */
+    double normal();
+};
+
+} // namespace gmlake
+
+#endif // GMLAKE_SUPPORT_RNG_HH

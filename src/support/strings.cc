@@ -1,0 +1,60 @@
+#include "support/strings.hh"
+
+#include <array>
+#include <cstdio>
+
+namespace gmlake
+{
+
+std::string
+formatBytes(Bytes bytes)
+{
+    static constexpr std::array<const char *, 5> units =
+        {"B", "KB", "MB", "GB", "TB"};
+    double v = static_cast<double>(bytes);
+    std::size_t u = 0;
+    while (v >= 1024.0 && u + 1 < units.size()) {
+        v /= 1024.0;
+        ++u;
+    }
+    char buf[64];
+    if (u == 0)
+        std::snprintf(buf, sizeof(buf), "%zu B", bytes);
+    else
+        std::snprintf(buf, sizeof(buf), "%.1f %s", v, units[u]);
+    return buf;
+}
+
+std::string
+formatDouble(double v, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+    return buf;
+}
+
+std::string
+formatPercent(double ratio, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", digits, ratio * 100.0);
+    return buf;
+}
+
+std::string
+formatTime(Tick ns)
+{
+    char buf[64];
+    if (ns >= 1'000'000'000)
+        std::snprintf(buf, sizeof(buf), "%.2f s", ns / 1e9);
+    else if (ns >= 1'000'000)
+        std::snprintf(buf, sizeof(buf), "%.2f ms", ns / 1e6);
+    else if (ns >= 1'000)
+        std::snprintf(buf, sizeof(buf), "%.2f us", ns / 1e3);
+    else
+        std::snprintf(buf, sizeof(buf), "%lld ns",
+                      static_cast<long long>(ns));
+    return buf;
+}
+
+} // namespace gmlake

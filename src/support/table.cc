@@ -1,0 +1,55 @@
+#include "support/table.hh"
+
+#include <algorithm>
+#include <iomanip>
+
+#include "support/logging.hh"
+
+namespace gmlake
+{
+
+Table::Table(std::vector<std::string> header)
+    : mHeader(std::move(header))
+{
+    GMLAKE_ASSERT(!mHeader.empty(), "table needs at least one column");
+}
+
+void
+Table::addRow(std::vector<std::string> row)
+{
+    GMLAKE_ASSERT(row.size() == mHeader.size(),
+                  "row width ", row.size(), " != header width ",
+                  mHeader.size());
+    mRows.push_back(std::move(row));
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<std::size_t> width(mHeader.size());
+    for (std::size_t c = 0; c < mHeader.size(); ++c)
+        width[c] = mHeader[c].size();
+    for (const auto &row : mRows)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << (c == 0 ? "| " : " ") << std::left
+               << std::setw(static_cast<int>(width[c])) << row[c]
+               << " |";
+        }
+        os << "\n";
+    };
+
+    emit(mHeader);
+    for (std::size_t c = 0; c < mHeader.size(); ++c) {
+        os << (c == 0 ? "|" : "") << std::string(width[c] + 2, '-')
+           << "|";
+    }
+    os << "\n";
+    for (const auto &row : mRows)
+        emit(row);
+}
+
+} // namespace gmlake

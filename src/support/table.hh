@@ -1,0 +1,37 @@
+/**
+ * @file
+ * ASCII table printer used by the benchmark harnesses to emit the
+ * paper's tables and figure series as aligned rows.
+ */
+
+#ifndef GMLAKE_SUPPORT_TABLE_HH
+#define GMLAKE_SUPPORT_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace gmlake
+{
+
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> header);
+
+    /** Append one row; must match the header width. */
+    void addRow(std::vector<std::string> row);
+
+    /** Render with column alignment and a separator under the header. */
+    void print(std::ostream &os) const;
+
+    std::size_t rows() const { return mRows.size(); }
+
+  private:
+    std::vector<std::string> mHeader;
+    std::vector<std::vector<std::string>> mRows;
+};
+
+} // namespace gmlake
+
+#endif // GMLAKE_SUPPORT_TABLE_HH

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Fundamental scalar types shared across the GMLake reproduction.
+ */
+
+#ifndef GMLAKE_SUPPORT_TYPES_HH
+#define GMLAKE_SUPPORT_TYPES_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace gmlake
+{
+
+/** Simulated time, in nanoseconds since simulation start. */
+using Tick = std::int64_t;
+
+/** A size or offset in bytes on the simulated device. */
+using Bytes = std::size_t;
+
+/** A simulated device virtual address. */
+using VirtAddr = std::uint64_t;
+
+/** Opaque identifier of a physical chunk handle (cuMemCreate result). */
+using PhysHandle = std::uint64_t;
+
+/** Invalid/sentinel values. */
+inline constexpr VirtAddr kNullAddr = 0;
+inline constexpr PhysHandle kNullHandle = 0;
+
+/**
+ * CUDA stream identifier. Allocators are stream-aware: a cached block
+ * freed on one stream may still be read by in-flight kernels of that
+ * stream, so it can only be reused by the same stream until a
+ * synchronization point retags it as usable by anyone.
+ */
+using StreamId = std::uint32_t;
+
+/** The default (legacy) stream. */
+inline constexpr StreamId kDefaultStream = 0;
+
+/** Tag of blocks made reusable by every stream (post-sync). */
+inline constexpr StreamId kAnyStream = ~StreamId{0};
+
+} // namespace gmlake
+
+#endif // GMLAKE_SUPPORT_TYPES_HH

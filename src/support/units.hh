@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Byte-size unit helpers (KiB/MiB/GiB) used throughout the project.
+ */
+
+#ifndef GMLAKE_SUPPORT_UNITS_HH
+#define GMLAKE_SUPPORT_UNITS_HH
+
+#include <cstddef>
+
+#include "support/types.hh"
+
+namespace gmlake
+{
+
+inline constexpr Bytes KiB = 1024;
+inline constexpr Bytes MiB = 1024 * KiB;
+inline constexpr Bytes GiB = 1024 * MiB;
+
+namespace literals
+{
+
+constexpr Bytes operator""_KiB(unsigned long long v) { return v * KiB; }
+constexpr Bytes operator""_MiB(unsigned long long v) { return v * MiB; }
+constexpr Bytes operator""_GiB(unsigned long long v) { return v * GiB; }
+
+} // namespace literals
+
+/** Round @p v up to the next multiple of @p align (align must be > 0). */
+constexpr Bytes
+roundUp(Bytes v, Bytes align)
+{
+    return ((v + align - 1) / align) * align;
+}
+
+/** Round @p v down to a multiple of @p align (align must be > 0). */
+constexpr Bytes
+roundDown(Bytes v, Bytes align)
+{
+    return (v / align) * align;
+}
+
+/** True when @p v is a non-zero multiple of @p align. */
+constexpr bool
+isAligned(Bytes v, Bytes align)
+{
+    return align != 0 && (v % align) == 0;
+}
+
+} // namespace gmlake
+
+#endif // GMLAKE_SUPPORT_UNITS_HH

@@ -1,0 +1,148 @@
+#include "vmm/cost_model.hh"
+
+#include <cmath>
+
+#include "support/logging.hh"
+#include "support/units.hh"
+
+namespace gmlake::vmm
+{
+
+namespace
+{
+
+/**
+ * Calibration tables, from Table 1 of the paper. Costs are expressed
+ * per chunk, in units of the reference cuMemAlloc(2 GiB) latency.
+ *
+ * Table 1 column    2 MB            128 MB          1024 MB
+ * cuMemCreate       18.1 / 1024     0.89 / 16       0.79 / 2
+ * cuMemMap          0.70 / 1024     0.01 / 16       0.002 / 2
+ * cuMemSetAccess    96.8 / 1024     8.2 / 16        0.7 / 2
+ */
+constexpr int kCalPoints = 3;
+constexpr double kCalSizesMiB[kCalPoints] = {2.0, 128.0, 1024.0};
+constexpr double kCreatePerChunk[kCalPoints] =
+    {18.1 / 1024.0, 0.89 / 16.0, 0.79 / 2.0};
+constexpr double kMapPerChunk[kCalPoints] =
+    {0.70 / 1024.0, 0.01 / 16.0, 0.002 / 2.0};
+constexpr double kSetAccessPerChunk[kCalPoints] =
+    {96.8 / 1024.0, 8.2 / 16.0, 0.7 / 2.0};
+
+/** cuMemAddressReserve cost (Table 1 row 1), flat per call. */
+constexpr double kReserveCost = 0.003;
+/** Not measured in the paper; small host-side costs. */
+constexpr double kAddressFreeCost = 0.002;
+constexpr double kUnmapPerChunk = 0.0004;
+constexpr double kReleasePerChunk = 0.0015;
+
+} // namespace
+
+CostModel::CostModel(CostParams params)
+    : mParams(params)
+{
+    mRefNative = nativeAlloc(2 * GiB);
+}
+
+Tick
+CostModel::nativeAlloc(Bytes size) const
+{
+    return mParams.nativeBaseNs +
+           static_cast<Tick>(mParams.nativePerByteNs *
+                             static_cast<double>(size));
+}
+
+Tick CostModel::nativeFree() const { return mParams.nativeFreeNs; }
+
+Tick
+CostModel::nativeSyncPenalty() const
+{
+    return mParams.nativeSyncPenaltyNs;
+}
+
+Tick CostModel::cachedOp() const { return mParams.cachedOpNs; }
+
+double
+CostModel::interpPerChunk(const double *sizesMiB, const double *costs,
+                          int n, Bytes chunkSize)
+{
+    const double mib =
+        static_cast<double>(chunkSize) / static_cast<double>(MiB);
+    GMLAKE_ASSERT(mib > 0.0, "chunk size must be positive");
+
+    if (mib <= sizesMiB[0])
+        return costs[0] * (mib / sizesMiB[0]); // scale below range
+    if (mib >= sizesMiB[n - 1]) {
+        // Extrapolate proportionally to size above the table.
+        return costs[n - 1] * (mib / sizesMiB[n - 1]);
+    }
+    for (int i = 0; i + 1 < n; ++i) {
+        if (mib <= sizesMiB[i + 1]) {
+            const double t = (std::log(mib) - std::log(sizesMiB[i])) /
+                             (std::log(sizesMiB[i + 1]) -
+                              std::log(sizesMiB[i]));
+            const double lc = std::log(costs[i]) +
+                              t * (std::log(costs[i + 1]) -
+                                   std::log(costs[i]));
+            return std::exp(lc);
+        }
+    }
+    return costs[n - 1];
+}
+
+Tick
+CostModel::memAddressReserve(Bytes size) const
+{
+    (void)size; // flat in the measurements
+    return static_cast<Tick>(kReserveCost *
+                             static_cast<double>(mRefNative));
+}
+
+Tick
+CostModel::memAddressFree() const
+{
+    return static_cast<Tick>(kAddressFreeCost *
+                             static_cast<double>(mRefNative));
+}
+
+Tick
+CostModel::memCreate(Bytes chunkSize) const
+{
+    const double c = interpPerChunk(kCalSizesMiB, kCreatePerChunk,
+                                    kCalPoints, chunkSize);
+    return static_cast<Tick>(c * static_cast<double>(mRefNative));
+}
+
+Tick
+CostModel::memRelease() const
+{
+    return static_cast<Tick>(kReleasePerChunk *
+                             static_cast<double>(mRefNative));
+}
+
+Tick
+CostModel::memMap(Bytes chunkSize) const
+{
+    const double c = interpPerChunk(kCalSizesMiB, kMapPerChunk,
+                                    kCalPoints, chunkSize);
+    return static_cast<Tick>(c * static_cast<double>(mRefNative));
+}
+
+Tick
+CostModel::memUnmap(std::size_t chunkCount) const
+{
+    return static_cast<Tick>(kUnmapPerChunk *
+                             static_cast<double>(chunkCount) *
+                             static_cast<double>(mRefNative));
+}
+
+Tick
+CostModel::memSetAccess(std::size_t chunkCount, Bytes chunkSize) const
+{
+    const double c = interpPerChunk(kCalSizesMiB, kSetAccessPerChunk,
+                                    kCalPoints, chunkSize);
+    return static_cast<Tick>(c * static_cast<double>(chunkCount) *
+                             static_cast<double>(mRefNative));
+}
+
+} // namespace gmlake::vmm

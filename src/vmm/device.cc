@@ -1,0 +1,171 @@
+#include "vmm/device.hh"
+
+#include "support/logging.hh"
+#include "support/strings.hh"
+#include "support/units.hh"
+
+namespace gmlake::vmm
+{
+
+Device::Device(DeviceConfig config)
+    : mCost(config.cost),
+      mPhys(config.capacity, config.granularity),
+      mVa(),
+      mMap(mPhys)
+{
+}
+
+void
+Device::charge(Tick t)
+{
+    mClock.advance(t);
+    mCounters.apiTime += t;
+}
+
+Expected<VirtAddr>
+Device::memAddressReserve(Bytes size)
+{
+    ++mCounters.addressReserve;
+    charge(mCost.memAddressReserve(size));
+    if (size == 0)
+        return makeError(Errc::invalidValue, "reserve of zero bytes");
+    const Bytes rounded = roundUp(size, granularity());
+    return mVa.reserve(rounded, granularity());
+}
+
+Status
+Device::memAddressFree(VirtAddr va)
+{
+    ++mCounters.addressFree;
+    charge(mCost.memAddressFree());
+    const auto res = mVa.containing(va, 1);
+    if (!res.ok())
+        return res.error();
+    if (res->base != va)
+        return makeError(Errc::invalidValue,
+                         "addressFree of a non-reservation base");
+    if (!mMap.mappingsIn(res->base, res->size).empty())
+        return makeError(Errc::handleInUse,
+                         "addressFree of a reservation with mappings");
+    return mVa.free(va);
+}
+
+Expected<PhysHandle>
+Device::memCreate(Bytes size)
+{
+    ++mCounters.create;
+    charge(mCost.memCreate(size));
+    return mPhys.create(size);
+}
+
+Status
+Device::memRelease(PhysHandle handle)
+{
+    ++mCounters.release;
+    charge(mCost.memRelease());
+    return mPhys.release(handle);
+}
+
+Status
+Device::memMap(VirtAddr va, PhysHandle handle)
+{
+    ++mCounters.map;
+    const auto size = mPhys.sizeOf(handle);
+    if (!size.ok()) {
+        charge(mCost.memMap(granularity()));
+        return size.error();
+    }
+    charge(mCost.memMap(*size));
+    // The whole mapped range must live inside one reservation.
+    if (const auto res = mVa.containing(va, *size); !res.ok())
+        return res.error();
+    if (!isAligned(va, granularity()))
+        return makeError(Errc::invalidValue,
+                         "cuMemMap target not granularity aligned");
+    return mMap.map(va, handle);
+}
+
+Status
+Device::memUnmap(VirtAddr va, Bytes size)
+{
+    ++mCounters.unmap;
+    const std::size_t chunks = mMap.mappingsIn(va, size).size();
+    charge(mCost.memUnmap(chunks == 0 ? 1 : chunks));
+    return mMap.unmap(va, size);
+}
+
+Status
+Device::memSetAccess(VirtAddr va, Bytes size)
+{
+    ++mCounters.setAccess;
+    const auto entries = mMap.mappingsIn(va, size);
+    if (entries.empty()) {
+        charge(mCost.memSetAccess(1, granularity()));
+        return makeError(Errc::notMapped,
+                         "cuMemSetAccess over an unmapped range");
+    }
+    // Charge per covered chunk, using the average chunk size.
+    Bytes total = 0;
+    for (const auto &e : entries)
+        total += e.size;
+    charge(mCost.memSetAccess(entries.size(), total / entries.size()));
+    return mMap.setAccess(va, size);
+}
+
+Expected<VirtAddr>
+Device::mallocNative(Bytes size)
+{
+    ++mCounters.mallocNative;
+    charge(mCost.nativeAlloc(size));
+    if (size == 0)
+        return makeError(Errc::invalidValue, "cudaMalloc of zero bytes");
+    const Bytes rounded = roundUp(size, granularity());
+    const auto handle = mPhys.create(rounded);
+    if (!handle.ok())
+        return handle.error();
+    auto va = mVa.reserve(rounded, granularity());
+    if (!va.ok()) {
+        const Status s = mPhys.release(*handle);
+        GMLAKE_ASSERT(s.ok(), "rollback release failed");
+        return va.error();
+    }
+    Status mapped = mMap.map(*va, *handle);
+    GMLAKE_ASSERT(mapped.ok(), "fresh VA must be mappable");
+    mapped = mMap.setAccess(*va, rounded);
+    GMLAKE_ASSERT(mapped.ok(), "fresh mapping must accept access");
+    mNative.emplace(*va, NativeAlloc{*handle, rounded});
+    return *va;
+}
+
+Status
+Device::freeNative(VirtAddr va)
+{
+    ++mCounters.freeNative;
+    charge(mCost.nativeFree());
+    auto it = mNative.find(va);
+    if (it == mNative.end())
+        return makeError(Errc::invalidValue,
+                         "cudaFree of an unknown pointer");
+    Status s = mMap.unmap(va, it->second.size);
+    GMLAKE_ASSERT(s.ok(), "native mapping must unmap cleanly");
+    s = mPhys.release(it->second.handle);
+    GMLAKE_ASSERT(s.ok(), "native handle must release cleanly");
+    s = mVa.free(va);
+    GMLAKE_ASSERT(s.ok(), "native VA must free cleanly");
+    mNative.erase(it);
+    return Status::success();
+}
+
+void
+Device::syncPenalty()
+{
+    charge(mCost.nativeSyncPenalty());
+}
+
+void
+Device::chargeCachedOp()
+{
+    charge(mCost.cachedOp());
+}
+
+} // namespace gmlake::vmm

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Simulated GPU device: the single authority for physical capacity,
+ * VA space, mappings, and simulated time.
+ *
+ * The API mirrors the CUDA driver entry points GMLake uses:
+ *
+ *   memAddressReserve / memAddressFree   (cuMemAddressReserve/Free)
+ *   memCreate / memRelease               (cuMemCreate/Release)
+ *   memMap / memUnmap                    (cuMemMap/Unmap)
+ *   memSetAccess                         (cuMemSetAccess)
+ *   mallocNative / freeNative            (cudaMalloc/cudaFree)
+ *
+ * Every call advances the simulated clock according to the calibrated
+ * cost model, and semantics (overlap, capacity, refcounts) are
+ * enforced exactly so allocator bugs surface as hard errors.
+ */
+
+#ifndef GMLAKE_VMM_DEVICE_HH
+#define GMLAKE_VMM_DEVICE_HH
+
+#include <cstdint>
+#include <map>
+
+#include "support/expected.hh"
+#include "support/types.hh"
+#include "vmm/clock.hh"
+#include "vmm/cost_model.hh"
+#include "vmm/mapping_table.hh"
+#include "vmm/phys_memory.hh"
+#include "vmm/va_space.hh"
+
+namespace gmlake::vmm
+{
+
+struct DeviceConfig
+{
+    /** Device memory capacity; default mirrors the A100-80GB. */
+    Bytes capacity = Bytes{80} * 1024 * 1024 * 1024;
+    /** Physical allocation granularity (2 MiB on real devices). */
+    Bytes granularity = Bytes{2} * 1024 * 1024;
+    CostParams cost{};
+};
+
+/** Per-API invocation counters, for overhead analysis. */
+struct ApiCounters
+{
+    std::uint64_t addressReserve = 0;
+    std::uint64_t addressFree = 0;
+    std::uint64_t create = 0;
+    std::uint64_t release = 0;
+    std::uint64_t map = 0;
+    std::uint64_t unmap = 0;
+    std::uint64_t setAccess = 0;
+    std::uint64_t mallocNative = 0;
+    std::uint64_t freeNative = 0;
+    /** Simulated nanoseconds spent inside device API calls. */
+    Tick apiTime = 0;
+};
+
+class Device
+{
+  public:
+    explicit Device(DeviceConfig config = {});
+
+    Device(const Device &) = delete;
+    Device &operator=(const Device &) = delete;
+
+    // --- low-level virtual memory management -------------------------
+
+    /** Reserve a VA range; size is rounded up to the granularity. */
+    Expected<VirtAddr> memAddressReserve(Bytes size);
+
+    /** Free a VA reservation; fails while mappings remain inside. */
+    Status memAddressFree(VirtAddr va);
+
+    /** Create a physical chunk handle of @p size bytes. */
+    Expected<PhysHandle> memCreate(Bytes size);
+
+    /** Release a chunk handle; fails while it is mapped anywhere. */
+    Status memRelease(PhysHandle handle);
+
+    /** Map the whole of @p handle at @p va (inside a reservation). */
+    Status memMap(VirtAddr va, PhysHandle handle);
+
+    /** Unmap every mapping within [va, va+size). */
+    Status memUnmap(VirtAddr va, Bytes size);
+
+    /** Make [va, va+size) accessible; charged per covered chunk. */
+    Status memSetAccess(VirtAddr va, Bytes size);
+
+    // --- native (cudaMalloc-style) path -------------------------------
+
+    /** cudaMalloc: one synchronous contiguous allocation. */
+    Expected<VirtAddr> mallocNative(Bytes size);
+
+    /** cudaFree of a pointer returned by mallocNative(). */
+    Status freeNative(VirtAddr va);
+
+    /** Extra stall modeling stream synchronization (see CostParams). */
+    void syncPenalty();
+
+    /** Host-side bookkeeping charge for pool-hit operations. */
+    void chargeCachedOp();
+
+    // --- introspection -------------------------------------------------
+
+    const PhysMemory &phys() const { return mPhys; }
+    const VaSpace &vaSpace() const { return mVa; }
+    const MappingTable &mappings() const { return mMap; }
+    const CostModel &costs() const { return mCost; }
+    const ApiCounters &counters() const { return mCounters; }
+
+    SimClock &clock() { return mClock; }
+    const SimClock &clock() const { return mClock; }
+    Tick now() const { return mClock.now(); }
+
+    Bytes capacity() const { return mPhys.capacity(); }
+    Bytes granularity() const { return mPhys.granularity(); }
+
+  private:
+    CostModel mCost;
+    SimClock mClock;
+    PhysMemory mPhys;
+    VaSpace mVa;
+    MappingTable mMap;
+    ApiCounters mCounters;
+
+    /** Native allocations: va -> (handle, reserved size). */
+    struct NativeAlloc
+    {
+        PhysHandle handle;
+        Bytes size;
+    };
+    std::map<VirtAddr, NativeAlloc> mNative;
+
+    void charge(Tick t);
+};
+
+} // namespace gmlake::vmm
+
+#endif // GMLAKE_VMM_DEVICE_HH

@@ -1,0 +1,129 @@
+#include "vmm/mapping_table.hh"
+
+#include "support/logging.hh"
+#include "vmm/phys_memory.hh"
+
+namespace gmlake::vmm
+{
+
+MappingTable::MappingTable(PhysMemory &phys)
+    : mPhys(phys)
+{
+}
+
+bool
+MappingTable::overlaps(VirtAddr va, Bytes size) const
+{
+    auto it = mMappings.upper_bound(va);
+    if (it != mMappings.end() && it->first < va + size)
+        return true;
+    if (it != mMappings.begin()) {
+        --it;
+        if (it->first + it->second.size > va)
+            return true;
+    }
+    return false;
+}
+
+Status
+MappingTable::map(VirtAddr va, PhysHandle handle)
+{
+    const auto size = mPhys.sizeOf(handle);
+    if (!size.ok())
+        return size.error();
+    if (overlaps(va, *size))
+        return makeError(Errc::alreadyMapped,
+                         "cuMemMap target VA range already mapped");
+    if (auto s = mPhys.addMapRef(handle); !s.ok())
+        return s;
+    mMappings.emplace(va, Mapping{*size, handle, false});
+    return Status::success();
+}
+
+Status
+MappingTable::unmap(VirtAddr va, Bytes size)
+{
+    // Collect mappings intersecting the range and validate coverage.
+    auto it = mMappings.lower_bound(va);
+    if (it != mMappings.begin()) {
+        auto prev = std::prev(it);
+        if (prev->first + prev->second.size > va)
+            return makeError(Errc::invalidValue,
+                             "cuMemUnmap range splits a mapping");
+    }
+    std::vector<std::map<VirtAddr, Mapping>::iterator> victims;
+    for (; it != mMappings.end() && it->first < va + size; ++it) {
+        if (it->first + it->second.size > va + size)
+            return makeError(Errc::invalidValue,
+                             "cuMemUnmap range splits a mapping");
+        victims.push_back(it);
+    }
+    if (victims.empty())
+        return makeError(Errc::notMapped,
+                         "cuMemUnmap of an unmapped range");
+    for (auto v : victims) {
+        const Status s = mPhys.dropMapRef(v->second.handle);
+        GMLAKE_ASSERT(s.ok(), "mapping refers to a dead handle");
+        mMappings.erase(v);
+    }
+    return Status::success();
+}
+
+Status
+MappingTable::setAccess(VirtAddr va, Bytes size)
+{
+    auto it = mMappings.lower_bound(va);
+    bool any = false;
+    for (; it != mMappings.end() && it->first < va + size; ++it) {
+        it->second.accessible = true;
+        any = true;
+    }
+    if (!any)
+        return makeError(Errc::notMapped,
+                         "cuMemSetAccess over an unmapped range");
+    return Status::success();
+}
+
+std::vector<MappingTable::Entry>
+MappingTable::mappingsIn(VirtAddr va, Bytes size) const
+{
+    std::vector<Entry> out;
+    auto it = mMappings.lower_bound(va);
+    for (; it != mMappings.end() && it->first < va + size; ++it) {
+        out.push_back(Entry{it->first, it->second.size,
+                            it->second.handle,
+                            it->second.accessible});
+    }
+    return out;
+}
+
+bool
+MappingTable::accessible(VirtAddr va, Bytes size) const
+{
+    VirtAddr cursor = va;
+    auto it = mMappings.upper_bound(va);
+    if (it != mMappings.begin())
+        --it;
+    for (; it != mMappings.end() && cursor < va + size; ++it) {
+        if (it->first > cursor)
+            return false; // gap
+        if (!it->second.accessible)
+            return false;
+        cursor = it->first + it->second.size;
+    }
+    return cursor >= va + size;
+}
+
+Expected<PhysHandle>
+MappingTable::translate(VirtAddr va) const
+{
+    auto it = mMappings.upper_bound(va);
+    if (it == mMappings.begin())
+        return makeError(Errc::notMapped, "translate of unmapped VA");
+    --it;
+    if (va >= it->first + it->second.size)
+        return makeError(Errc::notMapped, "translate of unmapped VA");
+    return it->second.handle;
+}
+
+} // namespace gmlake::vmm

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * VA -> physical-handle mapping table (cuMemMap / cuMemUnmap /
+ * cuMemSetAccess). One mapping covers exactly one physical handle;
+ * a VA byte can be covered by at most one mapping, but one handle may
+ * be mapped at several VAs (that is what virtual memory stitching
+ * exploits).
+ */
+
+#ifndef GMLAKE_VMM_MAPPING_TABLE_HH
+#define GMLAKE_VMM_MAPPING_TABLE_HH
+
+#include <map>
+#include <vector>
+
+#include "support/expected.hh"
+#include "support/types.hh"
+
+namespace gmlake::vmm
+{
+
+class PhysMemory;
+
+class MappingTable
+{
+  public:
+    explicit MappingTable(PhysMemory &phys);
+
+    /** Map @p handle (whole) at @p va. The VA range must be free. */
+    Status map(VirtAddr va, PhysHandle handle);
+
+    /**
+     * Remove all mappings inside [va, va+size). The range boundary
+     * must not split a mapping.
+     */
+    Status unmap(VirtAddr va, Bytes size);
+
+    /** Grant read/write access to every mapping in [va, va+size). */
+    Status setAccess(VirtAddr va, Bytes size);
+
+    /** Mappings fully inside [va, va+size), in address order. */
+    struct Entry
+    {
+        VirtAddr va;
+        Bytes size;
+        PhysHandle handle;
+        bool accessible;
+    };
+    std::vector<Entry> mappingsIn(VirtAddr va, Bytes size) const;
+
+    /** True when every byte of [va, va+size) is mapped + accessible. */
+    bool accessible(VirtAddr va, Bytes size) const;
+
+    /** Physical handle backing the byte at @p va, if mapped. */
+    Expected<PhysHandle> translate(VirtAddr va) const;
+
+    std::size_t mappingCount() const { return mMappings.size(); }
+
+  private:
+    struct Mapping
+    {
+        Bytes size;
+        PhysHandle handle;
+        bool accessible;
+    };
+
+    PhysMemory &mPhys;
+    /** va -> mapping; ranges are disjoint. */
+    std::map<VirtAddr, Mapping> mMappings;
+
+    /** True when [va, va+size) overlaps an existing mapping. */
+    bool overlaps(VirtAddr va, Bytes size) const;
+};
+
+} // namespace gmlake::vmm
+
+#endif // GMLAKE_VMM_MAPPING_TABLE_HH

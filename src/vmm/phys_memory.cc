@@ -1,0 +1,158 @@
+#include "vmm/phys_memory.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+#include "support/strings.hh"
+#include "support/units.hh"
+
+namespace gmlake::vmm
+{
+
+PhysMemory::PhysMemory(Bytes capacity, Bytes granularity)
+    : mCapacity(capacity), mGranularity(granularity)
+{
+    GMLAKE_ASSERT(granularity > 0, "granularity must be positive");
+    GMLAKE_ASSERT(isAligned(capacity, granularity),
+                  "capacity must be a granularity multiple");
+    mHoles.emplace(0, capacity);
+}
+
+Expected<PhysHandle>
+PhysMemory::create(Bytes size)
+{
+    if (size == 0 || !isAligned(size, mGranularity)) {
+        return makeError(Errc::invalidValue,
+                         "cuMemCreate size " + formatBytes(size) +
+                         " is not a positive multiple of " +
+                         formatBytes(mGranularity));
+    }
+    // First fit over the free holes: physical allocations must be
+    // contiguous, exactly like real device memory.
+    for (auto it = mHoles.begin(); it != mHoles.end(); ++it) {
+        if (it->second < size)
+            continue;
+        const Bytes base = it->first;
+        const Bytes holeSize = it->second;
+        mHoles.erase(it);
+        if (holeSize > size)
+            mHoles.emplace(base + size, holeSize - size);
+
+        const PhysHandle h = mNextHandle++;
+        mHandles.emplace(h, HandleInfo{base, size, 0});
+        mInUse += size;
+        if (mInUse > mPeakInUse)
+            mPeakInUse = mInUse;
+        return h;
+    }
+    return makeError(
+        Errc::outOfMemory,
+        "cuMemCreate " + formatBytes(size) +
+        " has no contiguous space (free " +
+        formatBytes(mCapacity - mInUse) + ", largest hole " +
+        formatBytes(largestHole()) + ")");
+}
+
+Status
+PhysMemory::release(PhysHandle handle)
+{
+    auto it = mHandles.find(handle);
+    if (it == mHandles.end())
+        return makeError(Errc::invalidValue, "release of unknown handle");
+    if (it->second.mapRefs != 0)
+        return makeError(Errc::handleInUse,
+                         "release of a handle with live mappings");
+    Bytes base = it->second.base;
+    Bytes size = it->second.size;
+    mInUse -= size;
+    mHandles.erase(it);
+
+    // Return the range to the hole map, merging with neighbours.
+    auto next = mHoles.lower_bound(base);
+    if (next != mHoles.end() && base + size == next->first) {
+        size += next->second;
+        next = mHoles.erase(next);
+    }
+    if (next != mHoles.begin()) {
+        auto prev = std::prev(next);
+        if (prev->first + prev->second == base) {
+            base = prev->first;
+            size += prev->second;
+            mHoles.erase(prev);
+        }
+    }
+    mHoles.emplace(base, size);
+    return Status::success();
+}
+
+Status
+PhysMemory::addMapRef(PhysHandle handle)
+{
+    auto it = mHandles.find(handle);
+    if (it == mHandles.end())
+        return makeError(Errc::invalidValue, "map of unknown handle");
+    ++it->second.mapRefs;
+    return Status::success();
+}
+
+Status
+PhysMemory::dropMapRef(PhysHandle handle)
+{
+    auto it = mHandles.find(handle);
+    if (it == mHandles.end())
+        return makeError(Errc::invalidValue, "unmap of unknown handle");
+    if (it->second.mapRefs == 0)
+        return makeError(Errc::notMapped,
+                         "unmap of a handle with no mappings");
+    --it->second.mapRefs;
+    return Status::success();
+}
+
+Expected<Bytes>
+PhysMemory::sizeOf(PhysHandle handle) const
+{
+    auto it = mHandles.find(handle);
+    if (it == mHandles.end())
+        return makeError(Errc::invalidValue, "sizeOf unknown handle");
+    return it->second.size;
+}
+
+bool
+PhysMemory::isLive(PhysHandle handle) const
+{
+    return mHandles.count(handle) != 0;
+}
+
+std::uint32_t
+PhysMemory::mapRefs(PhysHandle handle) const
+{
+    auto it = mHandles.find(handle);
+    return it == mHandles.end() ? 0 : it->second.mapRefs;
+}
+
+std::vector<std::pair<Bytes, Bytes>>
+PhysMemory::liveRanges() const
+{
+    std::vector<std::pair<Bytes, Bytes>> out;
+    out.reserve(mHandles.size());
+    for (const auto &[h, info] : mHandles) {
+        (void)h;
+        out.emplace_back(info.base, info.size);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+Bytes
+PhysMemory::largestHole() const
+{
+    Bytes largest = 0;
+    for (const auto &[base, size] : mHoles) {
+        (void)base;
+        if (size > largest)
+            largest = size;
+    }
+    return largest;
+}
+
+} // namespace gmlake::vmm

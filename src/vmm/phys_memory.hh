@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Physical memory manager of the simulated GPU.
+ *
+ * Physical allocations occupy *contiguous* ranges of the device
+ * address space, carved first-fit from the free holes — exactly like
+ * real device memory. This matters: a cudaMalloc of a large segment
+ * can fail even when enough total bytes are free, because no hole is
+ * big enough (physical external fragmentation), while GMLake's
+ * uniform 2 MB chunks always fit as long as any free bytes remain.
+ * That asymmetry is the mechanism behind the paper's Fig 13 OOMs.
+ *
+ * Handles carry a mapping reference count so a handle cannot be
+ * released while any virtual mapping still points at it — the
+ * property GMLake relies on when several sBlocks share one pBlock's
+ * chunks.
+ */
+
+#ifndef GMLAKE_VMM_PHYS_MEMORY_HH
+#define GMLAKE_VMM_PHYS_MEMORY_HH
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "support/expected.hh"
+#include "support/types.hh"
+
+namespace gmlake::vmm
+{
+
+class PhysMemory
+{
+  public:
+    /**
+     * @param capacity device memory size in bytes
+     * @param granularity minimum allocation granularity (2 MiB on
+     *        real hardware); all handle sizes must be multiples
+     */
+    PhysMemory(Bytes capacity, Bytes granularity);
+
+    /**
+     * Allocate a physical handle of @p size contiguous bytes.
+     * Fails with outOfMemory when no free hole is large enough.
+     */
+    Expected<PhysHandle> create(Bytes size);
+
+    /** Release a handle; fails with handleInUse while mapped. */
+    Status release(PhysHandle handle);
+
+    /** Increment / decrement the mapping refcount of a handle. */
+    Status addMapRef(PhysHandle handle);
+    Status dropMapRef(PhysHandle handle);
+
+    /** Size of a live handle; invalidValue for unknown handles. */
+    Expected<Bytes> sizeOf(PhysHandle handle) const;
+
+    bool isLive(PhysHandle handle) const;
+    std::uint32_t mapRefs(PhysHandle handle) const;
+
+    Bytes capacity() const { return mCapacity; }
+    Bytes granularity() const { return mGranularity; }
+    /** Physical bytes currently allocated (sum of live handles). */
+    Bytes inUse() const { return mInUse; }
+    /** High-water mark of inUse(). */
+    Bytes peakInUse() const { return mPeakInUse; }
+    Bytes available() const { return mCapacity - mInUse; }
+    std::size_t liveHandles() const { return mHandles.size(); }
+
+    /** Size of the largest free contiguous range. */
+    Bytes largestHole() const;
+
+    /** Live (base, size) ranges, sorted by base address. */
+    std::vector<std::pair<Bytes, Bytes>> liveRanges() const;
+    /** Number of free holes (physical fragmentation indicator). */
+    std::size_t holeCount() const { return mHoles.size(); }
+
+  private:
+    struct HandleInfo
+    {
+        Bytes base = 0;
+        Bytes size = 0;
+        std::uint32_t mapRefs = 0;
+    };
+
+    Bytes mCapacity;
+    Bytes mGranularity;
+    Bytes mInUse = 0;
+    Bytes mPeakInUse = 0;
+    PhysHandle mNextHandle = 1;
+    std::unordered_map<PhysHandle, HandleInfo> mHandles;
+    /** Free holes of the physical address space: base -> size. */
+    std::map<Bytes, Bytes> mHoles;
+};
+
+} // namespace gmlake::vmm
+
+#endif // GMLAKE_VMM_PHYS_MEMORY_HH

@@ -1,0 +1,112 @@
+#include "vmm/va_space.hh"
+
+#include "support/logging.hh"
+#include "support/strings.hh"
+#include "support/units.hh"
+
+namespace gmlake::vmm
+{
+
+namespace
+{
+/** Device VA space starts well above zero so 0 can stay a null value. */
+constexpr VirtAddr kVaBase = 0x7000'0000'0000ULL;
+} // namespace
+
+VaSpace::VaSpace(Bytes limit)
+    : mLimit(limit), mBump(kVaBase)
+{
+}
+
+Expected<VirtAddr>
+VaSpace::reserve(Bytes size, Bytes alignment)
+{
+    if (size == 0)
+        return makeError(Errc::invalidValue, "reserve of zero bytes");
+    if (alignment == 0 || (alignment & (alignment - 1)) != 0)
+        return makeError(Errc::invalidValue,
+                         "alignment must be a power of two");
+
+    // First-fit over released holes.
+    for (auto it = mHoles.begin(); it != mHoles.end(); ++it) {
+        const VirtAddr base = it->first;
+        const Bytes holeSize = it->second;
+        const VirtAddr aligned = roundUp(base, alignment);
+        const Bytes slack = aligned - base;
+        if (holeSize >= slack + size) {
+            // Carve [aligned, aligned+size) from the hole.
+            mHoles.erase(it);
+            if (slack > 0)
+                mHoles.emplace(base, slack);
+            if (holeSize > slack + size)
+                mHoles.emplace(aligned + size, holeSize - slack - size);
+            mLive.emplace(aligned, size);
+            mReservedBytes += size;
+            if (mReservedBytes > mPeakReservedBytes)
+                mPeakReservedBytes = mReservedBytes;
+            return aligned;
+        }
+    }
+
+    const VirtAddr aligned = roundUp(mBump, alignment);
+    if (aligned + size - kVaBase > mLimit) {
+        return makeError(Errc::addressSpaceFull,
+                         "VA space limit " + formatBytes(mLimit) +
+                         " exhausted");
+    }
+    if (aligned > mBump)
+        mHoles.emplace(mBump, aligned - mBump);
+    mBump = aligned + size;
+    mLive.emplace(aligned, size);
+    mReservedBytes += size;
+    if (mReservedBytes > mPeakReservedBytes)
+        mPeakReservedBytes = mReservedBytes;
+    return aligned;
+}
+
+Status
+VaSpace::free(VirtAddr addr)
+{
+    auto it = mLive.find(addr);
+    if (it == mLive.end())
+        return makeError(Errc::invalidValue,
+                         "addressFree of a non-reservation base");
+    mReservedBytes -= it->second;
+    // Return the range to the hole list, merging with neighbours.
+    VirtAddr base = it->first;
+    Bytes size = it->second;
+    mLive.erase(it);
+
+    auto next = mHoles.lower_bound(base);
+    if (next != mHoles.end() && base + size == next->first) {
+        size += next->second;
+        next = mHoles.erase(next);
+    }
+    if (next != mHoles.begin()) {
+        auto prev = std::prev(next);
+        if (prev->first + prev->second == base) {
+            base = prev->first;
+            size += prev->second;
+            mHoles.erase(prev);
+        }
+    }
+    mHoles.emplace(base, size);
+    return Status::success();
+}
+
+Expected<VaSpace::Reservation>
+VaSpace::containing(VirtAddr addr, Bytes size) const
+{
+    auto it = mLive.upper_bound(addr);
+    if (it == mLive.begin())
+        return makeError(Errc::notReserved, "address below reservations");
+    --it;
+    const VirtAddr base = it->first;
+    const Bytes resSize = it->second;
+    if (addr < base || addr + size > base + resSize)
+        return makeError(Errc::notReserved,
+                         "range not inside a single reservation");
+    return Reservation{base, resSize};
+}
+
+} // namespace gmlake::vmm

@@ -1,0 +1,76 @@
+#include "workload/model_zoo.hh"
+
+#include "support/logging.hh"
+
+namespace gmlake::workload
+{
+
+namespace
+{
+
+/** ~20 ms per billion parameters per sample per GPU (see header). */
+constexpr double kComputeNsPerParam = 0.030;
+
+ModelSpec
+make(std::string name, double paramsB, int layers, int hidden,
+     int heads, int vocab)
+{
+    ModelSpec m;
+    m.name = std::move(name);
+    m.params = paramsB * 1e9;
+    m.layers = layers;
+    m.hidden = hidden;
+    m.heads = heads;
+    m.vocab = vocab;
+    m.computePerSampleNs =
+        static_cast<Tick>(m.params * kComputeNsPerParam);
+    return m;
+}
+
+const std::vector<ModelSpec> &
+zoo()
+{
+    static const std::vector<ModelSpec> models = {
+        make("OPT-1.3B", 1.3, 24, 2048, 32, 50272),
+        make("GPT-2", 1.5, 48, 1600, 25, 50257),
+        make("GLM-10B", 10.0, 48, 4096, 64, 50304),
+        make("OPT-13B", 13.0, 40, 5120, 40, 50272),
+        make("Vicuna-13B", 13.0, 40, 5120, 40, 32000),
+        make("GPT-NeoX-20B", 20.6, 44, 6144, 64, 50432),
+    };
+    return models;
+}
+
+} // namespace
+
+double
+ModelSpec::layerParams() const
+{
+    // Attention (4 H^2) + MLP (8 H^2) + norms/biases, the usual 12 H^2.
+    return 12.0 * static_cast<double>(hidden) *
+           static_cast<double>(hidden);
+}
+
+double
+ModelSpec::embeddingParams() const
+{
+    return static_cast<double>(vocab) * static_cast<double>(hidden);
+}
+
+const ModelSpec &
+findModel(const std::string &name)
+{
+    for (const auto &m : zoo()) {
+        if (m.name == name)
+            return m;
+    }
+    GMLAKE_FATAL("unknown model: ", name);
+}
+
+const std::vector<ModelSpec> &
+allModels()
+{
+    return zoo();
+}
+
+} // namespace gmlake::workload

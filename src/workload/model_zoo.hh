@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Specifications of the open-source LLMs the paper fine-tunes
+ * (Table 2) plus the derived per-layer geometry the trace generator
+ * needs. Parameter counts and layer shapes follow the published
+ * model configurations.
+ */
+
+#ifndef GMLAKE_WORKLOAD_MODEL_ZOO_HH
+#define GMLAKE_WORKLOAD_MODEL_ZOO_HH
+
+#include <string>
+#include <vector>
+
+#include "support/types.hh"
+
+namespace gmlake::workload
+{
+
+struct ModelSpec
+{
+    std::string name;
+    /** Total parameter count. */
+    double params = 0.0;
+    int layers = 0;
+    int hidden = 0;
+    int heads = 0;
+    int vocab = 50257;
+
+    /**
+     * Compute time per sample per GPU in nanoseconds, used by the
+     * simulated clock to turn allocator overhead into a throughput
+     * difference. Roughly proportional to the parameter count,
+     * calibrated against the paper's samples/s figures (Fig 13).
+     */
+    Tick computePerSampleNs = 0;
+
+    /** Parameters of one transformer layer (attention + MLP). */
+    double layerParams() const;
+    /** Parameters of the embedding (+ unembedding) block. */
+    double embeddingParams() const;
+};
+
+/** The models of Table 2, by canonical name. */
+const ModelSpec &findModel(const std::string &name);
+
+/** All models in the zoo. */
+const std::vector<ModelSpec> &allModels();
+
+} // namespace gmlake::workload
+
+#endif // GMLAKE_WORKLOAD_MODEL_ZOO_HH

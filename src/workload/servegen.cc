@@ -1,0 +1,136 @@
+#include "workload/servegen.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <vector>
+
+#include "support/logging.hh"
+#include "support/rng.hh"
+#include "support/units.hh"
+
+namespace gmlake::workload
+{
+
+Bytes
+kvBytesPerToken(const ModelSpec &model)
+{
+    // K and V, one vector of `hidden` fp16 values per layer each.
+    return static_cast<Bytes>(2.0 * model.layers * model.hidden * 2.0);
+}
+
+namespace
+{
+
+/** Decode-step compute per active request (memory-bound pass). */
+Tick
+decodeNsPerRequest(const ModelSpec &model)
+{
+    // One token across all layers; roughly paramBytes / HBM bandwidth
+    // amortized over the batch. Keep it simple and proportional.
+    return static_cast<Tick>(model.params * 2.0 / 1.5e3); // ~1.5TB/s
+}
+
+struct Request
+{
+    TensorId kv = 0;
+    int contextTokens = 0;     //!< tokens currently in context
+    int quantaTokens = 0;      //!< capacity of the current buffer
+    int remainingToGenerate = 0;
+};
+
+} // namespace
+
+ServeTraceResult
+generateServingTrace(const ServeConfig &cfg)
+{
+    GMLAKE_ASSERT(cfg.maxBatch >= 1 && cfg.requests >= 1,
+                  "serving config needs requests and a batch");
+    GMLAKE_ASSERT(cfg.kvQuantumTokens >= 1, "bad KV quantum");
+
+    const Bytes perToken = kvBytesPerToken(cfg.model);
+    ServeTraceResult result;
+    TraceBuilder tb;
+    Rng rng(cfg.seed);
+
+    auto quantize = [&](int tokens) {
+        const int quanta =
+            (tokens + cfg.kvQuantumTokens - 1) / cfg.kvQuantumTokens;
+        return std::max(1, quanta) * cfg.kvQuantumTokens;
+    };
+    auto kvBytes = [&](int quantaTokens) {
+        return static_cast<Bytes>(quantaTokens) * perToken;
+    };
+
+    int admitted = 0;
+    std::vector<Request> active;
+
+    auto admitOne = [&]() {
+        Request req;
+        const int prompt = std::clamp(
+            static_cast<int>(rng.logNormal(cfg.medianPromptTokens,
+                                           0.7)),
+            16, cfg.maxContextTokens / 2);
+        // Geometric generation length with the configured mean.
+        const double p = 1.0 / cfg.meanGenerateTokens;
+        int gen = 1;
+        while (!rng.chance(p) &&
+               gen < cfg.maxContextTokens - prompt)
+            ++gen;
+        req.contextTokens = prompt;
+        req.quantaTokens = quantize(prompt);
+        req.remainingToGenerate = gen;
+        req.kv = tb.alloc(kvBytes(req.quantaTokens));
+        // Prefill compute: proportional to prompt length.
+        tb.compute(decodeNsPerRequest(cfg.model) * prompt / 8);
+        active.push_back(req);
+        ++admitted;
+    };
+
+    while (admitted < cfg.requests || !active.empty()) {
+        // Admission: fill the batch.
+        while (admitted < cfg.requests &&
+               static_cast<int>(active.size()) < cfg.maxBatch) {
+            admitOne();
+        }
+        tb.iterationMark(); // one decode step
+
+        // One decode step for every active request.
+        tb.compute(decodeNsPerRequest(cfg.model));
+        for (std::size_t i = 0; i < active.size();) {
+            Request &req = active[i];
+            ++req.contextTokens;
+            ++result.generatedTokens;
+            --req.remainingToGenerate;
+
+            if (req.contextTokens > req.quantaTokens) {
+                // Grow the KV buffer: alloc bigger, copy, free old.
+                const int newQuanta = quantize(req.contextTokens);
+                const TensorId bigger = tb.alloc(kvBytes(newQuanta));
+                tb.compute(static_cast<Tick>(
+                    static_cast<double>(kvBytes(req.quantaTokens)) /
+                    1.3e3)); // d2d copy at ~1.3 TB/s
+                tb.free(req.kv);
+                req.kv = bigger;
+                req.quantaTokens = newQuanta;
+                ++result.kvReallocs;
+            }
+
+            if (req.remainingToGenerate <= 0 ||
+                req.contextTokens >= cfg.maxContextTokens) {
+                tb.free(req.kv);
+                ++result.servedRequests;
+                active.erase(active.begin() +
+                             static_cast<std::ptrdiff_t>(i));
+            } else {
+                ++i;
+            }
+        }
+    }
+
+    tb.freeAll();
+    result.trace = tb.take();
+    return result;
+}
+
+} // namespace gmlake::workload

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * LLM inference-serving workload generator (an extension experiment;
+ * the paper's Section 6 discusses vLLM and KV-cache memory).
+ *
+ * Models continuous-batching decode serving *without* paged
+ * attention: each request holds a KV-cache buffer that grows as
+ * tokens are generated; growth past the current quantum reallocates
+ * the buffer (alloc new, copy, free old). Requests arrive and finish
+ * continuously, so the allocator sees a churn of variable-length
+ * buffers — the fragmentation pattern that motivated paging in vLLM,
+ * and which virtual memory stitching also absorbs.
+ */
+
+#ifndef GMLAKE_WORKLOAD_SERVEGEN_HH
+#define GMLAKE_WORKLOAD_SERVEGEN_HH
+
+#include <cstdint>
+
+#include "workload/model_zoo.hh"
+#include "workload/trace.hh"
+
+namespace gmlake::workload
+{
+
+struct ServeConfig
+{
+    ModelSpec model;
+    /** Maximum concurrently decoding requests. */
+    int maxBatch = 32;
+    /** Total requests to serve before draining. */
+    int requests = 256;
+    /** Median prompt length in tokens (lognormal, sigma 0.7). */
+    int medianPromptTokens = 256;
+    /** Mean generated tokens per request (geometric). */
+    int meanGenerateTokens = 256;
+    /** Hard cap on a request's total context. */
+    int maxContextTokens = 2048;
+    /** KV buffers are sized in quanta of this many tokens. */
+    int kvQuantumTokens = 128;
+    std::uint64_t seed = 42;
+};
+
+struct ServeTraceResult
+{
+    Trace trace;
+    /** Total tokens decoded (for tokens/s throughput). */
+    std::uint64_t generatedTokens = 0;
+    std::uint64_t servedRequests = 0;
+    /** KV reallocations performed (growth events). */
+    std::uint64_t kvReallocs = 0;
+};
+
+/** Bytes of KV cache per token for @p model (fp16 K and V). */
+Bytes kvBytesPerToken(const ModelSpec &model);
+
+/** Generate the serving allocation trace. */
+ServeTraceResult generateServingTrace(const ServeConfig &config);
+
+} // namespace gmlake::workload
+
+#endif // GMLAKE_WORKLOAD_SERVEGEN_HH

@@ -1,0 +1,193 @@
+#include "workload/trace.hh"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <unordered_set>
+
+#include "support/logging.hh"
+
+namespace gmlake::workload
+{
+
+void
+Trace::append(Event event)
+{
+    if (event.kind == EventKind::alloc) {
+        ++mStats.allocCount;
+        mStats.totalAllocBytes += event.bytes;
+        if (event.bytes > mStats.maxAllocBytes)
+            mStats.maxAllocBytes = event.bytes;
+        mHistogram.add(event.bytes);
+    } else if (event.kind == EventKind::iterationMark) {
+        ++mStats.iterations;
+    }
+    mEvents.push_back(event);
+}
+
+void
+Trace::validate() const
+{
+    std::unordered_set<TensorId> live;
+    for (const Event &e : mEvents) {
+        switch (e.kind) {
+          case EventKind::alloc:
+            GMLAKE_ASSERT(e.bytes > 0, "zero-byte alloc in trace");
+            GMLAKE_ASSERT(live.insert(e.tensor).second,
+                          "tensor allocated twice: ", e.tensor);
+            break;
+          case EventKind::free:
+            GMLAKE_ASSERT(live.erase(e.tensor) == 1,
+                          "free of non-live tensor: ", e.tensor);
+            break;
+          case EventKind::compute:
+            GMLAKE_ASSERT(e.computeNs >= 0, "negative compute time");
+            break;
+          case EventKind::iterationMark:
+          case EventKind::streamSync:
+            break;
+        }
+    }
+}
+
+void
+Trace::save(std::ostream &os) const
+{
+    os << "gmlake-trace-v2 " << mEvents.size() << "\n";
+    for (const Event &e : mEvents) {
+        switch (e.kind) {
+          case EventKind::alloc:
+            os << "a " << e.tensor << " " << e.bytes << " "
+               << e.stream << "\n";
+            break;
+          case EventKind::free:
+            os << "f " << e.tensor << "\n";
+            break;
+          case EventKind::compute:
+            os << "c " << e.computeNs << "\n";
+            break;
+          case EventKind::iterationMark:
+            os << "i\n";
+            break;
+          case EventKind::streamSync:
+            os << "y " << e.stream << "\n";
+            break;
+        }
+    }
+}
+
+Trace
+Trace::load(std::istream &is)
+{
+    std::string magic;
+    std::size_t count = 0;
+    is >> magic >> count;
+    const bool v2 = magic == "gmlake-trace-v2";
+    if (!v2 && magic != "gmlake-trace-v1")
+        GMLAKE_FATAL("bad trace header: ", magic);
+    Trace trace;
+    for (std::size_t i = 0; i < count; ++i) {
+        char tag = 0;
+        is >> tag;
+        Event e;
+        switch (tag) {
+          case 'a':
+            e.kind = EventKind::alloc;
+            is >> e.tensor >> e.bytes;
+            if (v2)
+                is >> e.stream;
+            break;
+          case 'y':
+            e.kind = EventKind::streamSync;
+            is >> e.stream;
+            break;
+          case 'f':
+            e.kind = EventKind::free;
+            is >> e.tensor;
+            break;
+          case 'c':
+            e.kind = EventKind::compute;
+            is >> e.computeNs;
+            break;
+          case 'i':
+            e.kind = EventKind::iterationMark;
+            break;
+          default:
+            GMLAKE_FATAL("bad trace tag: ", tag);
+        }
+        if (!is)
+            GMLAKE_FATAL("truncated trace file");
+        trace.append(e);
+    }
+    trace.validate();
+    return trace;
+}
+
+TensorId
+TraceBuilder::alloc(Bytes bytes, StreamId stream)
+{
+    GMLAKE_ASSERT(bytes > 0, "zero-byte tensor");
+    GMLAKE_ASSERT(stream != kAnyStream,
+                  "cannot allocate on the sentinel stream");
+    const TensorId id = mNextTensor++;
+    mLive.emplace(id, bytes);
+    mLiveBytes += bytes;
+    mTrace.append(Event{EventKind::alloc, id, bytes, 0, stream});
+    return id;
+}
+
+void
+TraceBuilder::free(TensorId id)
+{
+    auto it = mLive.find(id);
+    GMLAKE_ASSERT(it != mLive.end(), "free of non-live tensor ", id);
+    mLiveBytes -= it->second;
+    mLive.erase(it);
+    mTrace.append(Event{EventKind::free, id, 0, 0, kDefaultStream});
+}
+
+void
+TraceBuilder::compute(Tick ns)
+{
+    if (ns <= 0)
+        return;
+    mTrace.append(Event{EventKind::compute, 0, 0, ns,
+                        kDefaultStream});
+}
+
+void
+TraceBuilder::iterationMark()
+{
+    mTrace.append(Event{EventKind::iterationMark, 0, 0, 0,
+                        kDefaultStream});
+}
+
+void
+TraceBuilder::streamSync(StreamId stream)
+{
+    mTrace.append(Event{EventKind::streamSync, 0, 0, 0, stream});
+}
+
+void
+TraceBuilder::freeAll()
+{
+    // Deterministic order: ascending tensor id.
+    std::vector<TensorId> ids;
+    ids.reserve(mLive.size());
+    for (const auto &[id, bytes] : mLive) {
+        (void)bytes;
+        ids.push_back(id);
+    }
+    std::sort(ids.begin(), ids.end());
+    for (TensorId id : ids)
+        free(id);
+}
+
+Trace
+TraceBuilder::take()
+{
+    mTrace.validate();
+    return std::move(mTrace);
+}
+
+} // namespace gmlake::workload

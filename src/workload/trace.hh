@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Allocation traces: the request stream a training process sends to
+ * the GPU allocator. A trace is allocator-agnostic; the simulation
+ * engine replays the same trace against the caching allocator,
+ * GMLake and the native allocator to compare them — exactly the
+ * paper's methodology.
+ */
+
+#ifndef GMLAKE_WORKLOAD_TRACE_HH
+#define GMLAKE_WORKLOAD_TRACE_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "support/histogram.hh"
+#include "support/types.hh"
+
+namespace gmlake::workload
+{
+
+/** Tensor identifier inside a trace, assigned by the builder. */
+using TensorId = std::uint64_t;
+
+enum class EventKind : std::uint8_t
+{
+    alloc,          //!< allocate `bytes` on `stream`, binding `tensor`
+    free,           //!< release `tensor`
+    compute,        //!< advance the clock by `computeNs`
+    iterationMark,  //!< training-iteration boundary (for reporting)
+    streamSync,     //!< synchronize `stream` (kAnyStream = device-wide)
+};
+
+struct Event
+{
+    EventKind kind = EventKind::compute;
+    TensorId tensor = 0;
+    Bytes bytes = 0;
+    Tick computeNs = 0;
+    StreamId stream = kDefaultStream;
+};
+
+/** Aggregate shape of a trace (Fig 5 reports these). */
+struct TraceStats
+{
+    std::uint64_t allocCount = 0;
+    Bytes totalAllocBytes = 0;
+    Bytes maxAllocBytes = 0;
+    int iterations = 0;
+
+    double
+    avgAllocBytes() const
+    {
+        return allocCount == 0
+                   ? 0.0
+                   : static_cast<double>(totalAllocBytes) /
+                         static_cast<double>(allocCount);
+    }
+};
+
+class Trace
+{
+  public:
+    void append(Event event);
+
+    const std::vector<Event> &events() const { return mEvents; }
+    std::size_t size() const { return mEvents.size(); }
+    const TraceStats &stats() const { return mStats; }
+    const SizeHistogram &sizeHistogram() const { return mHistogram; }
+
+    /** Sanity check: frees match allocs, no double free/alloc. */
+    void validate() const;
+
+    /** Simple line-based (de)serialization for record/replay. */
+    void save(std::ostream &os) const;
+    static Trace load(std::istream &is);
+
+  private:
+    std::vector<Event> mEvents;
+    TraceStats mStats;
+    SizeHistogram mHistogram;
+};
+
+/**
+ * Builder with tensor bookkeeping: alloc() returns a TensorId that
+ * free() later consumes; mismatches panic immediately instead of
+ * corrupting the experiment downstream.
+ */
+class TraceBuilder
+{
+  public:
+    TensorId alloc(Bytes bytes, StreamId stream = kDefaultStream);
+    void free(TensorId id);
+    void compute(Tick ns);
+    void iterationMark();
+    /** Synchronize @p stream; kAnyStream = whole device. */
+    void streamSync(StreamId stream);
+
+    /** Free every still-live tensor (end-of-run teardown). */
+    void freeAll();
+
+    std::size_t liveTensors() const { return mLive.size(); }
+    Bytes liveBytes() const { return mLiveBytes; }
+
+    Trace take();
+
+  private:
+    Trace mTrace;
+    TensorId mNextTensor = 1;
+    std::unordered_map<TensorId, Bytes> mLive;
+    Bytes mLiveBytes = 0;
+};
+
+} // namespace gmlake::workload
+
+#endif // GMLAKE_WORKLOAD_TRACE_HH

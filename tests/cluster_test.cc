@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Multi-rank cluster simulation tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/cluster.hh"
+#include "support/units.hh"
+#include "workload/tracegen.hh"
+
+using namespace gmlake;
+using namespace gmlake::literals;
+using namespace gmlake::sim;
+using namespace gmlake::workload;
+
+namespace
+{
+
+TrainConfig
+clusterConfig(int gpus = 4)
+{
+    TrainConfig cfg;
+    cfg.model = findModel("OPT-1.3B");
+    cfg.strategies = Strategies::parse("LR");
+    cfg.gpus = gpus;
+    cfg.batchSize = 16;
+    cfg.iterations = 4;
+    return cfg;
+}
+
+} // namespace
+
+TEST(Cluster, RunsOneResultPerRank)
+{
+    const auto cluster =
+        runCluster(clusterConfig(4), AllocatorKind::caching);
+    ASSERT_EQ(cluster.ranks.size(), 4u);
+    for (const auto &r : cluster.ranks) {
+        EXPECT_FALSE(r.oom);
+        EXPECT_GT(r.peakActive, 0u);
+    }
+    EXPECT_FALSE(cluster.anyOom());
+}
+
+TEST(Cluster, RanksDivergeWithData)
+{
+    const auto cluster =
+        runCluster(clusterConfig(4), AllocatorKind::caching);
+    // Different seeds -> different traces -> some metric spread.
+    bool differs = false;
+    for (std::size_t r = 1; r < cluster.ranks.size(); ++r) {
+        differs = differs || cluster.ranks[r].peakReserved !=
+                                 cluster.ranks[0].peakReserved;
+    }
+    EXPECT_TRUE(differs);
+    EXPECT_GE(cluster.maxPeakReserved(), cluster.minPeakReserved());
+    EXPECT_LT(cluster.worstRank(), cluster.ranks.size());
+}
+
+TEST(Cluster, GmlakeShrinksTheRankSpread)
+{
+    const auto caching =
+        runCluster(clusterConfig(4), AllocatorKind::caching);
+    const auto lake =
+        runCluster(clusterConfig(4), AllocatorKind::gmlake);
+    EXPECT_GE(lake.minUtilization() + 0.02,
+              caching.minUtilization());
+    EXPECT_LE(lake.maxPeakReserved(), caching.maxPeakReserved());
+}
+
+TEST(Cluster, GlobalThroughputGatedBySlowestRank)
+{
+    const auto cfg = clusterConfig(4);
+    const auto cluster = runCluster(cfg, AllocatorKind::caching);
+    const double global = cluster.globalSamplesPerSec(cfg);
+    EXPECT_GT(global, 0.0);
+    // Lockstep throughput cannot exceed what the slowest rank would
+    // deliver if all ranks ran at its pace.
+    double slowestAlone = 1e300;
+    for (const auto &r : cluster.ranks)
+        slowestAlone = std::min(slowestAlone, r.samplesPerSec);
+    EXPECT_LE(global, slowestAlone * 1.001);
+}
+
+TEST(Cluster, AnyRankOomFailsTheJob)
+{
+    auto cfg = clusterConfig(2);
+    cfg.batchSize = 512; // far beyond a 4 GiB device
+    ScenarioOptions opts;
+    opts.device.capacity = 4_GiB;
+    const auto cluster =
+        runCluster(cfg, AllocatorKind::caching, opts);
+    EXPECT_TRUE(cluster.anyOom());
+}

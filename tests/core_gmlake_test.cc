@@ -1,0 +1,404 @@
+/**
+ * @file
+ * GMLake allocator tests: the stitching mechanism, the allocation
+ * strategy states of Fig 9, deallocation-as-update, StitchFree LRU,
+ * the small-allocation path and the OOM fallback.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/gmlake_allocator.hh"
+#include "support/units.hh"
+#include "vmm/device.hh"
+
+using namespace gmlake;
+using namespace gmlake::literals;
+using core::GMLakeAllocator;
+using core::GMLakeConfig;
+
+namespace
+{
+
+vmm::DeviceConfig
+smallDevice(Bytes capacity = 256_MiB)
+{
+    vmm::DeviceConfig cfg;
+    cfg.capacity = capacity;
+    cfg.granularity = 2_MiB;
+    return cfg;
+}
+
+GMLakeConfig
+tightConfig()
+{
+    GMLakeConfig cfg;
+    cfg.nearMatchTolerance = 0.0; // exact behaviour for unit tests
+    cfg.fragLimit = 2_MiB;
+    return cfg;
+}
+
+} // namespace
+
+TEST(GMLake, FirstAllocationCreatesPBlock)
+{
+    vmm::Device dev(smallDevice());
+    GMLakeAllocator lake(dev, tightConfig());
+    const auto a = lake.allocate(10_MiB);
+    ASSERT_TRUE(a.ok());
+    EXPECT_EQ(lake.strategy().s4Insufficient, 1u);
+    EXPECT_EQ(lake.pBlockCount(), 1u);
+    EXPECT_EQ(lake.physicalBytes(), 10_MiB);
+    EXPECT_EQ(dev.phys().inUse(), 10_MiB);
+    lake.checkConsistency();
+}
+
+TEST(GMLake, RoundsToChunkSize)
+{
+    vmm::Device dev(smallDevice());
+    GMLakeAllocator lake(dev, tightConfig());
+    const auto a = lake.allocate(5_MiB);
+    ASSERT_TRUE(a.ok());
+    EXPECT_EQ(lake.physicalBytes(), 6_MiB);
+    EXPECT_EQ(lake.stats().activeBytes(), 6_MiB);
+    lake.checkConsistency();
+}
+
+TEST(GMLake, DeallocationKeepsPhysicalMemory)
+{
+    vmm::Device dev(smallDevice());
+    GMLakeAllocator lake(dev, tightConfig());
+    const auto a = lake.allocate(10_MiB);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(lake.deallocate(a->id).ok());
+    // Update only flips the state; nothing returns to the device.
+    EXPECT_EQ(lake.physicalBytes(), 10_MiB);
+    EXPECT_EQ(lake.stats().activeBytes(), 0u);
+    EXPECT_EQ(lake.inactivePBlockCount(), 1u);
+    lake.checkConsistency();
+}
+
+TEST(GMLake, ExactMatchReusesBlock)
+{
+    vmm::Device dev(smallDevice());
+    GMLakeAllocator lake(dev, tightConfig());
+    const auto a = lake.allocate(10_MiB);
+    ASSERT_TRUE(a.ok());
+    const VirtAddr addr = a->addr;
+    ASSERT_TRUE(lake.deallocate(a->id).ok());
+    const auto b = lake.allocate(10_MiB);
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(b->addr, addr);
+    EXPECT_EQ(lake.strategy().s1ExactMatch, 1u);
+    EXPECT_EQ(lake.physicalBytes(), 10_MiB);
+    lake.checkConsistency();
+}
+
+TEST(GMLake, StitchingFusesNonContiguousBlocks)
+{
+    // The Figure 1 scenario: two freed blocks serve one bigger
+    // tensor without growing physical memory.
+    vmm::Device dev(smallDevice());
+    GMLakeAllocator lake(dev, tightConfig());
+    const auto a = lake.allocate(12_MiB);
+    const auto b = lake.allocate(4_MiB);   // keeps a and c apart
+    const auto c = lake.allocate(8_MiB);
+    ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+    ASSERT_TRUE(lake.deallocate(a->id).ok());
+    ASSERT_TRUE(lake.deallocate(c->id).ok());
+
+    const Bytes before = lake.physicalBytes();
+    const auto big = lake.allocate(20_MiB);
+    ASSERT_TRUE(big.ok());
+    EXPECT_EQ(lake.physicalBytes(), before); // no new physical memory
+    EXPECT_EQ(lake.strategy().s3MultiBlocks, 1u);
+    EXPECT_GE(lake.strategy().stitches, 1u);
+    EXPECT_EQ(lake.sBlockCount(), 1u);
+    lake.checkConsistency();
+}
+
+TEST(GMLake, StitchedBlockIsReusedOnRepeat)
+{
+    vmm::Device dev(smallDevice());
+    GMLakeAllocator lake(dev, tightConfig());
+    const auto a = lake.allocate(12_MiB);
+    const auto b = lake.allocate(4_MiB);
+    const auto c = lake.allocate(8_MiB);
+    ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+    ASSERT_TRUE(lake.deallocate(a->id).ok());
+    ASSERT_TRUE(lake.deallocate(c->id).ok());
+
+    const auto big1 = lake.allocate(20_MiB);
+    ASSERT_TRUE(big1.ok());
+    const VirtAddr addr = big1->addr;
+    ASSERT_TRUE(lake.deallocate(big1->id).ok());
+
+    // Second time around: exact sBlock match, no new stitch.
+    const std::uint64_t stitchesBefore = lake.strategy().stitches;
+    const auto big2 = lake.allocate(20_MiB);
+    ASSERT_TRUE(big2.ok());
+    EXPECT_EQ(big2->addr, addr);
+    EXPECT_EQ(lake.strategy().stitches, stitchesBefore);
+    lake.checkConsistency();
+}
+
+TEST(GMLake, SplitServesSmallerRequest)
+{
+    vmm::Device dev(smallDevice());
+    GMLakeAllocator lake(dev, tightConfig());
+    const auto a = lake.allocate(20_MiB);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(lake.deallocate(a->id).ok());
+
+    const auto b = lake.allocate(8_MiB);
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(lake.strategy().s2SingleBlock, 1u);
+    EXPECT_GE(lake.strategy().splits, 1u);
+    EXPECT_EQ(lake.physicalBytes(), 20_MiB); // no growth
+    // The remainder is available for another request.
+    const auto c = lake.allocate(12_MiB);
+    ASSERT_TRUE(c.ok());
+    EXPECT_EQ(lake.physicalBytes(), 20_MiB);
+    lake.checkConsistency();
+}
+
+TEST(GMLake, RestitchAfterSplitPreservesOriginalSize)
+{
+    vmm::Device dev(smallDevice());
+    GMLakeAllocator lake(dev, tightConfig());
+    const auto a = lake.allocate(20_MiB);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(lake.deallocate(a->id).ok());
+
+    const auto b = lake.allocate(8_MiB);
+    ASSERT_TRUE(b.ok());
+    ASSERT_TRUE(lake.deallocate(b->id).ok());
+
+    // The original 20 MiB pattern still finds an exact (stitched)
+    // match even though the pBlock was split.
+    const Bytes before = lake.physicalBytes();
+    const auto again = lake.allocate(20_MiB);
+    ASSERT_TRUE(again.ok());
+    EXPECT_EQ(lake.physicalBytes(), before);
+    EXPECT_EQ(lake.strategy().s1ExactMatch, 1u);
+    lake.checkConsistency();
+}
+
+TEST(GMLake, SBlockIneligibleWhileMemberActive)
+{
+    vmm::Device dev(smallDevice());
+    GMLakeAllocator lake(dev, tightConfig());
+    const auto a = lake.allocate(12_MiB);
+    const auto spacer = lake.allocate(4_MiB);
+    const auto c = lake.allocate(8_MiB);
+    ASSERT_TRUE(a.ok() && spacer.ok() && c.ok());
+    ASSERT_TRUE(lake.deallocate(a->id).ok());
+    ASSERT_TRUE(lake.deallocate(c->id).ok());
+
+    const auto big = lake.allocate(20_MiB); // stitches a+c
+    ASSERT_TRUE(big.ok());
+    ASSERT_TRUE(lake.deallocate(big->id).ok());
+
+    // Take one member directly: the cached 20 MiB sBlock must not
+    // serve a new request while its member is in use.
+    const auto member = lake.allocate(12_MiB);
+    ASSERT_TRUE(member.ok());
+    const Bytes before = lake.physicalBytes();
+    const auto big2 = lake.allocate(20_MiB);
+    ASSERT_TRUE(big2.ok());
+    EXPECT_GT(lake.physicalBytes(), before); // had to grow
+    lake.checkConsistency();
+}
+
+TEST(GMLake, NearMatchHandsOutWholeBlock)
+{
+    GMLakeConfig cfg;
+    cfg.fragLimit = 2_MiB;
+    cfg.nearMatchTolerance = 0.25;
+    vmm::Device dev(smallDevice());
+    GMLakeAllocator lake(dev, cfg);
+    const auto a = lake.allocate(20_MiB);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(lake.deallocate(a->id).ok());
+
+    // 18 MiB is within 25% of 20 MiB: whole-block hand-out, no split.
+    const auto b = lake.allocate(18_MiB);
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(lake.strategy().s1ExactMatch, 1u);
+    EXPECT_EQ(lake.strategy().splits, 0u);
+    EXPECT_EQ(lake.stats().activeBytes(), 20_MiB); // whole block
+    lake.checkConsistency();
+}
+
+TEST(GMLake, SmallRequestsUseSplittingPath)
+{
+    vmm::Device dev(smallDevice());
+    GMLakeAllocator lake(dev, tightConfig());
+    const auto a = lake.allocate(64_KiB);
+    ASSERT_TRUE(a.ok());
+    EXPECT_EQ(lake.strategy().smallPath, 1u);
+    EXPECT_EQ(lake.pBlockCount(), 0u); // no VMS involvement
+    // Reserved memory reflects the small pool's segment.
+    EXPECT_EQ(lake.stats().reservedBytes(), 2_MiB);
+    ASSERT_TRUE(lake.deallocate(a->id).ok());
+    EXPECT_EQ(lake.stats().activeBytes(), 0u);
+    lake.checkConsistency();
+}
+
+TEST(GMLake, StitchFreeEvictsLruSBlocks)
+{
+    GMLakeConfig cfg = tightConfig();
+    cfg.maxCachedSBlocks = 2;
+    vmm::Device dev(smallDevice(512_MiB));
+    GMLakeAllocator lake(dev, cfg);
+
+    // Manufacture several distinct stitched blocks.
+    for (int round = 0; round < 4; ++round) {
+        const Bytes sz = (10 + 2 * round) * 1_MiB;
+        const auto a = lake.allocate(sz);
+        const auto sp = lake.allocate(2_MiB);
+        const auto b = lake.allocate(sz + 2_MiB);
+        ASSERT_TRUE(a.ok() && sp.ok() && b.ok());
+        ASSERT_TRUE(lake.deallocate(a->id).ok());
+        ASSERT_TRUE(lake.deallocate(b->id).ok());
+        const auto big = lake.allocate(2 * sz + 2_MiB);
+        ASSERT_TRUE(big.ok());
+        ASSERT_TRUE(lake.deallocate(big->id).ok());
+        ASSERT_TRUE(lake.deallocate(sp->id).ok());
+    }
+    // The cache got trimmed along the way.
+    EXPECT_GT(lake.strategy().stitchFrees, 0u);
+    lake.checkConsistency();
+}
+
+TEST(GMLake, EmptyCacheReturnsPhysicalMemory)
+{
+    vmm::Device dev(smallDevice());
+    GMLakeAllocator lake(dev, tightConfig());
+    const auto a = lake.allocate(20_MiB);
+    const auto b = lake.allocate(10_MiB);
+    ASSERT_TRUE(a.ok() && b.ok());
+    ASSERT_TRUE(lake.deallocate(a->id).ok());
+    lake.emptyCache();
+    EXPECT_EQ(lake.physicalBytes(), 10_MiB); // only b remains
+    EXPECT_EQ(dev.phys().inUse(), 10_MiB);
+    EXPECT_EQ(lake.stats().reservedBytes(), 10_MiB);
+    lake.checkConsistency();
+}
+
+TEST(GMLake, OomFallbackReleasesCacheAndRetries)
+{
+    vmm::Device dev(smallDevice(64_MiB));
+    GMLakeAllocator lake(dev, tightConfig());
+    // Fill the device, free everything, then ask for a block that
+    // can be served by stitching the cached blocks.
+    const auto a = lake.allocate(30_MiB);
+    const auto b = lake.allocate(30_MiB);
+    ASSERT_TRUE(a.ok() && b.ok());
+    ASSERT_TRUE(lake.deallocate(a->id).ok());
+    ASSERT_TRUE(lake.deallocate(b->id).ok());
+    const auto big = lake.allocate(60_MiB);
+    ASSERT_TRUE(big.ok());
+    EXPECT_EQ(lake.physicalBytes(), 60_MiB);
+    lake.checkConsistency();
+}
+
+TEST(GMLake, HardOomReported)
+{
+    vmm::Device dev(smallDevice(32_MiB));
+    GMLakeAllocator lake(dev, tightConfig());
+    const auto a = lake.allocate(20_MiB);
+    ASSERT_TRUE(a.ok());
+    const auto b = lake.allocate(20_MiB);
+    EXPECT_EQ(b.code(), Errc::outOfMemory);
+    EXPECT_EQ(lake.strategy().s5Oom, 1u);
+    lake.checkConsistency();
+}
+
+TEST(GMLake, S4StitchesPartialCandidatesWithFreshBlock)
+{
+    vmm::Device dev(smallDevice());
+    GMLakeAllocator lake(dev, tightConfig());
+    const auto a = lake.allocate(8_MiB);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(lake.deallocate(a->id).ok());
+
+    // 20 MiB needs 12 MiB of new memory stitched with the cached 8.
+    const auto big = lake.allocate(20_MiB);
+    ASSERT_TRUE(big.ok());
+    EXPECT_EQ(lake.physicalBytes(), 20_MiB);
+    EXPECT_EQ(lake.strategy().s4Insufficient, 2u); // first alloc + this
+    EXPECT_EQ(lake.sBlockCount(), 1u);
+    lake.checkConsistency();
+}
+
+TEST(GMLake, StitchingDisabledFallsBackToWholeAllocations)
+{
+    GMLakeConfig cfg = tightConfig();
+    cfg.enableStitching = false;
+    vmm::Device dev(smallDevice());
+    GMLakeAllocator lake(dev, cfg);
+    const auto a = lake.allocate(12_MiB);
+    const auto sp = lake.allocate(4_MiB);
+    const auto c = lake.allocate(8_MiB);
+    ASSERT_TRUE(a.ok() && sp.ok() && c.ok());
+    ASSERT_TRUE(lake.deallocate(a->id).ok());
+    ASSERT_TRUE(lake.deallocate(c->id).ok());
+    const auto big = lake.allocate(20_MiB);
+    ASSERT_TRUE(big.ok());
+    EXPECT_EQ(lake.strategy().stitches, 0u);
+    // Without stitching the allocator had to grow.
+    EXPECT_EQ(lake.physicalBytes(), 44_MiB);
+    lake.checkConsistency();
+}
+
+TEST(GMLake, UnknownIdRejected)
+{
+    vmm::Device dev(smallDevice());
+    GMLakeAllocator lake(dev, tightConfig());
+    EXPECT_EQ(lake.deallocate(99).code(), Errc::invalidValue);
+}
+
+TEST(GMLake, ZeroByteRejected)
+{
+    vmm::Device dev(smallDevice());
+    GMLakeAllocator lake(dev, tightConfig());
+    EXPECT_EQ(lake.allocate(0).code(), Errc::invalidValue);
+}
+
+TEST(GMLake, ReservedNeverBelowActive)
+{
+    vmm::Device dev(smallDevice(1_GiB));
+    GMLakeAllocator lake(dev, tightConfig());
+    std::vector<alloc::AllocId> live;
+    std::uint64_t x = 1234;
+    auto rnd = [&x]() {
+        x ^= x << 13; x ^= x >> 7; x ^= x << 17;
+        return x;
+    };
+    for (int i = 0; i < 1500; ++i) {
+        if (live.empty() || rnd() % 3 != 0) {
+            const Bytes size = 1_MiB + rnd() % (24_MiB);
+            const auto a = lake.allocate(size);
+            if (!a.ok()) {
+                ASSERT_EQ(a.code(), Errc::outOfMemory);
+                for (std::size_t k = 0; k < live.size() / 2; ++k)
+                    ASSERT_TRUE(lake.deallocate(live[k]).ok());
+                live.erase(live.begin(),
+                           live.begin() + static_cast<std::ptrdiff_t>(
+                                              live.size() / 2));
+                continue;
+            }
+            live.push_back(a->id);
+        } else {
+            const std::size_t idx = rnd() % live.size();
+            ASSERT_TRUE(lake.deallocate(live[idx]).ok());
+            live.erase(live.begin() +
+                       static_cast<std::ptrdiff_t>(idx));
+        }
+        EXPECT_GE(lake.stats().reservedBytes(),
+                  lake.stats().activeBytes());
+        if (i % 250 == 0)
+            lake.checkConsistency();
+    }
+    lake.checkConsistency();
+}

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Serving workload generator tests: trace validity, KV growth
+ * behaviour, batching limits, determinism, and the end-to-end
+ * utilization gap between the allocators.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/runner.hh"
+#include "support/units.hh"
+#include "workload/servegen.hh"
+
+using namespace gmlake;
+using namespace gmlake::literals;
+using namespace gmlake::workload;
+
+namespace
+{
+
+ServeConfig
+smallServe()
+{
+    ServeConfig cfg;
+    cfg.model = findModel("OPT-1.3B");
+    cfg.maxBatch = 8;
+    cfg.requests = 40;
+    cfg.medianPromptTokens = 128;
+    cfg.meanGenerateTokens = 64;
+    return cfg;
+}
+
+} // namespace
+
+TEST(ServeGen, ProducesValidTrace)
+{
+    const auto gen = generateServingTrace(smallServe());
+    EXPECT_NO_THROW(gen.trace.validate());
+    EXPECT_EQ(gen.servedRequests, 40u);
+    EXPECT_GT(gen.generatedTokens, 40u);
+    EXPECT_GT(gen.trace.stats().allocCount, 40u);
+}
+
+TEST(ServeGen, KvBytesPerTokenMatchesGeometry)
+{
+    const auto &m = findModel("OPT-13B");
+    // 2 (K,V) x layers x hidden x fp16.
+    EXPECT_EQ(kvBytesPerToken(m),
+              Bytes{2} * 40 * 5120 * 2);
+}
+
+TEST(ServeGen, DeterministicForSameSeed)
+{
+    const auto a = generateServingTrace(smallServe());
+    const auto b = generateServingTrace(smallServe());
+    ASSERT_EQ(a.trace.size(), b.trace.size());
+    EXPECT_EQ(a.generatedTokens, b.generatedTokens);
+    EXPECT_EQ(a.kvReallocs, b.kvReallocs);
+    for (std::size_t i = 0; i < a.trace.size(); ++i) {
+        EXPECT_EQ(a.trace.events()[i].bytes,
+                  b.trace.events()[i].bytes);
+    }
+}
+
+TEST(ServeGen, SeedsChangeTheTrace)
+{
+    auto cfg = smallServe();
+    const auto a = generateServingTrace(cfg);
+    cfg.seed = 1234;
+    const auto b = generateServingTrace(cfg);
+    EXPECT_NE(a.generatedTokens, b.generatedTokens);
+}
+
+TEST(ServeGen, GrowthCausesReallocs)
+{
+    auto cfg = smallServe();
+    cfg.meanGenerateTokens = 400; // long generations cross quanta
+    const auto gen = generateServingTrace(cfg);
+    EXPECT_GT(gen.kvReallocs, 0u);
+}
+
+TEST(ServeGen, QuantumBoundsAllocationSizes)
+{
+    const auto cfg = smallServe();
+    const auto gen = generateServingTrace(cfg);
+    const Bytes quantumBytes =
+        static_cast<Bytes>(cfg.kvQuantumTokens) *
+        kvBytesPerToken(cfg.model);
+    for (const auto &e : gen.trace.events()) {
+        if (e.kind != EventKind::alloc)
+            continue;
+        EXPECT_EQ(e.bytes % quantumBytes, 0u);
+        EXPECT_LE(e.bytes,
+                  static_cast<Bytes>(cfg.maxContextTokens +
+                                     cfg.kvQuantumTokens) *
+                      kvBytesPerToken(cfg.model));
+    }
+}
+
+TEST(ServeGen, BatchLimitBoundsConcurrency)
+{
+    const auto cfg = smallServe();
+    const auto gen = generateServingTrace(cfg);
+    // Live KV buffers never exceed maxBatch (+1 transient during a
+    // realloc, when old and new buffers briefly coexist).
+    int live = 0;
+    int peak = 0;
+    for (const auto &e : gen.trace.events()) {
+        if (e.kind == EventKind::alloc)
+            peak = std::max(peak, ++live);
+        else if (e.kind == EventKind::free)
+            --live;
+    }
+    EXPECT_LE(peak, cfg.maxBatch + 1);
+}
+
+TEST(ServeGen, StitchingBeatsCachingOnServing)
+{
+    auto cfg = smallServe();
+    cfg.requests = 96;
+    cfg.maxBatch = 16;
+    const auto gen = generateServingTrace(cfg);
+
+    sim::RunResult results[2];
+    int i = 0;
+    for (const auto kind : {sim::AllocatorKind::caching,
+                            sim::AllocatorKind::gmlake}) {
+        vmm::Device device;
+        const auto allocator = sim::makeAllocator(kind, device);
+        results[i++] = sim::runTrace(*allocator, device, gen.trace);
+    }
+    EXPECT_GT(results[1].utilization, results[0].utilization);
+    EXPECT_LT(results[1].peakReserved, results[0].peakReserved);
+}

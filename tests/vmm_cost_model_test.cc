@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Cost-model tests: the latency model must reproduce Table 1 of the
+ * paper at its calibration points and behave sensibly in between
+ * (which Fig 6 sweeps).
+ */
+
+#include <gtest/gtest.h>
+
+#include "support/units.hh"
+#include "vmm/cost_model.hh"
+
+using namespace gmlake;
+using namespace gmlake::literals;
+using vmm::CostModel;
+
+namespace
+{
+
+/** Total VMM cost of building a block from uniform chunks. */
+double
+vmmBlockCost(const CostModel &m, Bytes block, Bytes chunk)
+{
+    const std::size_t n = block / chunk;
+    double t = static_cast<double>(m.memAddressReserve(block));
+    t += static_cast<double>(n) * static_cast<double>(m.memCreate(chunk));
+    t += static_cast<double>(n) * static_cast<double>(m.memMap(chunk));
+    t += static_cast<double>(m.memSetAccess(n, chunk));
+    return t;
+}
+
+} // namespace
+
+TEST(CostModel, NativeAllocGrowsWithSize)
+{
+    CostModel m;
+    EXPECT_LT(m.nativeAlloc(2_MiB), m.nativeAlloc(2_GiB));
+    EXPECT_GT(m.nativeAlloc(1), 0);
+}
+
+TEST(CostModel, Table1RatiosAt2MBChunks)
+{
+    CostModel m;
+    const double ref = static_cast<double>(m.nativeAlloc(2_GiB));
+    const std::size_t n = 1024; // 2 GiB / 2 MiB
+
+    // Table 1, column "2 MB", all normalized to cuMemAlloc(2GB).
+    EXPECT_NEAR(m.memAddressReserve(2_GiB) / ref, 0.003, 0.001);
+    EXPECT_NEAR(n * m.memCreate(2_MiB) / ref, 18.1, 0.5);
+    EXPECT_NEAR(n * m.memMap(2_MiB) / ref, 0.70, 0.05);
+    EXPECT_NEAR(m.memSetAccess(n, 2_MiB) / ref, 96.8, 1.0);
+
+    // Total ~115x (the paper's headline overhead number).
+    EXPECT_NEAR(vmmBlockCost(m, 2_GiB, 2_MiB) / ref, 115.4, 3.0);
+}
+
+TEST(CostModel, Table1RatiosAt128MBChunks)
+{
+    CostModel m;
+    const double ref = static_cast<double>(m.nativeAlloc(2_GiB));
+    const std::size_t n = 16;
+
+    EXPECT_NEAR(n * m.memCreate(128_MiB) / ref, 0.89, 0.05);
+    EXPECT_NEAR(n * m.memMap(128_MiB) / ref, 0.01, 0.005);
+    EXPECT_NEAR(m.memSetAccess(n, 128_MiB) / ref, 8.2, 0.3);
+    EXPECT_NEAR(vmmBlockCost(m, 2_GiB, 128_MiB) / ref, 9.1, 0.5);
+}
+
+TEST(CostModel, Table1RatiosAt1GBChunks)
+{
+    CostModel m;
+    const double ref = static_cast<double>(m.nativeAlloc(2_GiB));
+    const std::size_t n = 2;
+
+    EXPECT_NEAR(n * m.memCreate(1024_MiB) / ref, 0.79, 0.05);
+    EXPECT_NEAR(m.memSetAccess(n, 1024_MiB) / ref, 0.7, 0.1);
+    EXPECT_NEAR(vmmBlockCost(m, 2_GiB, 1024_MiB) / ref, 1.5, 0.2);
+}
+
+TEST(CostModel, VmmCostDecreasesWithChunkSize)
+{
+    // Fig 6: larger chunks make the VM allocator cheaper.
+    CostModel m;
+    double prev = vmmBlockCost(m, 2_GiB, 2_MiB);
+    for (Bytes chunk : {4_MiB, 8_MiB, 16_MiB, 32_MiB, 64_MiB, 128_MiB,
+                        256_MiB, 512_MiB, 1024_MiB}) {
+        const double cur = vmmBlockCost(m, 2_GiB, chunk);
+        EXPECT_LT(cur, prev) << "chunk " << chunk;
+        prev = cur;
+    }
+}
+
+TEST(CostModel, InterpolationIsSmoothBetweenCalibrationPoints)
+{
+    CostModel m;
+    // A chunk size between calibration points must land between the
+    // neighbouring per-chunk costs (log-log monotone in each span).
+    const Tick c2 = m.memCreate(2_MiB);
+    const Tick c16 = m.memCreate(16_MiB);
+    const Tick c128 = m.memCreate(128_MiB);
+    EXPECT_GT(c16, c2);
+    EXPECT_LT(c16, c128);
+}
+
+TEST(CostModel, CachedOpMuchCheaperThanNative)
+{
+    CostModel m;
+    // The reason caching allocators exist: ~10x or more gap.
+    EXPECT_LT(m.cachedOp() * 10, m.nativeAlloc(20_MiB));
+}
+
+TEST(CostModel, CustomParamsPropagate)
+{
+    vmm::CostParams p;
+    p.cachedOpNs = 42;
+    p.nativeFreeNs = 777;
+    CostModel m(p);
+    EXPECT_EQ(m.cachedOp(), 42);
+    EXPECT_EQ(m.nativeFree(), 777);
+}

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Device facade tests: the CUDA-driver-like API surface, the native
+ * cudaMalloc path, time charging and API counters.
+ */
+
+#include <gtest/gtest.h>
+
+#include "support/units.hh"
+#include "vmm/device.hh"
+
+using namespace gmlake;
+using namespace gmlake::literals;
+using vmm::Device;
+using vmm::DeviceConfig;
+
+namespace
+{
+
+DeviceConfig
+smallDevice(Bytes capacity = 64_MiB)
+{
+    DeviceConfig cfg;
+    cfg.capacity = capacity;
+    cfg.granularity = 2_MiB;
+    return cfg;
+}
+
+} // namespace
+
+TEST(Device, FullVmmAllocationRoundTrip)
+{
+    Device dev(smallDevice());
+    const auto va = dev.memAddressReserve(4_MiB);
+    ASSERT_TRUE(va.ok());
+    const auto h1 = dev.memCreate(2_MiB);
+    const auto h2 = dev.memCreate(2_MiB);
+    ASSERT_TRUE(h1.ok() && h2.ok());
+    ASSERT_TRUE(dev.memMap(*va, *h1).ok());
+    ASSERT_TRUE(dev.memMap(*va + 2_MiB, *h2).ok());
+    ASSERT_TRUE(dev.memSetAccess(*va, 4_MiB).ok());
+    EXPECT_TRUE(dev.mappings().accessible(*va, 4_MiB));
+    EXPECT_EQ(dev.phys().inUse(), 4_MiB);
+
+    ASSERT_TRUE(dev.memUnmap(*va, 4_MiB).ok());
+    ASSERT_TRUE(dev.memRelease(*h1).ok());
+    ASSERT_TRUE(dev.memRelease(*h2).ok());
+    ASSERT_TRUE(dev.memAddressFree(*va).ok());
+    EXPECT_EQ(dev.phys().inUse(), 0u);
+    EXPECT_EQ(dev.vaSpace().reservedBytes(), 0u);
+}
+
+TEST(Device, ReserveRoundsToGranularity)
+{
+    Device dev(smallDevice());
+    const auto va = dev.memAddressReserve(3_MiB);
+    ASSERT_TRUE(va.ok());
+    // The reservation internally covers 4 MiB.
+    EXPECT_EQ(dev.vaSpace().reservedBytes(), 4_MiB);
+}
+
+TEST(Device, AddressFreeWithLiveMappingsFails)
+{
+    Device dev(smallDevice());
+    const auto va = dev.memAddressReserve(2_MiB);
+    const auto h = dev.memCreate(2_MiB);
+    ASSERT_TRUE(va.ok() && h.ok());
+    ASSERT_TRUE(dev.memMap(*va, *h).ok());
+    EXPECT_EQ(dev.memAddressFree(*va).code(), Errc::handleInUse);
+    ASSERT_TRUE(dev.memUnmap(*va, 2_MiB).ok());
+    EXPECT_TRUE(dev.memAddressFree(*va).ok());
+}
+
+TEST(Device, ReleaseMappedHandleFails)
+{
+    Device dev(smallDevice());
+    const auto va = dev.memAddressReserve(2_MiB);
+    const auto h = dev.memCreate(2_MiB);
+    ASSERT_TRUE(va.ok() && h.ok());
+    ASSERT_TRUE(dev.memMap(*va, *h).ok());
+    EXPECT_EQ(dev.memRelease(*h).code(), Errc::handleInUse);
+}
+
+TEST(Device, MapOutsideReservationFails)
+{
+    Device dev(smallDevice());
+    const auto h = dev.memCreate(2_MiB);
+    ASSERT_TRUE(h.ok());
+    EXPECT_EQ(dev.memMap(0x1234000, *h).code(), Errc::notReserved);
+}
+
+TEST(Device, MapUnalignedFails)
+{
+    Device dev(smallDevice());
+    const auto va = dev.memAddressReserve(4_MiB);
+    const auto h = dev.memCreate(2_MiB);
+    ASSERT_TRUE(va.ok() && h.ok());
+    EXPECT_EQ(dev.memMap(*va + 1024, *h).code(), Errc::invalidValue);
+}
+
+TEST(Device, CreateBeyondCapacityFails)
+{
+    Device dev(smallDevice(8_MiB));
+    const auto a = dev.memCreate(6_MiB);
+    ASSERT_TRUE(a.ok());
+    EXPECT_EQ(dev.memCreate(4_MiB).code(), Errc::outOfMemory);
+}
+
+TEST(Device, NativeMallocFreeRoundTrip)
+{
+    Device dev(smallDevice());
+    const auto p = dev.mallocNative(5_MiB);
+    ASSERT_TRUE(p.ok());
+    // Rounded up to granularity internally.
+    EXPECT_EQ(dev.phys().inUse(), 6_MiB);
+    EXPECT_TRUE(dev.mappings().accessible(*p, 5_MiB));
+    ASSERT_TRUE(dev.freeNative(*p).ok());
+    EXPECT_EQ(dev.phys().inUse(), 0u);
+}
+
+TEST(Device, NativeFreeUnknownPointerFails)
+{
+    Device dev(smallDevice());
+    EXPECT_EQ(dev.freeNative(0xabc).code(), Errc::invalidValue);
+}
+
+TEST(Device, NativeMallocOutOfMemory)
+{
+    Device dev(smallDevice(8_MiB));
+    EXPECT_EQ(dev.mallocNative(16_MiB).code(), Errc::outOfMemory);
+    EXPECT_EQ(dev.mallocNative(0).code(), Errc::invalidValue);
+}
+
+TEST(Device, ClockAdvancesOnApiCalls)
+{
+    Device dev(smallDevice());
+    const Tick t0 = dev.now();
+    const auto p = dev.mallocNative(2_MiB);
+    ASSERT_TRUE(p.ok());
+    const Tick t1 = dev.now();
+    EXPECT_GT(t1, t0);
+    ASSERT_TRUE(dev.freeNative(*p).ok());
+    EXPECT_GT(dev.now(), t1);
+    EXPECT_EQ(dev.counters().apiTime, dev.now());
+}
+
+TEST(Device, VmmCallsAreCheaperThanNativeForLargeChunks)
+{
+    // The premise of the whole design, Fig 2/6.
+    Device dev(smallDevice(2_GiB + 64_MiB));
+    const Tick t0 = dev.now();
+    const auto p = dev.mallocNative(1_GiB);
+    ASSERT_TRUE(p.ok());
+    const Tick nativeCost = dev.now() - t0;
+
+    const Tick t1 = dev.now();
+    const auto va = dev.memAddressReserve(1_GiB);
+    ASSERT_TRUE(va.ok());
+    const Tick reserveCost = dev.now() - t1;
+    EXPECT_LT(reserveCost, nativeCost / 100);
+}
+
+TEST(Device, CountersTrackCalls)
+{
+    Device dev(smallDevice());
+    (void)dev.memAddressReserve(2_MiB);
+    (void)dev.memCreate(2_MiB);
+    (void)dev.mallocNative(2_MiB);
+    dev.syncPenalty();
+    dev.chargeCachedOp();
+    const auto &c = dev.counters();
+    EXPECT_EQ(c.addressReserve, 1u);
+    EXPECT_EQ(c.create, 1u);
+    EXPECT_EQ(c.mallocNative, 1u);
+}
+
+TEST(Device, FailedNativeMallocRollsBackCleanly)
+{
+    Device dev(smallDevice(8_MiB));
+    const auto a = dev.mallocNative(8_MiB);
+    ASSERT_TRUE(a.ok());
+    const auto b = dev.mallocNative(2_MiB);
+    EXPECT_FALSE(b.ok());
+    // No leaked VA or physical bytes from the failed attempt.
+    EXPECT_EQ(dev.phys().inUse(), 8_MiB);
+    ASSERT_TRUE(dev.freeNative(*a).ok());
+    EXPECT_EQ(dev.phys().inUse(), 0u);
+    EXPECT_EQ(dev.vaSpace().reservedBytes(), 0u);
+}

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Mapping table tests: VA->PA mapping semantics, the multi-VA
+ * aliasing that virtual memory stitching relies on, and the error
+ * paths for malformed map/unmap requests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "support/units.hh"
+#include "vmm/mapping_table.hh"
+#include "vmm/phys_memory.hh"
+
+using namespace gmlake;
+using namespace gmlake::literals;
+using vmm::MappingTable;
+using vmm::PhysMemory;
+
+namespace
+{
+
+class MappingTest : public ::testing::Test
+{
+  protected:
+    MappingTest() : phys(64_MiB, 2_MiB), table(phys) {}
+
+    PhysHandle
+    chunk()
+    {
+        const auto h = phys.create(2_MiB);
+        EXPECT_TRUE(h.ok());
+        return *h;
+    }
+
+    PhysMemory phys;
+    MappingTable table;
+    static constexpr VirtAddr base = 0x100000000ULL;
+};
+
+} // namespace
+
+TEST_F(MappingTest, MapAndTranslate)
+{
+    const PhysHandle h = chunk();
+    ASSERT_TRUE(table.map(base, h).ok());
+    EXPECT_EQ(*table.translate(base), h);
+    EXPECT_EQ(*table.translate(base + 2_MiB - 1), h);
+    EXPECT_EQ(table.translate(base + 2_MiB).code(), Errc::notMapped);
+    EXPECT_EQ(phys.mapRefs(h), 1u);
+}
+
+TEST_F(MappingTest, OverlapRejected)
+{
+    const PhysHandle h1 = chunk();
+    const PhysHandle h2 = chunk();
+    ASSERT_TRUE(table.map(base, h1).ok());
+    EXPECT_EQ(table.map(base, h2).code(), Errc::alreadyMapped);
+    EXPECT_EQ(table.map(base + 1_MiB, h2).code(), Errc::alreadyMapped);
+    // Adjacent is fine.
+    EXPECT_TRUE(table.map(base + 2_MiB, h2).ok());
+}
+
+TEST_F(MappingTest, SameHandleAtTwoAddresses)
+{
+    // The core trick of VMS: one physical chunk, several VAs.
+    const PhysHandle h = chunk();
+    ASSERT_TRUE(table.map(base, h).ok());
+    ASSERT_TRUE(table.map(base + 64_MiB, h).ok());
+    EXPECT_EQ(phys.mapRefs(h), 2u);
+    EXPECT_EQ(*table.translate(base), h);
+    EXPECT_EQ(*table.translate(base + 64_MiB), h);
+}
+
+TEST_F(MappingTest, UnmapExactRange)
+{
+    const PhysHandle h1 = chunk();
+    const PhysHandle h2 = chunk();
+    ASSERT_TRUE(table.map(base, h1).ok());
+    ASSERT_TRUE(table.map(base + 2_MiB, h2).ok());
+    ASSERT_TRUE(table.unmap(base, 4_MiB).ok());
+    EXPECT_EQ(phys.mapRefs(h1), 0u);
+    EXPECT_EQ(phys.mapRefs(h2), 0u);
+    EXPECT_EQ(table.mappingCount(), 0u);
+}
+
+TEST_F(MappingTest, UnmapCannotSplitAMapping)
+{
+    const PhysHandle h = chunk();
+    ASSERT_TRUE(table.map(base, h).ok());
+    EXPECT_EQ(table.unmap(base, 1_MiB).code(), Errc::invalidValue);
+    EXPECT_EQ(table.unmap(base + 1_MiB, 1_MiB).code(),
+              Errc::invalidValue);
+}
+
+TEST_F(MappingTest, UnmapUnmappedRangeFails)
+{
+    EXPECT_EQ(table.unmap(base, 2_MiB).code(), Errc::notMapped);
+}
+
+TEST_F(MappingTest, SetAccessAndAccessible)
+{
+    const PhysHandle h1 = chunk();
+    const PhysHandle h2 = chunk();
+    ASSERT_TRUE(table.map(base, h1).ok());
+    ASSERT_TRUE(table.map(base + 2_MiB, h2).ok());
+    EXPECT_FALSE(table.accessible(base, 4_MiB));
+    ASSERT_TRUE(table.setAccess(base, 4_MiB).ok());
+    EXPECT_TRUE(table.accessible(base, 4_MiB));
+    EXPECT_TRUE(table.accessible(base + 1_MiB, 2_MiB));
+    // Beyond the mapped range there is a gap.
+    EXPECT_FALSE(table.accessible(base, 6_MiB));
+}
+
+TEST_F(MappingTest, SetAccessOnUnmappedFails)
+{
+    EXPECT_EQ(table.setAccess(base, 2_MiB).code(), Errc::notMapped);
+}
+
+TEST_F(MappingTest, MappingsInReportsOrderedEntries)
+{
+    const PhysHandle h1 = chunk();
+    const PhysHandle h2 = chunk();
+    ASSERT_TRUE(table.map(base + 2_MiB, h2).ok());
+    ASSERT_TRUE(table.map(base, h1).ok());
+    const auto entries = table.mappingsIn(base, 4_MiB);
+    ASSERT_EQ(entries.size(), 2u);
+    EXPECT_EQ(entries[0].va, base);
+    EXPECT_EQ(entries[0].handle, h1);
+    EXPECT_EQ(entries[1].va, base + 2_MiB);
+    EXPECT_EQ(entries[1].handle, h2);
+}
+
+TEST_F(MappingTest, MapUnknownHandleFails)
+{
+    EXPECT_EQ(table.map(base, 4242).code(), Errc::invalidValue);
+}

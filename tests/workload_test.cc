@@ -1,0 +1,319 @@
+/**
+ * @file
+ * Workload tests: model zoo, strategies, trace validation and
+ * (de)serialization, and the statistical shape of generated traces
+ * (alloc counts and sizes, Observation 1, Fig 5).
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "support/units.hh"
+#include "workload/model_zoo.hh"
+#include "workload/trace.hh"
+#include "workload/tracegen.hh"
+#include "workload/train_config.hh"
+
+using namespace gmlake;
+using namespace gmlake::literals;
+using namespace gmlake::workload;
+
+// ------------------------------------------------------------ model zoo
+
+TEST(ModelZoo, ContainsTheTable2Models)
+{
+    for (const char *name :
+         {"OPT-1.3B", "GPT-2", "GLM-10B", "OPT-13B", "Vicuna-13B",
+          "GPT-NeoX-20B"}) {
+        const auto &m = findModel(name);
+        EXPECT_EQ(m.name, name);
+        EXPECT_GT(m.params, 1e9);
+        EXPECT_GT(m.layers, 0);
+        EXPECT_GT(m.hidden, 0);
+    }
+    EXPECT_GE(allModels().size(), 6u);
+}
+
+TEST(ModelZoo, UnknownModelIsFatal)
+{
+    EXPECT_THROW(findModel("GPT-5"), std::runtime_error);
+}
+
+TEST(ModelZoo, LayerParamsApproximateTotal)
+{
+    // layers x layerParams + embedding should land within 25% of the
+    // advertised parameter count for standard architectures.
+    for (const auto &m : allModels()) {
+        const double approx =
+            m.layers * m.layerParams() + m.embeddingParams();
+        EXPECT_GT(approx, 0.6 * m.params) << m.name;
+        EXPECT_LT(approx, 1.4 * m.params) << m.name;
+    }
+}
+
+// ----------------------------------------------------------- strategies
+
+TEST(Strategies, ParseAndLabelRoundTrip)
+{
+    for (const char *label : {"N", "R", "LR", "RO", "LRO"}) {
+        const auto s = Strategies::parse(label);
+        EXPECT_EQ(s.label(), label);
+    }
+    EXPECT_EQ(Strategies::parse("P").label(), "N");
+}
+
+TEST(Strategies, BadLabelIsFatal)
+{
+    EXPECT_THROW(Strategies::parse("XYZ"), std::runtime_error);
+}
+
+TEST(TrainConfig, DescribeMentionsKeyFields)
+{
+    TrainConfig c;
+    c.model = findModel("OPT-13B");
+    c.gpus = 4;
+    c.strategies = Strategies::parse("LR");
+    const auto d = c.describe();
+    EXPECT_NE(d.find("OPT-13B"), std::string::npos);
+    EXPECT_NE(d.find("LR"), std::string::npos);
+    EXPECT_NE(d.find("4GPU"), std::string::npos);
+}
+
+// ---------------------------------------------------------------- trace
+
+TEST(Trace, BuilderTracksLiveTensors)
+{
+    TraceBuilder tb;
+    const auto a = tb.alloc(1_MiB);
+    const auto b = tb.alloc(2_MiB);
+    EXPECT_EQ(tb.liveTensors(), 2u);
+    EXPECT_EQ(tb.liveBytes(), 3_MiB);
+    tb.free(a);
+    EXPECT_EQ(tb.liveBytes(), 2_MiB);
+    tb.free(b);
+    const auto trace = tb.take();
+    EXPECT_EQ(trace.stats().allocCount, 2u);
+    EXPECT_EQ(trace.stats().totalAllocBytes, 3_MiB);
+}
+
+TEST(Trace, DoubleFreePanics)
+{
+    TraceBuilder tb;
+    const auto a = tb.alloc(1_MiB);
+    tb.free(a);
+    EXPECT_THROW(tb.free(a), std::logic_error);
+}
+
+TEST(Trace, FreeAllReleasesEverything)
+{
+    TraceBuilder tb;
+    (void)tb.alloc(1_MiB);
+    (void)tb.alloc(2_MiB);
+    tb.freeAll();
+    EXPECT_EQ(tb.liveTensors(), 0u);
+    EXPECT_NO_THROW(tb.take());
+}
+
+TEST(Trace, SaveLoadRoundTrip)
+{
+    TraceBuilder tb;
+    const auto a = tb.alloc(1_MiB);
+    tb.compute(500);
+    tb.iterationMark();
+    const auto b = tb.alloc(3_MiB);
+    tb.free(a);
+    tb.free(b);
+    const Trace original = tb.take();
+
+    std::stringstream ss;
+    original.save(ss);
+    const Trace loaded = Trace::load(ss);
+    ASSERT_EQ(loaded.size(), original.size());
+    EXPECT_EQ(loaded.stats().allocCount, original.stats().allocCount);
+    EXPECT_EQ(loaded.stats().totalAllocBytes,
+              original.stats().totalAllocBytes);
+    EXPECT_EQ(loaded.stats().iterations, 1);
+    for (std::size_t i = 0; i < loaded.size(); ++i) {
+        EXPECT_EQ(loaded.events()[i].kind, original.events()[i].kind);
+        EXPECT_EQ(loaded.events()[i].bytes,
+                  original.events()[i].bytes);
+    }
+}
+
+TEST(Trace, LoadRejectsBadHeader)
+{
+    std::stringstream ss("bogus-header 3\n");
+    EXPECT_THROW(Trace::load(ss), std::runtime_error);
+}
+
+// ------------------------------------------------------------ generator
+
+namespace
+{
+
+TrainConfig
+baseConfig(const char *model = "OPT-1.3B", const char *strat = "N")
+{
+    TrainConfig c;
+    c.model = findModel(model);
+    c.strategies = Strategies::parse(strat);
+    c.gpus = 4;
+    c.batchSize = 8;
+    c.iterations = 4;
+    return c;
+}
+
+} // namespace
+
+TEST(TraceGen, ProducesValidBalancedTrace)
+{
+    const Trace t = generateTrainingTrace(baseConfig());
+    EXPECT_NO_THROW(t.validate());
+    EXPECT_EQ(t.stats().iterations, 4);
+    EXPECT_GT(t.stats().allocCount, 100u);
+}
+
+TEST(TraceGen, DeterministicForSameSeed)
+{
+    const Trace a = generateTrainingTrace(baseConfig());
+    const Trace b = generateTrainingTrace(baseConfig());
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a.events()[i].kind, b.events()[i].kind);
+        EXPECT_EQ(a.events()[i].bytes, b.events()[i].bytes);
+    }
+}
+
+TEST(TraceGen, DifferentSeedsDiffer)
+{
+    auto cfg = baseConfig();
+    const Trace a = generateTrainingTrace(cfg);
+    cfg.seed = 77;
+    const Trace b = generateTrainingTrace(cfg);
+    bool differs = a.size() != b.size();
+    for (std::size_t i = 0; !differs && i < a.size(); ++i)
+        differs = a.events()[i].bytes != b.events()[i].bytes;
+    EXPECT_TRUE(differs);
+}
+
+TEST(TraceGen, RecomputationIncreasesAllocationCount)
+{
+    // Observation 1 / Fig 5: LoRA+recompute makes requests more
+    // frequent and smaller on average.
+    const Trace n = generateTrainingTrace(baseConfig("GPT-NeoX-20B",
+                                                     "N"));
+    const Trace lr = generateTrainingTrace(baseConfig("GPT-NeoX-20B",
+                                                      "LR"));
+    EXPECT_GT(lr.stats().allocCount, n.stats().allocCount);
+    EXPECT_LT(lr.stats().avgAllocBytes(), n.stats().avgAllocBytes());
+}
+
+TEST(TraceGen, OffloadAddsStagingTraffic)
+{
+    const Trace ro = generateTrainingTrace(baseConfig("OPT-13B",
+                                                      "RO"));
+    const Trace r = generateTrainingTrace(baseConfig("OPT-13B", "R"));
+    EXPECT_GT(ro.stats().allocCount, r.stats().allocCount);
+}
+
+TEST(TraceGen, PersistentEstimateMatchesSetupAllocations)
+{
+    for (const char *strat : {"N", "R", "LR", "RO", "LRO"}) {
+        const auto cfg = baseConfig("OPT-13B", strat);
+        const Bytes estimate = estimatePersistentBytes(cfg);
+        const Trace t = generateTrainingTrace(cfg);
+        // Sum the allocations before the first iteration mark.
+        Bytes setup = 0;
+        for (const auto &e : t.events()) {
+            if (e.kind == EventKind::iterationMark)
+                break;
+            if (e.kind == EventKind::alloc)
+                setup += e.bytes;
+        }
+        EXPECT_EQ(setup, estimate) << strat;
+    }
+}
+
+TEST(TraceGen, ShardingShrinksPersistentState)
+{
+    auto cfg1 = baseConfig("OPT-13B", "N");
+    cfg1.gpus = 1;
+    auto cfg8 = cfg1;
+    cfg8.gpus = 8;
+    EXPECT_GT(estimatePersistentBytes(cfg1),
+              4 * estimatePersistentBytes(cfg8));
+}
+
+TEST(TraceGen, LoraShrinksOptimizerState)
+{
+    const auto n = estimatePersistentBytes(baseConfig("OPT-13B", "N"));
+    const auto lr =
+        estimatePersistentBytes(baseConfig("OPT-13B", "LR"));
+    EXPECT_LT(lr, n / 3);
+}
+
+TEST(TraceGen, OffloadRemovesOptimizerFromGpu)
+{
+    const auto r = estimatePersistentBytes(baseConfig("OPT-13B", "R"));
+    const auto ro =
+        estimatePersistentBytes(baseConfig("OPT-13B", "RO"));
+    EXPECT_LT(ro, r);
+}
+
+TEST(TraceGen, MoreGpusMeanSmallerAverageAllocation)
+{
+    // Fig 4 driver: sharded persistent tensors shrink with scale
+    // while the gather transients stay full-size.
+    auto small = baseConfig("OPT-13B", "LR");
+    small.gpus = 2;
+    auto large = small;
+    large.gpus = 16;
+    const Trace a = generateTrainingTrace(small);
+    const Trace b = generateTrainingTrace(large);
+    EXPECT_GT(a.stats().avgAllocBytes(), b.stats().avgAllocBytes());
+}
+
+TEST(TraceGen, PlatformsChangeGatherQuantization)
+{
+    auto ds = baseConfig("GPT-2", "R");
+    ds.platform = Platform::deepspeedZero3;
+    auto cai = ds;
+    cai.platform = Platform::colossalAi;
+    const Trace a = generateTrainingTrace(ds);
+    const Trace b = generateTrainingTrace(cai);
+    // Chunk quantization rounds gathers up: more bytes per alloc.
+    EXPECT_GT(b.stats().avgAllocBytes(), a.stats().avgAllocBytes());
+}
+
+TEST(TraceGen, DdpHasNoGathers)
+{
+    auto ddp = baseConfig("OPT-1.3B", "R");
+    ddp.platform = Platform::ddp;
+    auto zero = baseConfig("OPT-1.3B", "R");
+    const Trace a = generateTrainingTrace(ddp);
+    const Trace b = generateTrainingTrace(zero);
+    EXPECT_LT(a.stats().allocCount, b.stats().allocCount);
+}
+
+TEST(TraceGen, BatchScalesActivationBytes)
+{
+    auto small = baseConfig("OPT-1.3B", "R");
+    auto large = small;
+    large.batchSize = 32;
+    EXPECT_GT(generateTrainingTrace(large).stats().maxAllocBytes,
+              generateTrainingTrace(small).stats().maxAllocBytes);
+}
+
+TEST(TraceGen, RejectsInvalidConfigs)
+{
+    auto cfg = baseConfig();
+    cfg.gpus = 0;
+    EXPECT_THROW(generateTrainingTrace(cfg), std::logic_error);
+    cfg = baseConfig();
+    cfg.iterations = 0;
+    EXPECT_THROW(generateTrainingTrace(cfg), std::logic_error);
+    cfg = baseConfig();
+    cfg.batchSize = 0;
+    EXPECT_THROW(generateTrainingTrace(cfg), std::logic_error);
+}

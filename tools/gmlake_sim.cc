@@ -1,0 +1,307 @@
+/**
+ * @file
+ * gmlake_sim — command-line experiment runner.
+ *
+ * Runs a training or serving workload under any of the allocators on
+ * a simulated GPU and reports the paper's metrics. Traces can be
+ * recorded to and replayed from files.
+ *
+ * Examples:
+ *   gmlake_sim --model OPT-13B --strategies LR --gpus 4 --batch 16
+ *   gmlake_sim --model GPT-NeoX-20B --batch 72 --allocator all
+ *   gmlake_sim --serve --model OPT-13B --max-batch 32
+ *   gmlake_sim --model GPT-2 --record trace.txt
+ *   gmlake_sim --replay trace.txt --allocator gmlake --snapshot
+ *
+ * Run with --help for the full flag list.
+ */
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "alloc/snapshot.hh"
+#include "sim/runner.hh"
+#include "support/strings.hh"
+#include "support/table.hh"
+#include "support/units.hh"
+#include "workload/servegen.hh"
+#include "workload/tracegen.hh"
+
+using namespace gmlake;
+using namespace gmlake::literals;
+
+namespace
+{
+
+struct Options
+{
+    // Workload
+    std::string model = "OPT-13B";
+    std::string strategies = "LR";
+    std::string platform = "deepspeed";
+    int gpus = 4;
+    int batch = 16;
+    int iterations = 12;
+    int seqLen = 512;
+    std::uint64_t seed = 42;
+    bool serve = false;
+    int serveRequests = 256;
+    int serveMaxBatch = 32;
+
+    // Device / allocator
+    std::string allocator = "all";
+    Bytes capacityGiB = 80;
+    Bytes fragLimitMiB = 2;
+
+    // I/O
+    std::string recordPath;
+    std::string replayPath;
+    std::string csvPath;
+    bool snapshot = false;
+    bool help = false;
+};
+
+void
+printHelp()
+{
+    std::cout <<
+        "gmlake_sim — GMLake reproduction experiment runner\n\n"
+        "Workload selection:\n"
+        "  --model NAME        model from the zoo (default OPT-13B)\n"
+        "  --list-models       print the model zoo and exit\n"
+        "  --strategies S      N | R | LR | RO | LRO (default LR)\n"
+        "  --platform P        deepspeed | fsdp | colossalai | ddp\n"
+        "  --gpus N            data-parallel degree (default 4)\n"
+        "  --batch N           per-GPU batch size (default 16)\n"
+        "  --iterations N      training iterations (default 12)\n"
+        "  --seq N             max sequence length (default 512)\n"
+        "  --seed N            workload RNG seed (default 42)\n"
+        "  --serve             serving workload instead of training\n"
+        "  --requests N        serving: total requests (default 256)\n"
+        "  --max-batch N       serving: concurrent requests (32)\n\n"
+        "Device and allocator:\n"
+        "  --allocator A       caching | gmlake | native |\n"
+        "                      compacting | expandable | all\n"
+        "  --capacity GiB      device memory (default 80)\n"
+        "  --frag-limit MiB    GMLake fragmentation limit (default 2)\n\n"
+        "Input/output:\n"
+        "  --record FILE       write the generated trace and exit\n"
+        "  --replay FILE       replay a recorded trace instead\n"
+        "  --csv FILE          append result rows to a CSV file\n"
+        "  --snapshot          print the allocator memory snapshot\n"
+        "  --help              this text\n";
+}
+
+std::optional<Options>
+parse(int argc, char **argv)
+{
+    Options opt;
+    auto need = [&](int &i) -> const char * {
+        if (i + 1 >= argc)
+            GMLAKE_FATAL("flag ", argv[i], " needs a value");
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        const std::string flag = argv[i];
+        if (flag == "--help" || flag == "-h") {
+            opt.help = true;
+        } else if (flag == "--list-models") {
+            for (const auto &m : workload::allModels())
+                std::cout << m.name << "\n";
+            return std::nullopt;
+        } else if (flag == "--model") {
+            opt.model = need(i);
+        } else if (flag == "--strategies") {
+            opt.strategies = need(i);
+        } else if (flag == "--platform") {
+            opt.platform = need(i);
+        } else if (flag == "--gpus") {
+            opt.gpus = std::stoi(need(i));
+        } else if (flag == "--batch") {
+            opt.batch = std::stoi(need(i));
+        } else if (flag == "--iterations") {
+            opt.iterations = std::stoi(need(i));
+        } else if (flag == "--seq") {
+            opt.seqLen = std::stoi(need(i));
+        } else if (flag == "--seed") {
+            opt.seed = std::stoull(need(i));
+        } else if (flag == "--serve") {
+            opt.serve = true;
+        } else if (flag == "--requests") {
+            opt.serveRequests = std::stoi(need(i));
+        } else if (flag == "--max-batch") {
+            opt.serveMaxBatch = std::stoi(need(i));
+        } else if (flag == "--allocator") {
+            opt.allocator = need(i);
+        } else if (flag == "--capacity") {
+            opt.capacityGiB = std::stoull(need(i));
+        } else if (flag == "--frag-limit") {
+            opt.fragLimitMiB = std::stoull(need(i));
+        } else if (flag == "--record") {
+            opt.recordPath = need(i);
+        } else if (flag == "--replay") {
+            opt.replayPath = need(i);
+        } else if (flag == "--csv") {
+            opt.csvPath = need(i);
+        } else if (flag == "--snapshot") {
+            opt.snapshot = true;
+        } else {
+            GMLAKE_FATAL("unknown flag: ", flag,
+                         " (try --help)");
+        }
+    }
+    return opt;
+}
+
+workload::Platform
+parsePlatform(const std::string &name)
+{
+    if (name == "deepspeed")
+        return workload::Platform::deepspeedZero3;
+    if (name == "fsdp")
+        return workload::Platform::fsdp;
+    if (name == "colossalai")
+        return workload::Platform::colossalAi;
+    if (name == "ddp")
+        return workload::Platform::ddp;
+    GMLAKE_FATAL("unknown platform: ", name);
+}
+
+std::vector<sim::AllocatorKind>
+parseAllocators(const std::string &name)
+{
+    if (name == "caching")
+        return {sim::AllocatorKind::caching};
+    if (name == "gmlake")
+        return {sim::AllocatorKind::gmlake};
+    if (name == "native")
+        return {sim::AllocatorKind::native};
+    if (name == "compacting")
+        return {sim::AllocatorKind::compacting};
+    if (name == "expandable")
+        return {sim::AllocatorKind::expandable};
+    if (name == "all")
+        return {sim::AllocatorKind::caching,
+                sim::AllocatorKind::expandable,
+                sim::AllocatorKind::gmlake,
+                sim::AllocatorKind::compacting};
+    GMLAKE_FATAL("unknown allocator: ", name);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const auto parsed = parse(argc, argv);
+    if (!parsed)
+        return 0;
+    const Options &opt = *parsed;
+    if (opt.help) {
+        printHelp();
+        return 0;
+    }
+
+    // ---------------------------------------------------------- trace
+    workload::TrainConfig trainCfg;
+    trainCfg.model = workload::findModel(opt.model);
+    trainCfg.strategies = workload::Strategies::parse(opt.strategies);
+    trainCfg.platform = parsePlatform(opt.platform);
+    trainCfg.gpus = opt.gpus;
+    trainCfg.batchSize = opt.batch;
+    trainCfg.iterations = opt.iterations;
+    trainCfg.seqLen = opt.seqLen;
+    trainCfg.seed = opt.seed;
+
+    workload::Trace trace;
+    std::uint64_t servedTokens = 0;
+    if (!opt.replayPath.empty()) {
+        std::ifstream in(opt.replayPath);
+        if (!in)
+            GMLAKE_FATAL("cannot open trace: ", opt.replayPath);
+        trace = workload::Trace::load(in);
+        std::cout << "replaying " << trace.size() << " events from "
+                  << opt.replayPath << "\n";
+    } else if (opt.serve) {
+        workload::ServeConfig serveCfg;
+        serveCfg.model = trainCfg.model;
+        serveCfg.requests = opt.serveRequests;
+        serveCfg.maxBatch = opt.serveMaxBatch;
+        serveCfg.seed = opt.seed;
+        auto gen = workload::generateServingTrace(serveCfg);
+        trace = std::move(gen.trace);
+        servedTokens = gen.generatedTokens;
+        std::cout << "serving workload: " << gen.servedRequests
+                  << " requests, " << gen.generatedTokens
+                  << " tokens\n";
+    } else {
+        trace = workload::generateTrainingTrace(trainCfg);
+        std::cout << "workload: " << trainCfg.describe() << " ("
+                  << trace.size() << " events)\n";
+    }
+
+    if (!opt.recordPath.empty()) {
+        std::ofstream out(opt.recordPath);
+        if (!out)
+            GMLAKE_FATAL("cannot write trace: ", opt.recordPath);
+        trace.save(out);
+        std::cout << "trace recorded to " << opt.recordPath << "\n";
+        return 0;
+    }
+
+    // ------------------------------------------------------------ run
+    vmm::DeviceConfig deviceCfg;
+    deviceCfg.capacity = opt.capacityGiB * GiB;
+    core::GMLakeConfig gmlakeCfg;
+    gmlakeCfg.fragLimit = opt.fragLimitMiB * MiB;
+
+    Table table({"Allocator", "Utilization", "Peak active",
+                 "Peak reserved", "Sim time", "Throughput"});
+    std::ofstream csv;
+    if (!opt.csvPath.empty()) {
+        csv.open(opt.csvPath, std::ios::app);
+        if (!csv)
+            GMLAKE_FATAL("cannot open CSV: ", opt.csvPath);
+    }
+
+    for (const auto kind : parseAllocators(opt.allocator)) {
+        vmm::Device device(deviceCfg);
+        const auto allocator =
+            sim::makeAllocator(kind, device, gmlakeCfg);
+        const auto r = sim::runTrace(
+            *allocator, device, trace,
+            opt.serve || !opt.replayPath.empty() ? nullptr
+                                                 : &trainCfg);
+
+        std::string throughput = "-";
+        if (opt.serve && r.simTime > 0) {
+            throughput = formatDouble(
+                static_cast<double>(servedTokens) /
+                    (static_cast<double>(r.simTime) * 1e-9),
+                0) + " tok/s";
+        } else if (r.samplesPerSec > 0.0) {
+            throughput =
+                formatDouble(r.samplesPerSec, 1) + " samples/s";
+        }
+        table.addRow(
+            {r.allocator,
+             r.oom ? "OOM" : formatPercent(r.utilization),
+             formatBytes(r.peakActive), formatBytes(r.peakReserved),
+             formatTime(r.simTime), throughput});
+        if (csv.is_open()) {
+            csv << r.allocator << "," << opt.model << ","
+                << opt.strategies << "," << opt.gpus << ","
+                << opt.batch << "," << r.utilization << ","
+                << r.peakActive << "," << r.peakReserved << ","
+                << r.simTime << "," << (r.oom ? 1 : 0) << "\n";
+        }
+        if (opt.snapshot)
+            std::cout << allocator->snapshot().summary();
+    }
+    table.print(std::cout);
+    return 0;
+}
