@@ -9,100 +9,9 @@
  */
 
 #include "bench/common.hh"
-#include "support/units.hh"
-
-using namespace gmlake;
-using namespace gmlake::bench;
-using namespace gmlake::literals;
-
-namespace
-{
-
-workload::TrainConfig
-workloadConfig()
-{
-    workload::TrainConfig cfg;
-    cfg.model = workload::findModel("OPT-13B");
-    cfg.strategies = workload::Strategies::parse("LR");
-    cfg.gpus = 4;
-    cfg.batchSize = 16;
-    cfg.iterations = 12;
-    return cfg;
-}
-
-void
-runRow(Table &table, const std::string &label,
-       const core::GMLakeConfig &gc)
-{
-    sim::ScenarioOptions opts;
-    opts.gmlake = gc;
-    const auto r = sim::runScenario(workloadConfig(),
-                                    sim::AllocatorKind::gmlake, opts);
-    table.addRow({label, formatPercent(r.utilization),
-                  gb(r.peakReserved) + " GB",
-                  formatDouble(r.samplesPerSec, 2),
-                  formatTime(r.deviceApiTime)});
-}
-
-} // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    banner("Ablation — GMLake design knobs (OPT-13B, LR, 4 GPUs)",
-           "Trade-offs the paper discusses in Sections 4.2.2/4.2.3");
-
-    {
-        std::cout << "\nFragmentation limit sweep:\n";
-        Table table({"fragLimit", "Utilization", "Peak reserved",
-                     "Thr (s/s)", "Device API time"});
-        for (const Bytes limit :
-             {2_MiB, 8_MiB, 16_MiB, 32_MiB, 64_MiB, 128_MiB}) {
-            core::GMLakeConfig gc;
-            gc.fragLimit = limit;
-            runRow(table, formatBytes(limit), gc);
-        }
-        table.print(std::cout);
-    }
-
-    {
-        std::cout << "\nStitching mechanism:\n";
-        Table table({"Configuration", "Utilization", "Peak reserved",
-                     "Thr (s/s)", "Device API time"});
-        core::GMLakeConfig on;
-        runRow(table, "stitching on (default)", on);
-        core::GMLakeConfig off;
-        off.enableStitching = false;
-        runRow(table, "stitching off", off);
-        core::GMLakeConfig noRestitch;
-        noRestitch.restitchOnSplit = false;
-        runRow(table, "no re-stitch after split", noRestitch);
-        table.print(std::cout);
-    }
-
-    {
-        std::cout << "\nNear-match tolerance sweep:\n";
-        Table table({"Tolerance", "Utilization", "Peak reserved",
-                     "Thr (s/s)", "Device API time"});
-        for (const double tol : {0.0, 0.05, 0.125, 0.25}) {
-            core::GMLakeConfig gc;
-            gc.nearMatchTolerance = tol;
-            runRow(table, formatPercent(tol, 1), gc);
-        }
-        table.print(std::cout);
-    }
-
-    {
-        std::cout << "\nStitchFree cache-limit sweep:\n";
-        Table table({"maxCachedSBlocks", "Utilization",
-                     "Peak reserved", "Thr (s/s)",
-                     "Device API time"});
-        for (const std::size_t cap : {8UL, 64UL, 512UL, 8192UL}) {
-            core::GMLakeConfig gc;
-            gc.maxCachedSBlocks = cap;
-            runRow(table, std::to_string(cap), gc);
-        }
-        table.print(std::cout);
-    }
-    return 0;
+    return gmlake::bench::benchMain("ablation", argc, argv);
 }

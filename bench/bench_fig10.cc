@@ -9,53 +9,8 @@
 
 #include "bench/common.hh"
 
-using namespace gmlake;
-using namespace gmlake::bench;
-
 int
-main()
+main(int argc, char **argv)
 {
-    banner("Figure 10 — strategy scalability, caching vs GMLake",
-           "Paper: baseline fragments 5-24% under strategy combos; "
-           "GMLake holds ~90%+ utilization on every one");
-
-    const struct
-    {
-        const char *model;
-        int batch;
-    } models[] = {
-        {"OPT-13B", 16}, {"Vicuna-13B", 16}, {"GPT-NeoX-20B", 12},
-    };
-
-    for (const auto &m : models) {
-        std::cout << "\n--- " << m.model << " (4 GPUs, batch "
-                  << m.batch << ") ---\n";
-        Table table({"Strategy", "RM w/o GML", "RM w/ GML",
-                     "UR w/o GML", "UR w/ GML", "Saved"});
-        for (const char *strat : {"N", "R", "LR", "RO", "LRO"}) {
-            workload::TrainConfig cfg;
-            cfg.model = workload::findModel(m.model);
-            cfg.strategies = workload::Strategies::parse(strat);
-            cfg.gpus = 4;
-            // N keeps full optimizer state resident; use a batch the
-            // device can hold, like the paper's common batch size.
-            cfg.batchSize =
-                cfg.strategies.label() == "N" ? m.batch / 2 : m.batch;
-            cfg.iterations = 12;
-            const auto pair = runPair(cfg);
-            const Bytes saved =
-                pair.caching.peakReserved > pair.gmlake.peakReserved
-                    ? pair.caching.peakReserved -
-                          pair.gmlake.peakReserved
-                    : 0;
-            table.addRow(
-                {strat, oomOr(pair.caching, gb(pair.caching.peakReserved) + " GB"),
-                 oomOr(pair.gmlake, gb(pair.gmlake.peakReserved) + " GB"),
-                 oomOr(pair.caching, formatPercent(pair.caching.utilization)),
-                 oomOr(pair.gmlake, formatPercent(pair.gmlake.utilization)),
-                 gb(saved) + " GB"});
-        }
-        table.print(std::cout);
-    }
-    return 0;
+    return gmlake::bench::benchMain("fig10", argc, argv);
 }

@@ -9,47 +9,8 @@
 
 #include "bench/common.hh"
 
-using namespace gmlake;
-using namespace gmlake::bench;
-
 int
-main()
+main(int argc, char **argv)
 {
-    banner("Figure 11 — GPU scale-out, caching vs GMLake (LR)",
-           "Paper: fragmentation grows with GPU count; GMLake keeps "
-           "~90% utilization and baseline-level throughput");
-
-    const struct
-    {
-        const char *model;
-        int batch;
-    } models[] = {
-        {"OPT-13B", 16}, {"Vicuna-13B", 16}, {"GPT-NeoX-20B", 12},
-    };
-
-    for (const auto &m : models) {
-        std::cout << "\n--- " << m.model << " (LR, batch " << m.batch
-                  << " per GPU) ---\n";
-        Table table({"GPUs", "RM w/o GML", "RM w/ GML", "UR w/o GML",
-                     "UR w/ GML", "Thr w/o (s/s)", "Thr w/ (s/s)"});
-        for (const int gpus : {1, 2, 4, 8, 16}) {
-            workload::TrainConfig cfg;
-            cfg.model = workload::findModel(m.model);
-            cfg.strategies = workload::Strategies::parse("LR");
-            cfg.gpus = gpus;
-            cfg.batchSize = m.batch;
-            cfg.iterations = 10;
-            const auto pair = runPair(cfg);
-            table.addRow(
-                {std::to_string(gpus),
-                 oomOr(pair.caching, gb(pair.caching.peakReserved) + " GB"),
-                 oomOr(pair.gmlake, gb(pair.gmlake.peakReserved) + " GB"),
-                 oomOr(pair.caching, formatPercent(pair.caching.utilization)),
-                 oomOr(pair.gmlake, formatPercent(pair.gmlake.utilization)),
-                 formatDouble(pair.caching.samplesPerSec, 1),
-                 formatDouble(pair.gmlake.samplesPerSec, 1)});
-        }
-        table.print(std::cout);
-    }
-    return 0;
+    return gmlake::bench::benchMain("fig11", argc, argv);
 }

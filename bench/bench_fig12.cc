@@ -9,52 +9,8 @@
 
 #include "bench/common.hh"
 
-using namespace gmlake;
-using namespace gmlake::bench;
-
 int
-main()
+main(int argc, char **argv)
 {
-    banner("Figure 12 — platform scalability, caching vs GMLake",
-           "Paper: reductions of 9-33% fragmentation and 7-25 GB "
-           "reserved memory across FSDP / DeepSpeed / Colossal-AI");
-
-    const struct
-    {
-        const char *label;
-        const char *model;
-        workload::Platform platform;
-        int batch;
-    } rows[] = {
-        {"FSDP-GLM-10B", "GLM-10B", workload::Platform::fsdp, 24},
-        {"DS-OPT-13B", "OPT-13B",
-         workload::Platform::deepspeedZero3, 16},
-        {"CAI-GPT-2", "GPT-2", workload::Platform::colossalAi, 48},
-    };
-
-    Table table({"Platform-Model", "RM w/o GML", "RM w/ GML",
-                 "UR w/o GML", "UR w/ GML", "Saved"});
-    for (const auto &r : rows) {
-        workload::TrainConfig cfg;
-        cfg.model = workload::findModel(r.model);
-        cfg.platform = r.platform;
-        cfg.strategies = workload::Strategies::parse("LR");
-        cfg.gpus = 4;
-        cfg.batchSize = r.batch;
-        cfg.iterations = 12;
-        const auto pair = runPair(cfg);
-        const Bytes saved =
-            pair.caching.peakReserved > pair.gmlake.peakReserved
-                ? pair.caching.peakReserved - pair.gmlake.peakReserved
-                : 0;
-        table.addRow(
-            {r.label,
-             oomOr(pair.caching, gb(pair.caching.peakReserved) + " GB"),
-             oomOr(pair.gmlake, gb(pair.gmlake.peakReserved) + " GB"),
-             oomOr(pair.caching, formatPercent(pair.caching.utilization)),
-             oomOr(pair.gmlake, formatPercent(pair.gmlake.utilization)),
-             gb(saved) + " GB"});
-    }
-    table.print(std::cout);
-    return 0;
+    return gmlake::bench::benchMain("fig12", argc, argv);
 }

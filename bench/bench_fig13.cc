@@ -8,54 +8,8 @@
 
 #include "bench/common.hh"
 
-using namespace gmlake;
-using namespace gmlake::bench;
-
 int
-main()
+main(int argc, char **argv)
 {
-    banner("Figure 13 — batch-size sweep, caching vs GMLake "
-           "(LR + ZeRO-3, 4 GPUs)",
-           "Paper: GMLake sustains larger batches (baseline OOMs "
-           "first) at equal or better throughput");
-
-    const struct
-    {
-        const char *model;
-        std::vector<int> batches;
-    } sweeps[] = {
-        {"OPT-1.3B", {1, 32, 64, 128, 192, 224, 249}},
-        {"OPT-13B", {1, 20, 40, 60, 80, 100, 120}},
-        {"GPT-NeoX-20B", {1, 12, 24, 36, 48, 60, 72, 84, 96, 108}},
-    };
-
-    for (const auto &sweep : sweeps) {
-        std::cout << "\n--- " << sweep.model << " ---\n";
-        Table table({"Batch", "RM w/o GML", "RM w/ GML",
-                     "UR w/o GML", "UR w/ GML", "Thr w/o (s/s)",
-                     "Thr w/ (s/s)"});
-        for (const int batch : sweep.batches) {
-            workload::TrainConfig cfg;
-            cfg.model = workload::findModel(sweep.model);
-            cfg.strategies = workload::Strategies::parse("LR");
-            cfg.gpus = 4;
-            cfg.batchSize = batch;
-            cfg.iterations = 8;
-            const auto pair = runPair(cfg);
-            table.addRow(
-                {std::to_string(batch),
-                 oomOr(pair.caching, gb(pair.caching.peakReserved) + " GB"),
-                 oomOr(pair.gmlake, gb(pair.gmlake.peakReserved) + " GB"),
-                 oomOr(pair.caching,
-                       formatPercent(pair.caching.utilization)),
-                 oomOr(pair.gmlake,
-                       formatPercent(pair.gmlake.utilization)),
-                 oomOr(pair.caching,
-                       formatDouble(pair.caching.samplesPerSec, 1)),
-                 oomOr(pair.gmlake,
-                       formatDouble(pair.gmlake.samplesPerSec, 1))});
-        }
-        table.print(std::cout);
-    }
-    return 0;
+    return gmlake::bench::benchMain("fig13", argc, argv);
 }

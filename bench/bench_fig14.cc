@@ -6,78 +6,10 @@
  * to its active memory, converging after ~4 iterations.
  */
 
-#include <algorithm>
-
 #include "bench/common.hh"
-#include "support/csv.hh"
-
-using namespace gmlake;
-using namespace gmlake::bench;
-
-namespace
-{
-
-void
-printSeries(const sim::RunResult &r, int columns)
-{
-    Table table({"Time", "Active", "Reserved"});
-    const std::size_t n = r.series.size();
-    const std::size_t stride =
-        std::max<std::size_t>(1, n / static_cast<std::size_t>(columns));
-    for (std::size_t i = 0; i < n; i += stride) {
-        const auto &p = r.series[i];
-        table.addRow({formatTime(p.time), gb(p.active) + " GB",
-                      gb(p.reserved) + " GB"});
-    }
-    if (r.oom) {
-        table.addRow({formatTime(r.oomAt), "OOM", "OOM"});
-    }
-    table.print(std::cout);
-}
-
-} // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    banner("Figure 14 — memory trace, GPT-NeoX-20B at the OOM "
-           "boundary (LR, 4 GPUs)",
-           "Paper: PyTorch OOMs ~200 s in; GMLake's reserved tracks "
-           "its active memory and converges after ~4 iterations");
-
-    workload::TrainConfig cfg;
-    cfg.model = workload::findModel("GPT-NeoX-20B");
-    cfg.strategies = workload::Strategies::parse("LR");
-    cfg.gpus = 4;
-    // The paper runs batch 72; our synthetic activations are a bit
-    // leaner, so the baseline's OOM boundary sits at batch ~96
-    // (see EXPERIMENTS.md). Use the boundary batch so the figure
-    // shows the same phenomenon: the baseline dies mid-run, GMLake
-    // completes the job with reserved ~= active.
-    cfg.batchSize = 96;
-    cfg.iterations = 10;
-
-    const auto pair = runPair(cfg);
-
-    std::cout << "\nPyTorch caching allocator:"
-              << (pair.caching.oom ? "  (run ends in OOM)" : "")
-              << "\n";
-    printSeries(pair.caching, 16);
-    std::cout << "\nGMLake:"
-              << (pair.gmlake.oom ? "  (run ends in OOM)" : "") << "\n";
-    printSeries(pair.gmlake, 16);
-
-    // Full series for plotting.
-    for (const auto *r : {&pair.caching, &pair.gmlake}) {
-        CsvWriter csv("fig14_" + r->allocator + ".csv",
-                      {"time_ns", "active_bytes", "reserved_bytes"});
-        for (const auto &p : r->series) {
-            csv.addRow({std::to_string(p.time),
-                        std::to_string(p.active),
-                        std::to_string(p.reserved)});
-        }
-    }
-    std::cout << "\n(full series written to fig14_caching.csv / "
-                 "fig14_gmlake.csv)\n";
-    return 0;
+    return gmlake::bench::benchMain("fig14", argc, argv);
 }

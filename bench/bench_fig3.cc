@@ -7,56 +7,8 @@
 
 #include "bench/common.hh"
 
-using namespace gmlake;
-using namespace gmlake::bench;
-
 int
-main()
+main(int argc, char **argv)
 {
-    banner("Figure 3 — utilization vs strategy combination "
-           "(baseline allocator)",
-           "Paper: P 97%, PR 80%, PLR 76%, PRO 73%, PLRO 65% — "
-           "complex strategies fragment the caching allocator");
-
-    const struct
-    {
-        const char *paperLabel;
-        const char *strategies;
-        double paperUtil;
-    } rows[] = {
-        {"P", "N", 0.97},    {"PR", "R", 0.80},
-        {"PLR", "LR", 0.76}, {"PRO", "RO", 0.73},
-        {"PLRO", "LRO", 0.65},
-    };
-
-    workload::TrainConfig cfg;
-    cfg.model = workload::findModel("OPT-1.3B");
-    cfg.gpus = 4;
-    cfg.batchSize = 64;
-    cfg.iterations = 15;
-
-    Table table({"Combination", "Utilization (measured)",
-                 "Utilization (paper)", "Peak reserved",
-                 "Peak active"});
-    for (const auto &r : rows) {
-        cfg.strategies = workload::Strategies::parse(r.strategies);
-        // Average over several seeds: single-run utilization varies
-        // by a few points with the random workload details.
-        double util = 0.0;
-        Bytes reserved = 0, active = 0;
-        constexpr int kSeeds = 5;
-        for (int s = 0; s < kSeeds; ++s) {
-            cfg.seed = 42 + static_cast<std::uint64_t>(s);
-            const auto run =
-                sim::runScenario(cfg, sim::AllocatorKind::caching);
-            util += run.utilization / kSeeds;
-            reserved += run.peakReserved / kSeeds;
-            active += run.peakActive / kSeeds;
-        }
-        table.addRow({r.paperLabel, formatPercent(util),
-                      formatPercent(r.paperUtil),
-                      gb(reserved) + " GB", gb(active) + " GB"});
-    }
-    table.print(std::cout);
-    return 0;
+    return gmlake::bench::benchMain("fig3", argc, argv);
 }

@@ -7,36 +7,8 @@
 
 #include "bench/common.hh"
 
-using namespace gmlake;
-using namespace gmlake::bench;
-
 int
-main()
+main(int argc, char **argv)
 {
-    banner("Figure 4 — utilization vs GPU count (baseline allocator)",
-           "Paper: 91% at 1 GPU degrading to 76% at 16 GPUs "
-           "(OPT-13B, ZeRO-3 sharding)");
-
-    const int gpuCounts[] = {1, 2, 4, 8, 16};
-    const double paper[] = {0.91, 0.84, 0.78, 0.80, 0.76};
-
-    workload::TrainConfig cfg;
-    cfg.model = workload::findModel("OPT-13B");
-    cfg.strategies = workload::Strategies::parse("LR");
-    cfg.batchSize = 16;
-    cfg.iterations = 12;
-
-    Table table({"GPUs", "Utilization (measured)",
-                 "Utilization (paper)", "Peak reserved"});
-    for (std::size_t i = 0; i < 5; ++i) {
-        cfg.gpus = gpuCounts[i];
-        const auto run =
-            sim::runScenario(cfg, sim::AllocatorKind::caching);
-        table.addRow({std::to_string(cfg.gpus),
-                      formatPercent(run.utilization),
-                      formatPercent(paper[i]),
-                      gb(run.peakReserved) + " GB"});
-    }
-    table.print(std::cout);
-    return 0;
+    return gmlake::bench::benchMain("fig4", argc, argv);
 }

@@ -7,48 +7,9 @@
  */
 
 #include "bench/common.hh"
-#include "support/units.hh"
-
-using namespace gmlake;
-using namespace gmlake::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
-    banner("Figure 5 — allocation stream shape, original vs LR "
-           "(GPT-NeoX-20B)",
-           "Paper: 46k allocations @ 93 MB avg vs 76k @ 85 MB — "
-           "strategies make requests more frequent and smaller");
-
-    workload::TrainConfig cfg;
-    cfg.model = workload::findModel("GPT-NeoX-20B");
-    cfg.gpus = 4;
-    cfg.batchSize = 24;
-    // The paper's counts cover a full training job; the per-iteration
-    // shape is what matters, so scale to a fixed iteration budget.
-    cfg.iterations = 40;
-
-    Table table({"Configuration", "Allocations", "Avg size",
-                 "Max size", "Allocs/iteration"});
-    for (const char *strat : {"N", "LR"}) {
-        cfg.strategies = workload::Strategies::parse(strat);
-        const auto trace = workload::generateTrainingTrace(cfg);
-        const auto &s = trace.stats();
-        table.addRow(
-            {std::string("GPT-NeoX-20B ") +
-                 (std::string(strat) == "N" ? "original" : "+LR"),
-             std::to_string(s.allocCount),
-             formatBytes(static_cast<Bytes>(s.avgAllocBytes())),
-             formatBytes(s.maxAllocBytes),
-             std::to_string(s.allocCount /
-                            static_cast<std::uint64_t>(
-                                s.iterations))});
-    }
-    table.print(std::cout);
-
-    std::cout << "\nSize histogram (+LR):\n";
-    cfg.strategies = workload::Strategies::parse("LR");
-    const auto trace = workload::generateTrainingTrace(cfg);
-    std::cout << trace.sizeHistogram().render();
-    return 0;
+    return gmlake::bench::benchMain("fig5", argc, argv);
 }

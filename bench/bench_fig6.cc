@@ -6,98 +6,10 @@
  * slowdown of the 2 MB-chunk VM path.
  */
 
-#include <vector>
-
 #include "bench/common.hh"
-#include "support/units.hh"
-#include "vmm/device.hh"
-
-using namespace gmlake;
-using namespace gmlake::literals;
-
-namespace
-{
-
-/** Measure one VM allocation on a fresh device via the real API. */
-Tick
-vmAllocLatency(Bytes block, Bytes chunk)
-{
-    vmm::Device dev; // 80 GB
-    const Tick t0 = dev.now();
-    const auto va = dev.memAddressReserve(block);
-    if (!va.ok())
-        GMLAKE_FATAL("reserve failed");
-    VirtAddr cursor = *va;
-    for (Bytes done = 0; done < block; done += chunk) {
-        const auto h = dev.memCreate(chunk);
-        if (!h.ok())
-            GMLAKE_FATAL("create failed");
-        if (const auto s = dev.memMap(cursor, *h); !s.ok())
-            GMLAKE_FATAL("map failed");
-        cursor += chunk;
-    }
-    if (const auto s = dev.memSetAccess(*va, block); !s.ok())
-        GMLAKE_FATAL("setAccess failed");
-    return dev.now() - t0;
-}
-
-Tick
-nativeLatency(Bytes block)
-{
-    vmm::Device dev;
-    const Tick t0 = dev.now();
-    const auto p = dev.mallocNative(block);
-    if (!p.ok())
-        GMLAKE_FATAL("cudaMalloc failed");
-    return dev.now() - t0;
-}
-
-} // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    bench::banner("Figure 6 — native vs virtual-memory allocation "
-                  "latency",
-                  "Paper: VM allocator with 2 MB chunks is ~115x "
-                  "slower than cudaMalloc; gap closes as chunks grow");
-
-    const std::vector<Bytes> blocks = {512_MiB, 1024_MiB, 2_GiB};
-    const std::vector<Bytes> chunks = {2_MiB, 4_MiB, 8_MiB, 16_MiB,
-                                       32_MiB, 64_MiB, 128_MiB,
-                                       256_MiB, 512_MiB, 1024_MiB};
-
-    Table table({"Chunk Size", "512MB block", "1GB block",
-                 "2GB block", "2GB vs native"});
-    const Tick native2G = nativeLatency(2_GiB);
-
-    {
-        std::vector<std::string> row = {"Native (cudaMalloc)"};
-        for (const Bytes block : blocks)
-            row.push_back(formatTime(nativeLatency(block)));
-        row.push_back("1.0x");
-        table.addRow(row);
-    }
-    for (const Bytes chunk : chunks) {
-        std::vector<std::string> row = {formatBytes(chunk)};
-        Tick lat2G = 0;
-        for (const Bytes block : blocks) {
-            if (chunk > block) {
-                row.push_back("-");
-                continue;
-            }
-            const Tick lat = vmAllocLatency(block, chunk);
-            if (block == 2_GiB)
-                lat2G = lat;
-            row.push_back(formatTime(lat));
-        }
-        row.push_back(formatDouble(
-                          static_cast<double>(lat2G) /
-                              static_cast<double>(native2G),
-                          1) +
-                      "x");
-        table.addRow(row);
-    }
-    table.print(std::cout);
-    return 0;
+    return gmlake::bench::benchMain("fig6", argc, argv);
 }

@@ -6,80 +6,10 @@
  * average (up to 33 %).
  */
 
-#include <algorithm>
-
 #include "bench/common.hh"
 
-using namespace gmlake;
-using namespace gmlake::bench;
-
 int
-main()
+main(int argc, char **argv)
 {
-    banner("Section 5 — headline aggregate over the workload matrix",
-           "Paper: avg 9.2 GB (max 25 GB) reserved saved; avg 15% "
-           "(max 33%) fragmentation removed, over 76 workloads");
-
-    const struct
-    {
-        const char *model;
-        std::vector<int> batches;
-    } models[] = {
-        {"OPT-1.3B", {64, 128, 192}}, {"GPT-2", {64, 128}},
-        {"GLM-10B", {24, 48}},        {"OPT-13B", {16, 32, 48}},
-        {"Vicuna-13B", {16, 32, 48}}, {"GPT-NeoX-20B", {24, 48, 72, 84}},
-    };
-    const char *strategies[] = {"R", "LR", "RO", "LRO"};
-
-    double sumSavedGb = 0.0, maxSavedGb = 0.0;
-    double sumFragDrop = 0.0, maxFragDrop = 0.0;
-    int workloads = 0, oomAvoided = 0;
-
-    for (const auto &m : models) {
-        for (const int batch : m.batches) {
-            for (const char *strat : strategies) {
-                workload::TrainConfig cfg;
-                cfg.model = workload::findModel(m.model);
-                cfg.strategies = workload::Strategies::parse(strat);
-                cfg.gpus = 4;
-                cfg.batchSize = batch;
-                cfg.iterations = 8;
-                const auto pair = runPair(cfg);
-                if (pair.gmlake.oom)
-                    continue; // out of scope for both
-                if (pair.caching.oom) {
-                    ++oomAvoided;
-                    continue;
-                }
-                ++workloads;
-                const double saved =
-                    (static_cast<double>(pair.caching.peakReserved) -
-                     static_cast<double>(pair.gmlake.peakReserved)) /
-                    (1024.0 * 1024.0 * 1024.0);
-                const double fragDrop = pair.caching.fragmentation -
-                                        pair.gmlake.fragmentation;
-                sumSavedGb += saved;
-                maxSavedGb = std::max(maxSavedGb, saved);
-                sumFragDrop += fragDrop;
-                maxFragDrop = std::max(maxFragDrop, fragDrop);
-            }
-        }
-    }
-
-    Table table({"Metric", "Measured", "Paper"});
-    table.addRow({"Workloads evaluated", std::to_string(workloads),
-                  "76"});
-    table.addRow({"Avg reserved saved",
-                  formatDouble(sumSavedGb / workloads, 1) + " GB",
-                  "9.2 GB"});
-    table.addRow({"Max reserved saved",
-                  formatDouble(maxSavedGb, 1) + " GB", "25 GB"});
-    table.addRow({"Avg fragmentation removed",
-                  formatPercent(sumFragDrop / workloads), "15%"});
-    table.addRow({"Max fragmentation removed",
-                  formatPercent(maxFragDrop), "33%"});
-    table.addRow({"Baseline-OOM workloads GMLake completed",
-                  std::to_string(oomAvoided), "-"});
-    table.print(std::cout);
-    return 0;
+    return gmlake::bench::benchMain("headline", argc, argv);
 }

@@ -6,54 +6,9 @@
  */
 
 #include "bench/common.hh"
-#include "support/units.hh"
-
-using namespace gmlake;
-using namespace gmlake::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
-    banner("Section 2.2 — native vs caching allocator, end to end",
-           "Paper: disabling the caching allocator slows OPT-1.3B "
-           "training by ~9.7x");
-
-    workload::TrainConfig cfg;
-    cfg.model = workload::findModel("OPT-1.3B");
-    cfg.strategies = workload::Strategies::parse("R");
-    cfg.gpus = 4;
-    cfg.batchSize = 8;
-    cfg.iterations = 6;
-
-    const auto native =
-        sim::runScenario(cfg, sim::AllocatorKind::native);
-    const auto caching =
-        sim::runScenario(cfg, sim::AllocatorKind::caching);
-
-    Table table({"Allocator", "Iteration time", "Device API time",
-                 "Throughput (samples/s)", "Slowdown"});
-    auto row = [&](const sim::RunResult &r) {
-        table.addRow(
-            {r.allocator,
-             formatTime(r.simTime / std::max(1, r.iterationsDone)),
-             formatTime(r.deviceApiTime),
-             formatDouble(r.samplesPerSec, 1),
-             formatDouble(static_cast<double>(r.simTime) /
-                              static_cast<double>(caching.simTime),
-                          1) +
-                 "x"});
-    };
-    row(caching);
-    row(native);
-    table.print(std::cout);
-    std::cout << "(paper reports 9.7x end to end; the end-to-end gap "
-                 "scales with the workload's\n allocation density — "
-                 "allocator-time slowdown here: "
-              << formatDouble(
-                     static_cast<double>(native.deviceApiTime) /
-                         static_cast<double>(
-                             std::max<Tick>(1, caching.deviceApiTime)),
-                     0)
-              << "x)\n";
-    return 0;
+    return gmlake::bench::benchMain("native-vs-caching", argc, argv);
 }

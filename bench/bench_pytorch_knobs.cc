@@ -10,81 +10,10 @@
  * made the tuning unnecessary.
  */
 
-#include "alloc/caching_allocator.hh"
-#include "core/gmlake_allocator.hh"
-
 #include "bench/common.hh"
-#include "support/units.hh"
-
-using namespace gmlake;
-using namespace gmlake::bench;
-using namespace gmlake::literals;
-
-namespace
-{
-
-sim::RunResult
-runCaching(const workload::TrainConfig &cfg,
-           const alloc::CachingConfig &knobs)
-{
-    vmm::Device device;
-    alloc::CachingAllocator allocator(device, knobs);
-    const auto trace = workload::generateTrainingTrace(cfg);
-    return sim::runTrace(allocator, device, trace, &cfg);
-}
-
-} // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    banner("Extension — PyTorch allocator knobs vs GMLake",
-           "Tuning the caching allocator recovers part of the "
-           "fragmentation; stitching removes it");
-
-    workload::TrainConfig cfg;
-    cfg.model = workload::findModel("GPT-NeoX-20B");
-    cfg.strategies = workload::Strategies::parse("LR");
-    cfg.gpus = 4;
-    cfg.batchSize = 48;
-    cfg.iterations = 10;
-
-    Table table({"Configuration", "Utilization", "Peak reserved",
-                 "Thr (s/s)"});
-    auto row = [&](const std::string &label,
-                   const sim::RunResult &r) {
-        table.addRow({label,
-                      r.oom ? "OOM" : formatPercent(r.utilization),
-                      r.oom ? "OOM" : gb(r.peakReserved) + " GB",
-                      formatDouble(r.samplesPerSec, 2)});
-    };
-
-    row("caching, defaults", runCaching(cfg, {}));
-    {
-        alloc::CachingConfig knobs;
-        knobs.maxSplitSize = 256_MiB;
-        row("caching, max_split_size=256MB", runCaching(cfg, knobs));
-    }
-    {
-        alloc::CachingConfig knobs;
-        knobs.roundupPower2Divisions = 8;
-        row("caching, roundup_power2_divisions=8",
-            runCaching(cfg, knobs));
-    }
-    {
-        alloc::CachingConfig knobs;
-        knobs.gcThreshold = 0.7;
-        row("caching, gc_threshold=0.7", runCaching(cfg, knobs));
-    }
-    {
-        alloc::CachingConfig knobs;
-        knobs.maxSplitSize = 256_MiB;
-        knobs.roundupPower2Divisions = 8;
-        knobs.gcThreshold = 0.7;
-        row("caching, all three knobs", runCaching(cfg, knobs));
-    }
-    row("gmlake, defaults",
-        sim::runScenario(cfg, sim::AllocatorKind::gmlake));
-    table.print(std::cout);
-    return 0;
+    return gmlake::bench::benchMain("pytorch-knobs", argc, argv);
 }

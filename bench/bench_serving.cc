@@ -11,51 +11,9 @@
  */
 
 #include "bench/common.hh"
-#include "workload/servegen.hh"
-
-using namespace gmlake;
-using namespace gmlake::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
-    banner("Extension — KV-cache serving (continuous batching, "
-           "OPT-13B)",
-           "Variable-length KV buffers fragment the caching "
-           "allocator; stitching absorbs them (cf. vLLM, Section 6)");
-
-    workload::ServeConfig cfg;
-    cfg.model = workload::findModel("OPT-13B");
-    cfg.requests = 192;
-
-    std::cout << "KV cache: "
-              << formatBytes(workload::kvBytesPerToken(cfg.model))
-              << " per token, quantum " << cfg.kvQuantumTokens
-              << " tokens\n\n";
-
-    Table table({"Batch", "Allocator", "Utilization", "Peak reserved",
-                 "Tokens/s", "KV reallocs"});
-    for (const int batch : {8, 16, 32, 64}) {
-        cfg.maxBatch = batch;
-        const auto gen = workload::generateServingTrace(cfg);
-
-        for (const auto kind : {sim::AllocatorKind::caching,
-                                sim::AllocatorKind::gmlake}) {
-            vmm::Device device;
-            const auto allocator = sim::makeAllocator(kind, device);
-            const auto r =
-                sim::runTrace(*allocator, device, gen.trace);
-            const double tokensPerSec =
-                static_cast<double>(gen.generatedTokens) /
-                (static_cast<double>(r.simTime) * 1e-9);
-            table.addRow({std::to_string(batch),
-                          allocatorKindName(kind),
-                          oomOr(r, formatPercent(r.utilization)),
-                          oomOr(r, gb(r.peakReserved) + " GB"),
-                          oomOr(r, formatDouble(tokensPerSec, 0)),
-                          std::to_string(gen.kvReallocs)});
-        }
-    }
-    table.print(std::cout);
-    return 0;
+    return gmlake::bench::benchMain("serving", argc, argv);
 }

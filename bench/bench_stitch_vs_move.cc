@@ -8,68 +8,10 @@
  * framework at all (live tensors hold raw device pointers).
  */
 
-#include "alloc/compacting_allocator.hh"
-#include "core/gmlake_allocator.hh"
-
 #include "bench/common.hh"
-#include "workload/tracegen.hh"
-
-using namespace gmlake;
-using namespace gmlake::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
-    banner("Related work — stitching vs compaction-based moving",
-           "Paper Section 6: stitching avoids the data movement of "
-           "consolidation-based defragmentation");
-
-    workload::TrainConfig cfg;
-    cfg.model = workload::findModel("OPT-13B");
-    cfg.strategies = workload::Strategies::parse("LR");
-    cfg.gpus = 4;
-    cfg.batchSize = 16;
-    cfg.iterations = 12;
-
-    Table table({"Allocator", "Utilization", "Peak reserved",
-                 "Thr (s/s)", "Defrag work"});
-
-    const auto caching =
-        sim::runScenario(cfg, sim::AllocatorKind::caching);
-    table.addRow({"caching (no defrag)",
-                  formatPercent(caching.utilization),
-                  gb(caching.peakReserved) + " GB",
-                  formatDouble(caching.samplesPerSec, 2), "-"});
-
-    {
-        vmm::Device device;
-        alloc::CompactingAllocator compacting(device);
-        const auto trace = workload::generateTrainingTrace(cfg);
-        const auto r =
-            sim::runTrace(compacting, device, trace, &cfg);
-        table.addRow(
-            {"compacting (moves data)", formatPercent(r.utilization),
-             gb(r.peakReserved) + " GB",
-             formatDouble(r.samplesPerSec, 2),
-             std::to_string(compacting.compactions()) + " cycles, " +
-                 formatBytes(compacting.bytesMoved()) + " copied"});
-    }
-
-    {
-        vmm::Device device;
-        core::GMLakeAllocator lake(device);
-        const auto trace = workload::generateTrainingTrace(cfg);
-        const auto r = sim::runTrace(lake, device, trace, &cfg);
-        table.addRow(
-            {"gmlake (stitches)", formatPercent(r.utilization),
-             gb(r.peakReserved) + " GB",
-             formatDouble(r.samplesPerSec, 2),
-             std::to_string(lake.strategy().stitches) +
-                 " stitches, 0 B copied"});
-    }
-    table.print(std::cout);
-    std::cout << "(a moving collector also cannot be dropped under a "
-                 "DL framework transparently:\n live tensors hold raw "
-                 "device pointers that relocation would invalidate)\n";
-    return 0;
+    return gmlake::bench::benchMain("stitch-vs-move", argc, argv);
 }

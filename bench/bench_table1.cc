@@ -6,47 +6,10 @@
  * driver's cost model.
  */
 
-#include <array>
-
 #include "bench/common.hh"
-#include "support/units.hh"
-#include "vmm/cost_model.hh"
-
-using namespace gmlake;
-using namespace gmlake::literals;
 
 int
-main()
+main(int argc, char **argv)
 {
-    bench::banner("Table 1 — VMM API execution-time breakdown",
-                  "Paper: reserve 0.003/0.003/0.002, create "
-                  "18.1/0.89/0.79, map 0.70/0.01/0.002, setAccess "
-                  "96.8/8.2/0.7, total 115.4/9.1/1.5 (x cuMemAlloc)");
-
-    const vmm::CostModel model;
-    const Bytes block = 2_GiB;
-    const double ref =
-        static_cast<double>(model.nativeAlloc(block));
-    const std::array<Bytes, 3> chunks = {2_MiB, 128_MiB, 1024_MiB};
-
-    Table table({"Chunk Size", "cuMemReserve", "cuMemCreate",
-                 "cuMemMap", "cuMemSetAccess", "Total"});
-    for (const Bytes chunk : chunks) {
-        const std::size_t n = block / chunk;
-        const double reserve = model.memAddressReserve(block) / ref;
-        const double create =
-            static_cast<double>(n) * model.memCreate(chunk) / ref;
-        const double map =
-            static_cast<double>(n) * model.memMap(chunk) / ref;
-        const double access = model.memSetAccess(n, chunk) / ref;
-        table.addRow({formatBytes(chunk), formatDouble(reserve, 3),
-                      formatDouble(create, 2), formatDouble(map, 3),
-                      formatDouble(access, 2),
-                      formatDouble(reserve + create + map + access,
-                                   1)});
-    }
-    table.print(std::cout);
-    std::cout << "(all values normalized to cuMemAlloc(2 GiB) = "
-              << formatTime(model.nativeAlloc(block)) << ")\n";
-    return 0;
+    return gmlake::bench::benchMain("table1", argc, argv);
 }

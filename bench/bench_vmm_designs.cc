@@ -13,88 +13,10 @@
  * chunks under fresh contiguous addresses.
  */
 
-#include "alloc/expandable_allocator.hh"
-
 #include "bench/common.hh"
-#include "workload/servegen.hh"
-
-using namespace gmlake;
-using namespace gmlake::bench;
-
-namespace
-{
-
-void
-trainingRows(Table &table, const char *model, const char *strat,
-             int batch)
-{
-    workload::TrainConfig cfg;
-    cfg.model = workload::findModel(model);
-    cfg.strategies = workload::Strategies::parse(strat);
-    cfg.gpus = 4;
-    cfg.batchSize = batch;
-    cfg.iterations = 10;
-
-    for (const auto kind : {sim::AllocatorKind::caching,
-                            sim::AllocatorKind::expandable,
-                            sim::AllocatorKind::gmlake}) {
-        const auto r = sim::runScenario(cfg, kind);
-        table.addRow({std::string(model) + " " + strat,
-                      allocatorKindName(kind),
-                      oomOr(r, formatPercent(r.utilization)),
-                      oomOr(r, gb(r.peakReserved) + " GB"),
-                      formatDouble(r.samplesPerSec, 2)});
-    }
-}
-
-} // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    banner("Extension — VMM allocator designs: stitching vs "
-           "expandable segments",
-           "GMLake (ASPLOS'24) vs the PyTorch expandable_segments "
-           "design it influenced, vs the classic caching allocator");
-
-    {
-        std::cout << "\nTraining workloads (4 GPUs):\n";
-        Table table({"Workload", "Allocator", "Utilization",
-                     "Peak reserved", "Thr (s/s)"});
-        trainingRows(table, "OPT-13B", "LR", 16);
-        trainingRows(table, "GPT-NeoX-20B", "LR", 48);
-        trainingRows(table, "GPT-NeoX-20B", "LRO", 24);
-        table.print(std::cout);
-    }
-
-    {
-        std::cout << "\nServing workload (OPT-13B, continuous "
-                     "batching, 32 concurrent):\n";
-        workload::ServeConfig cfg;
-        cfg.model = workload::findModel("OPT-13B");
-        cfg.requests = 192;
-        cfg.maxBatch = 32;
-        const auto gen = workload::generateServingTrace(cfg);
-
-        Table table({"Allocator", "Utilization", "Peak reserved",
-                     "Tokens/s"});
-        for (const auto kind : {sim::AllocatorKind::caching,
-                                sim::AllocatorKind::expandable,
-                                sim::AllocatorKind::gmlake}) {
-            vmm::Device device;
-            const auto allocator = sim::makeAllocator(kind, device);
-            const auto r =
-                sim::runTrace(*allocator, device, gen.trace);
-            table.addRow(
-                {allocatorKindName(kind),
-                 oomOr(r, formatPercent(r.utilization)),
-                 oomOr(r, gb(r.peakReserved) + " GB"),
-                 formatDouble(static_cast<double>(gen.generatedTokens) /
-                                  (static_cast<double>(r.simTime) *
-                                   1e-9),
-                              0)});
-        }
-        table.print(std::cout);
-    }
-    return 0;
+    return gmlake::bench::benchMain("vmm-designs", argc, argv);
 }

@@ -1,63 +1,28 @@
 /**
  * @file
- * Shared helpers for the experiment harnesses: one banner format and
- * a couple of row formatters so every bench prints comparable output.
+ * Thin adapter between the bench_* wrapper binaries and the shared
+ * experiment registry (src/sim/experiment.hh). Every scenario —
+ * workload sweep, allocator set, table layout — lives in
+ * src/sim/registry.cc; a bench binary just names which scenario it
+ * runs, so `bench_fig10` and `gmlake_sim run fig10` are the same
+ * code path.
  */
 
 #ifndef GMLAKE_BENCH_COMMON_HH
 #define GMLAKE_BENCH_COMMON_HH
 
-#include <cstdio>
-#include <iostream>
 #include <string>
 
-#include "sim/runner.hh"
-#include "support/strings.hh"
-#include "support/table.hh"
-#include "workload/tracegen.hh"
+#include "sim/experiment.hh"
 
 namespace gmlake::bench
 {
 
-inline void
-banner(const std::string &experiment, const std::string &claim)
+/** Standard main() body: run @p scenario with the shared CLI. */
+inline int
+benchMain(const std::string &scenario, int argc, char **argv)
 {
-    std::cout << "\n==================================================="
-                 "=====================\n"
-              << experiment << "\n" << claim << "\n"
-              << "====================================================="
-                 "===================\n";
-}
-
-inline std::string
-gb(Bytes bytes)
-{
-    return formatDouble(static_cast<double>(bytes) / (1024.0 * 1024.0 *
-                                                      1024.0),
-                        1);
-}
-
-inline std::string
-oomOr(const sim::RunResult &r, const std::string &value)
-{
-    return r.oom ? "OOM" : value;
-}
-
-/** Run the scenario under both allocators of interest. */
-struct Pair
-{
-    sim::RunResult caching;
-    sim::RunResult gmlake;
-};
-
-inline Pair
-runPair(const workload::TrainConfig &config,
-        const sim::ScenarioOptions &options = {})
-{
-    return Pair{
-        sim::runScenario(config, sim::AllocatorKind::caching, options),
-        sim::runScenario(config, sim::AllocatorKind::gmlake, options),
-    };
+    return sim::experimentMain(scenario, argc, argv);
 }
 
 } // namespace gmlake::bench

@@ -1,0 +1,33 @@
+# Per-target compiler defaults for first-party code. Third-party code
+# (googletest, google-benchmark) is built with its own flags so our
+# -Werror policy cannot break it.
+
+function(gmlake_target_defaults target)
+    target_compile_features(${target} PUBLIC cxx_std_20)
+    set_target_properties(${target} PROPERTIES
+        CXX_STANDARD_REQUIRED ON
+        CXX_EXTENSIONS OFF)
+    if (MSVC)
+        target_compile_options(${target} PRIVATE /W4
+            $<$<BOOL:${GMLAKE_WERROR}>:/WX>)
+    else ()
+        target_compile_options(${target} PRIVATE -Wall -Wextra
+            $<$<BOOL:${GMLAKE_WERROR}>:-Werror>)
+    endif ()
+endfunction()
+
+# Declare one of the gmlake_* static libraries rooted at src/.
+#
+#   gmlake_add_library(gmlake_vmm SOURCES ... DEPS gmlake_support)
+function(gmlake_add_library name)
+    cmake_parse_arguments(ARG "" "" "SOURCES;DEPS" ${ARGN})
+    add_library(${name} STATIC ${ARG_SOURCES})
+    add_library(gmlake::${name} ALIAS ${name})
+    gmlake_target_defaults(${name})
+    target_include_directories(${name} PUBLIC
+        $<BUILD_INTERFACE:${PROJECT_SOURCE_DIR}/src>
+        $<INSTALL_INTERFACE:${CMAKE_INSTALL_INCLUDEDIR}/gmlake>)
+    if (ARG_DEPS)
+        target_link_libraries(${name} PUBLIC ${ARG_DEPS})
+    endif ()
+endfunction()

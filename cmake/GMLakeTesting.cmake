@@ -1,0 +1,90 @@
+# googletest acquisition and the gmlake_add_test() helper.
+#
+# googletest comes from FetchContent by default; on machines without
+# network access (or to pin a system copy) a vendored source tree is
+# used instead:
+#
+#   GMLAKE_VENDORED_GTEST=AUTO   use GMLAKE_GTEST_VENDOR_DIR when it
+#                                exists, FetchContent otherwise (default)
+#   GMLAKE_VENDORED_GTEST=ON     require the vendored tree
+#   GMLAKE_VENDORED_GTEST=OFF    always FetchContent
+
+set(GMLAKE_VENDORED_GTEST "AUTO" CACHE STRING
+    "Use a local googletest source tree instead of FetchContent (ON/OFF/AUTO)")
+set(GMLAKE_GTEST_VENDOR_DIR "/usr/src/googletest" CACHE PATH
+    "Location of the vendored googletest source tree (Debian: libgtest-dev)")
+
+set(_gmlake_use_vendored OFF)
+if (GMLAKE_VENDORED_GTEST STREQUAL "ON")
+    if (NOT EXISTS "${GMLAKE_GTEST_VENDOR_DIR}/CMakeLists.txt")
+        message(FATAL_ERROR
+            "GMLAKE_VENDORED_GTEST=ON but no googletest tree at "
+            "${GMLAKE_GTEST_VENDOR_DIR}")
+    endif ()
+    set(_gmlake_use_vendored ON)
+elseif (GMLAKE_VENDORED_GTEST STREQUAL "AUTO" AND
+        EXISTS "${GMLAKE_GTEST_VENDOR_DIR}/CMakeLists.txt")
+    set(_gmlake_use_vendored ON)
+endif ()
+
+set(INSTALL_GTEST OFF CACHE BOOL "" FORCE)
+set(BUILD_GMOCK OFF CACHE BOOL "" FORCE)
+
+if (_gmlake_use_vendored)
+    message(STATUS
+        "GMLake: googletest from ${GMLAKE_GTEST_VENDOR_DIR}")
+    if (CMAKE_VERSION VERSION_GREATER_EQUAL 3.25)
+        add_subdirectory("${GMLAKE_GTEST_VENDOR_DIR}"
+            "${CMAKE_BINARY_DIR}/_deps/googletest-build"
+            EXCLUDE_FROM_ALL SYSTEM)
+    else ()
+        add_subdirectory("${GMLAKE_GTEST_VENDOR_DIR}"
+            "${CMAKE_BINARY_DIR}/_deps/googletest-build"
+            EXCLUDE_FROM_ALL)
+    endif ()
+else ()
+    message(STATUS "GMLake: googletest via FetchContent")
+    include(FetchContent)
+    FetchContent_Declare(googletest
+        URL https://github.com/google/googletest/archive/refs/tags/v1.14.0.tar.gz
+        URL_HASH SHA256=8ad598c73ad796e0d8280b082cebd82a630d73e73cd3c70057938a6501bba5d7)
+    FetchContent_MakeAvailable(googletest)
+endif ()
+
+# Older gtest trees (e.g. Debian's 1.12 sources built as a
+# subdirectory) may define only the plain targets, not the GTest::
+# namespace the rest of the build links against.
+if (NOT TARGET GTest::gtest_main AND TARGET gtest_main)
+    add_library(GTest::gtest_main ALIAS gtest_main)
+endif ()
+if (NOT TARGET GTest::gtest AND TARGET gtest)
+    add_library(GTest::gtest ALIAS gtest)
+endif ()
+
+# Register one gtest suite as a build target and a labelled CTest
+# test:
+#
+#   gmlake_add_test(NAME core_gmlake_test
+#                   SOURCES core_gmlake_test.cc
+#                   LABELS unit
+#                   [DEPS extra_lib ...])
+#
+# Run subsets with e.g. `ctest -L unit` / `ctest -L regression`.
+function(gmlake_add_test)
+    cmake_parse_arguments(ARG "" "NAME;TIMEOUT" "SOURCES;LABELS;DEPS"
+        ${ARGN})
+    if (NOT ARG_NAME OR NOT ARG_SOURCES)
+        message(FATAL_ERROR "gmlake_add_test: NAME and SOURCES required")
+    endif ()
+    if (NOT ARG_TIMEOUT)
+        set(ARG_TIMEOUT 600)
+    endif ()
+    add_executable(${ARG_NAME} ${ARG_SOURCES})
+    gmlake_target_defaults(${ARG_NAME})
+    target_link_libraries(${ARG_NAME} PRIVATE
+        gmlake::gmlake_sim GTest::gtest_main ${ARG_DEPS})
+    add_test(NAME ${ARG_NAME} COMMAND ${ARG_NAME})
+    set_tests_properties(${ARG_NAME} PROPERTIES
+        LABELS "${ARG_LABELS}"
+        TIMEOUT ${ARG_TIMEOUT})
+endfunction()

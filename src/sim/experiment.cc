@@ -1,0 +1,444 @@
+#include "sim/experiment.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <sstream>
+
+#include "support/logging.hh"
+#include "support/units.hh"
+
+namespace gmlake::sim
+{
+
+// --------------------------------------------------------- context
+
+ExperimentContext::ExperimentContext(const ExperimentOptions &options,
+                                     std::ostream &out)
+    : mOptions(options), mOut(out)
+{
+}
+
+int
+ExperimentContext::iterations(int scenarioDefault) const
+{
+    return mOptions.iterations > 0 ? mOptions.iterations
+                                   : scenarioDefault;
+}
+
+workload::TrainConfig
+ExperimentContext::adjust(workload::TrainConfig cfg) const
+{
+    cfg.iterations = iterations(cfg.iterations);
+    if (mOptions.seed != 0)
+        cfg.seed = mOptions.seed;
+    return cfg;
+}
+
+workload::ServeConfig
+ExperimentContext::adjust(workload::ServeConfig cfg) const
+{
+    // Serving has no iteration knob; scale the request count so a
+    // smoke run (--iterations 2) stays proportionally short.
+    if (mOptions.iterations > 0) {
+        cfg.requests =
+            std::min(cfg.requests, 16 * mOptions.iterations);
+    }
+    if (mOptions.seed != 0)
+        cfg.seed = mOptions.seed;
+    return cfg;
+}
+
+vmm::DeviceConfig
+ExperimentContext::adjust(vmm::DeviceConfig cfg) const
+{
+    if (mOptions.deviceCapacity != 0)
+        cfg.capacity = mOptions.deviceCapacity;
+    return cfg;
+}
+
+ScenarioOptions
+ExperimentContext::adjust(ScenarioOptions scenario) const
+{
+    scenario.device = adjust(scenario.device);
+    return scenario;
+}
+
+RunResult
+ExperimentContext::run(const workload::TrainConfig &cfg,
+                       AllocatorKind kind,
+                       const ScenarioOptions &scenario,
+                       const std::string &label)
+{
+    const workload::TrainConfig adjusted = adjust(cfg);
+    const ScenarioOptions opts = adjust(scenario);
+    RunResult result = runScenario(adjusted, kind, opts);
+    record(label.empty() ? adjusted.describe() : label,
+           result.allocator, result);
+    return result;
+}
+
+BenchPair
+ExperimentContext::runPair(const workload::TrainConfig &cfg,
+                           const ScenarioOptions &scenario,
+                           const std::string &label)
+{
+    return BenchPair{
+        run(cfg, AllocatorKind::caching, scenario, label),
+        run(cfg, AllocatorKind::gmlake, scenario, label),
+    };
+}
+
+RunResult
+ExperimentContext::runTrace(AllocatorKind kind,
+                            const workload::Trace &trace,
+                            const std::string &label,
+                            const ScenarioOptions &scenario)
+{
+    const ScenarioOptions opts = adjust(scenario);
+    vmm::Device device(opts.device);
+    const auto allocator = makeAllocator(kind, device, opts.gmlake);
+    RunResult result = sim::runTrace(*allocator, device, trace,
+                                     nullptr, opts.engine);
+    record(label, result.allocator, result);
+    return result;
+}
+
+void
+ExperimentContext::record(const std::string &label,
+                          const std::string &allocator,
+                          const RunResult &result)
+{
+    mRecords.push_back(RunRecord{label, allocator, result});
+}
+
+void
+ExperimentContext::metric(const std::string &label,
+                          const std::string &name, double value)
+{
+    mMetrics.push_back(MetricRecord{label, name, value});
+}
+
+// -------------------------------------------------------- registry
+
+ExperimentRegistry &
+ExperimentRegistry::instance()
+{
+    static ExperimentRegistry registry;
+    return registry;
+}
+
+void
+ExperimentRegistry::add(Experiment experiment)
+{
+    GMLAKE_ASSERT(!experiment.name.empty(),
+                  "experiment needs a name");
+    GMLAKE_ASSERT(experiment.run != nullptr, "experiment ",
+                  experiment.name, " needs a run function");
+    if (find(experiment.name) != nullptr) {
+        GMLAKE_PANIC("duplicate experiment name: ", experiment.name);
+    }
+    mExperiments.push_back(std::move(experiment));
+}
+
+const Experiment *
+ExperimentRegistry::find(const std::string &name) const
+{
+    const auto it = std::find_if(
+        mExperiments.begin(), mExperiments.end(),
+        [&](const Experiment &e) { return e.name == name; });
+    return it == mExperiments.end() ? nullptr : &*it;
+}
+
+const std::vector<Experiment> &
+allExperiments()
+{
+    registerBuiltinExperiments();
+    return ExperimentRegistry::instance().all();
+}
+
+const Experiment *
+findExperiment(const std::string &name)
+{
+    registerBuiltinExperiments();
+    return ExperimentRegistry::instance().find(name);
+}
+
+// -------------------------------------------------------- artifacts
+
+namespace
+{
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+jsonDouble(double v)
+{
+    std::ostringstream oss;
+    oss << v;
+    const std::string s = oss.str();
+    // JSON has no inf/nan literals.
+    if (s.find("inf") != std::string::npos ||
+        s.find("nan") != std::string::npos) {
+        return "null";
+    }
+    return s;
+}
+
+void
+writeCsv(const Experiment &experiment,
+         const ExperimentContext &context, const std::string &path)
+{
+    const bool fresh = !std::filesystem::exists(path) ||
+                       std::filesystem::file_size(path) == 0;
+    std::ofstream out(path, std::ios::app);
+    if (!out)
+        GMLAKE_FATAL("cannot open CSV for writing: ", path);
+    if (fresh) {
+        out << "scenario,label,allocator,oom,utilization,"
+               "fragmentation,peak_active_bytes,peak_reserved_bytes,"
+               "sim_time_ns,samples_per_sec,alloc_count,free_count,"
+               "device_api_time_ns\n";
+    }
+    auto csvField = [](std::string s) {
+        for (char &c : s) {
+            if (c == ',' || c == '\n')
+                c = ' ';
+        }
+        return s;
+    };
+    for (const RunRecord &r : context.records()) {
+        out << experiment.name << ',' << csvField(r.label) << ','
+            << csvField(r.allocator) << ',' << (r.result.oom ? 1 : 0)
+            << ',' << r.result.utilization << ','
+            << r.result.fragmentation << ',' << r.result.peakActive
+            << ',' << r.result.peakReserved << ',' << r.result.simTime
+            << ',' << r.result.samplesPerSec << ','
+            << r.result.allocCount << ',' << r.result.freeCount << ','
+            << r.result.deviceApiTime << '\n';
+    }
+}
+
+void
+writeJson(const Experiment &experiment,
+          const ExperimentContext &context,
+          const ExperimentOptions &options, const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        GMLAKE_FATAL("cannot open JSON for writing: ", path);
+    out << "{\n"
+        << "  \"scenario\": \"" << jsonEscape(experiment.name)
+        << "\",\n"
+        << "  \"kind\": \"" << jsonEscape(experiment.kind) << "\",\n"
+        << "  \"title\": \"" << jsonEscape(experiment.title)
+        << "\",\n"
+        << "  \"iterations_override\": " << options.iterations
+        << ",\n"
+        << "  \"device_capacity_override\": "
+        << options.deviceCapacity << ",\n"
+        << "  \"records\": [";
+    bool first = true;
+    for (const RunRecord &r : context.records()) {
+        out << (first ? "" : ",") << "\n    {"
+            << "\"label\": \"" << jsonEscape(r.label) << "\", "
+            << "\"allocator\": \"" << jsonEscape(r.allocator)
+            << "\", "
+            << "\"oom\": " << (r.result.oom ? "true" : "false")
+            << ", "
+            << "\"utilization\": " << jsonDouble(r.result.utilization)
+            << ", "
+            << "\"fragmentation\": "
+            << jsonDouble(r.result.fragmentation) << ", "
+            << "\"peak_active_bytes\": " << r.result.peakActive
+            << ", "
+            << "\"peak_reserved_bytes\": " << r.result.peakReserved
+            << ", "
+            << "\"sim_time_ns\": " << r.result.simTime << ", "
+            << "\"samples_per_sec\": "
+            << jsonDouble(r.result.samplesPerSec) << ", "
+            << "\"alloc_count\": " << r.result.allocCount << ", "
+            << "\"free_count\": " << r.result.freeCount << ", "
+            << "\"device_api_time_ns\": " << r.result.deviceApiTime
+            << "}";
+        first = false;
+    }
+    out << "\n  ],\n  \"metrics\": [";
+    first = true;
+    for (const MetricRecord &m : context.metrics()) {
+        out << (first ? "" : ",") << "\n    {"
+            << "\"label\": \"" << jsonEscape(m.label) << "\", "
+            << "\"name\": \"" << jsonEscape(m.name) << "\", "
+            << "\"value\": " << jsonDouble(m.value) << "}";
+        first = false;
+    }
+    out << "\n  ]\n}\n";
+}
+
+} // namespace
+
+std::string
+defaultCsvPath(const Experiment &experiment)
+{
+    return "BENCH_" + experiment.name + ".csv";
+}
+
+std::string
+defaultJsonPath(const Experiment &experiment)
+{
+    return "BENCH_" + experiment.name + ".json";
+}
+
+// ----------------------------------------------------------- driver
+
+int
+runExperiment(const Experiment &experiment,
+              const ExperimentRunOptions &options, std::ostream &out)
+{
+    if (options.banner) {
+        out << "\n====================================================="
+               "===================\n"
+            << experiment.title << "\n"
+            << experiment.claim << "\n"
+            << "======================================================="
+               "=================\n";
+    }
+    ExperimentOptions experimentOptions = options.experiment;
+    experimentOptions.plotFiles = !options.csvPath.empty();
+    ExperimentContext context(experimentOptions, out);
+    experiment.run(context);
+    if (!options.csvPath.empty()) {
+        writeCsv(experiment, context, options.csvPath);
+        out << "(run records appended to " << options.csvPath
+            << ")\n";
+    }
+    if (!options.jsonPath.empty()) {
+        writeJson(experiment, context, options.experiment,
+                  options.jsonPath);
+        out << "(report written to " << options.jsonPath << ")\n";
+    }
+    return 0;
+}
+
+namespace
+{
+
+std::uint64_t
+parseUnsigned(const char *flag, const char *value,
+              std::uint64_t max = std::numeric_limits<std::uint64_t>::max())
+{
+    std::uint64_t parsed = 0;
+    std::size_t consumed = 0;
+    if (value[0] >= '0' && value[0] <= '9') {
+        try {
+            parsed = std::stoull(value, &consumed);
+        } catch (const std::exception &) {
+            consumed = 0;
+        }
+    }
+    if (consumed == 0 || value[consumed] != '\0')
+        GMLAKE_FATAL("flag ", flag, " needs a non-negative number, "
+                     "got '", value, "'");
+    if (parsed > max)
+        GMLAKE_FATAL("flag ", flag, " accepts at most ", max,
+                     ", got '", value, "'");
+    return parsed;
+}
+
+} // namespace
+
+int
+experimentMain(const std::string &name, int argc, char **argv)
+try {
+    const Experiment *experiment = findExperiment(name);
+    if (experiment == nullptr) {
+        std::cerr << "unknown experiment: " << name << "\n";
+        return 1;
+    }
+
+    ExperimentRunOptions options;
+    auto need = [&](int &i) -> const char * {
+        if (i + 1 >= argc)
+            GMLAKE_FATAL("flag ", argv[i], " needs a value");
+        return argv[++i];
+    };
+    auto optional = [&](int &i) -> const char * {
+        if (i + 1 < argc && argv[i + 1][0] != '-')
+            return argv[++i];
+        return nullptr;
+    };
+    for (int i = 1; i < argc; ++i) {
+        const std::string flag = argv[i];
+        if (flag == "--help" || flag == "-h") {
+            std::cout
+                << "usage: " << argv[0] << " [options]\n\n"
+                << experiment->title << "\n\n"
+                << "  --iterations N   override training iterations\n"
+                << "  --capacity GiB   override device capacity\n"
+                << "  --seed N         override the workload seed\n"
+                << "  --csv [FILE]     append run records as CSV\n"
+                << "  --json [FILE]    write the report as JSON\n"
+                << "  --no-banner      suppress the banner\n";
+            return 0;
+        } else if (flag == "--iterations") {
+            options.experiment.iterations = static_cast<int>(
+                parseUnsigned("--iterations", need(i),
+                              std::numeric_limits<int>::max()));
+        } else if (flag == "--capacity") {
+            options.experiment.deviceCapacity =
+                static_cast<Bytes>(parseUnsigned(
+                    "--capacity", need(i),
+                    std::numeric_limits<Bytes>::max() / GiB)) *
+                GiB;
+        } else if (flag == "--seed") {
+            options.experiment.seed = parseUnsigned("--seed", need(i));
+        } else if (flag == "--csv") {
+            const char *path = optional(i);
+            options.csvPath =
+                path ? path : defaultCsvPath(*experiment);
+        } else if (flag == "--json") {
+            const char *path = optional(i);
+            options.jsonPath =
+                path ? path : defaultJsonPath(*experiment);
+        } else if (flag == "--no-banner") {
+            options.banner = false;
+        } else {
+            GMLAKE_FATAL("unknown flag: ", flag, " (try --help)");
+        }
+    }
+    return runExperiment(*experiment, options, std::cout);
+} catch (const FatalError &) {
+    return 1; // diagnostic already printed by GMLAKE_FATAL
+} catch (const PanicError &) {
+    return 1; // diagnostic already printed by GMLAKE_PANIC
+} catch (const std::exception &e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+}
+
+} // namespace gmlake::sim

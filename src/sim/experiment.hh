@@ -1,0 +1,198 @@
+/**
+ * @file
+ * The experiment registry: every figure/table reproduction and
+ * extension study registers here as a named scenario (workload sweep,
+ * allocator set, device config, metrics). The bench_* binaries, the
+ * gmlake_sim `run`/`list` subcommands, CI's bench-smoke job, and the
+ * registry test all drive scenarios through this one code path, so a
+ * scenario that rots fails CTest instead of a nightly bench.
+ */
+
+#ifndef GMLAKE_SIM_EXPERIMENT_HH
+#define GMLAKE_SIM_EXPERIMENT_HH
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/runner.hh"
+#include "workload/servegen.hh"
+
+namespace gmlake::sim
+{
+
+/**
+ * Cross-cutting overrides honoured by every scenario. CI's smoke job
+ * shrinks iteration counts; the registry test shrinks the device.
+ */
+struct ExperimentOptions
+{
+    /** When > 0, replaces each scenario's training iteration count. */
+    int iterations = 0;
+    /** When != 0, overrides the simulated device capacity (bytes). */
+    Bytes deviceCapacity = 0;
+    /** When != 0, overrides the workload RNG base seed. */
+    std::uint64_t seed = 0;
+    /**
+     * Write auxiliary plotting files (e.g. fig14's full-series
+     * CSVs). Off by default so smoke runs and tests leave no stray
+     * files; runExperiment() enables it when --csv is requested.
+     */
+    bool plotFiles = false;
+};
+
+/** One allocator run recorded while a scenario executes. */
+struct RunRecord
+{
+    std::string label;     //!< scenario row, e.g. "OPT-13B/LR/b16"
+    std::string allocator; //!< allocator (plus knobs when relevant)
+    RunResult result;
+};
+
+/** A scalar fact a scenario adds to the machine-readable report. */
+struct MetricRecord
+{
+    std::string label;
+    std::string name;
+    double value = 0.0;
+};
+
+/** The caching-vs-GMLake pair most figures compare. */
+struct BenchPair
+{
+    RunResult caching;
+    RunResult gmlake;
+};
+
+/**
+ * Handed to a scenario's run function: applies the option overrides,
+ * runs allocators, and records every result for the CSV/JSON report.
+ * Human-facing tables go to out(); machine-facing data is whatever
+ * was recorded.
+ */
+class ExperimentContext
+{
+  public:
+    ExperimentContext(const ExperimentOptions &options,
+                      std::ostream &out);
+
+    const ExperimentOptions &options() const { return mOptions; }
+    std::ostream &out() { return mOut; }
+
+    /** Scenario-default iteration count, unless overridden. */
+    int iterations(int scenarioDefault) const;
+
+    /** Fold the overrides into a workload/device description. */
+    workload::TrainConfig adjust(workload::TrainConfig cfg) const;
+    workload::ServeConfig adjust(workload::ServeConfig cfg) const;
+    vmm::DeviceConfig adjust(vmm::DeviceConfig cfg) const;
+    ScenarioOptions adjust(ScenarioOptions scenario) const;
+
+    /** Run one adjusted training scenario and record the result. */
+    RunResult run(const workload::TrainConfig &cfg, AllocatorKind kind,
+                  const ScenarioOptions &scenario = {},
+                  const std::string &label = "");
+
+    /** run() under both paper allocators (caching, gmlake). */
+    BenchPair runPair(const workload::TrainConfig &cfg,
+                      const ScenarioOptions &scenario = {},
+                      const std::string &label = "");
+
+    /** Replay an explicit trace (serving scenarios) and record. */
+    RunResult runTrace(AllocatorKind kind,
+                       const workload::Trace &trace,
+                       const std::string &label = "",
+                       const ScenarioOptions &scenario = {});
+
+    /** Record a run produced outside the helpers (custom knobs). */
+    void record(const std::string &label, const std::string &allocator,
+                const RunResult &result);
+
+    /** Record a scalar metric (latency ratios, aggregates, ...). */
+    void metric(const std::string &label, const std::string &name,
+                double value);
+
+    const std::vector<RunRecord> &records() const { return mRecords; }
+    const std::vector<MetricRecord> &metrics() const
+    {
+        return mMetrics;
+    }
+
+  private:
+    ExperimentOptions mOptions;
+    std::ostream &mOut;
+    std::vector<RunRecord> mRecords;
+    std::vector<MetricRecord> mMetrics;
+};
+
+/** A named, registered scenario. */
+struct Experiment
+{
+    std::string name;  //!< stable CLI id, e.g. "fig10", "headline"
+    std::string kind;  //!< figure | table | section | aggregate | extension
+    std::string title; //!< one-line banner headline
+    std::string claim; //!< the paper claim being reproduced
+    std::function<void(ExperimentContext &)> run;
+};
+
+class ExperimentRegistry
+{
+  public:
+    static ExperimentRegistry &instance();
+
+    /** Register a scenario; duplicate names are a hard error. */
+    void add(Experiment experiment);
+
+    const Experiment *find(const std::string &name) const;
+    const std::vector<Experiment> &all() const { return mExperiments; }
+
+  private:
+    std::vector<Experiment> mExperiments;
+};
+
+/**
+ * Register the built-in figure/table scenarios (registry.cc).
+ * Idempotent; called by allExperiments()/findExperiment().
+ */
+void registerBuiltinExperiments();
+
+/** Every registered scenario, builtins included, in CLI order. */
+const std::vector<Experiment> &allExperiments();
+
+/** Look up one scenario by name; nullptr when unknown. */
+const Experiment *findExperiment(const std::string &name);
+
+/** Artifact emission for one executed scenario. */
+struct ExperimentRunOptions
+{
+    ExperimentOptions experiment{};
+    bool banner = true;
+    /** Non-empty: append one CSV row per recorded run. */
+    std::string csvPath;
+    /** Non-empty: write the scenario report as JSON. */
+    std::string jsonPath;
+};
+
+/** Default artifact names: BENCH_<name>.csv / BENCH_<name>.json. */
+std::string defaultCsvPath(const Experiment &experiment);
+std::string defaultJsonPath(const Experiment &experiment);
+
+/**
+ * Execute one scenario: banner, run function, artifact emission.
+ * Returns a process exit code (0 on success).
+ */
+int runExperiment(const Experiment &experiment,
+                  const ExperimentRunOptions &options,
+                  std::ostream &out);
+
+/**
+ * Shared main() body of the bench_* wrappers and `gmlake_sim run`:
+ * parses --iterations/--capacity/--seed/--csv/--json and runs the
+ * named scenario.
+ */
+int experimentMain(const std::string &name, int argc, char **argv);
+
+} // namespace gmlake::sim
+
+#endif // GMLAKE_SIM_EXPERIMENT_HH

@@ -25,7 +25,7 @@ panicImpl(const char *file, int line, const std::string &msg)
     std::fflush(stderr);
     // Throw instead of abort() so unit tests can observe panics; the
     // exception derives from std::logic_error because a panic is a bug.
-    throw std::logic_error("panic: " + msg);
+    throw PanicError("panic: " + msg);
 }
 
 [[noreturn]] void
@@ -33,7 +33,7 @@ fatalImpl(const char *file, int line, const std::string &msg)
 {
     std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
     std::fflush(stderr);
-    throw std::runtime_error("fatal: " + msg);
+    throw FatalError("fatal: " + msg);
 }
 
 void

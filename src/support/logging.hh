@@ -14,10 +14,27 @@
 #define GMLAKE_SUPPORT_LOGGING_HH
 
 #include <sstream>
+#include <stdexcept>
 #include <string>
 
 namespace gmlake
 {
+
+/**
+ * Thrown by fatal()/GMLAKE_FATAL after the diagnostic has been
+ * printed to stderr; catch sites can exit quietly without losing
+ * stray exceptions from other sources.
+ */
+struct FatalError : std::runtime_error
+{
+    using std::runtime_error::runtime_error;
+};
+
+/** Thrown by panic()/GMLAKE_PANIC, likewise already reported. */
+struct PanicError : std::logic_error
+{
+    using std::logic_error::logic_error;
+};
 
 namespace detail
 {

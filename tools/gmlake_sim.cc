@@ -2,11 +2,18 @@
  * @file
  * gmlake_sim — command-line experiment runner.
  *
- * Runs a training or serving workload under any of the allocators on
- * a simulated GPU and reports the paper's metrics. Traces can be
- * recorded to and replayed from files.
+ * Two modes:
  *
- * Examples:
+ * Registry mode drives the shared experiment registry — the same
+ * scenarios the bench_* binaries and CI run:
+ *   gmlake_sim list
+ *   gmlake_sim run headline --csv
+ *   gmlake_sim run fig10 --json --iterations 4
+ *   gmlake_sim run all --iterations 1
+ *
+ * Ad-hoc mode runs a single workload under any of the allocators on
+ * a simulated GPU and reports the paper's metrics. Traces can be
+ * recorded to and replayed from files:
  *   gmlake_sim --model OPT-13B --strategies LR --gpus 4 --batch 16
  *   gmlake_sim --model GPT-NeoX-20B --batch 72 --allocator all
  *   gmlake_sim --serve --model OPT-13B --max-batch 32
@@ -24,6 +31,7 @@
 #include <vector>
 
 #include "alloc/snapshot.hh"
+#include "sim/experiment.hh"
 #include "sim/runner.hh"
 #include "support/strings.hh"
 #include "support/table.hh"
@@ -70,6 +78,17 @@ printHelp()
 {
     std::cout <<
         "gmlake_sim — GMLake reproduction experiment runner\n\n"
+        "Registered experiments (figures/tables via the shared "
+        "registry):\n"
+        "  list                print every registered scenario\n"
+        "  run NAME [opts]     run one scenario ('all' runs every "
+        "one)\n"
+        "      --iterations N  override training iterations\n"
+        "      --capacity GiB  override device capacity\n"
+        "      --seed N        override the workload seed\n"
+        "      --csv [FILE]    append run records as CSV\n"
+        "      --json [FILE]   write report (BENCH_<name>.json)\n\n"
+        "Ad-hoc workloads:\n\n"
         "Workload selection:\n"
         "  --model NAME        model from the zoo (default OPT-13B)\n"
         "  --list-models       print the model zoo and exit\n"
@@ -105,6 +124,23 @@ parse(int argc, char **argv)
             GMLAKE_FATAL("flag ", argv[i], " needs a value");
         return argv[++i];
     };
+    auto num = [&](int &i) -> unsigned long long {
+        const std::string flag = argv[i];
+        const char *value = need(i);
+        unsigned long long parsed = 0;
+        std::size_t consumed = 0;
+        if (value[0] >= '0' && value[0] <= '9') {
+            try {
+                parsed = std::stoull(value, &consumed);
+            } catch (const std::exception &) {
+                consumed = 0;
+            }
+        }
+        if (consumed == 0 || value[consumed] != '\0')
+            GMLAKE_FATAL("flag ", flag, " needs a non-negative "
+                         "number, got '", value, "'");
+        return parsed;
+    };
     for (int i = 1; i < argc; ++i) {
         const std::string flag = argv[i];
         if (flag == "--help" || flag == "-h") {
@@ -120,27 +156,27 @@ parse(int argc, char **argv)
         } else if (flag == "--platform") {
             opt.platform = need(i);
         } else if (flag == "--gpus") {
-            opt.gpus = std::stoi(need(i));
+            opt.gpus = static_cast<int>(num(i));
         } else if (flag == "--batch") {
-            opt.batch = std::stoi(need(i));
+            opt.batch = static_cast<int>(num(i));
         } else if (flag == "--iterations") {
-            opt.iterations = std::stoi(need(i));
+            opt.iterations = static_cast<int>(num(i));
         } else if (flag == "--seq") {
-            opt.seqLen = std::stoi(need(i));
+            opt.seqLen = static_cast<int>(num(i));
         } else if (flag == "--seed") {
-            opt.seed = std::stoull(need(i));
+            opt.seed = num(i);
         } else if (flag == "--serve") {
             opt.serve = true;
         } else if (flag == "--requests") {
-            opt.serveRequests = std::stoi(need(i));
+            opt.serveRequests = static_cast<int>(num(i));
         } else if (flag == "--max-batch") {
-            opt.serveMaxBatch = std::stoi(need(i));
+            opt.serveMaxBatch = static_cast<int>(num(i));
         } else if (flag == "--allocator") {
             opt.allocator = need(i);
         } else if (flag == "--capacity") {
-            opt.capacityGiB = std::stoull(need(i));
+            opt.capacityGiB = num(i);
         } else if (flag == "--frag-limit") {
-            opt.fragLimitMiB = std::stoull(need(i));
+            opt.fragLimitMiB = num(i);
         } else if (flag == "--record") {
             opt.recordPath = need(i);
         } else if (flag == "--replay") {
@@ -192,11 +228,53 @@ parseAllocators(const std::string &name)
     GMLAKE_FATAL("unknown allocator: ", name);
 }
 
+int
+cmdList()
+{
+    Table table({"Name", "Kind", "Title"});
+    for (const auto &e : sim::allExperiments())
+        table.addRow({e.name, e.kind, e.title});
+    table.print(std::cout);
+    std::cout << "\nrun one with: gmlake_sim run <name> "
+                 "[--iterations N] [--csv] [--json]\n";
+    return 0;
+}
+
+int
+cmdRun(int argc, char **argv)
+{
+    if (argc < 3) {
+        std::cerr << "usage: gmlake_sim run <scenario> [options]\n"
+                     "       (gmlake_sim list shows the scenarios)\n";
+        return 1;
+    }
+    const std::string name = argv[2];
+    // The scenario argument doubles as argv[0] of the experiment
+    // CLI, so flags start right after it.
+    if (name == "all") {
+        int rc = 0;
+        for (const auto &e : sim::allExperiments())
+            rc |= sim::experimentMain(e.name, argc - 2, argv + 2);
+        return rc;
+    }
+    if (sim::findExperiment(name) == nullptr) {
+        std::cerr << "unknown scenario: " << name
+                  << " (gmlake_sim list shows the scenarios)\n";
+        return 1;
+    }
+    return sim::experimentMain(name, argc - 2, argv + 2);
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
-{
+try {
+    if (argc >= 2 && std::strcmp(argv[1], "list") == 0)
+        return cmdList();
+    if (argc >= 2 && std::strcmp(argv[1], "run") == 0)
+        return cmdRun(argc, argv);
+
     const auto parsed = parse(argc, argv);
     if (!parsed)
         return 0;
@@ -304,4 +382,11 @@ main(int argc, char **argv)
     }
     table.print(std::cout);
     return 0;
+} catch (const gmlake::FatalError &) {
+    return 1; // diagnostic already printed by GMLAKE_FATAL
+} catch (const gmlake::PanicError &) {
+    return 1; // diagnostic already printed by GMLAKE_PANIC
+} catch (const std::exception &e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
 }
