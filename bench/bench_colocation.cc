@@ -1,0 +1,16 @@
+/**
+ * @file
+ * Multi-tenant colocation: an OPT-13B fine-tune and an OPT-13B
+ * KV-cache serving process share one simulated GPU through the
+ * multi-session engine; fragmentation from either tenant eats the
+ * other's headroom, and stitching returns it.
+ */
+
+#include "bench/common.hh"
+
+int
+main(int argc, char **argv)
+{
+    return gmlake::bench::benchMain("colocate-train-serve", argc,
+                                    argv);
+}

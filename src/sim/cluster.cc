@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "support/logging.hh"
+#include "support/rng.hh"
+#include "support/thread_pool.hh"
 #include "workload/tracegen.hh"
 
 namespace gmlake::sim
@@ -76,19 +78,33 @@ ClusterResult::globalSamplesPerSec(
             static_cast<double>(c.iterations));
 }
 
+std::uint64_t
+clusterRankSeed(const workload::TrainConfig &config, int rank)
+{
+    return deriveSeed(config.seed, static_cast<std::uint64_t>(rank));
+}
+
 ClusterResult
 runCluster(const workload::TrainConfig &config, AllocatorKind kind,
-           const ScenarioOptions &options)
+           const ScenarioOptions &options, int threads)
 {
     GMLAKE_ASSERT(config.gpus >= 1, "cluster needs at least one rank");
     ClusterResult cluster;
-    cluster.ranks.reserve(static_cast<std::size_t>(config.gpus));
-    for (int rank = 0; rank < config.gpus; ++rank) {
-        workload::TrainConfig rankCfg = config;
-        rankCfg.seed =
-            config.seed + 1000 * static_cast<std::uint64_t>(rank);
-        cluster.ranks.push_back(runScenario(rankCfg, kind, options));
-    }
+    cluster.ranks.resize(static_cast<std::size_t>(config.gpus));
+    const std::size_t workers =
+        threads == 0 ? ThreadPool::defaultThreads()
+                     : static_cast<std::size_t>(std::max(1, threads));
+    // Each rank owns a private device + allocator + seeded trace and
+    // writes only its own result slot, so the parallel schedule
+    // cannot perturb the (rank-ordered) output.
+    parallelFor(cluster.ranks.size(), workers,
+                [&](std::size_t rank) {
+                    workload::TrainConfig rankCfg = config;
+                    rankCfg.seed = clusterRankSeed(
+                        config, static_cast<int>(rank));
+                    cluster.ranks[rank] =
+                        runScenario(rankCfg, kind, options);
+                });
     return cluster;
 }
 

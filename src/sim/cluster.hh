@@ -36,13 +36,26 @@ struct ClusterResult
     double globalSamplesPerSec(const workload::TrainConfig &c) const;
 };
 
+/** Workload seed of rank @p rank (splitmix-derived; see deriveSeed). */
+std::uint64_t clusterRankSeed(const workload::TrainConfig &config,
+                              int rank);
+
 /**
- * Run @p config on every rank (config.gpus devices). Rank r uses
- * workload seed config.seed + 1000 * r, modelling per-rank data.
+ * Run @p config on every rank (config.gpus devices). Rank r uses the
+ * splitmix-derived seed clusterRankSeed(config, r), modelling
+ * per-rank data without cross-base-seed collisions.
+ *
+ * Ranks are independent — each owns a private device, allocator, and
+ * trace — so with @p threads > 1 they execute on a ThreadPool
+ * (0 = one worker per hardware thread, like every other `threads`
+ * surface). Every rank writes only its own slot of the rank-ordered
+ * result vector, making the outcome bit-identical to the sequential
+ * (threads == 1) run regardless of scheduling.
  */
 ClusterResult runCluster(const workload::TrainConfig &config,
                          AllocatorKind kind,
-                         const ScenarioOptions &options = {});
+                         const ScenarioOptions &options = {},
+                         int threads = 1);
 
 } // namespace gmlake::sim
 

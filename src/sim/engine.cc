@@ -1,8 +1,6 @@
 #include "sim/engine.hh"
 
-#include <unordered_map>
-
-#include "support/logging.hh"
+#include "sim/session.hh"
 
 namespace gmlake::sim
 {
@@ -12,108 +10,9 @@ runTrace(alloc::Allocator &allocator, vmm::Device &device,
          const workload::Trace &trace,
          const workload::TrainConfig *config, EngineOptions options)
 {
-    RunResult result;
-    result.allocator = allocator.name();
-
-    const Tick apiTimeStart = device.counters().apiTime;
-    const Tick timeStart = device.now();
-
-    std::unordered_map<workload::TensorId, alloc::AllocId> live;
-    live.reserve(1024);
-
-    const std::size_t stride =
-        options.recordSeries
-            ? std::max<std::size_t>(
-                  1, trace.size() / options.maxSeriesPoints)
-            : 0;
-    std::size_t index = 0;
-
-    auto sample = [&](bool force) {
-        if (!options.recordSeries)
-            return;
-        if (!force && stride != 0 && index % stride != 0)
-            return;
-        const auto &stats = allocator.stats();
-        result.series.push_back(SamplePoint{device.now() - timeStart,
-                                            stats.activeBytes(),
-                                            stats.reservedBytes()});
-    };
-
-    for (const workload::Event &event : trace.events()) {
-        ++index;
-        switch (event.kind) {
-          case workload::EventKind::alloc: {
-            const auto got =
-                allocator.allocate(event.bytes, event.stream);
-            if (!got.ok()) {
-                if (got.error().code == Errc::outOfMemory) {
-                    result.oom = true;
-                    result.oomAt = device.now() - timeStart;
-                    goto done;
-                }
-                GMLAKE_PANIC("allocator error: ",
-                             got.error().message);
-            }
-            live.emplace(event.tensor, got->id);
-            sample(false);
-            break;
-          }
-          case workload::EventKind::free: {
-            const auto it = live.find(event.tensor);
-            GMLAKE_ASSERT(it != live.end(),
-                          "trace frees unknown tensor");
-            const Status s = allocator.deallocate(it->second);
-            GMLAKE_ASSERT(s.ok(), "deallocate failed: ",
-                          s.ok() ? "" : s.error().message);
-            live.erase(it);
-            sample(false);
-            break;
-          }
-          case workload::EventKind::compute:
-            device.clock().advance(event.computeNs);
-            break;
-          case workload::EventKind::iterationMark:
-            ++result.iterationsDone;
-            sample(true);
-            break;
-          case workload::EventKind::streamSync:
-            if (event.stream == kAnyStream)
-                allocator.deviceSynchronize();
-            else
-                allocator.streamSynchronize(event.stream);
-            break;
-        }
-    }
-done:
-    // The trailing iterationMark of the final iteration counts it as
-    // done only when the whole iteration replayed; the mark precedes
-    // the iteration body, so adjust.
-    if (!result.oom && result.iterationsDone > 0) {
-        // all marks were starts; the final iteration completed too
-    } else if (result.oom && result.iterationsDone > 0) {
-        --result.iterationsDone; // the started iteration never finished
-    }
-
-    const auto &stats = allocator.stats();
-    result.simTime = device.now() - timeStart;
-    result.peakActive = stats.peakActiveBytes();
-    result.peakReserved = stats.peakReservedBytes();
-    result.utilization = stats.utilizationRatio();
-    result.fragmentation = stats.fragmentationRatio();
-    result.allocCount = stats.allocCount();
-    result.freeCount = stats.freeCount();
-    result.deviceApiTime = device.counters().apiTime - apiTimeStart;
-
-    if (config && result.iterationsDone > 0 && result.simTime > 0) {
-        const double samples =
-            static_cast<double>(result.iterationsDone) *
-            static_cast<double>(config->batchSize) *
-            static_cast<double>(config->gpus);
-        result.samplesPerSec =
-            samples / (static_cast<double>(result.simTime) * 1e-9);
-    }
-    sample(true);
-    return result;
+    SimEngine engine(allocator, device, options);
+    engine.addSession(Session("main", &trace));
+    return engine.run(config).combined;
 }
 
 } // namespace gmlake::sim

@@ -1,9 +1,11 @@
 /**
  * @file
- * Replay engine: drives an allocator with a workload trace on a
- * simulated device and gathers the paper's metrics (peak active and
- * reserved memory, utilization/fragmentation ratio, throughput, and
- * the memory-footprint time series of Fig 14).
+ * Replay metrics and the single-trace entry point: RunResult gathers
+ * the paper's metrics (peak active and reserved memory,
+ * utilization/fragmentation ratio, throughput, and the
+ * memory-footprint time series of Fig 14). The replay loop itself
+ * lives in the multi-session SimEngine (sim/session.hh); runTrace()
+ * is its single-session convenience wrapper.
  */
 
 #ifndef GMLAKE_SIM_ENGINE_HH
@@ -60,7 +62,8 @@ struct EngineOptions
 };
 
 /**
- * Replay @p trace through @p allocator on @p device.
+ * Replay @p trace through @p allocator on @p device (a one-session
+ * SimEngine run; see sim/session.hh for co-locating several traces).
  *
  * @param config optional training config used to derive throughput
  *        (samples/s = iterations x batch x gpus / elapsed time)

@@ -9,6 +9,7 @@
 #include <sstream>
 
 #include "support/logging.hh"
+#include "support/thread_pool.hh"
 #include "support/units.hh"
 
 namespace gmlake::sim
@@ -27,6 +28,14 @@ ExperimentContext::iterations(int scenarioDefault) const
 {
     return mOptions.iterations > 0 ? mOptions.iterations
                                    : scenarioDefault;
+}
+
+int
+ExperimentContext::threads() const
+{
+    if (mOptions.threads == 0)
+        return static_cast<int>(ThreadPool::defaultThreads());
+    return std::max(1, mOptions.threads);
 }
 
 workload::TrainConfig
@@ -401,6 +410,8 @@ try {
                 << "  --iterations N   override training iterations\n"
                 << "  --capacity GiB   override device capacity\n"
                 << "  --seed N         override the workload seed\n"
+                << "  --threads N      worker threads for cluster "
+                   "scenarios (0 = all cores)\n"
                 << "  --csv [FILE]     append run records as CSV\n"
                 << "  --json [FILE]    write the report as JSON\n"
                 << "  --no-banner      suppress the banner\n";
@@ -417,6 +428,9 @@ try {
                 GiB;
         } else if (flag == "--seed") {
             options.experiment.seed = parseUnsigned("--seed", need(i));
+        } else if (flag == "--threads") {
+            options.experiment.threads = static_cast<int>(
+                parseUnsigned("--threads", need(i), 4096));
         } else if (flag == "--csv") {
             const char *path = optional(i);
             options.csvPath =

@@ -35,6 +35,13 @@ struct ExperimentOptions
     /** When != 0, overrides the workload RNG base seed. */
     std::uint64_t seed = 0;
     /**
+     * Worker threads for scenarios with independent sub-runs
+     * (cluster ranks). 1 = sequential; results are identical either
+     * way, parallelism only changes wall-clock time. 0 = use every
+     * hardware thread.
+     */
+    int threads = 1;
+    /**
      * Write auxiliary plotting files (e.g. fig14's full-series
      * CSVs). Off by default so smoke runs and tests leave no stray
      * files; runExperiment() enables it when --csv is requested.
@@ -82,6 +89,9 @@ class ExperimentContext
 
     /** Scenario-default iteration count, unless overridden. */
     int iterations(int scenarioDefault) const;
+
+    /** Resolved worker-thread count (0 -> hardware threads). */
+    int threads() const;
 
     /** Fold the overrides into a workload/device description. */
     workload::TrainConfig adjust(workload::TrainConfig cfg) const;

@@ -16,8 +16,11 @@
 #include "alloc/caching_allocator.hh"
 #include "alloc/compacting_allocator.hh"
 #include "core/gmlake_allocator.hh"
+#include "sim/cluster.hh"
+#include "sim/session.hh"
 #include "support/csv.hh"
 #include "support/logging.hh"
+#include "support/rng.hh"
 #include "support/strings.hh"
 #include "support/table.hh"
 #include "support/units.hh"
@@ -931,6 +934,229 @@ runVmmDesigns(ExperimentContext &ctx)
     }
 }
 
+// --------------------------------------------- colocation (sessions)
+
+/**
+ * Run @p sessions co-located on one adjusted device under @p kind and
+ * record the combined result as @p label.
+ */
+MultiRunResult
+runColocated(ExperimentContext &ctx, AllocatorKind kind,
+             std::vector<Session> sessions, const std::string &label,
+             const ScenarioOptions &scenario = {})
+{
+    const ScenarioOptions opts = ctx.adjust(scenario);
+    vmm::Device device(opts.device);
+    const auto allocator = makeAllocator(kind, device, opts.gmlake);
+    SimEngine engine(*allocator, device, opts.engine);
+    for (Session &session : sessions)
+        engine.addSession(std::move(session));
+    MultiRunResult multi = engine.run();
+    ctx.record(label, multi.combined.allocator, multi.combined);
+    for (const SessionResult &s : multi.sessions) {
+        ctx.metric(label + "/" + s.name,
+                   std::string(allocatorKindName(kind)) + "_oom",
+                   s.oom ? 1.0 : 0.0);
+        ctx.metric(label + "/" + s.name,
+                   std::string(allocatorKindName(kind)) +
+                       "_peak_live_bytes",
+                   static_cast<double>(s.peakLiveBytes));
+    }
+    return multi;
+}
+
+std::string
+sessionCell(const MultiRunResult &multi, const std::string &name)
+{
+    const SessionResult *s = multi.find(name);
+    GMLAKE_ASSERT(s != nullptr, "unknown session: ", name);
+    if (s->oom)
+        return "OOM@" + formatTime(s->oomAt);
+    return "ok, peak " + formatBytes(s->peakLiveBytes);
+}
+
+void
+runColocateTrainServe(ExperimentContext &ctx)
+{
+    // One device, two tenants: an OPT-13B fine-tune (the footprint
+    // owner) and an OPT-13B KV-cache serving process (variable-size
+    // churn in whatever is left). Fragmentation from either tenant
+    // eats into the other's headroom.
+    auto train = ctx.adjust(trainConfig("OPT-13B", "LR", 4, 16, 8));
+    workload::ServeConfig serve;
+    serve.model = workload::findModel("OPT-13B");
+    serve.requests = 160;
+    serve.maxBatch = 24;
+    serve = ctx.adjust(serve);
+
+    // One trace per tenant, replayed (borrowed) under every
+    // allocator — the same-workload comparison the paper makes.
+    const workload::Trace trainTrace =
+        workload::generateTrainingTrace(train);
+    const workload::Trace serveTrace =
+        workload::generateServingTrace(serve).trace;
+
+    Table table({"Allocator", "Utilization", "Peak reserved",
+                 "Train session", "Serve session"});
+    for (const auto kind :
+         {AllocatorKind::caching, AllocatorKind::gmlake}) {
+        std::vector<Session> sessions;
+        sessions.emplace_back("train", &trainTrace);
+        sessions.emplace_back("serve", &serveTrace);
+        const auto multi = runColocated(
+            ctx, kind, std::move(sessions), "OPT-13B train+serve");
+        table.addRow(
+            {allocatorKindName(kind),
+             formatPercent(multi.combined.utilization),
+             gb(multi.combined.peakReserved) + " GB",
+             sessionCell(multi, "train"),
+             sessionCell(multi, "serve")});
+        ctx.metric("OPT-13B train+serve", allocatorKindName(kind),
+                   multi.combined.utilization);
+    }
+    table.print(ctx.out());
+    ctx.out() << "(per-session verdicts: a dead tenant OOMed and was "
+                 "reclaimed; the survivor replayed on)\n";
+}
+
+void
+runColocateTwoServing(ExperimentContext &ctx)
+{
+    // Two serving tenants with different models and admission rates
+    // share one device; the second tenant arrives mid-run, landing in
+    // a heap the first tenant already shaped.
+    workload::ServeConfig big;
+    big.model = workload::findModel("OPT-13B");
+    big.requests = 192;
+    big.maxBatch = 32;
+    big = ctx.adjust(big);
+
+    workload::ServeConfig small = big;
+    small.model = workload::findModel("GLM-10B");
+    small.requests = std::max(1, big.requests / 2);
+    small.maxBatch = 16;
+    small.seed = deriveSeed(big.seed, 1);
+
+    const workload::Trace bigTrace =
+        workload::generateServingTrace(big).trace;
+    const workload::Trace smallTrace =
+        workload::generateServingTrace(small).trace;
+
+    Table table({"Allocator", "Utilization", "Peak reserved",
+                 "OPT-13B tenant", "GLM-10B tenant"});
+    for (const auto kind :
+         {AllocatorKind::caching, AllocatorKind::gmlake}) {
+        std::vector<Session> sessions;
+        sessions.emplace_back("opt-13b", &bigTrace);
+        // The second tenant spins up after the first has been
+        // decoding for a while.
+        sessions.emplace_back("glm-10b", &smallTrace,
+                              Tick{2'000'000'000});
+        const auto multi = runColocated(
+            ctx, kind, std::move(sessions), "two-tenant serving");
+        table.addRow(
+            {allocatorKindName(kind),
+             formatPercent(multi.combined.utilization),
+             gb(multi.combined.peakReserved) + " GB",
+             sessionCell(multi, "opt-13b"),
+             sessionCell(multi, "glm-10b")});
+        ctx.metric("two-tenant serving", allocatorKindName(kind),
+                   multi.combined.utilization);
+    }
+    table.print(ctx.out());
+}
+
+void
+runColocateOversub(ExperimentContext &ctx)
+{
+    // Pack 1..4 identical training tenants onto a device sized for
+    // about three of them: the sweep finds how many co-located jobs
+    // each allocator sustains before fragmentation turns headroom
+    // into OOMs.
+    const auto base =
+        ctx.adjust(trainConfig("OPT-1.3B", "LR", 4, 48, 6));
+    ScenarioOptions scenario;
+    scenario.device.capacity = 32_GiB;
+
+    constexpr int kMaxTenants = 4;
+    std::vector<workload::Trace> tenantTraces;
+    tenantTraces.reserve(kMaxTenants);
+    for (int t = 0; t < kMaxTenants; ++t) {
+        auto cfg = base;
+        cfg.seed =
+            deriveSeed(base.seed, static_cast<std::uint64_t>(t));
+        tenantTraces.push_back(workload::generateTrainingTrace(cfg));
+    }
+
+    Table table({"Tenants", "Allocator", "Utilization",
+                 "Peak reserved", "Survivors"});
+    for (int tenants = 1; tenants <= kMaxTenants; ++tenants) {
+        const std::string label =
+            "oversub x" + std::to_string(tenants);
+        for (const auto kind :
+             {AllocatorKind::caching, AllocatorKind::gmlake}) {
+            std::vector<Session> sessions;
+            for (int t = 0; t < tenants; ++t) {
+                sessions.emplace_back("tenant" + std::to_string(t),
+                                      &tenantTraces[t]);
+            }
+            const auto multi = runColocated(
+                ctx, kind, std::move(sessions), label, scenario);
+            int survivors = 0;
+            for (const auto &s : multi.sessions)
+                survivors += s.oom ? 0 : 1;
+            table.addRow({std::to_string(tenants),
+                          allocatorKindName(kind),
+                          formatPercent(multi.combined.utilization),
+                          gb(multi.combined.peakReserved) + " GB",
+                          std::to_string(survivors) + "/" +
+                              std::to_string(tenants)});
+            ctx.metric(label, std::string(allocatorKindName(kind)) +
+                                  "_survivors",
+                       survivors);
+        }
+    }
+    table.print(ctx.out());
+}
+
+// --------------------------------------------- cluster (thread pool)
+
+void
+runClusterRanks(ExperimentContext &ctx)
+{
+    const auto cfg =
+        ctx.adjust(trainConfig("OPT-13B", "LR", 4, 16, 6));
+
+    Table table({"Allocator", "Worst-rank reserved",
+                 "Best-rank reserved", "Min utilization",
+                 "Global thr (s/s)"});
+    for (const auto kind :
+         {AllocatorKind::caching, AllocatorKind::gmlake}) {
+        const auto cluster = runCluster(
+            cfg, kind, ctx.adjust(ScenarioOptions{}),
+            ctx.threads());
+        for (std::size_t r = 0; r < cluster.ranks.size(); ++r) {
+            ctx.record("rank" + std::to_string(r),
+                       cluster.ranks[r].allocator, cluster.ranks[r]);
+        }
+        table.addRow(
+            {allocatorKindName(kind),
+             gb(cluster.maxPeakReserved()) + " GB",
+             gb(cluster.minPeakReserved()) + " GB",
+             formatPercent(cluster.minUtilization()),
+             formatDouble(cluster.globalSamplesPerSec(cfg), 1)});
+        ctx.metric(allocatorKindName(kind), "worst_rank",
+                   static_cast<double>(cluster.worstRank()));
+        ctx.metric(allocatorKindName(kind),
+                   "global_samples_per_sec",
+                   cluster.globalSamplesPerSec(cfg));
+    }
+    table.print(ctx.out());
+    ctx.out() << "(ranks executed on " << ctx.threads()
+              << " worker thread(s); results are identical at any "
+                 "thread count)\n";
+}
+
 } // namespace
 
 // ----------------------------------------------------- registration
@@ -1046,6 +1272,35 @@ registerBuiltinExperiments()
          "Paper Section 6: stitching avoids the data movement of "
          "consolidation-based defragmentation",
          runStitchVsMove});
+    registry.add(
+        {"colocate-train-serve", "extension",
+         "Colocation — training + KV-cache serving on one GPU "
+         "(multi-session engine)",
+         "Co-located tenants contend for one heap; fragmentation "
+         "from either eats the other's headroom, stitching returns "
+         "it",
+         runColocateTrainServe});
+    registry.add(
+        {"colocate-two-serving", "extension",
+         "Colocation — two serving tenants, staggered arrival "
+         "(multi-session engine)",
+         "A tenant that arrives mid-run lands in a heap the first "
+         "tenant already fragmented",
+         runColocateTwoServing});
+    registry.add(
+        {"colocate-oversub", "extension",
+         "Colocation — oversubscription sweep, 1-4 training tenants "
+         "on a 32 GiB device",
+         "How many co-located jobs survive before fragmentation "
+         "turns headroom into OOM; dead tenants are reclaimed",
+         runColocateOversub});
+    registry.add(
+        {"cluster-ranks", "extension",
+         "Cluster — every data-parallel rank simulated, in parallel "
+         "on a thread pool",
+         "The job's fate is set by the worst rank: one OOM kills "
+         "it, lockstep makes the slowest rank set the pace",
+         runClusterRanks});
     registry.add(
         {"vmm-designs", "extension",
          "Extension — VMM allocator designs: stitching vs "

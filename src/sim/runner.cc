@@ -24,6 +24,27 @@ allocatorKindName(AllocatorKind kind)
     return "unknown";
 }
 
+std::optional<AllocatorKind>
+parseAllocatorKind(std::string_view name)
+{
+    for (const AllocatorKind kind : allAllocatorKinds()) {
+        if (name == allocatorKindName(kind))
+            return kind;
+    }
+    return std::nullopt;
+}
+
+const std::vector<AllocatorKind> &
+allAllocatorKinds()
+{
+    static const std::vector<AllocatorKind> kinds = {
+        AllocatorKind::native,     AllocatorKind::caching,
+        AllocatorKind::gmlake,     AllocatorKind::compacting,
+        AllocatorKind::expandable,
+    };
+    return kinds;
+}
+
 std::unique_ptr<alloc::Allocator>
 makeAllocator(AllocatorKind kind, vmm::Device &device,
               const core::GMLakeConfig &gmlakeConfig)

@@ -9,7 +9,10 @@
 #define GMLAKE_SIM_RUNNER_HH
 
 #include <memory>
+#include <optional>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "alloc/allocator.hh"
 #include "core/gmlake_config.hh"
@@ -30,6 +33,17 @@ enum class AllocatorKind
 };
 
 const char *allocatorKindName(AllocatorKind kind);
+
+/**
+ * Inverse of allocatorKindName(): parse an allocator name as used on
+ * every CLI/config surface; nullopt for unknown names. The one
+ * name<->kind mapping shared by tools, the registry, and tests.
+ */
+std::optional<AllocatorKind>
+parseAllocatorKind(std::string_view name);
+
+/** Every allocator kind, in CLI/report order. */
+const std::vector<AllocatorKind> &allAllocatorKinds();
 
 /** Construct an allocator of @p kind bound to @p device. */
 std::unique_ptr<alloc::Allocator>

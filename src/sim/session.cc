@@ -1,0 +1,369 @@
+#include "sim/session.hh"
+
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
+
+#include "support/logging.hh"
+
+namespace gmlake::sim
+{
+
+Session::Session(std::string name, workload::Trace trace,
+                 Tick startTime)
+    : mName(std::move(name)),
+      mTrace(std::make_shared<workload::Trace>(std::move(trace))),
+      mStartTime(startTime)
+{
+}
+
+Session::Session(std::string name, const workload::Trace *trace,
+                 Tick startTime)
+    : mName(std::move(name)),
+      // Aliasing constructor with no owner: borrow, never delete.
+      mTrace(std::shared_ptr<const workload::Trace>(), trace),
+      mStartTime(startTime)
+{
+    GMLAKE_ASSERT(trace != nullptr, "session borrows a null trace");
+}
+
+bool
+MultiRunResult::anyOom() const
+{
+    return std::any_of(sessions.begin(), sessions.end(),
+                       [](const SessionResult &s) { return s.oom; });
+}
+
+const SessionResult *
+MultiRunResult::find(const std::string &name) const
+{
+    const auto it = std::find_if(
+        sessions.begin(), sessions.end(),
+        [&](const SessionResult &s) { return s.name == name; });
+    return it == sessions.end() ? nullptr : &*it;
+}
+
+SimEngine::SimEngine(alloc::Allocator &allocator, vmm::Device &device,
+                     EngineOptions options)
+    : mAllocator(allocator), mDevice(device), mOptions(options)
+{
+}
+
+std::size_t
+SimEngine::addSession(Session session)
+{
+    GMLAKE_ASSERT(!mRan, "session added after run()");
+    GMLAKE_ASSERT(session.startTime() >= 0,
+                  "session start time is negative");
+    mSessions.push_back(std::move(session));
+    return mSessions.size() - 1;
+}
+
+namespace
+{
+
+/** A live allocation of one session: allocator id + requested size. */
+struct LiveAlloc
+{
+    alloc::AllocId id;
+    Bytes bytes;
+};
+
+/** Replay cursor + bookkeeping of one session. */
+struct Cursor
+{
+    const Session *session = nullptr;
+    std::size_t next = 0;    //!< next event index in the trace
+    Tick localTime = 0;      //!< startTime + consumed compute
+    bool dead = false;       //!< OOM-killed
+    /** Last executed event was compute (its end needs stamping). */
+    bool lastWasCompute = false;
+    Bytes liveBytes = 0;
+    std::unordered_map<workload::TensorId, LiveAlloc> live;
+    /** Remapped streams this session touched, in first-use order. */
+    std::vector<StreamId> seenStreams;
+    SessionResult result;
+
+    bool
+    finished() const
+    {
+        return dead || next >= session->trace().size();
+    }
+};
+
+} // namespace
+
+MultiRunResult
+SimEngine::run(const workload::TrainConfig *config)
+{
+    GMLAKE_ASSERT(!mRan, "SimEngine::run is single-shot");
+    GMLAKE_ASSERT(!mSessions.empty(), "engine has no sessions");
+    mRan = true;
+
+    MultiRunResult multi;
+    RunResult &result = multi.combined;
+    result.allocator = mAllocator.name();
+
+    const Tick apiTimeStart = mDevice.counters().apiTime;
+    const Tick timeStart = mDevice.now();
+
+    std::vector<Cursor> cursors(mSessions.size());
+    std::size_t totalEvents = 0;
+    for (std::size_t i = 0; i < mSessions.size(); ++i) {
+        cursors[i].session = &mSessions[i];
+        cursors[i].localTime = mSessions[i].startTime();
+        cursors[i].live.reserve(1024);
+        cursors[i].result.name = mSessions[i].name();
+        totalEvents += mSessions[i].trace().size();
+    }
+
+    const std::size_t stride =
+        mOptions.recordSeries
+            ? std::max<std::size_t>(
+                  1, totalEvents / mOptions.maxSeriesPoints)
+            : 0;
+    std::size_t index = 0;
+
+    auto sample = [&](bool force) {
+        if (!mOptions.recordSeries)
+            return;
+        if (!force && stride != 0 && index % stride != 0)
+            return;
+        const auto &stats = mAllocator.stats();
+        result.series.push_back(
+            SamplePoint{mDevice.now() - timeStart,
+                        stats.activeBytes(), stats.reservedBytes()});
+    };
+
+    // A lone session needs no namespace and may carry any stream id
+    // (e.g. replaying a recorded or pre-merged trace); the stride
+    // bound only matters once several sessions must stay disjoint.
+    const bool namespaced = cursors.size() > 1;
+    auto remapStream = [namespaced](std::size_t sessionIndex,
+                                    StreamId stream) {
+        if (!namespaced)
+            return stream;
+        GMLAKE_ASSERT(stream < kSessionStreamStride,
+                      "session stream id exceeds the namespace "
+                      "stride: ", stream);
+        return static_cast<StreamId>(sessionIndex) *
+                   kSessionStreamStride +
+               stream;
+    };
+
+    // kAnyStream is a sentinel, not a stream: recording it would turn
+    // a later tenant-scoped sync into a device-wide one.
+    auto noteStream = [](Cursor &cursor, StreamId stream) {
+        if (stream == kAnyStream)
+            return;
+        if (std::find(cursor.seenStreams.begin(),
+                      cursor.seenStreams.end(),
+                      stream) == cursor.seenStreams.end())
+            cursor.seenStreams.push_back(stream);
+    };
+
+    // Tenant-scoped failure: release a dead session's allocations —
+    // the OS reclaims a killed process's device memory — so that
+    // surviving tenants can use it. With nobody left to benefit the
+    // release is skipped, matching the classic single-trace replay.
+    auto reclaim = [&](Cursor &dying) {
+        const bool someoneSurvives = std::any_of(
+            cursors.begin(), cursors.end(), [&](const Cursor &c) {
+                return &c != &dying && !c.finished();
+            });
+        if (!someoneSurvives)
+            return;
+        std::vector<workload::TensorId> ids;
+        ids.reserve(dying.live.size());
+        for (const auto &[tensor, allocation] : dying.live) {
+            (void)allocation;
+            ids.push_back(tensor);
+        }
+        std::sort(ids.begin(), ids.end());
+        for (const workload::TensorId tensor : ids) {
+            const Status s =
+                mAllocator.deallocate(dying.live.at(tensor).id);
+            GMLAKE_ASSERT(s.ok(), "reclaim failed: ",
+                          s.ok() ? "" : s.error().message);
+        }
+        dying.live.clear();
+        dying.liveBytes = 0;
+    };
+
+    Tick frontier = 0; //!< merged virtual time already charged
+    bool sawFirstOom = false;
+
+    // A session whose trace ends in compute leaves the pop loop
+    // before its tail is charged; its endedAt is stamped at the
+    // first merged-timeline instant not earlier than its end.
+    auto stampComputeTails = [&]() {
+        for (Cursor &c : cursors) {
+            if (c.lastWasCompute && !c.dead &&
+                c.next >= c.session->trace().size() &&
+                c.localTime <= frontier) {
+                c.result.endedAt = mDevice.now() - timeStart;
+                c.lastWasCompute = false;
+            }
+        }
+    };
+
+    for (;;) {
+        // Earliest pending event wins; session order breaks ties, so
+        // the replay is a deterministic function of the sessions.
+        Cursor *best = nullptr;
+        std::size_t bestIndex = 0;
+        for (std::size_t i = 0; i < cursors.size(); ++i) {
+            Cursor &c = cursors[i];
+            if (c.finished())
+                continue;
+            if (best == nullptr || c.localTime < best->localTime) {
+                best = &c;
+                bestIndex = i;
+            }
+        }
+        if (best == nullptr)
+            break;
+
+        if (best->localTime > frontier) {
+            mDevice.clock().advance(best->localTime - frontier);
+            frontier = best->localTime;
+        }
+
+        const workload::Event &event =
+            best->session->trace().events()[best->next++];
+        ++index;
+        best->lastWasCompute =
+            event.kind == workload::EventKind::compute;
+        switch (event.kind) {
+          case workload::EventKind::alloc: {
+            const StreamId stream =
+                event.stream == kAnyStream
+                    ? kAnyStream
+                    : remapStream(bestIndex, event.stream);
+            noteStream(*best, stream);
+            const auto got = mAllocator.allocate(event.bytes, stream);
+            if (!got.ok()) {
+                if (got.error().code != Errc::outOfMemory) {
+                    GMLAKE_PANIC("allocator error: ",
+                                 got.error().message);
+                }
+                best->dead = true;
+                best->result.oom = true;
+                best->result.oomAt = mDevice.now() - timeStart;
+                if (!sawFirstOom) {
+                    sawFirstOom = true;
+                    result.oom = true;
+                    result.oomAt = best->result.oomAt;
+                }
+                reclaim(*best);
+                break;
+            }
+            best->live.emplace(event.tensor,
+                               LiveAlloc{got->id, event.bytes});
+            best->liveBytes += event.bytes;
+            best->result.peakLiveBytes = std::max(
+                best->result.peakLiveBytes, best->liveBytes);
+            ++best->result.allocCount;
+            sample(false);
+            break;
+          }
+          case workload::EventKind::free: {
+            const auto it = best->live.find(event.tensor);
+            GMLAKE_ASSERT(it != best->live.end(),
+                          "trace frees unknown tensor");
+            const Status s = mAllocator.deallocate(it->second.id);
+            GMLAKE_ASSERT(s.ok(), "deallocate failed: ",
+                          s.ok() ? "" : s.error().message);
+            best->liveBytes -= it->second.bytes;
+            best->live.erase(it);
+            ++best->result.freeCount;
+            sample(false);
+            break;
+          }
+          case workload::EventKind::compute:
+            best->localTime += event.computeNs;
+            break;
+          case workload::EventKind::iterationMark:
+            ++best->result.iterationsDone;
+            sample(true);
+            break;
+          case workload::EventKind::streamSync:
+            if (event.stream == kAnyStream) {
+                if (cursors.size() == 1) {
+                    // A lone tenant owns the whole device.
+                    mAllocator.deviceSynchronize();
+                } else {
+                    // Tenant-scoped "device" sync: a process's
+                    // cudaDeviceSynchronize only proves its own
+                    // streams idle to the allocator it feeds.
+                    for (const StreamId stream : best->seenStreams)
+                        mAllocator.streamSynchronize(stream);
+                }
+            } else {
+                const StreamId stream =
+                    remapStream(bestIndex, event.stream);
+                noteStream(*best, stream);
+                mAllocator.streamSynchronize(stream);
+            }
+            break;
+        }
+        if (!best->lastWasCompute)
+            best->result.endedAt = mDevice.now() - timeStart;
+        stampComputeTails();
+    }
+
+    // Charge trailing compute (sessions whose traces end in compute
+    // events never re-enter the pop loop), in timeline order so each
+    // compute tail's endedAt lands when the frontier reaches it.
+    {
+        std::vector<Cursor *> tails;
+        for (Cursor &c : cursors) {
+            if (!c.dead && c.localTime > frontier)
+                tails.push_back(&c);
+        }
+        std::stable_sort(tails.begin(), tails.end(),
+                         [](const Cursor *a, const Cursor *b) {
+                             return a->localTime < b->localTime;
+                         });
+        for (const Cursor *c : tails) {
+            if (c->localTime > frontier) {
+                mDevice.clock().advance(c->localTime - frontier);
+                frontier = c->localTime;
+            }
+            stampComputeTails();
+        }
+        stampComputeTails();
+    }
+
+    for (Cursor &c : cursors) {
+        // Iteration marks precede the iteration body, so a session
+        // that died mid-iteration never finished the marked one.
+        if (c.result.oom && c.result.iterationsDone > 0)
+            --c.result.iterationsDone;
+        result.iterationsDone += c.result.iterationsDone;
+        multi.sessions.push_back(std::move(c.result));
+    }
+
+    const auto &stats = mAllocator.stats();
+    result.simTime = mDevice.now() - timeStart;
+    result.peakActive = stats.peakActiveBytes();
+    result.peakReserved = stats.peakReservedBytes();
+    result.utilization = stats.utilizationRatio();
+    result.fragmentation = stats.fragmentationRatio();
+    result.allocCount = stats.allocCount();
+    result.freeCount = stats.freeCount();
+    result.deviceApiTime = mDevice.counters().apiTime - apiTimeStart;
+
+    if (config && result.iterationsDone > 0 && result.simTime > 0) {
+        const double samples =
+            static_cast<double>(result.iterationsDone) *
+            static_cast<double>(config->batchSize) *
+            static_cast<double>(config->gpus);
+        result.samplesPerSec =
+            samples / (static_cast<double>(result.simTime) * 1e-9);
+    }
+    sample(true);
+    return multi;
+}
+
+} // namespace gmlake::sim

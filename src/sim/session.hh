@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Multi-session simulation core: N workloads ("sessions") co-located
+ * on one shared device + allocator.
+ *
+ * A Session is a trace plus a private namespace: the engine relocates
+ * each session's streams and tensors into disjoint id ranges, so a
+ * training replay and a serving replay generated independently can
+ * contend for the same GPU — the co-located-tenant setting where
+ * fragmentation bites hardest.
+ *
+ * The SimEngine is event-driven: every session carries a local
+ * timeline (its cumulative compute time, offset by its start time),
+ * and the engine always executes the globally earliest pending event
+ * (ties broken by session index, so replays are deterministic).
+ * Compute is modelled as fully concurrent across sessions — only
+ * advances of the merged time frontier cost simulated time — while
+ * allocator/device API costs serialize on the shared clock, exactly
+ * like kernels overlapping on different streams of one GPU whose
+ * driver allocation calls do not.
+ *
+ * Session failure is tenant-scoped: a session that OOMs dies alone;
+ * its live allocations are returned to the allocator (the OS reclaims
+ * a killed process's device memory) whenever other sessions are still
+ * running, and the survivors replay on.
+ */
+
+#ifndef GMLAKE_SIM_SESSION_HH
+#define GMLAKE_SIM_SESSION_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/engine.hh"
+
+namespace gmlake::sim
+{
+
+/**
+ * Stream-id stride between session namespaces. Session i's stream s
+ * is replayed as `i * kSessionStreamStride + s`; traces must use
+ * stream ids below the stride (real workloads use a handful).
+ */
+inline constexpr StreamId kSessionStreamStride = StreamId{1} << 16;
+
+/** One tenant workload: a named trace with an arrival time. */
+class Session
+{
+  public:
+    /** Own @p trace (moved in). */
+    Session(std::string name, workload::Trace trace,
+            Tick startTime = 0);
+
+    /**
+     * Borrow @p trace without copying; the caller keeps it alive
+     * until the engine run finishes.
+     */
+    Session(std::string name, const workload::Trace *trace,
+            Tick startTime = 0);
+
+    const std::string &name() const { return mName; }
+    const workload::Trace &trace() const { return *mTrace; }
+    /** Local-timeline offset at which this session starts. */
+    Tick startTime() const { return mStartTime; }
+
+  private:
+    std::string mName;
+    std::shared_ptr<const workload::Trace> mTrace;
+    Tick mStartTime;
+};
+
+/** Per-session outcome of a multi-session run. */
+struct SessionResult
+{
+    std::string name;
+    bool oom = false;
+    /** Engine time (ns since run start) at which the session died. */
+    Tick oomAt = 0;
+    int iterationsDone = 0;
+    std::uint64_t allocCount = 0;
+    std::uint64_t freeCount = 0;
+    /** Peak of this session's live requested bytes. */
+    Bytes peakLiveBytes = 0;
+    /**
+     * Engine time at which the session's timeline completed: its
+     * last allocator-visible event, or — for a trace ending in
+     * compute — the first merged-timeline instant at or after that
+     * compute finished.
+     */
+    Tick endedAt = 0;
+};
+
+/** Combined + per-session metrics of one engine run. */
+struct MultiRunResult
+{
+    /**
+     * Device-wide metrics (allocator stats, shared clock); `oom` is
+     * set when any session died.
+     */
+    RunResult combined;
+    std::vector<SessionResult> sessions;
+
+    bool anyOom() const;
+    /** Result for the session named @p name; nullptr if unknown. */
+    const SessionResult *find(const std::string &name) const;
+};
+
+/**
+ * Event-queue replay engine merging N sessions onto one allocator.
+ *
+ * Single-session runs are bit-identical to the historical runTrace()
+ * loop (which is now a thin wrapper over this engine).
+ */
+class SimEngine
+{
+  public:
+    SimEngine(alloc::Allocator &allocator, vmm::Device &device,
+              EngineOptions options = {});
+
+    /** Register a session; returns its index (= namespace id). */
+    std::size_t addSession(Session session);
+
+    std::size_t sessionCount() const { return mSessions.size(); }
+
+    /**
+     * Replay every session to completion (or death). @p config, when
+     * given, derives combined throughput the way runTrace() does.
+     * The engine is single-shot: run it once.
+     */
+    MultiRunResult run(const workload::TrainConfig *config = nullptr);
+
+  private:
+    alloc::Allocator &mAllocator;
+    vmm::Device &mDevice;
+    EngineOptions mOptions;
+    std::vector<Session> mSessions;
+    bool mRan = false;
+};
+
+} // namespace gmlake::sim
+
+#endif // GMLAKE_SIM_SESSION_HH

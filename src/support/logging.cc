@@ -1,7 +1,9 @@
 #include "support/logging.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 #include <stdexcept>
 
 namespace gmlake
@@ -9,11 +11,15 @@ namespace gmlake
 
 namespace
 {
-bool gVerbose = false;
+// Verbosity is set once at startup but read from worker threads
+// (parallel cluster ranks), so the flag is atomic and the stream
+// writes are serialized to keep messages whole.
+std::atomic<bool> gVerbose{false};
+std::mutex gStreamMutex;
 } // namespace
 
-void setVerbose(bool verbose) { gVerbose = verbose; }
-bool verbose() { return gVerbose; }
+void setVerbose(bool verbose) { gVerbose.store(verbose); }
+bool verbose() { return gVerbose.load(); }
 
 namespace detail
 {
@@ -21,8 +27,12 @@ namespace detail
 [[noreturn]] void
 panicImpl(const char *file, int line, const std::string &msg)
 {
-    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
-    std::fflush(stderr);
+    {
+        std::lock_guard<std::mutex> lock(gStreamMutex);
+        std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file,
+                     line);
+        std::fflush(stderr);
+    }
     // Throw instead of abort() so unit tests can observe panics; the
     // exception derives from std::logic_error because a panic is a bug.
     throw PanicError("panic: " + msg);
@@ -31,22 +41,29 @@ panicImpl(const char *file, int line, const std::string &msg)
 [[noreturn]] void
 fatalImpl(const char *file, int line, const std::string &msg)
 {
-    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
-    std::fflush(stderr);
+    {
+        std::lock_guard<std::mutex> lock(gStreamMutex);
+        std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file,
+                     line);
+        std::fflush(stderr);
+    }
     throw FatalError("fatal: " + msg);
 }
 
 void
 warnImpl(const std::string &msg)
 {
+    std::lock_guard<std::mutex> lock(gStreamMutex);
     std::fprintf(stderr, "warn: %s\n", msg.c_str());
 }
 
 void
 informImpl(const std::string &msg)
 {
-    if (gVerbose)
-        std::fprintf(stdout, "info: %s\n", msg.c_str());
+    if (!verbose())
+        return;
+    std::lock_guard<std::mutex> lock(gStreamMutex);
+    std::fprintf(stdout, "info: %s\n", msg.c_str());
 }
 
 } // namespace detail

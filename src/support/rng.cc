@@ -23,6 +23,17 @@ splitmix64(std::uint64_t &x)
 
 } // namespace
 
+std::uint64_t
+deriveSeed(std::uint64_t base, std::uint64_t index)
+{
+    // Offset the stream by the index before mixing so that every
+    // (base, index) pair lands in its own splitmix sequence; two
+    // rounds separate nearby bases from nearby indices.
+    std::uint64_t state = base + (index + 1) * 0x9e3779b97f4a7c15ULL;
+    (void)splitmix64(state);
+    return splitmix64(state);
+}
+
 Rng::Rng(std::uint64_t seed)
 {
     std::uint64_t s = seed;

@@ -14,6 +14,17 @@
 namespace gmlake
 {
 
+/**
+ * Derive a statistically independent seed for subsystem @p index
+ * (cluster rank, tenant, ...) from @p base via splitmix64 mixing.
+ *
+ * Additive schemes like `base + 1000 * index` collide across nearby
+ * base seeds (base 42 / rank 1 equals base 1042 / rank 0, replaying
+ * identical workloads); the bijective finalizer decorrelates every
+ * (base, index) pair instead.
+ */
+std::uint64_t deriveSeed(std::uint64_t base, std::uint64_t index);
+
 class Rng
 {
   public:

@@ -114,6 +114,40 @@ class TraceBuilder
     Bytes mLiveBytes = 0;
 };
 
+/**
+ * Offsets that relocate a trace into a disjoint tensor/stream
+ * namespace so several traces can share one allocator without id
+ * collisions (multi-session colocation).
+ */
+struct TraceNamespace
+{
+    TensorId tensorOffset = 0;
+    StreamId streamOffset = 0;
+};
+
+/**
+ * Remap one event into @p ns: tensor ids are offset on alloc/free,
+ * stream ids on every stream-carrying event. The kAnyStream sentinel
+ * is preserved (it addresses the whole device, not a stream).
+ */
+Event remapEvent(Event event, const TraceNamespace &ns);
+
+/** Remap a whole trace into @p ns (stats are recomputed). */
+Trace remapTrace(const Trace &trace, const TraceNamespace &ns);
+
+/**
+ * Statically interleave traces by cumulative compute time, the same
+ * ordering the multi-session SimEngine replays: the trace whose next
+ * event carries the smallest elapsed-compute timestamp goes first
+ * (ties broken by trace index), compute events become deltas of the
+ * merged timeline (modelling fully concurrent tenants), and — when
+ * merging more than one trace — a kAnyStream sync is rewritten into
+ * per-stream syncs of the streams that trace has used so far, the
+ * engine's tenant-scoped device-sync semantics. Input traces must
+ * already occupy disjoint namespaces (see remapTrace).
+ */
+Trace mergeTraces(const std::vector<const Trace *> &traces);
+
 } // namespace gmlake::workload
 
 #endif // GMLAKE_WORKLOAD_TRACE_HH

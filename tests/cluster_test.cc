@@ -93,3 +93,55 @@ TEST(Cluster, AnyRankOomFailsTheJob)
         runCluster(cfg, AllocatorKind::caching, opts);
     EXPECT_TRUE(cluster.anyOom());
 }
+
+TEST(Cluster, ParallelExecutionIsBitIdenticalToSequential)
+{
+    const auto cfg = clusterConfig(4);
+    const auto sequential =
+        runCluster(cfg, AllocatorKind::gmlake, {}, 1);
+    const auto parallel =
+        runCluster(cfg, AllocatorKind::gmlake, {}, 4);
+
+    ASSERT_EQ(sequential.ranks.size(), parallel.ranks.size());
+    for (std::size_t r = 0; r < sequential.ranks.size(); ++r) {
+        const RunResult &a = sequential.ranks[r];
+        const RunResult &b = parallel.ranks[r];
+        EXPECT_EQ(a.allocator, b.allocator) << "rank " << r;
+        EXPECT_EQ(a.oom, b.oom) << "rank " << r;
+        EXPECT_EQ(a.iterationsDone, b.iterationsDone) << "rank " << r;
+        EXPECT_EQ(a.simTime, b.simTime) << "rank " << r;
+        EXPECT_EQ(a.peakActive, b.peakActive) << "rank " << r;
+        EXPECT_EQ(a.peakReserved, b.peakReserved) << "rank " << r;
+        EXPECT_EQ(a.allocCount, b.allocCount) << "rank " << r;
+        EXPECT_EQ(a.freeCount, b.freeCount) << "rank " << r;
+        EXPECT_EQ(a.deviceApiTime, b.deviceApiTime) << "rank " << r;
+        EXPECT_DOUBLE_EQ(a.utilization, b.utilization)
+            << "rank " << r;
+        EXPECT_DOUBLE_EQ(a.samplesPerSec, b.samplesPerSec)
+            << "rank " << r;
+        ASSERT_EQ(a.series.size(), b.series.size()) << "rank " << r;
+        for (std::size_t i = 0; i < a.series.size(); ++i) {
+            EXPECT_EQ(a.series[i].time, b.series[i].time);
+            EXPECT_EQ(a.series[i].active, b.series[i].active);
+            EXPECT_EQ(a.series[i].reserved, b.series[i].reserved);
+        }
+    }
+}
+
+TEST(Cluster, RankSeedsDoNotCollideAcrossNearbyBaseSeeds)
+{
+    // The historical scheme `seed + 1000 * rank` made (base=42,
+    // rank=1) replay the same workload as (base=1042, rank=0). The
+    // splitmix derivation keeps every (base, rank) pair distinct.
+    auto a = clusterConfig(1);
+    a.seed = 42;
+    auto b = clusterConfig(1);
+    b.seed = 1042;
+    EXPECT_NE(clusterRankSeed(a, 1), clusterRankSeed(b, 0));
+    EXPECT_NE(clusterRankSeed(a, 0), clusterRankSeed(b, 0));
+
+    // And rank seeds are distinct within one job.
+    for (int r = 1; r < 16; ++r)
+        EXPECT_NE(clusterRankSeed(a, r), clusterRankSeed(a, 0))
+            << "rank " << r;
+}

@@ -56,7 +56,9 @@ TEST(ExperimentRegistry, BuiltinScenariosAreRegistered)
         "fig14",    "table1",   "ablation",
         "native-vs-caching",    "pytorch-knobs",
         "serving",  "stitch-vs-move",
-        "vmm-designs",
+        "vmm-designs",          "colocate-train-serve",
+        "colocate-two-serving", "colocate-oversub",
+        "cluster-ranks",
     };
     for (const char *name : expected) {
         EXPECT_NE(findExperiment(name), nullptr)

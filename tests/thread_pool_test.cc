@@ -1,0 +1,96 @@
+/**
+ * @file
+ * ThreadPool and parallelFor tests: every job runs exactly once, the
+ * pool is reusable across wait() calls, single-threaded parallelFor
+ * stays inline and ordered, and job exceptions surface to the caller.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "support/thread_pool.hh"
+
+using namespace gmlake;
+
+TEST(ThreadPool, RunsEverySubmittedJob)
+{
+    ThreadPool pool(4);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 100; ++i)
+        pool.submit([&count] { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, ReusableAfterWait)
+{
+    ThreadPool pool(2);
+    std::atomic<int> count{0};
+    pool.submit([&count] { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 1);
+    pool.submit([&count] { ++count; });
+    pool.submit([&count] { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 3);
+}
+
+TEST(ThreadPool, WaitRethrowsJobException)
+{
+    ThreadPool pool(2);
+    pool.submit([] { throw std::runtime_error("job failed"); });
+    EXPECT_THROW(pool.wait(), std::runtime_error);
+    // The error is consumed; the pool keeps working.
+    std::atomic<int> count{0};
+    pool.submit([&count] { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPool, DefaultThreadsIsAtLeastOne)
+{
+    EXPECT_GE(ThreadPool::defaultThreads(), 1u);
+}
+
+TEST(ParallelFor, CoversEveryIndexOnce)
+{
+    std::vector<std::atomic<int>> hits(1000);
+    parallelFor(hits.size(), 8,
+                [&hits](std::size_t i) { ++hits[i]; });
+    for (std::size_t i = 0; i < hits.size(); ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ParallelFor, SingleThreadRunsInlineInOrder)
+{
+    std::vector<std::size_t> order;
+    parallelFor(16, 1,
+                [&order](std::size_t i) { order.push_back(i); });
+    std::vector<std::size_t> expected(16);
+    std::iota(expected.begin(), expected.end(), 0u);
+    EXPECT_EQ(order, expected);
+}
+
+TEST(ParallelFor, PropagatesFirstException)
+{
+    EXPECT_THROW(
+        parallelFor(64, 4,
+                    [](std::size_t i) {
+                        if (i == 13)
+                            throw std::runtime_error("boom");
+                    }),
+        std::runtime_error);
+}
+
+TEST(ParallelFor, HandlesEmptyAndSingleItem)
+{
+    int calls = 0;
+    parallelFor(0, 4, [&calls](std::size_t) { ++calls; });
+    EXPECT_EQ(calls, 0);
+    parallelFor(1, 4, [&calls](std::size_t) { ++calls; });
+    EXPECT_EQ(calls, 1);
+}

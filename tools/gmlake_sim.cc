@@ -86,6 +86,8 @@ printHelp()
         "      --iterations N  override training iterations\n"
         "      --capacity GiB  override device capacity\n"
         "      --seed N        override the workload seed\n"
+        "      --threads N     worker threads for cluster scenarios\n"
+        "                      (0 = all cores; results identical)\n"
         "      --csv [FILE]    append run records as CSV\n"
         "      --json [FILE]   write report (BENCH_<name>.json)\n\n"
         "Ad-hoc workloads:\n\n"
@@ -210,21 +212,20 @@ parsePlatform(const std::string &name)
 std::vector<sim::AllocatorKind>
 parseAllocators(const std::string &name)
 {
-    if (name == "caching")
-        return {sim::AllocatorKind::caching};
-    if (name == "gmlake")
-        return {sim::AllocatorKind::gmlake};
-    if (name == "native")
-        return {sim::AllocatorKind::native};
-    if (name == "compacting")
-        return {sim::AllocatorKind::compacting};
-    if (name == "expandable")
-        return {sim::AllocatorKind::expandable};
-    if (name == "all")
-        return {sim::AllocatorKind::caching,
-                sim::AllocatorKind::expandable,
-                sim::AllocatorKind::gmlake,
-                sim::AllocatorKind::compacting};
+    if (name == "all") {
+        // Every kind except native, which is ~10x slower end to end
+        // and would dominate the run for no comparative value (ask
+        // for it by name).
+        std::vector<sim::AllocatorKind> kinds;
+        for (const auto kind : sim::allAllocatorKinds()) {
+            if (kind != sim::AllocatorKind::native)
+                kinds.push_back(kind);
+        }
+        return kinds;
+    }
+    // Single allocator names share the registry/test mapping.
+    if (const auto kind = sim::parseAllocatorKind(name))
+        return {*kind};
     GMLAKE_FATAL("unknown allocator: ", name);
 }
 
@@ -236,7 +237,7 @@ cmdList()
         table.addRow({e.name, e.kind, e.title});
     table.print(std::cout);
     std::cout << "\nrun one with: gmlake_sim run <name> "
-                 "[--iterations N] [--csv] [--json]\n";
+                 "[--iterations N] [--threads N] [--csv] [--json]\n";
     return 0;
 }
 
