@@ -1,0 +1,14 @@
+/**
+ * @file
+ * Allocator hot-path stress: deep inactive pools, 100k+ events and
+ * multi-stream churn make the per-request BestFit cost visible as
+ * host wallclock (alloc_wall_ns / p50 / p99 in BENCH_*.json).
+ */
+
+#include "bench/common.hh"
+
+int
+main(int argc, char **argv)
+{
+    return gmlake::bench::benchMain("stress-allocator", argc, argv);
+}

@@ -22,10 +22,36 @@ CachingAllocator::BlockCmp::operator()(const Block *a,
     return a->addr < b->addr;
 }
 
+bool
+CachingAllocator::BlockCmp::operator()(const Block *a,
+                                       const BlockKey &k) const
+{
+    if (a->stream != k.stream)
+        return a->stream < k.stream;
+    if (a->size != k.size)
+        return a->size < k.size;
+    return a->addr < k.addr;
+}
+
+bool
+CachingAllocator::BlockCmp::operator()(const BlockKey &k,
+                                       const Block *b) const
+{
+    if (k.stream != b->stream)
+        return k.stream < b->stream;
+    if (k.size != b->size)
+        return k.size < b->size;
+    return k.addr < b->addr;
+}
+
 CachingAllocator::CachingAllocator(vmm::Device &device,
                                    CachingConfig config)
     : mDevice(device), mConfig(config)
 {
+    // Steady-state allocation should not grow the bookkeeping maps.
+    mSegments.reserve(256);
+    mBlocks.reserve(1024);
+    mLive.reserve(4096);
 }
 
 CachingAllocator::~CachingAllocator() = default;
@@ -143,12 +169,9 @@ CachingAllocator::findFit(FreePool &pool, Bytes rounded,
     auto it = pool.begin();
     while (it != pool.end()) {
         const StreamId tag = (*it)->stream;
-        // Jump to the first sufficiently large block of this tag.
-        Block probe;
-        probe.stream = tag;
-        probe.size = rounded;
-        probe.addr = 0;
-        it = pool.lower_bound(&probe);
+        // Jump to the first sufficiently large block of this tag
+        // (keyed lookup — no probe Block is materialized).
+        it = pool.lower_bound(BlockKey{tag, rounded, 0});
         if (it != pool.end() && (*it)->stream == tag) {
             Block *cand = *it;
             bool usable =
@@ -163,10 +186,8 @@ CachingAllocator::findFit(FreePool &pool, Bytes rounded,
                 best = cand;
         }
         // Skip to the next stream tag.
-        probe.stream = tag;
-        probe.size = ~Bytes{0};
-        probe.addr = ~VirtAddr{0};
-        it = pool.upper_bound(&probe);
+        it = pool.upper_bound(
+            BlockKey{tag, ~Bytes{0}, ~VirtAddr{0}});
     }
     if (best)
         pool.erase(best);

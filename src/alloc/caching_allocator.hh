@@ -94,9 +94,20 @@ class CachingAllocator : public Allocator
 
   private:
     struct Block;
+    /** Heterogeneous probe for pool lookups: no Block construction. */
+    struct BlockKey
+    {
+        StreamId stream = kDefaultStream;
+        Bytes size = 0;
+        VirtAddr addr = kNullAddr;
+    };
     struct BlockCmp
     {
+        using is_transparent = void;
+
         bool operator()(const Block *a, const Block *b) const;
+        bool operator()(const Block *a, const BlockKey &k) const;
+        bool operator()(const BlockKey &k, const Block *b) const;
     };
     using FreePool = std::set<Block *, BlockCmp>;
 

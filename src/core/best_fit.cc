@@ -1,96 +1,84 @@
 #include "core/best_fit.hh"
 
-#include "support/logging.hh"
+#include <algorithm>
 
 namespace gmlake::core
 {
+
+namespace
+{
+
+/** One size-list entry, carrying its original index. */
+struct SizedEntry
+{
+    Bytes size = 0;
+    std::size_t index = 0;
+};
+
+/**
+ * Adapter giving a descending size list the pool interface
+ * bestFitOverPools needs (pointer-like iteration + lower_bound).
+ */
+class SizeListPool
+{
+  public:
+    SizeListPool(const std::vector<Bytes> &sizes, const char *what)
+    {
+        mEntries.reserve(sizes.size());
+        for (std::size_t i = 0; i < sizes.size(); ++i) {
+            GMLAKE_ASSERT(i == 0 || sizes[i] <= sizes[i - 1],
+                          what, " sizes must be sorted descending");
+            mEntries.push_back(SizedEntry{sizes[i], i});
+        }
+        mRefs.reserve(mEntries.size());
+        for (const SizedEntry &e : mEntries)
+            mRefs.push_back(&e);
+    }
+
+    using value_type = const SizedEntry *;
+
+    auto begin() const { return mRefs.begin(); }
+    auto end() const { return mRefs.end(); }
+
+    /** First entry whose size is <= @p size (descending order). */
+    auto
+    lower_bound(Bytes size) const
+    {
+        return std::lower_bound(
+            mRefs.begin(), mRefs.end(), size,
+            [](const SizedEntry *e, Bytes b) { return e->size > b; });
+    }
+
+  private:
+    std::vector<SizedEntry> mEntries;
+    std::vector<const SizedEntry *> mRefs;
+};
+
+} // namespace
 
 FitResult
 bestFit(Bytes bSize, const std::vector<Bytes> &sBlockSizes,
         const std::vector<Bytes> &pBlockSizes, Bytes fragLimit)
 {
+    const SizeListPool sPool(sBlockSizes, "sBlock");
+    const SizeListPool pPool(pBlockSizes, "pBlock");
+    std::vector<const SizedEntry *> candidates;
+    const auto fit = bestFitOverPools(
+        bSize, sPool, pPool, fragLimit,
+        [](const SizedEntry *) { return true; },
+        [](const SizedEntry *) { return true; }, candidates);
+
     FitResult result;
-
-    // S1: exact match, the only state allowed to return an sBlock
-    // (Algorithm 1, lines 2-4).
-    for (std::size_t i = 0; i < sBlockSizes.size(); ++i) {
-        if (sBlockSizes[i] == bSize) {
-            result.state = FitState::exactMatch;
-            result.useSBlock = true;
-            result.sIndex = i;
-            result.candidateBytes = bSize;
-            return result;
-        }
+    result.state = fit.state;
+    result.candidateBytes = fit.candidateBytes;
+    if (fit.sBlock != nullptr) {
+        result.useSBlock = true;
+        result.sIndex = fit.sBlock->index;
+        return result;
     }
-    for (std::size_t i = 0; i < pBlockSizes.size(); ++i) {
-        if (pBlockSizes[i] == bSize) {
-            result.state = FitState::exactMatch;
-            result.pIndices = {i};
-            result.candidateBytes = bSize;
-            return result;
-        }
-    }
-
-    // Lines 5-15: scan pBlocks in descending size order. Larger-than-
-    // request blocks keep overwriting the single candidate, so the
-    // loop ends with the smallest block that still fits; once blocks
-    // are smaller than the request, greedily accumulate them until
-    // the sum suffices.
-    std::vector<std::size_t> cb;
-    Bytes cbSize = 0;
-    bool single = false;
-    for (std::size_t i = 0; i < pBlockSizes.size(); ++i) {
-        const Bytes size = pBlockSizes[i];
-        GMLAKE_ASSERT(i == 0 || size <= pBlockSizes[i - 1],
-                      "pBlock sizes must be sorted descending");
-        if (size >= bSize) {
-            cb = {i};
-            cbSize = size;
-            single = true;
-        } else if (cbSize < bSize) {
-            if (single)
-                break; // a single fitting block was already found
-            // Fragmentation limit (Section 4.2.3): never stitch
-            // blocks below the limit.
-            if (fragLimit != 0 && size < fragLimit)
-                continue;
-            cb.push_back(i);
-            cbSize += size;
-        } else {
-            break;
-        }
-    }
-
-    // When the greedy set overshoots, try to swap the final candidate
-    // for a block that completes the sum exactly: stitching an exact
-    // set avoids the trim split, which would destroy every cached
-    // sBlock sharing the trimmed block (and with it the exact-match
-    // convergence of Section 4.2.2).
-    if (!single && cbSize > bSize && cb.size() >= 1) {
-        const Bytes lastSize = pBlockSizes[cb.back()];
-        const Bytes needLast = bSize - (cbSize - lastSize);
-        for (std::size_t i = cb.back() + 1; i < pBlockSizes.size();
-             ++i) {
-            if (pBlockSizes[i] < needLast)
-                break; // sorted descending: no exact block exists
-            if (pBlockSizes[i] == needLast) {
-                cb.back() = i;
-                cbSize = bSize;
-                break;
-            }
-        }
-    }
-
-    result.pIndices = std::move(cb);
-    result.candidateBytes = cbSize;
-    if (single) {
-        GMLAKE_ASSERT(cbSize > bSize, "exact sizes handled in S1");
-        result.state = FitState::singleBlock;
-    } else if (cbSize >= bSize) {
-        result.state = FitState::multiBlocks;
-    } else {
-        result.state = FitState::insufficient;
-    }
+    result.pIndices.reserve(candidates.size());
+    for (const SizedEntry *e : candidates)
+        result.pIndices.push_back(e->index);
     return result;
 }
 

@@ -1,8 +1,15 @@
 /**
  * @file
  * Algorithm 1 of the paper: the BestFit candidate search over the
- * inactive sBlocks and pBlocks. Factored out as a pure function over
- * size lists so it can be unit-tested exhaustively.
+ * inactive sBlocks and pBlocks.
+ *
+ * The search runs directly over the allocator's sorted pools
+ * (bestFitOverPools): candidates come back as block pointers, the
+ * caller provides the candidate vector as reusable scratch, and
+ * eligibility is a predicate evaluated during the walk — so a miss
+ * costs work proportional to the candidate set, not the pool, and
+ * allocates nothing. A size-list adapter (bestFit) keeps the
+ * original pure-function surface for exhaustive unit testing.
  */
 
 #ifndef GMLAKE_CORE_BEST_FIT_HH
@@ -11,6 +18,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "support/logging.hh"
 #include "support/types.hh"
 
 namespace gmlake::core
@@ -25,6 +33,140 @@ enum class FitState
     insufficient = 4,   //!< S4: even the sum of all candidates is short
 };
 
+/**
+ * Result of the pool-based search. The pBlock candidates live in the
+ * caller-provided scratch vector; only the classification, the
+ * (S1-only) sBlock hit, and the candidate total live here.
+ */
+template <typename SPtr>
+struct PoolFitResult
+{
+    FitState state = FitState::insufficient;
+    /** S1 only: the exact-match sBlock, else nullptr. */
+    SPtr sBlock = nullptr;
+    /** Total size of the candidates in the scratch vector. */
+    Bytes candidateBytes = 0;
+};
+
+/**
+ * Run Algorithm 1 over two sorted pools.
+ *
+ * Pool requirements (both): iteration yields pointer-like handles
+ * with a `size` member, in descending size order with a
+ * deterministic tie order; `lower_bound(Bytes)` returns the first
+ * element whose size is <= the key (the natural heterogeneous
+ * lookup of a size-descending comparator). std::set with a
+ * transparent descending comparator and the allocator's inactive
+ * pools satisfy this directly.
+ *
+ * @param bSize requested block size (already chunk-rounded)
+ * @param sPool inactive sBlocks; only consulted for exact matches
+ * @param pPool inactive pBlocks
+ * @param fragLimit pBlocks smaller than this are skipped when
+ *        accumulating multi-block candidates (0 disables the limit;
+ *        exact matches and exact-sum swaps are always taken)
+ * @param sEligible / pEligible predicates deciding whether a block
+ *        may serve this request (stream reuse rules, sharer
+ *        preferences); ineligible blocks are skipped in place
+ * @param candidates caller-owned scratch, cleared on entry; holds
+ *        the selected pBlock candidates on return (all states)
+ */
+template <typename SPool, typename PPool, typename SElig,
+          typename PElig>
+PoolFitResult<typename SPool::value_type>
+bestFitOverPools(Bytes bSize, const SPool &sPool, const PPool &pPool,
+                 Bytes fragLimit, SElig &&sEligible,
+                 PElig &&pEligible,
+                 std::vector<typename PPool::value_type> &candidates)
+{
+    PoolFitResult<typename SPool::value_type> result;
+    candidates.clear();
+
+    // S1: exact match, the only state allowed to return an sBlock
+    // (Algorithm 1, lines 2-4). Equal-size runs sit contiguously
+    // after lower_bound; the first eligible block of the run (the
+    // lowest-id one) wins.
+    for (auto it = sPool.lower_bound(bSize);
+         it != sPool.end() && (*it)->size == bSize; ++it) {
+        if (sEligible(*it)) {
+            result.state = FitState::exactMatch;
+            result.sBlock = *it;
+            result.candidateBytes = bSize;
+            return result;
+        }
+    }
+    const auto firstNotLarger = pPool.lower_bound(bSize);
+    for (auto it = firstNotLarger;
+         it != pPool.end() && (*it)->size == bSize; ++it) {
+        if (pEligible(*it)) {
+            result.state = FitState::exactMatch;
+            candidates.push_back(*it);
+            result.candidateBytes = bSize;
+            return result;
+        }
+    }
+
+    // Lines 5-15, S2 half: the smallest eligible pBlock that still
+    // fits. The forward scan of Algorithm 1 keeps overwriting its
+    // single candidate and ends on the last eligible larger-than-
+    // request block; walking backward from the partition point finds
+    // the same block while only touching the trailing ineligible
+    // run.
+    for (auto it = firstNotLarger; it != pPool.begin();) {
+        --it;
+        if (pEligible(*it)) {
+            GMLAKE_ASSERT((*it)->size > bSize,
+                          "exact sizes are handled in S1");
+            candidates.push_back(*it);
+            result.candidateBytes = (*it)->size;
+            result.state = FitState::singleBlock;
+            return result;
+        }
+    }
+
+    // Lines 5-15, S3 half: no single block fits — greedily
+    // accumulate smaller blocks until the sum suffices. The
+    // fragmentation limit (Section 4.2.3) excludes blocks that
+    // stitching must never touch.
+    for (auto it = firstNotLarger; it != pPool.end(); ++it) {
+        const auto p = *it;
+        if (!pEligible(p))
+            continue;
+        if (fragLimit != 0 && p->size < fragLimit)
+            continue;
+        candidates.push_back(p);
+        result.candidateBytes += p->size;
+        if (result.candidateBytes >= bSize)
+            break;
+    }
+
+    // When the greedy set overshoots, try to swap the final
+    // candidate for a block that completes the sum exactly (a
+    // binary search: the pool is sorted): stitching an exact set
+    // avoids the trim split, which would destroy every cached
+    // sBlock sharing the trimmed block (and with it the exact-match
+    // convergence of Section 4.2.2).
+    if (result.candidateBytes > bSize && !candidates.empty()) {
+        const Bytes lastSize = candidates.back()->size;
+        const Bytes needLast =
+            bSize - (result.candidateBytes - lastSize);
+        for (auto it = pPool.lower_bound(needLast);
+             it != pPool.end() && (*it)->size == needLast; ++it) {
+            if (pEligible(*it)) {
+                candidates.back() = *it;
+                result.candidateBytes = bSize;
+                break;
+            }
+        }
+    }
+
+    result.state = result.candidateBytes >= bSize
+                       ? FitState::multiBlocks
+                       : FitState::insufficient;
+    return result;
+}
+
+/** Index-based result of the size-list adapter (tests). */
 struct FitResult
 {
     FitState state = FitState::insufficient;
@@ -39,14 +181,13 @@ struct FitResult
 };
 
 /**
- * Run Algorithm 1.
+ * Size-list adapter over bestFitOverPools: the pure-function surface
+ * the unit tests exercise exhaustively.
  *
  * @param bSize requested block size (already chunk-rounded)
  * @param sBlockSizes inactive, eligible sBlock sizes, descending
  * @param pBlockSizes inactive pBlock sizes, descending
- * @param fragLimit pBlocks smaller than this are skipped when
- *        accumulating multi-block candidates (0 disables the limit;
- *        exact matches are always taken)
+ * @param fragLimit see bestFitOverPools
  */
 FitResult bestFit(Bytes bSize,
                   const std::vector<Bytes> &sBlockSizes,

@@ -18,6 +18,15 @@ GMLakeAllocator::GMLakeAllocator(vmm::Device &device, GMLakeConfig config)
                   "granularity");
     GMLAKE_ASSERT(mConfig.smallThreshold <= mConfig.chunkSize,
                   "small threshold cannot exceed the chunk size");
+    mVaCapBytes = static_cast<Bytes>(
+        mConfig.maxVaOverscribe *
+        static_cast<double>(device.capacity()));
+    // Steady-state hot path allocates nothing: size the hash maps
+    // and the BestFit scratch once, up front.
+    mPBlocks.reserve(1024);
+    mSBlocks.reserve(1024);
+    mLive.reserve(4096);
+    mFitCandidates.reserve(64);
 }
 
 GMLakeAllocator::~GMLakeAllocator() = default;
@@ -89,7 +98,7 @@ GMLakeAllocator::allocPBlock(Bytes size, StreamId stream)
     block->lastUse = mDevice.now();
     block->stream = stream;
     mPBlocks.emplace(block, std::move(owned));
-    mInactiveP.insert(block);
+    insertInactiveP(block);
 
     mPhysicalBytes += size;
     mStats.onReserve(size);
@@ -115,7 +124,7 @@ GMLakeAllocator::releasePBlock(PBlock *block)
 
     mPhysicalBytes -= block->size;
     mStats.onRelease(block->size);
-    mInactiveP.erase(block);
+    eraseInactiveP(block);
     const auto erased = mPBlocks.erase(block);
     GMLAKE_ASSERT(erased == 1, "release of unowned pBlock");
 }
@@ -163,7 +172,7 @@ GMLakeAllocator::splitPBlock(PBlock *block, Bytes sizeA)
         half->lastUse = mDevice.now();
         half->stream = block->stream;
         mPBlocks.emplace(half, std::move(owned));
-        mInactiveP.insert(half);
+        insertInactiveP(half);
         return half;
     };
 
@@ -185,7 +194,7 @@ GMLakeAllocator::splitPBlock(PBlock *block, Bytes sizeA)
         GMLAKE_ASSERT(s.ok(), "split rollback unmap failed");
         s = mDevice.memAddressFree(a->va);
         GMLAKE_ASSERT(s.ok(), "split rollback addressFree failed");
-        mInactiveP.erase(a);
+        eraseInactiveP(a);
         mPBlocks.erase(a);
         return halfB.error();
     }
@@ -196,7 +205,7 @@ GMLakeAllocator::splitPBlock(PBlock *block, Bytes sizeA)
     GMLAKE_ASSERT(s.ok(), "split retire unmap failed");
     s = mDevice.memAddressFree(block->va);
     GMLAKE_ASSERT(s.ok(), "split retire addressFree failed");
-    mInactiveP.erase(block);
+    eraseInactiveP(block);
     mPBlocks.erase(block);
 
     // Keep the original footprint reachable for the repeating training
@@ -258,8 +267,13 @@ GMLakeAllocator::stitch(const std::vector<PBlock *> &members,
     sblock->stream = stream;
     mSBlocks.emplace(sblock, std::move(owned));
     mInactiveS.insert(sblock);
-    for (PBlock *m : members)
+    for (PBlock *m : members) {
+        // Empty -> non-empty sharer transition: the member leaves
+        // the unshared index (it is inactive, asserted above).
+        if (m->sharers.empty())
+            mInactivePFree.erase(m);
         m->sharers.insert(sblock);
+    }
 
     mStitchedVaBytes += total;
     return sblock;
@@ -274,8 +288,14 @@ GMLakeAllocator::destroySBlock(SBlock *sblock)
     s = mDevice.memAddressFree(sblock->va);
     GMLAKE_ASSERT(s.ok(), "sBlock addressFree failed");
 
-    for (PBlock *m : sblock->members)
+    for (PBlock *m : sblock->members) {
         m->sharers.erase(sblock);
+        // Non-empty -> empty transition: an inactive member becomes
+        // unshared again (members of an inactive sBlock may still be
+        // active through another composition).
+        if (m->sharers.empty() && !m->active)
+            mInactivePFree.insert(m);
+    }
     mStitchedVaBytes -= sblock->size;
     mInactiveS.erase(sblock);
     const auto erased = mSBlocks.erase(sblock);
@@ -299,13 +319,13 @@ GMLakeAllocator::eligible(const SBlock &sblock, StreamId stream) const
 void
 GMLakeAllocator::stitchFree()
 {
-    const Bytes vaCap = static_cast<Bytes>(
-        mConfig.maxVaOverscribe *
-        static_cast<double>(mDevice.capacity()));
-
+    // allocateLarge runs this before every search; both bounds are
+    // plain counters (the VA cap is derived once in the
+    // constructor), so the common within-bounds case costs two
+    // comparisons and never reaches the eviction scan below.
     auto overLimit = [&] {
         return mInactiveS.size() > mConfig.maxCachedSBlocks ||
-               mStitchedVaBytes > vaCap;
+               mStitchedVaBytes > mVaCapBytes;
     };
     while (overLimit()) {
         // Evict the least recently used inactive sBlock. Only
@@ -332,12 +352,12 @@ GMLakeAllocator::markPActive(PBlock *block, bool active)
     if (block->active == active)
         return;
     if (active) {
-        mInactiveP.erase(block);
+        eraseInactiveP(block);
         block->active = true;
     } else {
         block->active = false;
         block->lastUse = mDevice.now();
-        mInactiveP.insert(block);
+        insertInactiveP(block);
     }
 }
 
@@ -416,11 +436,10 @@ GMLakeAllocator::allocateLarge(Bytes size, StreamId stream)
         {
             // Scan all cached blocks in [rounded, rounded + slack],
             // preferring the tightest size, then the most recent.
-            SBlock sProbe;
-            sProbe.size = rounded + slack;
-            sProbe.id = 0; // sorts before all real ids of this size
+            // (Heterogeneous lookup: lower_bound(Bytes) lands on the
+            // first block whose size is <= the key.)
             SBlock *sHit = nullptr;
-            for (auto it = mInactiveS.lower_bound(&sProbe);
+            for (auto it = mInactiveS.lower_bound(rounded + slack);
                  it != mInactiveS.end() && (*it)->size >= rounded;
                  ++it) {
                 if (eligible(**it, stream) &&
@@ -429,11 +448,8 @@ GMLakeAllocator::allocateLarge(Bytes size, StreamId stream)
                       (*it)->lastUse > sHit->lastUse)))
                     sHit = *it;
             }
-            PBlock pProbe;
-            pProbe.size = rounded + slack;
-            pProbe.id = 0;
             PBlock *pHit = nullptr;
-            for (auto it = mInactiveP.lower_bound(&pProbe);
+            for (auto it = mInactiveP.lower_bound(rounded + slack);
                  it != mInactiveP.end() && (*it)->size >= rounded;
                  ++it) {
                 if (!streamOk((*it)->stream, (*it)->lastUse, stream))
@@ -472,55 +488,35 @@ GMLakeAllocator::allocateLarge(Bytes size, StreamId stream)
             }
         }
 
-        // Build the BestFit inputs: eligible inactive sBlocks and all
-        // inactive pBlocks, size-descending (the pools are sorted).
-        std::vector<Bytes> sSizes;
-        std::vector<SBlock *> sRefs;
-        if (mConfig.enableStitching) {
-            sSizes.reserve(mInactiveS.size());
-            for (SBlock *s : mInactiveS) {
-                if (!eligible(*s, stream))
-                    continue;
-                sSizes.push_back(s->size);
-                sRefs.push_back(s);
-            }
-        }
-        std::vector<Bytes> pSizes;
-        std::vector<PBlock *> pRefs;
-        pSizes.reserve(mInactiveP.size());
-        for (PBlock *p : mInactiveP) {
-            if (!streamOk(p->stream, p->lastUse, stream))
-                continue;
-            pSizes.push_back(p->size);
-            pRefs.push_back(p);
-        }
-
+        // BestFit runs directly over the sorted inactive pools:
+        // eligibility is checked in place, candidates come back as
+        // pointers in the reusable scratch vector, and nothing is
+        // materialized per request.
         const Bytes fragLimit = mConfig.enableStitching
                                     ? mConfig.fragLimit
                                     : ~Bytes{0};
+        auto sEligible = [&](const SBlock *s) {
+            return mConfig.enableStitching && eligible(*s, stream);
+        };
+        auto pEligible = [&](const PBlock *p) {
+            return streamOk(p->stream, p->lastUse, stream);
+        };
 
         // Two-phase search: first try to satisfy the request from
-        // pBlocks that no cached sBlock references. Splitting or
-        // stitching a shared pBlock destroys or blocks every cached
-        // composition over it, which would force the repeating
-        // training pattern to re-stitch each iteration; preferring
-        // unshared blocks keeps the pattern tape intact.
-        std::vector<Bytes> pFreeSizes;
-        std::vector<PBlock *> pFreeRefs;
-        pFreeSizes.reserve(pSizes.size());
-        for (PBlock *p : mInactiveP) {
-            if (p->sharers.empty() &&
-                streamOk(p->stream, p->lastUse, stream)) {
-                pFreeSizes.push_back(p->size);
-                pFreeRefs.push_back(p);
-            }
-        }
-        FitResult fit =
-            bestFit(rounded, sSizes, pFreeSizes, fragLimit);
+        // pBlocks that no cached sBlock references (the
+        // incrementally maintained mInactivePFree index). Splitting
+        // or stitching a shared pBlock destroys or blocks every
+        // cached composition over it, which would force the
+        // repeating training pattern to re-stitch each iteration;
+        // preferring unshared blocks keeps the pattern tape intact.
+        auto fit = bestFitOverPools(rounded, mInactiveS,
+                                    mInactivePFree, fragLimit,
+                                    sEligible, pEligible,
+                                    mFitCandidates);
         if (fit.state == FitState::insufficient) {
-            fit = bestFit(rounded, sSizes, pSizes, fragLimit);
-        } else {
-            pRefs = std::move(pFreeRefs);
+            fit = bestFitOverPools(rounded, mInactiveS, mInactiveP,
+                                   fragLimit, sEligible, pEligible,
+                                   mFitCandidates);
         }
 
         switch (fit.state) {
@@ -529,8 +525,8 @@ GMLakeAllocator::allocateLarge(Bytes size, StreamId stream)
             const alloc::AllocId id = mNextAllocId++;
             Live live;
             live.requested = size;
-            if (fit.useSBlock) {
-                SBlock *s = sRefs[fit.sIndex];
+            if (fit.sBlock != nullptr) {
+                SBlock *s = fit.sBlock;
                 markSActive(s, true);
                 s->stream = stream;
                 for (PBlock *m : s->members)
@@ -540,7 +536,7 @@ GMLakeAllocator::allocateLarge(Bytes size, StreamId stream)
                 mStats.onAllocate(s->size);
                 return alloc::Allocation{id, size, s->va};
             }
-            PBlock *p = pRefs[fit.pIndices.front()];
+            PBlock *p = mFitCandidates.front();
             markPActive(p, true);
             p->stream = stream;
             live.p = p;
@@ -551,7 +547,7 @@ GMLakeAllocator::allocateLarge(Bytes size, StreamId stream)
 
           case FitState::singleBlock: {
             ++mCounters.s2SingleBlock;
-            PBlock *p = pRefs[fit.pIndices.front()];
+            PBlock *p = mFitCandidates.front();
             // Fragmentation limit (Section 4.2.3): never create a
             // remainder below the limit — such fragments would be
             // excluded from stitching forever and only bloat the
@@ -577,10 +573,9 @@ GMLakeAllocator::allocateLarge(Bytes size, StreamId stream)
 
           case FitState::multiBlocks: {
             ++mCounters.s3MultiBlocks;
-            std::vector<PBlock *> members;
-            members.reserve(fit.pIndices.size());
-            for (std::size_t idx : fit.pIndices)
-                members.push_back(pRefs[idx]);
+            // The candidates already are the member pointers; the
+            // scratch vector doubles as the stitch member list.
+            std::vector<PBlock *> &members = mFitCandidates;
 
             // Trim the final candidate so the stitched size matches
             // the request (Fig 9: the final pBlock can be split) —
@@ -615,12 +610,11 @@ GMLakeAllocator::allocateLarge(Bytes size, StreamId stream)
 
           case FitState::insufficient: {
             ++mCounters.s4Insufficient;
-            std::vector<PBlock *> members;
-            Bytes have = 0;
-            if (mConfig.enableStitching) {
-                for (std::size_t idx : fit.pIndices)
-                    members.push_back(pRefs[idx]);
-                have = fit.candidateBytes;
+            std::vector<PBlock *> &members = mFitCandidates;
+            Bytes have = fit.candidateBytes;
+            if (!mConfig.enableStitching) {
+                members.clear();
+                have = 0;
             }
             const Bytes need = rounded - have;
             const auto fresh = allocPBlock(need, stream);
@@ -833,6 +827,10 @@ GMLakeAllocator::checkConsistency() const
         GMLAKE_ASSERT(mInactiveP.count(const_cast<PBlock *>(p)) ==
                       (p->active ? 0u : 1u),
                       "inactive pPool membership mismatch");
+        GMLAKE_ASSERT(
+            mInactivePFree.count(const_cast<PBlock *>(p)) ==
+            ((!p->active && p->sharers.empty()) ? 1u : 0u),
+            "unshared-inactive index membership mismatch");
         for (const SBlock *s : p->sharers) {
             GMLAKE_ASSERT(
                 mSBlocks.count(const_cast<SBlock *>(s)) == 1,
@@ -843,6 +841,8 @@ GMLakeAllocator::checkConsistency() const
                   "physical byte accounting drifted");
     GMLAKE_ASSERT(inactiveP == mInactiveP.size(),
                   "inactive pPool size mismatch");
+    GMLAKE_ASSERT(mInactivePFree.size() <= mInactiveP.size(),
+                  "unshared index larger than the inactive pool");
 
     Bytes sVaTotal = 0;
     for (const auto &[raw, owned] : mSBlocks) {

@@ -119,9 +119,15 @@ class GMLakeAllocator : public alloc::Allocator
         StreamId stream = kDefaultStream;
     };
 
-    /** Descending size order; ties broken by id for determinism. */
+    /**
+     * Descending size order; ties broken by id for determinism.
+     * Transparent: lower_bound(Bytes) finds the first block whose
+     * size is <= the key without building a probe block.
+     */
     struct PBlockCmp
     {
+        using is_transparent = void;
+
         bool
         operator()(const PBlock *a, const PBlock *b) const
         {
@@ -129,15 +135,37 @@ class GMLakeAllocator : public alloc::Allocator
                 return a->size > b->size;
             return a->id < b->id;
         }
+        bool
+        operator()(const PBlock *a, Bytes size) const
+        {
+            return a->size > size;
+        }
+        bool
+        operator()(Bytes size, const PBlock *a) const
+        {
+            return size > a->size;
+        }
     };
     struct SBlockCmp
     {
+        using is_transparent = void;
+
         bool
         operator()(const SBlock *a, const SBlock *b) const
         {
             if (a->size != b->size)
                 return a->size > b->size;
             return a->id < b->id;
+        }
+        bool
+        operator()(const SBlock *a, Bytes size) const
+        {
+            return a->size > size;
+        }
+        bool
+        operator()(Bytes size, const SBlock *a) const
+        {
+            return size > a->size;
         }
     };
 
@@ -153,9 +181,25 @@ class GMLakeAllocator : public alloc::Allocator
     std::unordered_map<PBlock *, std::unique_ptr<PBlock>> mPBlocks;
     std::unordered_map<SBlock *, std::unique_ptr<SBlock>> mSBlocks;
 
-    /** Inactive (allocatable) blocks, size-descending. */
+    /**
+     * Inactive (allocatable) blocks, size-descending. mInactivePFree
+     * is the incrementally maintained third index: the subset of
+     * mInactiveP that no cached sBlock references (sharers empty),
+     * which the two-phase BestFit search prefers. It is updated on
+     * every empty <-> non-empty sharer transition and on every
+     * inactive-pool insert/erase, so the preference phase needs no
+     * per-request rebuild.
+     */
     std::set<PBlock *, PBlockCmp> mInactiveP;
+    std::set<PBlock *, PBlockCmp> mInactivePFree;
     std::set<SBlock *, SBlockCmp> mInactiveS;
+
+    /**
+     * Reusable scratch for the BestFit candidate set: cleared by
+     * every search, sized once, so the steady-state hot path
+     * performs no heap allocation.
+     */
+    std::vector<PBlock *> mFitCandidates;
 
     /** Live allocations: id -> target block (exactly one non-null). */
     struct Live
@@ -169,6 +213,8 @@ class GMLakeAllocator : public alloc::Allocator
 
     Bytes mPhysicalBytes = 0;
     Bytes mStitchedVaBytes = 0;
+    /** StitchFree VA bound, derived once from the device capacity. */
+    Bytes mVaCapBytes = 0;
 
     /** Small (<2 MB) allocations go through the original splitter. */
     alloc::CachingAllocator mSmallPath;
@@ -198,6 +244,21 @@ class GMLakeAllocator : public alloc::Allocator
 
     void markPActive(PBlock *block, bool active);
     void markSActive(SBlock *sblock, bool active);
+
+    /** Insert/erase @p block in both inactive pBlock indices. */
+    void
+    insertInactiveP(PBlock *block)
+    {
+        mInactiveP.insert(block);
+        if (block->sharers.empty())
+            mInactivePFree.insert(block);
+    }
+    void
+    eraseInactiveP(PBlock *block)
+    {
+        mInactiveP.erase(block);
+        mInactivePFree.erase(block);
+    }
 
     /**
      * True when a block freed on @p blockStream at @p freedAt may

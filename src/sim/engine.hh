@@ -50,6 +50,19 @@ struct RunResult
     /** Simulated time spent inside device memory APIs. */
     Tick deviceApiTime = 0;
 
+    /**
+     * Host wall-clock cost of the replay (support/stopwatch.hh):
+     * total and per-call p50/p99 nanoseconds spent inside
+     * Allocator::allocate(), plus the whole run's wall time. Unlike
+     * every other field these are *not* deterministic — they measure
+     * the simulator itself and feed the BENCH_*.json perf
+     * trajectory, not the paper's simulated metrics.
+     */
+    std::uint64_t allocWallNs = 0;
+    std::uint64_t allocWallP50Ns = 0;
+    std::uint64_t allocWallP99Ns = 0;
+    std::uint64_t runWallNs = 0;
+
     std::vector<SamplePoint> series;
 };
 

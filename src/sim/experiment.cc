@@ -219,21 +219,39 @@ jsonDouble(double v)
     return s;
 }
 
+constexpr const char *kCsvHeader =
+    "scenario,label,allocator,oom,utilization,"
+    "fragmentation,peak_active_bytes,peak_reserved_bytes,"
+    "sim_time_ns,samples_per_sec,alloc_count,free_count,"
+    "device_api_time_ns,alloc_wall_ns,alloc_wall_p50_ns,"
+    "alloc_wall_p99_ns,run_wall_ns";
+
 void
 writeCsv(const Experiment &experiment,
          const ExperimentContext &context, const std::string &path)
 {
     const bool fresh = !std::filesystem::exists(path) ||
                        std::filesystem::file_size(path) == 0;
+    if (!fresh) {
+        // Appending rows under a stale header (e.g. a CSV written
+        // before a column was added) would silently misalign every
+        // downstream reader; refuse instead.
+        std::ifstream in(path);
+        std::string header;
+        std::getline(in, header);
+        if (!header.empty() && header.back() == '\r')
+            header.pop_back();
+        if (header != kCsvHeader) {
+            GMLAKE_FATAL("CSV ", path, " has a different column "
+                         "set; move it aside to start a fresh "
+                         "trajectory");
+        }
+    }
     std::ofstream out(path, std::ios::app);
     if (!out)
         GMLAKE_FATAL("cannot open CSV for writing: ", path);
-    if (fresh) {
-        out << "scenario,label,allocator,oom,utilization,"
-               "fragmentation,peak_active_bytes,peak_reserved_bytes,"
-               "sim_time_ns,samples_per_sec,alloc_count,free_count,"
-               "device_api_time_ns\n";
-    }
+    if (fresh)
+        out << kCsvHeader << '\n';
     auto csvField = [](std::string s) {
         for (char &c : s) {
             if (c == ',' || c == '\n')
@@ -249,7 +267,11 @@ writeCsv(const Experiment &experiment,
             << ',' << r.result.peakReserved << ',' << r.result.simTime
             << ',' << r.result.samplesPerSec << ','
             << r.result.allocCount << ',' << r.result.freeCount << ','
-            << r.result.deviceApiTime << '\n';
+            << r.result.deviceApiTime << ','
+            << r.result.allocWallNs << ','
+            << r.result.allocWallP50Ns << ','
+            << r.result.allocWallP99Ns << ','
+            << r.result.runWallNs << '\n';
     }
 }
 
@@ -294,7 +316,13 @@ writeJson(const Experiment &experiment,
             << "\"alloc_count\": " << r.result.allocCount << ", "
             << "\"free_count\": " << r.result.freeCount << ", "
             << "\"device_api_time_ns\": " << r.result.deviceApiTime
-            << "}";
+            << ", "
+            << "\"alloc_wall_ns\": " << r.result.allocWallNs << ", "
+            << "\"alloc_wall_p50_ns\": " << r.result.allocWallP50Ns
+            << ", "
+            << "\"alloc_wall_p99_ns\": " << r.result.allocWallP99Ns
+            << ", "
+            << "\"run_wall_ns\": " << r.result.runWallNs << "}";
         first = false;
     }
     out << "\n  ],\n  \"metrics\": [";

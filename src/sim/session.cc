@@ -1,10 +1,12 @@
 #include "sim/session.hh"
 
 #include <algorithm>
+#include <queue>
 #include <unordered_map>
 #include <utility>
 
 #include "support/logging.hh"
+#include "support/stopwatch.hh"
 
 namespace gmlake::sim
 {
@@ -104,6 +106,8 @@ SimEngine::run(const workload::TrainConfig *config)
     RunResult &result = multi.combined;
     result.allocator = mAllocator.name();
 
+    const Stopwatch runWall;
+    LatencyHistogram allocWall;
     const Tick apiTimeStart = mDevice.counters().apiTime;
     const Tick timeStart = mDevice.now();
 
@@ -207,22 +211,25 @@ SimEngine::run(const workload::TrainConfig *config)
         }
     };
 
-    for (;;) {
-        // Earliest pending event wins; session order breaks ties, so
-        // the replay is a deterministic function of the sessions.
-        Cursor *best = nullptr;
-        std::size_t bestIndex = 0;
-        for (std::size_t i = 0; i < cursors.size(); ++i) {
-            Cursor &c = cursors[i];
-            if (c.finished())
-                continue;
-            if (best == nullptr || c.localTime < best->localTime) {
-                best = &c;
-                bestIndex = i;
-            }
-        }
-        if (best == nullptr)
-            break;
+    // Earliest pending event wins; session order breaks ties, so the
+    // replay is a deterministic function of the sessions. The
+    // (localTime, index) min-heap tracks exactly that order without
+    // a per-event scan: only the popped session's key can change, so
+    // each unfinished session keeps exactly one live entry and the
+    // heap never holds a stale key.
+    using ReadyKey = std::pair<Tick, std::size_t>;
+    std::priority_queue<ReadyKey, std::vector<ReadyKey>,
+                        std::greater<ReadyKey>>
+        ready;
+    for (std::size_t i = 0; i < cursors.size(); ++i) {
+        if (!cursors[i].finished())
+            ready.push({cursors[i].localTime, i});
+    }
+
+    while (!ready.empty()) {
+        const std::size_t bestIndex = ready.top().second;
+        ready.pop();
+        Cursor *best = &cursors[bestIndex];
 
         if (best->localTime > frontier) {
             mDevice.clock().advance(best->localTime - frontier);
@@ -241,7 +248,9 @@ SimEngine::run(const workload::TrainConfig *config)
                     ? kAnyStream
                     : remapStream(bestIndex, event.stream);
             noteStream(*best, stream);
+            const std::uint64_t wall0 = Stopwatch::nowNs();
             const auto got = mAllocator.allocate(event.bytes, stream);
+            allocWall.add(Stopwatch::nowNs() - wall0);
             if (!got.ok()) {
                 if (got.error().code != Errc::outOfMemory) {
                     GMLAKE_PANIC("allocator error: ",
@@ -310,6 +319,8 @@ SimEngine::run(const workload::TrainConfig *config)
         if (!best->lastWasCompute)
             best->result.endedAt = mDevice.now() - timeStart;
         stampComputeTails();
+        if (!best->finished())
+            ready.push({best->localTime, bestIndex});
     }
 
     // Charge trailing compute (sessions whose traces end in compute
@@ -353,6 +364,10 @@ SimEngine::run(const workload::TrainConfig *config)
     result.allocCount = stats.allocCount();
     result.freeCount = stats.freeCount();
     result.deviceApiTime = mDevice.counters().apiTime - apiTimeStart;
+    result.allocWallNs = allocWall.totalNs();
+    result.allocWallP50Ns = allocWall.quantileNs(0.50);
+    result.allocWallP99Ns = allocWall.quantileNs(0.99);
+    result.runWallNs = runWall.elapsedNs();
 
     if (config && result.iterationsDone > 0 && result.simTime > 0) {
         const double samples =

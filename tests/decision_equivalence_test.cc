@@ -1,0 +1,298 @@
+/**
+ * @file
+ * Allocation-decision equivalence: the hot-path data-structure work
+ * (incremental indices, range-based BestFit, scratch buffers) must
+ * not change a single allocation decision. Every registry scenario's
+ * deterministic outputs — run records, scenario metrics, and the
+ * GMLake strategy counters on representative workloads — are folded
+ * into FNV-1a digests and pinned against values recorded from the
+ * pre-refactor allocator.
+ *
+ * Host-wallclock fields (alloc_wall_*, run_wall_*) are excluded:
+ * they measure the simulator, not the simulation, and differ on
+ * every run by design.
+ *
+ * Re-record after an *intentional* decision change with:
+ *
+ *   GMLAKE_PRINT_DIGESTS=1 ./decision_equivalence_test
+ *
+ * and paste the printed table over kExpectedDigests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+#include "core/gmlake_allocator.hh"
+#include "sim/experiment.hh"
+#include "support/units.hh"
+#include "vmm/device.hh"
+#include "workload/tracegen.hh"
+
+using namespace gmlake;
+using namespace gmlake::literals;
+using namespace gmlake::sim;
+
+namespace
+{
+
+/** FNV-1a 64-bit, fed field by field. */
+class Digest
+{
+  public:
+    void
+    add(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i) {
+            mHash ^= (v >> (8 * i)) & 0xff;
+            mHash *= 0x100000001b3ULL;
+        }
+    }
+
+    /**
+     * Quantized to 2^-20: coarse enough that FMA-contraction and
+     * libm last-ulp differences across compilers cannot flip the
+     * digest, fine enough that any real decision change does.
+     */
+    void
+    add(double v)
+    {
+        if (!std::isfinite(v)) {
+            add(std::uint64_t{0x7ff0dead});
+            return;
+        }
+        add(static_cast<std::uint64_t>(
+            std::llround(v * 1048576.0)));
+    }
+
+    void
+    add(std::string_view s)
+    {
+        for (const char c : s) {
+            mHash ^= static_cast<unsigned char>(c);
+            mHash *= 0x100000001b3ULL;
+        }
+        add(static_cast<std::uint64_t>(s.size()));
+    }
+
+    std::uint64_t value() const { return mHash; }
+
+  private:
+    std::uint64_t mHash = 0xcbf29ce484222325ULL;
+};
+
+/**
+ * Run one registry scenario at smoke scale and digest everything
+ * deterministic it recorded.
+ */
+std::uint64_t
+digestScenario(const Experiment &experiment)
+{
+    ExperimentOptions options;
+    options.iterations = 1;
+    std::ostringstream sink;
+    ExperimentContext ctx(options, sink);
+    experiment.run(ctx);
+
+    Digest d;
+    for (const RunRecord &r : ctx.records()) {
+        d.add(r.label);
+        d.add(r.allocator);
+        d.add(static_cast<std::uint64_t>(r.result.oom));
+        d.add(static_cast<std::uint64_t>(r.result.oomAt));
+        d.add(static_cast<std::uint64_t>(r.result.iterationsDone));
+        d.add(static_cast<std::uint64_t>(r.result.simTime));
+        d.add(static_cast<std::uint64_t>(r.result.peakActive));
+        d.add(static_cast<std::uint64_t>(r.result.peakReserved));
+        d.add(r.result.utilization);
+        d.add(r.result.fragmentation);
+        d.add(r.result.samplesPerSec);
+        d.add(r.result.allocCount);
+        d.add(r.result.freeCount);
+        d.add(static_cast<std::uint64_t>(r.result.deviceApiTime));
+        d.add(static_cast<std::uint64_t>(r.result.series.size()));
+    }
+    for (const MetricRecord &m : ctx.metrics()) {
+        if (m.name.find("wall") != std::string::npos)
+            continue; // host wallclock: nondeterministic by design
+        d.add(m.label);
+        d.add(m.name);
+        d.add(m.value);
+    }
+    return d.value();
+}
+
+struct ExpectedDigest
+{
+    const char *scenario;
+    std::uint64_t digest;
+};
+
+/**
+ * Recorded in the hot-path PR immediately *before* its allocator /
+ * engine refactor (scenarios and measurement layer in place, search
+ * code untouched): these pins attested the refactor bit-identical
+ * when it landed, and guard every later change against silent
+ * decision drift. See @file for how to re-record.
+ */
+constexpr ExpectedDigest kExpectedDigests[] = {
+    {"headline", 0xaaf67d1bb2079e8bULL},
+    {"fig3", 0xc706415a6b0ecf87ULL},
+    {"fig4", 0xbfc5f9c86b931930ULL},
+    {"fig5", 0x8929ae40d3929b5aULL},
+    {"fig6", 0x335587e40fc50de5ULL},
+    {"fig10", 0x2e4f4c46796c4634ULL},
+    {"fig11", 0xb85e423f6b745f4dULL},
+    {"fig12", 0x1c3bf5f88c37a3e8ULL},
+    {"fig13", 0x037d7e829df77858ULL},
+    {"fig14", 0x66db75d302f72a7aULL},
+    {"table1", 0x66412c29128027f2ULL},
+    {"ablation", 0xfba59ff44276e37dULL},
+    {"native-vs-caching", 0x0ae97420762d6e6bULL},
+    {"pytorch-knobs", 0x267a3c32a15e2a25ULL},
+    {"serving", 0x343804aff38128ceULL},
+    {"stitch-vs-move", 0x29f449cf4116ba01ULL},
+    {"vmm-designs", 0x3d434fa2d02cdcfdULL},
+    {"colocate-train-serve", 0xd0b0008c3bae27bfULL},
+    {"colocate-two-serving", 0xefd1c987445677c5ULL},
+    {"colocate-oversub", 0xb3e6863919e69907ULL},
+    {"stress-allocator", 0x9b2aa751be30516fULL},
+    {"cluster-ranks", 0x80a873f6d163fcd6ULL},
+};
+
+bool
+printDigests()
+{
+    const char *env = std::getenv("GMLAKE_PRINT_DIGESTS");
+    return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+} // namespace
+
+TEST(DecisionEquivalence, EveryScenarioIsPinned)
+{
+    // A new scenario must be pinned here deliberately, so hot-path
+    // changes cannot land unverified behind it.
+    for (const Experiment &e : allExperiments()) {
+        bool pinned = false;
+        for (const auto &[scenario, digest] : kExpectedDigests) {
+            (void)digest;
+            pinned |= e.name == scenario;
+        }
+        EXPECT_TRUE(pinned)
+            << "scenario '" << e.name
+            << "' has no recorded decision digest; run with "
+               "GMLAKE_PRINT_DIGESTS=1 and add it";
+    }
+}
+
+TEST(DecisionEquivalence, ScenarioDigestsMatchRecorded)
+{
+    for (const auto &[scenario, expected] : kExpectedDigests) {
+        const Experiment *e = findExperiment(scenario);
+        ASSERT_NE(e, nullptr) << scenario;
+        const std::uint64_t got = digestScenario(*e);
+        if (printDigests()) {
+            std::printf("    {\"%s\", 0x%016llxULL},\n", scenario,
+                        static_cast<unsigned long long>(got));
+            continue;
+        }
+        EXPECT_EQ(got, expected)
+            << "allocation decisions changed on scenario '"
+            << scenario
+            << "'. If intentional, re-record with "
+               "GMLAKE_PRINT_DIGESTS=1 (see file header).";
+    }
+}
+
+// ------------------------------------------------ strategy counters
+
+namespace
+{
+
+struct CounterPin
+{
+    const char *model;
+    const char *strategies;
+    int gpus;
+    int batch;
+    int iterations;
+    core::StrategyCounters expected;
+};
+
+core::StrategyCounters
+runCounters(const CounterPin &pin)
+{
+    workload::TrainConfig cfg;
+    cfg.model = workload::findModel(pin.model);
+    cfg.strategies = workload::Strategies::parse(pin.strategies);
+    cfg.gpus = pin.gpus;
+    cfg.batchSize = pin.batch;
+    cfg.iterations = pin.iterations;
+
+    vmm::Device device;
+    core::GMLakeAllocator lake(device);
+    const auto trace = workload::generateTrainingTrace(cfg);
+    (void)runTrace(lake, device, trace, &cfg);
+    lake.checkConsistency();
+    return lake.strategy();
+}
+
+} // namespace
+
+TEST(DecisionEquivalence, StrategyCountersMatchRecorded)
+{
+    // Exact per-state counters of Fig 9 on representative workloads,
+    // recorded from the pre-refactor allocator. Any drift means the
+    // search visits different candidates.
+    const CounterPin pins[] = {
+        {"OPT-13B", "LR", 4, 16, 4,
+         {1816, 37, 138, 246, 0, 270, 74, 0, 1288}},
+        {"GPT-NeoX-20B", "LRO", 4, 24, 3,
+         {1721, 29, 136, 221, 0, 263, 72, 0, 1065}},
+        {"OPT-1.3B", "RO", 4, 64, 4,
+         {1337, 33, 115, 104, 0, 217, 71, 0, 768}},
+    };
+    for (const CounterPin &pin : pins) {
+        const auto got = runCounters(pin);
+        if (printDigests()) {
+            std::printf(
+                "        {\"%s\", \"%s\", %d, %d, %d,\n"
+                "         {%llu, %llu, %llu, %llu, %llu, %llu, "
+                "%llu, %llu, %llu}},\n",
+                pin.model, pin.strategies, pin.gpus, pin.batch,
+                pin.iterations,
+                static_cast<unsigned long long>(got.s1ExactMatch),
+                static_cast<unsigned long long>(got.s2SingleBlock),
+                static_cast<unsigned long long>(got.s3MultiBlocks),
+                static_cast<unsigned long long>(got.s4Insufficient),
+                static_cast<unsigned long long>(got.s5Oom),
+                static_cast<unsigned long long>(got.stitches),
+                static_cast<unsigned long long>(got.splits),
+                static_cast<unsigned long long>(got.stitchFrees),
+                static_cast<unsigned long long>(got.smallPath));
+            continue;
+        }
+        const std::string what = std::string(pin.model) + "/" +
+                                 pin.strategies + "/b" +
+                                 std::to_string(pin.batch);
+        EXPECT_EQ(got.s1ExactMatch, pin.expected.s1ExactMatch) << what;
+        EXPECT_EQ(got.s2SingleBlock, pin.expected.s2SingleBlock)
+            << what;
+        EXPECT_EQ(got.s3MultiBlocks, pin.expected.s3MultiBlocks)
+            << what;
+        EXPECT_EQ(got.s4Insufficient, pin.expected.s4Insufficient)
+            << what;
+        EXPECT_EQ(got.s5Oom, pin.expected.s5Oom) << what;
+        EXPECT_EQ(got.stitches, pin.expected.stitches) << what;
+        EXPECT_EQ(got.splits, pin.expected.splits) << what;
+        EXPECT_EQ(got.stitchFrees, pin.expected.stitchFrees) << what;
+        EXPECT_EQ(got.smallPath, pin.expected.smallPath) << what;
+    }
+}

@@ -58,7 +58,7 @@ TEST(ExperimentRegistry, BuiltinScenariosAreRegistered)
         "serving",  "stitch-vs-move",
         "vmm-designs",          "colocate-train-serve",
         "colocate-two-serving", "colocate-oversub",
-        "cluster-ranks",
+        "cluster-ranks",        "stress-allocator",
     };
     for (const char *name : expected) {
         EXPECT_NE(findExperiment(name), nullptr)
