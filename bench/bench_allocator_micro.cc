@@ -112,6 +112,56 @@ BM_BestFitScaling(benchmark::State &state)
 BENCHMARK(BM_BestFitScaling)->Arg(64)->Arg(512)->Arg(4096);
 
 void
+BM_MappingsInScratch(benchmark::State &state)
+{
+    // Range queries over a deeply chunked mapping table: the
+    // caller-provided scratch overload performs no allocation per
+    // call, unlike the returning overload it replaced on the
+    // device's hot paths.
+    vmm::Device dev(bigDevice());
+    const std::size_t chunks = static_cast<std::size_t>(state.range(0));
+    const auto va = dev.memAddressReserve(chunks * 2_MiB);
+    for (std::size_t i = 0; i < chunks; ++i) {
+        const auto h = dev.memCreate(2_MiB);
+        (void)dev.memMap(*va + static_cast<VirtAddr>(i) * 2_MiB, *h);
+    }
+    (void)dev.memSetAccess(*va, chunks * 2_MiB);
+
+    std::vector<vmm::MappingTable::Entry> scratch;
+    for (auto _ : state) {
+        dev.mappings().mappingsIn(*va, chunks * 2_MiB, scratch);
+        benchmark::DoNotOptimize(scratch.size());
+    }
+    state.counters["chunks"] = static_cast<double>(chunks);
+}
+BENCHMARK(BM_MappingsInScratch)->Arg(16)->Arg(256)->Arg(1024);
+
+void
+BM_DeviceStitchTeardown(benchmark::State &state)
+{
+    // One batched map + one unmap of an sBlock-shaped range: the
+    // extent table makes both O(extents), not O(chunks)-tree-ops.
+    vmm::Device dev(bigDevice());
+    const std::size_t chunks = static_cast<std::size_t>(state.range(0));
+    std::vector<PhysHandle> handles;
+    for (std::size_t i = 0; i < chunks; ++i)
+        handles.push_back(*dev.memCreate(2_MiB));
+    const auto va = dev.memAddressReserve(chunks * 2_MiB);
+    std::vector<std::pair<VirtAddr, PhysHandle>> batch(chunks);
+    for (auto _ : state) {
+        for (std::size_t i = 0; i < chunks; ++i) {
+            batch[i] = {*va + static_cast<VirtAddr>(i) * 2_MiB,
+                        handles[i]};
+        }
+        benchmark::DoNotOptimize(dev.memMapBatch(batch).ok());
+        benchmark::DoNotOptimize(
+            dev.memUnmap(*va, chunks * 2_MiB).ok());
+    }
+    state.counters["chunks"] = static_cast<double>(chunks);
+}
+BENCHMARK(BM_DeviceStitchTeardown)->Arg(64)->Arg(1024);
+
+void
 BM_TraceGeneration(benchmark::State &state)
 {
     workload::TrainConfig cfg;

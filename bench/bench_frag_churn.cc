@@ -1,0 +1,15 @@
+/**
+ * @file
+ * Fragmentation churn: a hole-riddled physical space plus deep
+ * stitched pools make the VMM bookkeeping cost (first-fit hole scan,
+ * mapping-table updates) visible as host wallclock (vmm_wall_ns in
+ * BENCH_*.json), separate from the allocator's pool search.
+ */
+
+#include "bench/common.hh"
+
+int
+main(int argc, char **argv)
+{
+    return gmlake::bench::benchMain("frag-churn", argc, argv);
+}

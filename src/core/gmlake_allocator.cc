@@ -22,11 +22,11 @@ GMLakeAllocator::GMLakeAllocator(vmm::Device &device, GMLakeConfig config)
         mConfig.maxVaOverscribe *
         static_cast<double>(device.capacity()));
     // Steady-state hot path allocates nothing: size the hash maps
-    // and the BestFit scratch once, up front.
-    mPBlocks.reserve(1024);
-    mSBlocks.reserve(1024);
+    // and the scratch buffers once, up front (block nodes themselves
+    // come from the slab pools).
     mLive.reserve(4096);
     mFitCandidates.reserve(64);
+    mMapBatch.reserve(1024);
 }
 
 GMLakeAllocator::~GMLakeAllocator() = default;
@@ -60,23 +60,32 @@ GMLakeAllocator::allocPBlock(Bytes size, StreamId stream)
     if (!va.ok())
         return va.error();
 
+    // The recycled node's chunk vector doubles as the build buffer,
+    // so the steady state creates neither a node nor a vector.
+    PBlock *block = mPPool.acquire();
+    block->chunks.clear();
+    block->sharers.clear();
+
     const std::size_t chunkCount = size / mConfig.chunkSize;
-    std::vector<PhysHandle> chunks;
-    chunks.reserve(chunkCount);
+    block->chunks.reserve(chunkCount);
+    // Chunks are created and mapped one by one — the simulated cost
+    // and failure behaviour of the real driver loop — but each map
+    // is an O(1) append to the tail extent of the fresh VA range.
     for (std::size_t i = 0; i < chunkCount; ++i) {
         auto h = mDevice.memCreate(mConfig.chunkSize);
         if (!h.ok()) {
             // Roll back everything created so far.
-            for (std::size_t j = 0; j < chunks.size(); ++j) {
+            for (std::size_t j = 0; j < block->chunks.size(); ++j) {
                 const VirtAddr at =
                     *va + static_cast<VirtAddr>(j) * mConfig.chunkSize;
                 Status s = mDevice.memUnmap(at, mConfig.chunkSize);
                 GMLAKE_ASSERT(s.ok(), "rollback unmap failed");
-                s = mDevice.memRelease(chunks[j]);
+                s = mDevice.memRelease(block->chunks[j]);
                 GMLAKE_ASSERT(s.ok(), "rollback release failed");
             }
             const Status s = mDevice.memAddressFree(*va);
             GMLAKE_ASSERT(s.ok(), "rollback addressFree failed");
+            mPPool.release(block);
             return h.error();
         }
         const VirtAddr at =
@@ -84,20 +93,17 @@ GMLakeAllocator::allocPBlock(Bytes size, StreamId stream)
         const Status mapped = mDevice.memMap(at, *h);
         GMLAKE_ASSERT(mapped.ok(), "fresh VA must map: ",
                       mapped.ok() ? "" : mapped.error().message);
-        chunks.push_back(*h);
+        block->chunks.push_back(*h);
     }
     const Status acc = mDevice.memSetAccess(*va, size);
     GMLAKE_ASSERT(acc.ok(), "fresh mapping must accept access");
 
-    auto owned = std::make_unique<PBlock>();
-    PBlock *block = owned.get();
     block->id = mNextBlockId++;
     block->va = *va;
     block->size = size;
-    block->chunks = std::move(chunks);
+    block->active = false;
     block->lastUse = mDevice.now();
     block->stream = stream;
-    mPBlocks.emplace(block, std::move(owned));
     insertInactiveP(block);
 
     mPhysicalBytes += size;
@@ -111,7 +117,7 @@ GMLakeAllocator::releasePBlock(PBlock *block)
     GMLAKE_ASSERT(!block->active, "release of an active pBlock");
     // Destroy any sBlock still referencing this block first.
     while (!block->sharers.empty())
-        destroySBlock(*block->sharers.begin());
+        destroySBlock(block->sharers.back());
 
     Status s = mDevice.memUnmap(block->va, block->size);
     GMLAKE_ASSERT(s.ok(), "pBlock unmap failed");
@@ -125,8 +131,7 @@ GMLakeAllocator::releasePBlock(PBlock *block)
     mPhysicalBytes -= block->size;
     mStats.onRelease(block->size);
     eraseInactiveP(block);
-    const auto erased = mPBlocks.erase(block);
-    GMLAKE_ASSERT(erased == 1, "release of unowned pBlock");
+    mPPool.release(block);
 }
 
 Expected<GMLakeAllocator::PBlock *>
@@ -143,50 +148,53 @@ GMLakeAllocator::splitPBlock(PBlock *block, Bytes sizeA)
     // paper removes the previous pBlock structure from the pPool, so
     // its sharers are dropped (they are inactive by construction).
     while (!block->sharers.empty())
-        destroySBlock(*block->sharers.begin());
+        destroySBlock(block->sharers.back());
 
     const Bytes sizeB = block->size - sizeA;
     const std::size_t chunksA = sizeA / mConfig.chunkSize;
 
-    auto makeHalf =
-        [&](const std::vector<PhysHandle> &chunks,
-            Bytes size) -> Expected<PBlock *> {
+    // Remap a chunk subrange of the original under a fresh VA with
+    // one batched driver call (simulated cost unchanged: charged
+    // per chunk).
+    auto makeHalf = [&](std::size_t chunkOffset,
+                        std::size_t chunkCount,
+                        Bytes size) -> Expected<PBlock *> {
         const auto va = mDevice.memAddressReserve(size);
         if (!va.ok())
             return va.error();
-        for (std::size_t i = 0; i < chunks.size(); ++i) {
-            const VirtAddr at =
-                *va + static_cast<VirtAddr>(i) * mConfig.chunkSize;
-            const Status s = mDevice.memMap(at, chunks[i]);
-            GMLAKE_ASSERT(s.ok(), "split remap failed");
+        mMapBatch.clear();
+        for (std::size_t i = 0; i < chunkCount; ++i) {
+            mMapBatch.emplace_back(
+                *va + static_cast<VirtAddr>(i) * mConfig.chunkSize,
+                block->chunks[chunkOffset + i]);
         }
+        const Status s = mDevice.memMapBatch(mMapBatch);
+        GMLAKE_ASSERT(s.ok(), "split remap failed");
         const Status acc = mDevice.memSetAccess(*va, size);
         GMLAKE_ASSERT(acc.ok(), "split access failed");
 
-        auto owned = std::make_unique<PBlock>();
-        PBlock *half = owned.get();
+        PBlock *half = mPPool.acquire();
         half->id = mNextBlockId++;
         half->va = *va;
         half->size = size;
-        half->chunks = chunks;
+        half->chunks.assign(
+            block->chunks.begin() +
+                static_cast<std::ptrdiff_t>(chunkOffset),
+            block->chunks.begin() +
+                static_cast<std::ptrdiff_t>(chunkOffset + chunkCount));
+        half->active = false;
         half->lastUse = mDevice.now();
         half->stream = block->stream;
-        mPBlocks.emplace(half, std::move(owned));
+        half->sharers.clear();
         insertInactiveP(half);
         return half;
     };
 
-    const std::vector<PhysHandle> firstChunks(
-        block->chunks.begin(),
-        block->chunks.begin() + static_cast<std::ptrdiff_t>(chunksA));
-    const std::vector<PhysHandle> restChunks(
-        block->chunks.begin() + static_cast<std::ptrdiff_t>(chunksA),
-        block->chunks.end());
-
-    const auto halfA = makeHalf(firstChunks, sizeA);
+    const auto halfA = makeHalf(0, chunksA, sizeA);
     if (!halfA.ok())
         return halfA.error();
-    const auto halfB = makeHalf(restChunks, sizeB);
+    const auto halfB =
+        makeHalf(chunksA, block->chunks.size() - chunksA, sizeB);
     if (!halfB.ok()) {
         // Extremely unlikely (VA space exhaustion); undo half A.
         PBlock *a = *halfA;
@@ -195,7 +203,7 @@ GMLakeAllocator::splitPBlock(PBlock *block, Bytes sizeA)
         s = mDevice.memAddressFree(a->va);
         GMLAKE_ASSERT(s.ok(), "split rollback addressFree failed");
         eraseInactiveP(a);
-        mPBlocks.erase(a);
+        mPPool.release(a);
         return halfB.error();
     }
 
@@ -206,7 +214,7 @@ GMLakeAllocator::splitPBlock(PBlock *block, Bytes sizeA)
     s = mDevice.memAddressFree(block->va);
     GMLAKE_ASSERT(s.ok(), "split retire addressFree failed");
     eraseInactiveP(block);
-    mPBlocks.erase(block);
+    mPPool.release(block);
 
     // Keep the original footprint reachable for the repeating training
     // pattern: re-stitch the halves into an sBlock of the old size.
@@ -243,36 +251,40 @@ GMLakeAllocator::stitch(const std::vector<PBlock *> &members,
     if (!va.ok())
         return va.error();
 
-    // Map every member's chunks back-to-back under the new VA. The
-    // sBlock never creates physical chunks (paper Section 3.3.1).
+    // Map every member's chunks back-to-back under the new VA with
+    // one batched driver call: the cost model still charges per
+    // chunk, but the mapping table validates once and splices one
+    // extent instead of per-chunk tree inserts. The sBlock never
+    // creates physical chunks (paper Section 3.3.1).
+    mMapBatch.clear();
     VirtAddr cursor = *va;
     for (const PBlock *m : members) {
         for (PhysHandle h : m->chunks) {
-            const Status s = mDevice.memMap(cursor, h);
-            GMLAKE_ASSERT(s.ok(), "stitch map failed: ",
-                          s.ok() ? "" : s.error().message);
+            mMapBatch.emplace_back(cursor, h);
             cursor += mConfig.chunkSize;
         }
     }
+    const Status mapped = mDevice.memMapBatch(mMapBatch);
+    GMLAKE_ASSERT(mapped.ok(), "stitch map failed: ",
+                  mapped.ok() ? "" : mapped.error().message);
     const Status acc = mDevice.memSetAccess(*va, total);
     GMLAKE_ASSERT(acc.ok(), "stitch access failed");
 
-    auto owned = std::make_unique<SBlock>();
-    SBlock *sblock = owned.get();
+    SBlock *sblock = mSPool.acquire();
     sblock->id = mNextBlockId++;
     sblock->va = *va;
     sblock->size = total;
     sblock->members = members;
+    sblock->active = false;
     sblock->lastUse = mDevice.now();
     sblock->stream = stream;
-    mSBlocks.emplace(sblock, std::move(owned));
     mInactiveS.insert(sblock);
     for (PBlock *m : members) {
         // Empty -> non-empty sharer transition: the member leaves
         // the unshared index (it is inactive, asserted above).
         if (m->sharers.empty())
             mInactivePFree.erase(m);
-        m->sharers.insert(sblock);
+        m->sharers.push_back(sblock);
     }
 
     mStitchedVaBytes += total;
@@ -289,7 +301,7 @@ GMLakeAllocator::destroySBlock(SBlock *sblock)
     GMLAKE_ASSERT(s.ok(), "sBlock addressFree failed");
 
     for (PBlock *m : sblock->members) {
-        m->sharers.erase(sblock);
+        m->dropSharer(sblock);
         // Non-empty -> empty transition: an inactive member becomes
         // unshared again (members of an inactive sBlock may still be
         // active through another composition).
@@ -298,8 +310,7 @@ GMLakeAllocator::destroySBlock(SBlock *sblock)
     }
     mStitchedVaBytes -= sblock->size;
     mInactiveS.erase(sblock);
-    const auto erased = mSBlocks.erase(sblock);
-    GMLAKE_ASSERT(erased == 1, "destroy of unowned sBlock");
+    mSPool.release(sblock);
 }
 
 bool
@@ -762,11 +773,9 @@ GMLakeAllocator::snapshot() const
     snap.reservedBytes = mStats.reservedBytes();
 
     std::vector<const PBlock *> pblocks;
-    pblocks.reserve(mPBlocks.size());
-    for (const auto &[raw, owned] : mPBlocks) {
-        (void)owned;
-        pblocks.push_back(raw);
-    }
+    pblocks.reserve(mPPool.liveCount());
+    mPPool.forEachLive(
+        [&](const PBlock *p) { pblocks.push_back(p); });
     std::sort(pblocks.begin(), pblocks.end(),
               [](const PBlock *a, const PBlock *b) {
                   return a->va < b->va;
@@ -782,11 +791,9 @@ GMLakeAllocator::snapshot() const
     }
 
     std::vector<const SBlock *> sblocks;
-    sblocks.reserve(mSBlocks.size());
-    for (const auto &[raw, owned] : mSBlocks) {
-        (void)owned;
-        sblocks.push_back(raw);
-    }
+    sblocks.reserve(mSPool.liveCount());
+    mSPool.forEachLive(
+        [&](const SBlock *s) { sblocks.push_back(s); });
     std::sort(sblocks.begin(), sblocks.end(),
               [](const SBlock *a, const SBlock *b) {
                   return a->va < b->va;
@@ -814,9 +821,7 @@ GMLakeAllocator::checkConsistency() const
 {
     Bytes pTotal = 0;
     std::size_t inactiveP = 0;
-    for (const auto &[raw, owned] : mPBlocks) {
-        const PBlock *p = raw;
-        (void)owned;
+    mPPool.forEachLive([&](const PBlock *p) {
         pTotal += p->size;
         GMLAKE_ASSERT(p->size / mConfig.chunkSize == p->chunks.size(),
                       "pBlock chunk count mismatch");
@@ -832,11 +837,10 @@ GMLakeAllocator::checkConsistency() const
             ((!p->active && p->sharers.empty()) ? 1u : 0u),
             "unshared-inactive index membership mismatch");
         for (const SBlock *s : p->sharers) {
-            GMLAKE_ASSERT(
-                mSBlocks.count(const_cast<SBlock *>(s)) == 1,
-                "sharer points to a dead sBlock");
+            GMLAKE_ASSERT(s->poolLive,
+                          "sharer points to a dead sBlock");
         }
-    }
+    });
     GMLAKE_ASSERT(pTotal == mPhysicalBytes,
                   "physical byte accounting drifted");
     GMLAKE_ASSERT(inactiveP == mInactiveP.size(),
@@ -845,14 +849,12 @@ GMLakeAllocator::checkConsistency() const
                   "unshared index larger than the inactive pool");
 
     Bytes sVaTotal = 0;
-    for (const auto &[raw, owned] : mSBlocks) {
-        const SBlock *s = raw;
-        (void)owned;
+    mSPool.forEachLive([&](const SBlock *s) {
         sVaTotal += s->size;
         Bytes memberTotal = 0;
         for (const PBlock *m : s->members) {
             memberTotal += m->size;
-            GMLAKE_ASSERT(m->sharers.count(const_cast<SBlock *>(s)),
+            GMLAKE_ASSERT(m->sharedBy(s),
                           "member does not know its sharer");
         }
         GMLAKE_ASSERT(memberTotal == s->size,
@@ -860,7 +862,7 @@ GMLakeAllocator::checkConsistency() const
         GMLAKE_ASSERT(mInactiveS.count(const_cast<SBlock *>(s)) ==
                       (s->active ? 0u : 1u),
                       "inactive sPool membership mismatch");
-    }
+    });
     GMLAKE_ASSERT(sVaTotal == mStitchedVaBytes,
                   "stitched VA accounting drifted");
 

@@ -23,16 +23,16 @@
 #define GMLAKE_CORE_GMLAKE_ALLOCATOR_HH
 
 #include <cstdint>
-#include <list>
-#include <memory>
 #include <set>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "alloc/allocator.hh"
 #include "alloc/caching_allocator.hh"
 #include "core/best_fit.hh"
 #include "core/gmlake_config.hh"
+#include "support/object_pool.hh"
 #include "vmm/device.hh"
 
 namespace gmlake::core
@@ -74,9 +74,29 @@ class GMLakeAllocator : public alloc::Allocator
     const StrategyCounters &strategy() const { return mCounters; }
     const GMLakeConfig &config() const { return mConfig; }
 
+    /**
+     * Object-pool node counters: `created` counts slab slots ever
+     * constructed, `reused` counts freelist recycles. On the
+     * steady-state churn path `created` must stand still — asserted
+     * by tests.
+     */
+    struct PoolCounters
+    {
+        std::uint64_t pCreated = 0;
+        std::uint64_t pReused = 0;
+        std::uint64_t sCreated = 0;
+        std::uint64_t sReused = 0;
+    };
+    PoolCounters
+    poolCounters() const
+    {
+        return PoolCounters{mPPool.created(), mPPool.reused(),
+                            mSPool.created(), mSPool.reused()};
+    }
+
     /** Pool introspection for tests and traces. */
-    std::size_t pBlockCount() const { return mPBlocks.size(); }
-    std::size_t sBlockCount() const { return mSBlocks.size(); }
+    std::size_t pBlockCount() const { return mPPool.liveCount(); }
+    std::size_t sBlockCount() const { return mSPool.liveCount(); }
     std::size_t inactivePBlockCount() const { return mInactiveP.size(); }
     /** Physical bytes held by pBlocks (== reserved large memory). */
     Bytes physicalBytes() const { return mPhysicalBytes; }
@@ -99,11 +119,39 @@ class GMLakeAllocator : public alloc::Allocator
         Bytes size = 0;
         std::vector<PhysHandle> chunks;
         bool active = false;
+        /** ObjectPool live flag (support/object_pool.hh). */
+        bool poolLive = false;
         Tick lastUse = 0;
         /** Stream that may reuse this block (kAnyStream after sync). */
         StreamId stream = kDefaultStream;
-        /** sBlocks whose VA also maps this block's chunks. */
-        std::set<SBlock *> sharers;
+        /**
+         * sBlocks whose VA also maps this block's chunks. A small
+         * unordered vector: the set is tiny, and keeping it flat
+         * means recycled nodes retain capacity (no per-stitch node
+         * allocations).
+         */
+        std::vector<SBlock *> sharers;
+
+        bool
+        sharedBy(const SBlock *sblock) const
+        {
+            for (const SBlock *s : sharers) {
+                if (s == sblock)
+                    return true;
+            }
+            return false;
+        }
+        void
+        dropSharer(SBlock *sblock)
+        {
+            for (SBlock *&s : sharers) {
+                if (s == sblock) {
+                    s = sharers.back();
+                    sharers.pop_back();
+                    return;
+                }
+            }
+        }
     };
 
     /** Stitched block: a VA spanning the chunks of several pBlocks. */
@@ -114,6 +162,8 @@ class GMLakeAllocator : public alloc::Allocator
         Bytes size = 0;
         std::vector<PBlock *> members;
         bool active = false;
+        /** ObjectPool live flag (support/object_pool.hh). */
+        bool poolLive = false;
         Tick lastUse = 0;
         /** Stream that may reuse this block (kAnyStream after sync). */
         StreamId stream = kDefaultStream;
@@ -177,9 +227,14 @@ class GMLakeAllocator : public alloc::Allocator
     std::uint64_t mNextBlockId = 1;
     alloc::AllocId mNextAllocId = 1;
 
-    /** Ownership of all block metadata. */
-    std::unordered_map<PBlock *, std::unique_ptr<PBlock>> mPBlocks;
-    std::unordered_map<SBlock *, std::unique_ptr<SBlock>> mSBlocks;
+    /**
+     * Ownership of all block metadata: slab pools that recycle
+     * nodes (with their vectors' grown capacity) through a
+     * freelist, so steady-state stitch/split/free churn performs no
+     * heap allocation for block objects.
+     */
+    ObjectPool<PBlock> mPPool;
+    ObjectPool<SBlock> mSPool;
 
     /**
      * Inactive (allocatable) blocks, size-descending. mInactivePFree
@@ -200,6 +255,9 @@ class GMLakeAllocator : public alloc::Allocator
      * performs no heap allocation.
      */
     std::vector<PBlock *> mFitCandidates;
+
+    /** Reusable scratch for batched cuMemMap calls (stitch/split). */
+    std::vector<std::pair<VirtAddr, PhysHandle>> mMapBatch;
 
     /** Live allocations: id -> target block (exactly one non-null). */
     struct Live

@@ -62,6 +62,14 @@ struct RunResult
     std::uint64_t allocWallP50Ns = 0;
     std::uint64_t allocWallP99Ns = 0;
     std::uint64_t runWallNs = 0;
+    /**
+     * Host wall-clock ns spent inside the Device's memory-management
+     * entry points during the run (ApiCounters::vmmWallNs delta).
+     * The VMM-bookkeeping share of allocWallNs: how much of the
+     * allocator's cost is hole/mapping-table work rather than pool
+     * search.
+     */
+    std::uint64_t vmmWallNs = 0;
 
     std::vector<SamplePoint> series;
 };

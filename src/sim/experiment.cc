@@ -224,7 +224,7 @@ constexpr const char *kCsvHeader =
     "fragmentation,peak_active_bytes,peak_reserved_bytes,"
     "sim_time_ns,samples_per_sec,alloc_count,free_count,"
     "device_api_time_ns,alloc_wall_ns,alloc_wall_p50_ns,"
-    "alloc_wall_p99_ns,run_wall_ns";
+    "alloc_wall_p99_ns,run_wall_ns,vmm_wall_ns";
 
 void
 writeCsv(const Experiment &experiment,
@@ -271,7 +271,8 @@ writeCsv(const Experiment &experiment,
             << r.result.allocWallNs << ','
             << r.result.allocWallP50Ns << ','
             << r.result.allocWallP99Ns << ','
-            << r.result.runWallNs << '\n';
+            << r.result.runWallNs << ','
+            << r.result.vmmWallNs << '\n';
     }
 }
 
@@ -322,7 +323,8 @@ writeJson(const Experiment &experiment,
             << ", "
             << "\"alloc_wall_p99_ns\": " << r.result.allocWallP99Ns
             << ", "
-            << "\"run_wall_ns\": " << r.result.runWallNs << "}";
+            << "\"run_wall_ns\": " << r.result.runWallNs << ", "
+            << "\"vmm_wall_ns\": " << r.result.vmmWallNs << "}";
         first = false;
     }
     out << "\n  ],\n  \"metrics\": [";

@@ -1205,7 +1205,8 @@ runStressAllocator(ExperimentContext &ctx)
     scenario.gmlake.nearMatchTolerance = 0.0;
 
     Table table({"Allocator", "Utilization", "Peak reserved",
-                 "Alloc wall", "p50", "p99", "Run wall"});
+                 "Alloc wall", "p50", "p99", "VMM wall",
+                 "Run wall"});
     auto wallRow = [&](const RunResult &r) {
         table.addRow(
             {r.allocator,
@@ -1219,6 +1220,8 @@ runStressAllocator(ExperimentContext &ctx)
              formatDouble(
                  static_cast<double>(r.allocWallP99Ns) * 1e-3, 1) +
                  " us",
+             formatDouble(static_cast<double>(r.vmmWallNs) * 1e-6,
+                          1) + " ms",
              formatDouble(static_cast<double>(r.runWallNs) * 1e-6,
                           1) + " ms"});
         ctx.metric(r.allocator, "alloc_wall_ns",
@@ -1227,6 +1230,8 @@ runStressAllocator(ExperimentContext &ctx)
                    static_cast<double>(r.allocWallP50Ns));
         ctx.metric(r.allocator, "alloc_wall_p99_ns",
                    static_cast<double>(r.allocWallP99Ns));
+        ctx.metric(r.allocator, "vmm_wall_ns",
+                   static_cast<double>(r.vmmWallNs));
         ctx.metric(r.allocator, "run_wall_ns",
                    static_cast<double>(r.runWallNs));
     };
@@ -1261,6 +1266,176 @@ runStressAllocator(ExperimentContext &ctx)
                   << " exact, " << s.s2SingleBlock << " single, "
                   << s.s3MultiBlocks << " stitched, "
                   << s.s4Insufficient << " grown\n";
+    }
+    table.print(ctx.out());
+}
+
+// --------------------------------------------- fragmentation churn
+
+/**
+ * Fragmentation-churn trace for the VMM bookkeeping hot path.
+ * Phase 1 lays down a checkerboard: thousands of small blocks with
+ * every other one freed, so handle-per-allocation allocators see a
+ * hole-riddled physical space and gmlake a deep, fragmented
+ * inactive pool. Phase 2 churns a live window of mostly-small
+ * requests with a deep-stitch request every fourth op (hundreds of
+ * 2 MiB chunks per sBlock), while the checkerboard survivors drip
+ * away to keep the hole set moving. Deterministic in @p seed.
+ */
+workload::Trace
+makeFragChurnTrace(std::uint64_t seed, int churnOps)
+{
+    Rng rng(seed);
+    workload::TraceBuilder builder;
+    constexpr int kStreams = 4;
+    constexpr int kCheckerBlocks = 2048;
+    constexpr std::size_t kLiveWindow = 24;
+
+    // Phase 1: checkerboard of 2-16 MiB blocks. All are placed
+    // first, then every other one is freed, so the freed ranges
+    // cannot be reused in place: each becomes a persistent hole
+    // pinned between two live neighbours.
+    std::vector<workload::TensorId> placed;
+    placed.reserve(kCheckerBlocks);
+    for (int i = 0; i < kCheckerBlocks; ++i) {
+        const Bytes size = 2_MiB * rng.uniformInt(1, 8);
+        placed.push_back(builder.alloc(
+            size, static_cast<StreamId>(i % kStreams)));
+        builder.compute(10'000);
+    }
+    std::vector<workload::TensorId> survivors;
+    survivors.reserve(kCheckerBlocks / 2);
+    for (int i = 0; i < kCheckerBlocks; ++i) {
+        if (i % 2 == 1)
+            builder.free(placed[i]);
+        else
+            survivors.push_back(placed[i]);
+    }
+    builder.streamSync(kAnyStream);
+
+    // Phase 2: churn. Three small refills per deep stitch keep both
+    // ends of the size spectrum hot; dripping the survivors out
+    // keeps holes merging and splitting for the whole run.
+    std::vector<workload::TensorId> live;
+    live.reserve(kLiveWindow);
+    std::size_t nextSurvivor = 0;
+    for (int i = 0; i < churnOps; ++i) {
+        if (live.size() >= kLiveWindow) {
+            const std::size_t victim = static_cast<std::size_t>(
+                rng.uniformInt(0, live.size() - 1));
+            builder.free(live[victim]);
+            live[victim] = live.back();
+            live.pop_back();
+        }
+        const Bytes size =
+            i % 4 == 3 ? 2_MiB * rng.uniformInt(64, 640)
+                       : 2_MiB * rng.uniformInt(1, 16);
+        const auto stream = static_cast<StreamId>(
+            rng.uniformInt(0, kStreams - 1));
+        live.push_back(builder.alloc(size, stream));
+        builder.compute(30'000);
+        if (i % 32 == 31 && nextSurvivor < survivors.size())
+            builder.free(survivors[nextSurvivor++]);
+        if (i % 128 == 127) {
+            builder.streamSync(static_cast<StreamId>(
+                rng.uniformInt(0, kStreams - 1)));
+        }
+        if (i % 512 == 511)
+            builder.iterationMark();
+    }
+    builder.freeAll();
+    return builder.take();
+}
+
+void
+runFragChurn(ExperimentContext &ctx)
+{
+    // 64-bit intermediate + cap, as in the stress scenario: smoke
+    // runs shrink proportionally, full scale replays ~100k events.
+    const long long scaled =
+        1600LL * static_cast<long long>(ctx.iterations(20));
+    const int churnOps = static_cast<int>(
+        std::min<long long>(scaled, 2'000'000));
+    const std::uint64_t seed =
+        ctx.options().seed != 0 ? ctx.options().seed : 1337;
+    const workload::Trace trace = makeFragChurnTrace(seed, churnOps);
+    ctx.out() << "frag-churn workload: " << trace.size()
+              << " events, checkerboard holes + deep stitches, 4 "
+                 "streams\n\n";
+
+    // A 40 GiB device keeps real pressure on the hole map without
+    // pushing the caching allocator over the edge; zero near-match
+    // tolerance forces the stitch-heavy search exactly like the
+    // stress scenario.
+    ScenarioOptions scenario;
+    scenario.device.capacity = 40_GiB;
+    scenario.gmlake.nearMatchTolerance = 0.0;
+
+    Table table({"Allocator", "Utilization", "Peak holes",
+                 "Alloc wall", "p99", "VMM wall", "Run wall"});
+    auto wallRow = [&](const RunResult &r, std::size_t peakHoles) {
+        table.addRow(
+            {r.allocator,
+             oomOr(r, formatPercent(r.utilization)),
+             std::to_string(peakHoles),
+             formatDouble(static_cast<double>(r.allocWallNs) * 1e-6,
+                          1) + " ms",
+             formatDouble(
+                 static_cast<double>(r.allocWallP99Ns) * 1e-3, 1) +
+                 " us",
+             formatDouble(static_cast<double>(r.vmmWallNs) * 1e-6,
+                          1) + " ms",
+             formatDouble(static_cast<double>(r.runWallNs) * 1e-6,
+                          1) + " ms"});
+        ctx.metric(r.allocator, "alloc_wall_ns",
+                   static_cast<double>(r.allocWallNs));
+        ctx.metric(r.allocator, "alloc_wall_p99_ns",
+                   static_cast<double>(r.allocWallP99Ns));
+        ctx.metric(r.allocator, "vmm_wall_ns",
+                   static_cast<double>(r.vmmWallNs));
+        ctx.metric(r.allocator, "run_wall_ns",
+                   static_cast<double>(r.runWallNs));
+        // Deterministic fragmentation shape: pinned by the decision
+        // digests, so a hole-structure rewrite that changes
+        // placement is caught immediately.
+        ctx.metric(r.allocator, "phys_peak_holes",
+                   static_cast<double>(peakHoles));
+    };
+
+    // Manual runs (not ctx.runTrace) so the device outlives the
+    // replay and its hole statistics can be reported.
+    const ScenarioOptions opts = ctx.adjust(scenario);
+    for (const auto kind :
+         {AllocatorKind::native, AllocatorKind::caching,
+          AllocatorKind::gmlake}) {
+        vmm::Device device(opts.device);
+        const auto allocator =
+            makeAllocator(kind, device, opts.gmlake);
+        const auto r = runTrace(*allocator, device, trace, nullptr,
+                                opts.engine);
+        ctx.record("frag-churn", r.allocator, r);
+        wallRow(r, device.phys().peakHoleCount());
+        if (kind == AllocatorKind::gmlake) {
+            const auto &lake = static_cast<
+                const core::GMLakeAllocator &>(*allocator);
+            const auto &s = lake.strategy();
+            ctx.metric("gmlake", "stitches",
+                       static_cast<double>(s.stitches));
+            ctx.metric("gmlake", "s3_multi_blocks",
+                       static_cast<double>(s.s3MultiBlocks));
+            ctx.metric("gmlake", "pblocks",
+                       static_cast<double>(lake.pBlockCount()));
+            ctx.metric("gmlake", "sblocks",
+                       static_cast<double>(lake.sBlockCount()));
+            ctx.out() << "gmlake pools at end: "
+                      << lake.pBlockCount() << " pBlocks, "
+                      << lake.sBlockCount()
+                      << " sBlocks; strategy: " << s.s1ExactMatch
+                      << " exact, " << s.s2SingleBlock
+                      << " single, " << s.s3MultiBlocks
+                      << " stitched, " << s.s4Insufficient
+                      << " grown\n";
+        }
     }
     table.print(ctx.out());
 }
@@ -1447,6 +1622,14 @@ registerBuiltinExperiments()
          "Per-request BestFit cost must track the candidate set, not "
          "the pool size; alloc_wall_ns p50/p99 make it measurable",
          runStressAllocator});
+    registry.add(
+        {"frag-churn", "extension",
+         "Fragmentation churn — hole-riddled physical space + deep "
+         "stitched pools (100k events)",
+         "VMM bookkeeping must cost O(extents), not O(chunks) or "
+         "O(holes): vmm_wall_ns isolates the simulator's hole-scan "
+         "and mapping-table cost from the pool search",
+         runFragChurn});
     registry.add(
         {"cluster-ranks", "extension",
          "Cluster — every data-parallel rank simulated, in parallel "

@@ -109,6 +109,7 @@ SimEngine::run(const workload::TrainConfig *config)
     const Stopwatch runWall;
     LatencyHistogram allocWall;
     const Tick apiTimeStart = mDevice.counters().apiTime;
+    const std::uint64_t vmmWallStart = mDevice.counters().vmmWallNs;
     const Tick timeStart = mDevice.now();
 
     std::vector<Cursor> cursors(mSessions.size());
@@ -364,6 +365,7 @@ SimEngine::run(const workload::TrainConfig *config)
     result.allocCount = stats.allocCount();
     result.freeCount = stats.freeCount();
     result.deviceApiTime = mDevice.counters().apiTime - apiTimeStart;
+    result.vmmWallNs = mDevice.counters().vmmWallNs - vmmWallStart;
     result.allocWallNs = allocWall.totalNs();
     result.allocWallP50Ns = allocWall.quantileNs(0.50);
     result.allocWallP99Ns = allocWall.quantileNs(0.99);

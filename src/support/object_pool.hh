@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Slab-style object pool for node-like structs that churn on a hot
+ * path (the GMLake allocator's pBlock/sBlock metadata).
+ *
+ * Objects are constructed once per slab slot and then *recycled*:
+ * release() parks the object on a freelist without destroying it, so
+ * the next acquire() hands it back with its heap-backed members
+ * (vectors, strings) still holding their grown capacity. After
+ * warmup, steady-state acquire/release performs zero heap
+ * allocations — the created() counter stands still while reused()
+ * advances, which is what the hot-path tests assert.
+ *
+ * Requirements on T: default-constructible, and an accessible
+ * `bool poolLive` member the pool uses as the live flag (also handy
+ * for consistency checks). The caller resets the object's logical
+ * fields after acquire(); the pool deliberately does not, so
+ * capacity-retaining members survive recycling.
+ */
+
+#ifndef GMLAKE_SUPPORT_OBJECT_POOL_HH
+#define GMLAKE_SUPPORT_OBJECT_POOL_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "support/logging.hh"
+
+namespace gmlake
+{
+
+template <typename T>
+class ObjectPool
+{
+  public:
+    static constexpr std::size_t kSlabSize = 64;
+
+    /** Hand out a node (freelist first, then the open slab). */
+    T *
+    acquire()
+    {
+        T *obj;
+        if (!mFreeList.empty()) {
+            obj = mFreeList.back();
+            mFreeList.pop_back();
+            ++mReused;
+        } else {
+            if (mUsedInLastSlab == kSlabSize || mSlabs.empty()) {
+                mSlabs.push_back(std::make_unique<T[]>(kSlabSize));
+                mUsedInLastSlab = 0;
+            }
+            obj = &mSlabs.back()[mUsedInLastSlab++];
+            ++mCreated;
+        }
+        GMLAKE_ASSERT(!obj->poolLive, "pool handed out a live node");
+        obj->poolLive = true;
+        ++mLive;
+        return obj;
+    }
+
+    /** Park a node for reuse; the object is not destroyed. */
+    void
+    release(T *obj)
+    {
+        GMLAKE_ASSERT(obj != nullptr && obj->poolLive,
+                      "release of a node the pool does not own live");
+        obj->poolLive = false;
+        --mLive;
+        mFreeList.push_back(obj);
+    }
+
+    std::size_t liveCount() const { return mLive; }
+    /** Nodes ever default-constructed (slab slots touched). */
+    std::uint64_t created() const { return mCreated; }
+    /** Acquisitions served by recycling instead of construction. */
+    std::uint64_t reused() const { return mReused; }
+
+    /** Visit every live node (diagnostics; order is slab order). */
+    template <typename Fn>
+    void
+    forEachLive(Fn &&fn) const
+    {
+        for (std::size_t s = 0; s < mSlabs.size(); ++s) {
+            const std::size_t used = s + 1 == mSlabs.size()
+                                         ? mUsedInLastSlab
+                                         : kSlabSize;
+            for (std::size_t i = 0; i < used; ++i) {
+                T &obj = mSlabs[s][i];
+                if (obj.poolLive)
+                    fn(&obj);
+            }
+        }
+    }
+
+  private:
+    std::vector<std::unique_ptr<T[]>> mSlabs;
+    std::vector<T *> mFreeList;
+    std::size_t mUsedInLastSlab = 0;
+    std::size_t mLive = 0;
+    std::uint64_t mCreated = 0;
+    std::uint64_t mReused = 0;
+};
+
+} // namespace gmlake
+
+#endif // GMLAKE_SUPPORT_OBJECT_POOL_HH

@@ -1,11 +1,38 @@
 #include "vmm/device.hh"
 
 #include "support/logging.hh"
+#include "support/stopwatch.hh"
 #include "support/strings.hh"
 #include "support/units.hh"
 
 namespace gmlake::vmm
 {
+
+namespace
+{
+
+/**
+ * Accumulates the host wall-clock time of one device memory API call
+ * into ApiCounters::vmmWallNs (two steady_clock reads per call).
+ */
+class WallScope
+{
+  public:
+    explicit WallScope(ApiCounters &counters)
+        : mCounters(counters), mStart(Stopwatch::nowNs())
+    {
+    }
+    ~WallScope() { mCounters.vmmWallNs += Stopwatch::nowNs() - mStart; }
+
+    WallScope(const WallScope &) = delete;
+    WallScope &operator=(const WallScope &) = delete;
+
+  private:
+    ApiCounters &mCounters;
+    std::uint64_t mStart;
+};
+
+} // namespace
 
 Device::Device(DeviceConfig config)
     : mCost(config.cost),
@@ -26,6 +53,7 @@ Expected<VirtAddr>
 Device::memAddressReserve(Bytes size)
 {
     ++mCounters.addressReserve;
+    const WallScope wall(mCounters);
     charge(mCost.memAddressReserve(size));
     if (size == 0)
         return makeError(Errc::invalidValue, "reserve of zero bytes");
@@ -37,6 +65,7 @@ Status
 Device::memAddressFree(VirtAddr va)
 {
     ++mCounters.addressFree;
+    const WallScope wall(mCounters);
     charge(mCost.memAddressFree());
     const auto res = mVa.containing(va, 1);
     if (!res.ok())
@@ -44,7 +73,7 @@ Device::memAddressFree(VirtAddr va)
     if (res->base != va)
         return makeError(Errc::invalidValue,
                          "addressFree of a non-reservation base");
-    if (!mMap.mappingsIn(res->base, res->size).empty())
+    if (mMap.hasMappingsIn(res->base, res->size))
         return makeError(Errc::handleInUse,
                          "addressFree of a reservation with mappings");
     return mVa.free(va);
@@ -54,6 +83,7 @@ Expected<PhysHandle>
 Device::memCreate(Bytes size)
 {
     ++mCounters.create;
+    const WallScope wall(mCounters);
     charge(mCost.memCreate(size));
     return mPhys.create(size);
 }
@@ -62,6 +92,7 @@ Status
 Device::memRelease(PhysHandle handle)
 {
     ++mCounters.release;
+    const WallScope wall(mCounters);
     charge(mCost.memRelease());
     return mPhys.release(handle);
 }
@@ -70,6 +101,7 @@ Status
 Device::memMap(VirtAddr va, PhysHandle handle)
 {
     ++mCounters.map;
+    const WallScope wall(mCounters);
     const auto size = mPhys.sizeOf(handle);
     if (!size.ok()) {
         charge(mCost.memMap(granularity()));
@@ -86,11 +118,66 @@ Device::memMap(VirtAddr va, PhysHandle handle)
 }
 
 Status
+Device::memMapBatch(
+    std::span<const std::pair<VirtAddr, PhysHandle>> batch)
+{
+    if (batch.empty())
+        return Status::success();
+    const WallScope wall(mCounters);
+    // One simulated driver call per chunk: count and charge each
+    // entry as it is inspected, exactly like a loop of memMap()
+    // calls up to (and including) the first invalid entry.
+    Tick total = 0;
+    std::size_t calls = 0;
+    Bytes lastSize = 0;
+    Status bad = Status::success();
+    for (const auto &[va, handle] : batch) {
+        ++calls;
+        const auto size = mPhys.sizeOf(handle);
+        if (!size.ok()) {
+            total += mCost.memMap(granularity());
+            bad = size.error();
+            break;
+        }
+        lastSize = *size;
+        total += mCost.memMap(lastSize);
+        if (!isAligned(va, granularity())) {
+            bad = makeError(Errc::invalidValue,
+                            "cuMemMap target not granularity "
+                            "aligned");
+            break;
+        }
+    }
+    mCounters.map += calls;
+    charge(total);
+    if (!bad.ok())
+        return bad;
+    // Reservation containment. The common batch (a stitch) lands in
+    // one fresh reservation, checked with a single probe; otherwise
+    // fall back to a per-chunk check. mapRange() re-resolves the
+    // handle sizes for its own validation — a deliberate redundancy
+    // (the table stands alone) that costs one O(1) slot read per
+    // entry.
+    const VirtAddr lo = batch.front().first;
+    const VirtAddr hi = batch.back().first + lastSize;
+    if (const auto res = mVa.containing(lo, hi - lo); !res.ok()) {
+        for (const auto &[va, handle] : batch) {
+            const auto each =
+                mVa.containing(va, *mPhys.sizeOf(handle));
+            if (!each.ok())
+                return each.error();
+        }
+    }
+    return mMap.mapRange(batch);
+}
+
+Status
 Device::memUnmap(VirtAddr va, Bytes size)
 {
     ++mCounters.unmap;
-    const std::size_t chunks = mMap.mappingsIn(va, size).size();
-    charge(mCost.memUnmap(chunks == 0 ? 1 : chunks));
+    const WallScope wall(mCounters);
+    const auto stats = mMap.rangeStats(va, size);
+    charge(mCost.memUnmap(stats.chunks == 0 ? 1 : stats.chunks));
     return mMap.unmap(va, size);
 }
 
@@ -98,17 +185,16 @@ Status
 Device::memSetAccess(VirtAddr va, Bytes size)
 {
     ++mCounters.setAccess;
-    const auto entries = mMap.mappingsIn(va, size);
-    if (entries.empty()) {
+    const WallScope wall(mCounters);
+    const auto stats = mMap.rangeStats(va, size);
+    if (stats.chunks == 0) {
         charge(mCost.memSetAccess(1, granularity()));
         return makeError(Errc::notMapped,
                          "cuMemSetAccess over an unmapped range");
     }
     // Charge per covered chunk, using the average chunk size.
-    Bytes total = 0;
-    for (const auto &e : entries)
-        total += e.size;
-    charge(mCost.memSetAccess(entries.size(), total / entries.size()));
+    charge(mCost.memSetAccess(stats.chunks,
+                              stats.bytes / stats.chunks));
     return mMap.setAccess(va, size);
 }
 
@@ -116,6 +202,7 @@ Expected<VirtAddr>
 Device::mallocNative(Bytes size)
 {
     ++mCounters.mallocNative;
+    const WallScope wall(mCounters);
     charge(mCost.nativeAlloc(size));
     if (size == 0)
         return makeError(Errc::invalidValue, "cudaMalloc of zero bytes");
@@ -141,6 +228,7 @@ Status
 Device::freeNative(VirtAddr va)
 {
     ++mCounters.freeNative;
+    const WallScope wall(mCounters);
     charge(mCost.nativeFree());
     auto it = mNative.find(va);
     if (it == mNative.end())

@@ -21,6 +21,8 @@
 
 #include <cstdint>
 #include <map>
+#include <span>
+#include <utility>
 
 #include "support/expected.hh"
 #include "support/types.hh"
@@ -56,6 +58,15 @@ struct ApiCounters
     std::uint64_t freeNative = 0;
     /** Simulated nanoseconds spent inside device API calls. */
     Tick apiTime = 0;
+    /**
+     * Host wall-clock nanoseconds spent inside the device's
+     * memory-management entry points (everything touching the VA
+     * space, physical memory, or the mapping table; pure cost
+     * charges like syncPenalty/chargeCachedOp are excluded). Unlike
+     * apiTime this measures the *simulator's* bookkeeping cost, not
+     * simulated latency — it feeds the vmm_wall_ns perf trajectory.
+     */
+    std::uint64_t vmmWallNs = 0;
 };
 
 class Device
@@ -82,6 +93,23 @@ class Device
 
     /** Map the whole of @p handle at @p va (inside a reservation). */
     Status memMap(VirtAddr va, PhysHandle handle);
+
+    /**
+     * Batched cuMemMap: map every (va, handle) pair of @p batch
+     * (sorted by va, disjoint). Models one driver call per chunk —
+     * on success the map counter and the simulated latency are
+     * charged per entry, identically to a loop of memMap() calls;
+     * a bad handle or misaligned target counts and charges entries
+     * up to and including the failing one, again like the loop —
+     * but the simulator validates once and splices the mapping
+     * table once, so the host-side cost is O(batch + log extents)
+     * instead of O(batch x log chunks). Unlike the loop it is
+     * atomic: on any error no mapping is installed (reservation or
+     * overlap failures charge the whole batch, which models one
+     * rejected vectored submission rather than a partial loop).
+     */
+    Status memMapBatch(
+        std::span<const std::pair<VirtAddr, PhysHandle>> batch);
 
     /** Unmap every mapping within [va, va+size). */
     Status memUnmap(VirtAddr va, Bytes size);

@@ -5,12 +5,30 @@
  * a VA byte can be covered by at most one mapping, but one handle may
  * be mapped at several VAs (that is what virtual memory stitching
  * exploits).
+ *
+ * Storage is extent-based: virtually-adjacent mappings in the same
+ * access state coalesce into one *extent* — a single tree node whose
+ * per-chunk handles live in a contiguous vector. Stitching a 2 GiB
+ * sBlock from 2 MiB chunks therefore costs one tree splice plus 1024
+ * vector appends instead of 1024 tree inserts, and unmapping it is
+ * one erase. Range queries (mappingsIn / rangeStats / unmap
+ * validation) walk O(extents touched), not O(chunks in the table).
+ * The chunk-level semantics of the CUDA API are preserved exactly:
+ * extents split at chunk boundaries whenever an unmap or setAccess
+ * addresses part of one, and it is still an error to split a chunk.
+ *
+ * Batched entry points (mapRange / unmapRange / setAccessRange)
+ * validate their whole batch first and only then mutate, so a batch
+ * that would fail leaves the table (and the handle refcounts)
+ * untouched.
  */
 
 #ifndef GMLAKE_VMM_MAPPING_TABLE_HH
 #define GMLAKE_VMM_MAPPING_TABLE_HH
 
 #include <map>
+#include <span>
+#include <utility>
 #include <vector>
 
 #include "support/expected.hh"
@@ -30,15 +48,40 @@ class MappingTable
     Status map(VirtAddr va, PhysHandle handle);
 
     /**
+     * Map a batch of (va, handle) pairs, each handle whole at its
+     * va. The batch must be sorted by va with disjoint targets; all
+     * targets are validated against the table (and each other)
+     * before any mapping is installed — on error nothing changes.
+     * Consecutive pairs whose ranges abut coalesce into one extent.
+     */
+    Status mapRange(
+        std::span<const std::pair<VirtAddr, PhysHandle>> batch);
+
+    /**
      * Remove all mappings inside [va, va+size). The range boundary
      * must not split a mapping.
      */
     Status unmap(VirtAddr va, Bytes size);
 
+    /**
+     * Batched unmap of disjoint ranges: every range is validated
+     * first (boundary and coverage rules of unmap()); on error the
+     * table is untouched.
+     */
+    Status unmapRange(
+        std::span<const std::pair<VirtAddr, Bytes>> ranges);
+
     /** Grant read/write access to every mapping in [va, va+size). */
     Status setAccess(VirtAddr va, Bytes size);
 
-    /** Mappings fully inside [va, va+size), in address order. */
+    /**
+     * Batched setAccess of disjoint ranges, validate-then-apply
+     * like unmapRange().
+     */
+    Status setAccessRange(
+        std::span<const std::pair<VirtAddr, Bytes>> ranges);
+
+    /** Mappings starting inside [va, va+size), in address order. */
     struct Entry
     {
         VirtAddr va;
@@ -47,6 +90,24 @@ class MappingTable
         bool accessible;
     };
     std::vector<Entry> mappingsIn(VirtAddr va, Bytes size) const;
+    /** Allocation-free variant: clears and fills @p out. */
+    void mappingsIn(VirtAddr va, Bytes size,
+                    std::vector<Entry> &out) const;
+
+    /** True when any mapping starts inside [va, va+size). */
+    bool hasMappingsIn(VirtAddr va, Bytes size) const;
+
+    /**
+     * Count and total bytes of the mappings starting inside
+     * [va, va+size) without materializing them — O(extents touched)
+     * (interior extents contribute in O(1)).
+     */
+    struct RangeStats
+    {
+        std::size_t chunks = 0;
+        Bytes bytes = 0;
+    };
+    RangeStats rangeStats(VirtAddr va, Bytes size) const;
 
     /** True when every byte of [va, va+size) is mapped + accessible. */
     bool accessible(VirtAddr va, Bytes size) const;
@@ -54,22 +115,94 @@ class MappingTable
     /** Physical handle backing the byte at @p va, if mapped. */
     Expected<PhysHandle> translate(VirtAddr va) const;
 
-    std::size_t mappingCount() const { return mMappings.size(); }
+    /** Number of chunk-level mappings (not extents). */
+    std::size_t mappingCount() const { return mChunkCount; }
+    /** Number of coalesced extents backing them. */
+    std::size_t extentCount() const { return mExtents.size(); }
 
   private:
-    struct Mapping
+    /** One mapped chunk inside an extent. */
+    struct Chunk
     {
-        Bytes size;
         PhysHandle handle;
-        bool accessible;
+        Bytes size;
+    };
+
+    /**
+     * A run of virtually-contiguous chunks in one access state.
+     * size is the sum of the chunk sizes.
+     */
+    struct Extent
+    {
+        Bytes size = 0;
+        bool accessible = false;
+        std::vector<Chunk> chunks;
     };
 
     PhysMemory &mPhys;
-    /** va -> mapping; ranges are disjoint. */
-    std::map<VirtAddr, Mapping> mMappings;
+    /** va -> extent; extents are disjoint, never empty. */
+    std::map<VirtAddr, Extent> mExtents;
+    std::size_t mChunkCount = 0;
+    /** Reusable scratch for batch validation (handle sizes). */
+    std::vector<Bytes> mSizeScratch;
 
-    /** True when [va, va+size) overlaps an existing mapping. */
+    /** True when [va, va+size) overlaps an existing extent. */
     bool overlaps(VirtAddr va, Bytes size) const;
+
+    /**
+     * Visit every chunk of @p extent whose start VA lies in
+     * [lo, hi), in address order: fn(chunkVa, chunk) returns false
+     * to stop. The one encoding of the "mapping starts in range"
+     * rule every range query shares.
+     */
+    template <typename Fn>
+    static void
+    forEachChunkStartingIn(VirtAddr extentVa, const Extent &extent,
+                           VirtAddr lo, VirtAddr hi, Fn &&fn)
+    {
+        VirtAddr cursor = extentVa;
+        for (const Chunk &chunk : extent.chunks) {
+            if (cursor >= hi)
+                break;
+            if (cursor >= lo && !fn(cursor, chunk))
+                break;
+            cursor += chunk.size;
+        }
+    }
+
+    /**
+     * Chunk index of the boundary at @p va inside @p extent
+     * (0..chunks); SIZE_MAX when @p va falls strictly inside a
+     * chunk.
+     */
+    static std::size_t chunkBoundary(VirtAddr extentVa,
+                                     const Extent &extent,
+                                     VirtAddr va);
+
+    /**
+     * Split the extent at @p it at chunk index @p at (must be a
+     * proper interior boundary); returns the iterator of the new
+     * tail extent.
+     */
+    std::map<VirtAddr, Extent>::iterator
+    splitExtent(std::map<VirtAddr, Extent>::iterator it,
+                std::size_t at);
+
+    /** unmap() minus the boundary validation (caller did it). */
+    void unmapValidated(VirtAddr va, Bytes size);
+    /** Validation half of unmap(); table is not modified. */
+    Status validateUnmap(VirtAddr va, Bytes size) const;
+    /** Validation half of setAccess(). */
+    Status validateSetAccess(VirtAddr va, Bytes size) const;
+    /** setAccess() minus the validation. */
+    void setAccessValidated(VirtAddr va, Bytes size);
+    /**
+     * Install one validated (va, handle, size) mapping, coalescing
+     * with an adjacent still-assembling extent; returns the extent
+     * that received the chunk.
+     */
+    std::map<VirtAddr, Extent>::iterator
+    installChunk(VirtAddr va, PhysHandle handle, Bytes size);
 };
 
 } // namespace gmlake::vmm

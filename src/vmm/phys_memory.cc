@@ -15,7 +15,28 @@ PhysMemory::PhysMemory(Bytes capacity, Bytes granularity)
     GMLAKE_ASSERT(granularity > 0, "granularity must be positive");
     GMLAKE_ASSERT(isAligned(capacity, granularity),
                   "capacity must be a granularity multiple");
-    mHoles.emplace(0, capacity);
+    mHoles.insert(0, capacity);
+}
+
+const PhysMemory::Slot *
+PhysMemory::find(PhysHandle handle) const
+{
+    const auto slot = static_cast<std::uint32_t>(handle);
+    const auto generation =
+        static_cast<std::uint32_t>(handle >> 32);
+    if (slot >= mSlots.size())
+        return nullptr;
+    const Slot &s = mSlots[slot];
+    if (!s.live || s.generation != generation)
+        return nullptr;
+    return &s;
+}
+
+PhysMemory::Slot *
+PhysMemory::find(PhysHandle handle)
+{
+    return const_cast<Slot *>(
+        static_cast<const PhysMemory *>(this)->find(handle));
 }
 
 Expected<PhysHandle>
@@ -28,131 +49,126 @@ PhysMemory::create(Bytes size)
                          formatBytes(mGranularity));
     }
     // First fit over the free holes: physical allocations must be
-    // contiguous, exactly like real device memory.
-    for (auto it = mHoles.begin(); it != mHoles.end(); ++it) {
-        if (it->second < size)
-            continue;
-        const Bytes base = it->first;
-        const Bytes holeSize = it->second;
-        mHoles.erase(it);
-        if (holeSize > size)
-            mHoles.emplace(base + size, holeSize - size);
-
-        const PhysHandle h = mNextHandle++;
-        mHandles.emplace(h, HandleInfo{base, size, 0});
-        mInUse += size;
-        if (mInUse > mPeakInUse)
-            mPeakInUse = mInUse;
-        return h;
+    // contiguous, exactly like real device memory. The extent map
+    // answers "lowest-base hole with size >= request" in O(log n).
+    const auto hole = mHoles.firstFit(size);
+    if (!hole) {
+        // Both diagnostics are O(1) maintained aggregates, and the
+        // message is only assembled on this error path.
+        return makeError(
+            Errc::outOfMemory,
+            "cuMemCreate " + formatBytes(size) +
+            " has no contiguous space (free " +
+            formatBytes(mCapacity - mInUse) + ", largest hole " +
+            formatBytes(largestHole()) + ")");
     }
-    return makeError(
-        Errc::outOfMemory,
-        "cuMemCreate " + formatBytes(size) +
-        " has no contiguous space (free " +
-        formatBytes(mCapacity - mInUse) + ", largest hole " +
-        formatBytes(largestHole()) + ")");
+    if (hole->size == size)
+        mHoles.erase(hole->base);
+    else
+        mHoles.shrinkFront(hole->base, size);
+
+    std::uint32_t index;
+    if (!mFreeSlots.empty()) {
+        index = mFreeSlots.back();
+        mFreeSlots.pop_back();
+    } else {
+        index = static_cast<std::uint32_t>(mSlots.size());
+        mSlots.emplace_back();
+        // Generation 0 is reserved so a packed handle is never 0
+        // (kNullHandle) and raw small integers never resolve.
+        mSlots.back().generation = 0;
+    }
+    Slot &s = mSlots[index];
+    ++s.generation;
+    s.base = hole->base;
+    s.size = size;
+    s.mapRefs = 0;
+    s.live = true;
+    ++mLiveHandles;
+
+    mInUse += size;
+    if (mInUse > mPeakInUse)
+        mPeakInUse = mInUse;
+    return pack(index, s.generation);
 }
 
 Status
 PhysMemory::release(PhysHandle handle)
 {
-    auto it = mHandles.find(handle);
-    if (it == mHandles.end())
+    Slot *s = find(handle);
+    if (s == nullptr)
         return makeError(Errc::invalidValue, "release of unknown handle");
-    if (it->second.mapRefs != 0)
+    if (s->mapRefs != 0)
         return makeError(Errc::handleInUse,
                          "release of a handle with live mappings");
-    Bytes base = it->second.base;
-    Bytes size = it->second.size;
-    mInUse -= size;
-    mHandles.erase(it);
+    mInUse -= s->size;
+    s->live = false;
+    --mLiveHandles;
+    mFreeSlots.push_back(static_cast<std::uint32_t>(s - mSlots.data()));
 
     // Return the range to the hole map, merging with neighbours.
-    auto next = mHoles.lower_bound(base);
-    if (next != mHoles.end() && base + size == next->first) {
-        size += next->second;
-        next = mHoles.erase(next);
-    }
-    if (next != mHoles.begin()) {
-        auto prev = std::prev(next);
-        if (prev->first + prev->second == base) {
-            base = prev->first;
-            size += prev->second;
-            mHoles.erase(prev);
-        }
-    }
-    mHoles.emplace(base, size);
+    mHoles.insertCoalescing(s->base, s->size);
+    if (mHoles.count() > mPeakHoles)
+        mPeakHoles = mHoles.count();
     return Status::success();
 }
 
 Status
 PhysMemory::addMapRef(PhysHandle handle)
 {
-    auto it = mHandles.find(handle);
-    if (it == mHandles.end())
+    Slot *s = find(handle);
+    if (s == nullptr)
         return makeError(Errc::invalidValue, "map of unknown handle");
-    ++it->second.mapRefs;
+    ++s->mapRefs;
     return Status::success();
 }
 
 Status
 PhysMemory::dropMapRef(PhysHandle handle)
 {
-    auto it = mHandles.find(handle);
-    if (it == mHandles.end())
+    Slot *s = find(handle);
+    if (s == nullptr)
         return makeError(Errc::invalidValue, "unmap of unknown handle");
-    if (it->second.mapRefs == 0)
+    if (s->mapRefs == 0)
         return makeError(Errc::notMapped,
                          "unmap of a handle with no mappings");
-    --it->second.mapRefs;
+    --s->mapRefs;
     return Status::success();
 }
 
 Expected<Bytes>
 PhysMemory::sizeOf(PhysHandle handle) const
 {
-    auto it = mHandles.find(handle);
-    if (it == mHandles.end())
+    const Slot *s = find(handle);
+    if (s == nullptr)
         return makeError(Errc::invalidValue, "sizeOf unknown handle");
-    return it->second.size;
+    return s->size;
 }
 
 bool
 PhysMemory::isLive(PhysHandle handle) const
 {
-    return mHandles.count(handle) != 0;
+    return find(handle) != nullptr;
 }
 
 std::uint32_t
 PhysMemory::mapRefs(PhysHandle handle) const
 {
-    auto it = mHandles.find(handle);
-    return it == mHandles.end() ? 0 : it->second.mapRefs;
+    const Slot *s = find(handle);
+    return s == nullptr ? 0 : s->mapRefs;
 }
 
 std::vector<std::pair<Bytes, Bytes>>
 PhysMemory::liveRanges() const
 {
     std::vector<std::pair<Bytes, Bytes>> out;
-    out.reserve(mHandles.size());
-    for (const auto &[h, info] : mHandles) {
-        (void)h;
-        out.emplace_back(info.base, info.size);
+    out.reserve(mLiveHandles);
+    for (const Slot &s : mSlots) {
+        if (s.live)
+            out.emplace_back(s.base, s.size);
     }
     std::sort(out.begin(), out.end());
     return out;
-}
-
-Bytes
-PhysMemory::largestHole() const
-{
-    Bytes largest = 0;
-    for (const auto &[base, size] : mHoles) {
-        (void)base;
-        if (size > largest)
-            largest = size;
-    }
-    return largest;
 }
 
 } // namespace gmlake::vmm

@@ -14,19 +14,25 @@
  * released while any virtual mapping still points at it — the
  * property GMLake relies on when several sBlocks share one pBlock's
  * chunks.
+ *
+ * Bookkeeping is extent-based: holes live in a FreeExtentMap
+ * (first-fit in O(log holes) with identical placement to a linear
+ * scan, largest hole in O(1)), and handles are slots in a
+ * freelist-backed vector — a handle value packs (generation, slot),
+ * so slots recycle in O(1) while handle *values* stay unique and
+ * stale handles are rejected.
  */
 
 #ifndef GMLAKE_VMM_PHYS_MEMORY_HH
 #define GMLAKE_VMM_PHYS_MEMORY_HH
 
 #include <cstdint>
-#include <map>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "support/expected.hh"
 #include "support/types.hh"
+#include "vmm/extent_map.hh"
 
 namespace gmlake::vmm
 {
@@ -67,32 +73,56 @@ class PhysMemory
     /** High-water mark of inUse(). */
     Bytes peakInUse() const { return mPeakInUse; }
     Bytes available() const { return mCapacity - mInUse; }
-    std::size_t liveHandles() const { return mHandles.size(); }
+    std::size_t liveHandles() const { return mLiveHandles; }
 
-    /** Size of the largest free contiguous range. */
-    Bytes largestHole() const;
+    /** Size of the largest free contiguous range; O(1). */
+    Bytes largestHole() const { return mHoles.largest(); }
 
     /** Live (base, size) ranges, sorted by base address. */
     std::vector<std::pair<Bytes, Bytes>> liveRanges() const;
     /** Number of free holes (physical fragmentation indicator). */
-    std::size_t holeCount() const { return mHoles.size(); }
+    std::size_t holeCount() const { return mHoles.count(); }
+    /** High-water mark of holeCount(). */
+    std::size_t peakHoleCount() const { return mPeakHoles; }
 
   private:
-    struct HandleInfo
+    /**
+     * One handle slot. Slots are recycled through a freelist; the
+     * generation increments each time create() (re)acquires the
+     * slot, so a stale handle to a recycled slot never resolves
+     * (release only clears the live flag). Generation 0 is never
+     * issued, so a packed handle is never 0.
+     */
+    struct Slot
     {
         Bytes base = 0;
         Bytes size = 0;
         std::uint32_t mapRefs = 0;
+        std::uint32_t generation = 0;
+        bool live = false;
     };
 
     Bytes mCapacity;
     Bytes mGranularity;
     Bytes mInUse = 0;
     Bytes mPeakInUse = 0;
-    PhysHandle mNextHandle = 1;
-    std::unordered_map<PhysHandle, HandleInfo> mHandles;
-    /** Free holes of the physical address space: base -> size. */
-    std::map<Bytes, Bytes> mHoles;
+    std::size_t mPeakHoles = 1;
+    std::size_t mLiveHandles = 0;
+
+    std::vector<Slot> mSlots;
+    std::vector<std::uint32_t> mFreeSlots;
+    /** Free holes of the physical address space. */
+    FreeExtentMap mHoles;
+
+    /** Resolve a handle to its live slot; nullptr when invalid. */
+    const Slot *find(PhysHandle handle) const;
+    Slot *find(PhysHandle handle);
+
+    static PhysHandle
+    pack(std::uint32_t slot, std::uint32_t generation)
+    {
+        return (static_cast<PhysHandle>(generation) << 32) | slot;
+    }
 };
 
 } // namespace gmlake::vmm

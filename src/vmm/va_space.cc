@@ -27,19 +27,24 @@ VaSpace::reserve(Bytes size, Bytes alignment)
         return makeError(Errc::invalidValue,
                          "alignment must be a power of two");
 
-    // First-fit over released holes.
-    for (auto it = mHoles.begin(); it != mHoles.end(); ++it) {
-        const VirtAddr base = it->first;
-        const Bytes holeSize = it->second;
+    // First-fit over released holes: the extent map yields the
+    // lowest-base hole with size >= request in O(log holes);
+    // alignment slack can disqualify a candidate, in which case the
+    // search resumes behind it (hole bases are granularity-aligned
+    // in practice, so the first candidate almost always fits).
+    for (auto hole = mHoles.firstFit(size); hole;
+         hole = mHoles.nextFit(hole->base, size)) {
+        const VirtAddr base = hole->base;
+        const Bytes holeSize = hole->size;
         const VirtAddr aligned = roundUp(base, alignment);
         const Bytes slack = aligned - base;
         if (holeSize >= slack + size) {
             // Carve [aligned, aligned+size) from the hole.
-            mHoles.erase(it);
+            mHoles.erase(base);
             if (slack > 0)
-                mHoles.emplace(base, slack);
+                mHoles.insert(base, slack);
             if (holeSize > slack + size)
-                mHoles.emplace(aligned + size, holeSize - slack - size);
+                mHoles.insert(aligned + size, holeSize - slack - size);
             mLive.emplace(aligned, size);
             mReservedBytes += size;
             if (mReservedBytes > mPeakReservedBytes)
@@ -55,7 +60,7 @@ VaSpace::reserve(Bytes size, Bytes alignment)
                          " exhausted");
     }
     if (aligned > mBump)
-        mHoles.emplace(mBump, aligned - mBump);
+        mHoles.insert(mBump, aligned - mBump);
     mBump = aligned + size;
     mLive.emplace(aligned, size);
     mReservedBytes += size;
@@ -73,24 +78,10 @@ VaSpace::free(VirtAddr addr)
                          "addressFree of a non-reservation base");
     mReservedBytes -= it->second;
     // Return the range to the hole list, merging with neighbours.
-    VirtAddr base = it->first;
-    Bytes size = it->second;
+    const VirtAddr base = it->first;
+    const Bytes size = it->second;
     mLive.erase(it);
-
-    auto next = mHoles.lower_bound(base);
-    if (next != mHoles.end() && base + size == next->first) {
-        size += next->second;
-        next = mHoles.erase(next);
-    }
-    if (next != mHoles.begin()) {
-        auto prev = std::prev(next);
-        if (prev->first + prev->second == base) {
-            base = prev->first;
-            size += prev->second;
-            mHoles.erase(prev);
-        }
-    }
-    mHoles.emplace(base, size);
+    mHoles.insertCoalescing(base, size);
     return Status::success();
 }
 

@@ -14,6 +14,7 @@
 
 #include "support/expected.hh"
 #include "support/types.hh"
+#include "vmm/extent_map.hh"
 
 namespace gmlake::vmm
 {
@@ -55,8 +56,12 @@ class VaSpace
     Bytes mPeakReservedBytes = 0;
     /** Live reservations: base -> size. */
     std::map<VirtAddr, Bytes> mLive;
-    /** Free holes from released reservations: base -> size. */
-    std::map<VirtAddr, Bytes> mHoles;
+    /**
+     * Free holes from released reservations: first-fit reuse in
+     * O(log holes) via the shared extent map (identical placement
+     * to the linear scan it replaced).
+     */
+    FreeExtentMap mHoles;
 };
 
 } // namespace gmlake::vmm

@@ -402,3 +402,73 @@ TEST(GMLake, ReservedNeverBelowActive)
     }
     lake.checkConsistency();
 }
+
+TEST(GMLakeAllocator, SteadyStateChurnRecyclesBlockNodes)
+{
+    // The stitch/free hot path must not construct block metadata:
+    // after warmup, every pBlock/sBlock node comes from the slab
+    // pool freelist (created() stands still, reused() advances).
+    vmm::Device dev(smallDevice());
+    GMLakeConfig gc = tightConfig();
+    gc.restitchOnSplit = false;
+    gc.maxCachedSBlocks = 0; // evict before every search: always re-stitch
+    GMLakeAllocator lake(dev, gc);
+
+    // Two cached fragments serve one double-size request per cycle.
+    const auto a = lake.allocate(16_MiB);
+    const auto spacer = lake.allocate(2_MiB);
+    const auto b = lake.allocate(16_MiB);
+    ASSERT_TRUE(a.ok() && spacer.ok() && b.ok());
+    ASSERT_TRUE(lake.deallocate(a->id).ok());
+    ASSERT_TRUE(lake.deallocate(b->id).ok());
+
+    auto cycle = [&] {
+        const auto big = lake.allocate(32_MiB);
+        ASSERT_TRUE(big.ok());
+        ASSERT_TRUE(lake.deallocate(big->id).ok());
+    };
+    for (int i = 0; i < 8; ++i)
+        cycle(); // warmup: pools reach their high-water mark
+
+    const auto warm = lake.poolCounters();
+    const auto stitchesBefore = lake.strategy().stitches;
+    for (int i = 0; i < 64; ++i)
+        cycle();
+    const auto after = lake.poolCounters();
+
+    // The churn really exercised the stitch path...
+    EXPECT_GE(lake.strategy().stitches, stitchesBefore + 64);
+    // ...yet no new node was ever constructed: all recycled.
+    EXPECT_EQ(after.pCreated, warm.pCreated);
+    EXPECT_EQ(after.sCreated, warm.sCreated);
+    EXPECT_GE(after.sReused, warm.sReused + 64);
+    lake.checkConsistency();
+}
+
+TEST(GMLakeAllocator, PoolCountersSurviveSplitChurn)
+{
+    // Split/restitch cycles also recycle: the halves and the
+    // re-stitched sBlock reuse released nodes once warm.
+    vmm::Device dev(smallDevice());
+    GMLakeAllocator lake(dev, tightConfig());
+
+    auto cycle = [&] {
+        const auto big = lake.allocate(24_MiB);
+        ASSERT_TRUE(big.ok());
+        ASSERT_TRUE(lake.deallocate(big->id).ok());
+        const auto small = lake.allocate(8_MiB); // splits the 24 MiB
+        ASSERT_TRUE(small.ok());
+        ASSERT_TRUE(lake.deallocate(small->id).ok());
+        lake.emptyCache(); // releases blocks: nodes hit the freelist
+    };
+    for (int i = 0; i < 4; ++i)
+        cycle();
+    const auto warm = lake.poolCounters();
+    for (int i = 0; i < 16; ++i)
+        cycle();
+    const auto after = lake.poolCounters();
+    EXPECT_EQ(after.pCreated, warm.pCreated);
+    EXPECT_EQ(after.sCreated, warm.sCreated);
+    EXPECT_GT(after.pReused, warm.pReused);
+    lake.checkConsistency();
+}

@@ -163,6 +163,7 @@ constexpr ExpectedDigest kExpectedDigests[] = {
     {"colocate-two-serving", 0xefd1c987445677c5ULL},
     {"colocate-oversub", 0xb3e6863919e69907ULL},
     {"stress-allocator", 0x9b2aa751be30516fULL},
+    {"frag-churn", 0xde35e226c2b9b263ULL},
     {"cluster-ranks", 0x80a873f6d163fcd6ULL},
 };
 

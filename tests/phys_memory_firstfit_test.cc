@@ -1,0 +1,313 @@
+/**
+ * @file
+ * Property test of the extent-based physical memory manager: random
+ * create/release sequences are cross-checked op by op against a
+ * naive reference model (linear first-fit over an address-sorted
+ * hole list). Placement, OOM points, hole structure, and the O(1)
+ * aggregates must all agree — the extent tree is an optimization,
+ * never a behaviour change. Handle-recycling properties (slot reuse
+ * with unique handle values) are asserted on the side.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "support/rng.hh"
+#include "support/units.hh"
+#include "vmm/extent_map.hh"
+#include "vmm/phys_memory.hh"
+
+using namespace gmlake;
+using namespace gmlake::literals;
+using vmm::FreeExtentMap;
+using vmm::PhysMemory;
+
+namespace
+{
+
+/** The obviously-correct model: a sorted vector of holes. */
+class ReferencePhys
+{
+  public:
+    explicit ReferencePhys(Bytes capacity)
+    {
+        mHoles.push_back({0, capacity});
+    }
+
+    /** First-fit create; nullopt on OOM. Returns the base. */
+    std::optional<Bytes>
+    create(Bytes size)
+    {
+        for (std::size_t i = 0; i < mHoles.size(); ++i) {
+            if (mHoles[i].size < size)
+                continue;
+            const Bytes base = mHoles[i].base;
+            if (mHoles[i].size == size) {
+                mHoles.erase(mHoles.begin() +
+                             static_cast<std::ptrdiff_t>(i));
+            } else {
+                mHoles[i].base += size;
+                mHoles[i].size -= size;
+            }
+            mLive.emplace(base, size);
+            return base;
+        }
+        return std::nullopt;
+    }
+
+    void
+    release(Bytes base)
+    {
+        const auto it = mLive.find(base);
+        ASSERT_NE(it, mLive.end());
+        Bytes size = it->second;
+        Bytes at = it->first;
+        mLive.erase(it);
+        // Merge with neighbours, keep address order.
+        std::vector<Hole> merged;
+        bool inserted = false;
+        for (const Hole &h : mHoles) {
+            if (!inserted && h.base > at) {
+                merged.push_back({at, size});
+                inserted = true;
+            }
+            merged.push_back(h);
+        }
+        if (!inserted)
+            merged.push_back({at, size});
+        mHoles.clear();
+        for (const Hole &h : merged) {
+            if (!mHoles.empty() &&
+                mHoles.back().base + mHoles.back().size == h.base) {
+                mHoles.back().size += h.size;
+            } else {
+                mHoles.push_back(h);
+            }
+        }
+    }
+
+    struct Hole
+    {
+        Bytes base;
+        Bytes size;
+    };
+    const std::vector<Hole> &holes() const { return mHoles; }
+
+    Bytes
+    largestHole() const
+    {
+        Bytes largest = 0;
+        for (const Hole &h : mHoles)
+            largest = std::max(largest, h.size);
+        return largest;
+    }
+
+    std::vector<std::pair<Bytes, Bytes>>
+    liveRanges() const
+    {
+        std::vector<std::pair<Bytes, Bytes>> out(mLive.begin(),
+                                                 mLive.end());
+        return out;
+    }
+
+  private:
+    std::vector<Hole> mHoles;
+    std::map<Bytes, Bytes> mLive;
+};
+
+void
+expectInLockstep(const PhysMemory &phys, const ReferencePhys &ref)
+{
+    // Hole structure: count, largest (the O(1) aggregate), and the
+    // exact extents.
+    ASSERT_EQ(phys.holeCount(), ref.holes().size());
+    ASSERT_EQ(phys.largestHole(), ref.largestHole());
+    ASSERT_EQ(phys.liveRanges(), ref.liveRanges());
+}
+
+} // namespace
+
+TEST(PhysMemoryFirstFit, RandomChurnMatchesNaiveReference)
+{
+    for (const std::uint64_t seed : {1ULL, 7ULL, 42ULL, 1337ULL}) {
+        const Bytes capacity = 1_GiB;
+        PhysMemory phys(capacity, 2_MiB);
+        ReferencePhys ref(capacity);
+        Rng rng(seed);
+
+        struct LiveHandle
+        {
+            PhysHandle handle;
+            Bytes refBase;
+        };
+        std::vector<LiveHandle> live;
+        std::set<PhysHandle> everIssued;
+
+        for (int op = 0; op < 4000; ++op) {
+            const bool doCreate =
+                live.empty() || rng.uniformInt(0, 99) < 55;
+            if (doCreate) {
+                // Mostly small, occasionally huge (prodding OOM).
+                const Bytes size =
+                    rng.uniformInt(0, 19) == 0
+                        ? 2_MiB * rng.uniformInt(100, 300)
+                        : 2_MiB * rng.uniformInt(1, 24);
+                const auto got = phys.create(size);
+                const auto expected = ref.create(size);
+                ASSERT_EQ(got.ok(), expected.has_value())
+                    << "seed " << seed << " op " << op;
+                if (!got.ok()) {
+                    EXPECT_EQ(got.code(), Errc::outOfMemory);
+                } else {
+                    // Same placement: the extent tree must pick the
+                    // same lowest-base hole as the linear scan.
+                    ASSERT_EQ(*phys.sizeOf(*got), size);
+                    // Handle values are never recycled, even though
+                    // the slots are.
+                    EXPECT_TRUE(everIssued.insert(*got).second)
+                        << "recycled handle value";
+                    live.push_back(LiveHandle{*got, *expected});
+                }
+            } else {
+                const std::size_t victim = static_cast<std::size_t>(
+                    rng.uniformInt(0, live.size() - 1));
+                const LiveHandle handle = live[victim];
+                live[victim] = live.back();
+                live.pop_back();
+                ASSERT_TRUE(phys.release(handle.handle).ok());
+                ref.release(handle.refBase);
+                // The released handle is dead immediately.
+                EXPECT_FALSE(phys.isLive(handle.handle));
+                EXPECT_EQ(phys.sizeOf(handle.handle).code(),
+                          Errc::invalidValue);
+                EXPECT_EQ(phys.release(handle.handle).code(),
+                          Errc::invalidValue);
+            }
+            ASSERT_NO_FATAL_FAILURE(expectInLockstep(phys, ref))
+                << "seed " << seed << " op " << op;
+        }
+
+        // Drain: everything releases cleanly back to one hole.
+        for (const LiveHandle &handle : live) {
+            ASSERT_TRUE(phys.release(handle.handle).ok());
+            ref.release(handle.refBase);
+        }
+        ASSERT_NO_FATAL_FAILURE(expectInLockstep(phys, ref));
+        EXPECT_EQ(phys.holeCount(), 1u);
+        EXPECT_EQ(phys.largestHole(), capacity);
+        EXPECT_EQ(phys.inUse(), 0u);
+    }
+}
+
+TEST(PhysMemoryFirstFit, ExtentMapQueriesMatchLinearScan)
+{
+    // Direct FreeExtentMap check: firstFit/nextFit answer exactly
+    // like a linear scan of the extents, and largest() tracks the
+    // maximum through heavy churn (the augmentation stays in
+    // lockstep with the tree).
+    FreeExtentMap extentMap;
+    std::map<Bytes, Bytes> shadow;
+    Rng rng(99);
+
+    for (int op = 0; op < 6000; ++op) {
+        const int dice = rng.uniformInt(0, 9);
+        if (dice < 6 || shadow.empty()) {
+            // Insert a fresh extent in an unoccupied spot.
+            const Bytes base = 2_MiB * rng.uniformInt(0, 4095);
+            const Bytes size = 2_MiB * rng.uniformInt(1, 32);
+            bool clear = true;
+            for (const auto &[b, sz] : shadow) {
+                if (base + size > b && b + sz > base) {
+                    clear = false;
+                    break;
+                }
+            }
+            if (!clear)
+                continue;
+            // Coalescing insert mirrors a map merge.
+            auto next = shadow.lower_bound(base);
+            Bytes at = base;
+            Bytes sz = size;
+            if (next != shadow.end() && at + sz == next->first) {
+                sz += next->second;
+                next = shadow.erase(next);
+            }
+            if (next != shadow.begin()) {
+                auto prev = std::prev(next);
+                if (prev->first + prev->second == at) {
+                    at = prev->first;
+                    sz += prev->second;
+                    shadow.erase(prev);
+                }
+            }
+            shadow.emplace(at, sz);
+            extentMap.insertCoalescing(base, size);
+        } else {
+            const std::size_t pick = static_cast<std::size_t>(
+                rng.uniformInt(0, shadow.size() - 1));
+            auto it = std::next(shadow.begin(),
+                                static_cast<std::ptrdiff_t>(pick));
+            ASSERT_TRUE(extentMap.erase(it->first));
+            shadow.erase(it);
+        }
+
+        ASSERT_EQ(extentMap.count(), shadow.size());
+        Bytes largest = 0;
+        Bytes total = 0;
+        for (const auto &[b, sz] : shadow) {
+            largest = std::max(largest, sz);
+            total += sz;
+        }
+        ASSERT_EQ(extentMap.largest(), largest);
+        ASSERT_EQ(extentMap.totalBytes(), total);
+
+        // Random first-fit probes against the linear answer.
+        for (int probe = 0; probe < 3; ++probe) {
+            const Bytes want = 2_MiB * rng.uniformInt(1, 40);
+            std::optional<Bytes> expected;
+            for (const auto &[b, sz] : shadow) {
+                if (sz >= want) {
+                    expected = b;
+                    break;
+                }
+            }
+            const auto got = extentMap.firstFit(want);
+            ASSERT_EQ(got.has_value(), expected.has_value());
+            if (got) {
+                ASSERT_EQ(got->base, *expected);
+            }
+            // nextFit resumes past the first candidate.
+            if (got) {
+                std::optional<Bytes> expectedNext;
+                for (const auto &[b, sz] : shadow) {
+                    if (b > got->base && sz >= want) {
+                        expectedNext = b;
+                        break;
+                    }
+                }
+                const auto next =
+                    extentMap.nextFit(got->base, want);
+                ASSERT_EQ(next.has_value(),
+                          expectedNext.has_value());
+                if (next) {
+                    ASSERT_EQ(next->base, *expectedNext);
+                }
+            }
+        }
+    }
+
+    // The in-order extents match the shadow exactly.
+    const auto extents = extentMap.extents();
+    ASSERT_EQ(extents.size(), shadow.size());
+    std::size_t i = 0;
+    for (const auto &[b, sz] : shadow) {
+        EXPECT_EQ(extents[i].base, b);
+        EXPECT_EQ(extents[i].size, sz);
+        ++i;
+    }
+}

@@ -134,3 +134,194 @@ TEST_F(MappingTest, MapUnknownHandleFails)
 {
     EXPECT_EQ(table.map(base, 4242).code(), Errc::invalidValue);
 }
+
+// ------------------------------------------------- batched entry points
+
+TEST_F(MappingTest, MapRangeCoalescesIntoOneExtent)
+{
+    const PhysHandle h1 = chunk();
+    const PhysHandle h2 = chunk();
+    const PhysHandle h3 = chunk();
+    const std::pair<VirtAddr, PhysHandle> batch[] = {
+        {base, h1}, {base + 2_MiB, h2}, {base + 4_MiB, h3}};
+    ASSERT_TRUE(table.mapRange(batch).ok());
+    // Three chunk-level mappings, one coalesced extent.
+    EXPECT_EQ(table.mappingCount(), 3u);
+    EXPECT_EQ(table.extentCount(), 1u);
+    EXPECT_EQ(phys.mapRefs(h1), 1u);
+    EXPECT_EQ(phys.mapRefs(h2), 1u);
+    EXPECT_EQ(phys.mapRefs(h3), 1u);
+    // translate resolves each chunk across the coalesced extent.
+    EXPECT_EQ(*table.translate(base), h1);
+    EXPECT_EQ(*table.translate(base + 2_MiB), h2);
+    EXPECT_EQ(*table.translate(base + 4_MiB + 1), h3);
+    EXPECT_EQ(*table.translate(base + 6_MiB - 1), h3);
+    EXPECT_EQ(table.translate(base + 6_MiB).code(), Errc::notMapped);
+    const auto entries = table.mappingsIn(base, 6_MiB);
+    ASSERT_EQ(entries.size(), 3u);
+    EXPECT_EQ(entries[0].handle, h1);
+    EXPECT_EQ(entries[1].va, base + 2_MiB);
+    EXPECT_EQ(entries[2].handle, h3);
+}
+
+TEST_F(MappingTest, MapRangeOverlapLeavesTableUntouched)
+{
+    const PhysHandle mid = chunk();
+    ASSERT_TRUE(table.map(base + 2_MiB, mid).ok());
+
+    const PhysHandle h1 = chunk();
+    const PhysHandle h2 = chunk();
+    // The second target collides with the pre-existing mapping.
+    const std::pair<VirtAddr, PhysHandle> batch[] = {
+        {base, h1}, {base + 2_MiB, h2}};
+    EXPECT_EQ(table.mapRange(batch).code(), Errc::alreadyMapped);
+    // Partial-failure atomicity: nothing from the batch landed.
+    EXPECT_EQ(table.mappingCount(), 1u);
+    EXPECT_EQ(phys.mapRefs(h1), 0u);
+    EXPECT_EQ(phys.mapRefs(h2), 0u);
+    EXPECT_EQ(table.translate(base).code(), Errc::notMapped);
+}
+
+TEST_F(MappingTest, MapRangeUnknownHandleLeavesTableUntouched)
+{
+    const PhysHandle h1 = chunk();
+    const std::pair<VirtAddr, PhysHandle> batch[] = {
+        {base, h1}, {base + 2_MiB, 424242}};
+    EXPECT_EQ(table.mapRange(batch).code(), Errc::invalidValue);
+    EXPECT_EQ(table.mappingCount(), 0u);
+    EXPECT_EQ(phys.mapRefs(h1), 0u);
+}
+
+TEST_F(MappingTest, MapRangeRejectsUnsortedBatch)
+{
+    const PhysHandle h1 = chunk();
+    const PhysHandle h2 = chunk();
+    const std::pair<VirtAddr, PhysHandle> batch[] = {
+        {base + 2_MiB, h1}, {base, h2}};
+    EXPECT_EQ(table.mapRange(batch).code(), Errc::invalidValue);
+    EXPECT_EQ(table.mappingCount(), 0u);
+}
+
+TEST_F(MappingTest, UnmapSplitsCoalescedExtentAtChunkBoundary)
+{
+    const PhysHandle h1 = chunk();
+    const PhysHandle h2 = chunk();
+    const PhysHandle h3 = chunk();
+    const std::pair<VirtAddr, PhysHandle> batch[] = {
+        {base, h1}, {base + 2_MiB, h2}, {base + 4_MiB, h3}};
+    ASSERT_TRUE(table.mapRange(batch).ok());
+
+    // Carve the middle chunk out of the coalesced extent.
+    ASSERT_TRUE(table.unmap(base + 2_MiB, 2_MiB).ok());
+    EXPECT_EQ(table.mappingCount(), 2u);
+    EXPECT_EQ(table.extentCount(), 2u);
+    EXPECT_EQ(phys.mapRefs(h2), 0u);
+    EXPECT_EQ(*table.translate(base), h1);
+    EXPECT_EQ(table.translate(base + 2_MiB).code(), Errc::notMapped);
+    EXPECT_EQ(*table.translate(base + 4_MiB), h3);
+
+    // Mid-chunk cuts are still rejected.
+    EXPECT_EQ(table.unmap(base + 1_MiB, 1_MiB).code(),
+              Errc::invalidValue);
+    EXPECT_EQ(table.unmap(base, 1_MiB).code(), Errc::invalidValue);
+}
+
+TEST_F(MappingTest, UnmapRangeIsAtomicAcrossRanges)
+{
+    const PhysHandle h1 = chunk();
+    const PhysHandle h2 = chunk();
+    ASSERT_TRUE(table.map(base, h1).ok());
+    ASSERT_TRUE(table.map(base + 4_MiB, h2).ok());
+
+    // Second range is unmapped: the whole batch must fail without
+    // touching the first range.
+    const std::pair<VirtAddr, Bytes> bad[] = {
+        {base, 2_MiB}, {base + 8_MiB, 2_MiB}};
+    EXPECT_EQ(table.unmapRange(bad).code(), Errc::notMapped);
+    EXPECT_EQ(table.mappingCount(), 2u);
+    EXPECT_EQ(phys.mapRefs(h1), 1u);
+
+    const std::pair<VirtAddr, Bytes> good[] = {
+        {base, 2_MiB}, {base + 4_MiB, 2_MiB}};
+    ASSERT_TRUE(table.unmapRange(good).ok());
+    EXPECT_EQ(table.mappingCount(), 0u);
+    EXPECT_EQ(phys.mapRefs(h1), 0u);
+    EXPECT_EQ(phys.mapRefs(h2), 0u);
+}
+
+TEST_F(MappingTest, SetAccessSplitsMixedStateExtent)
+{
+    const PhysHandle h1 = chunk();
+    const PhysHandle h2 = chunk();
+    const PhysHandle h3 = chunk();
+    const std::pair<VirtAddr, PhysHandle> batch[] = {
+        {base, h1}, {base + 2_MiB, h2}, {base + 4_MiB, h3}};
+    ASSERT_TRUE(table.mapRange(batch).ok());
+
+    // Grant access to the middle chunk only: the extent splits so
+    // chunk-level access state is preserved exactly.
+    ASSERT_TRUE(table.setAccess(base + 2_MiB, 2_MiB).ok());
+    EXPECT_FALSE(table.accessible(base, 2_MiB));
+    EXPECT_TRUE(table.accessible(base + 2_MiB, 2_MiB));
+    EXPECT_FALSE(table.accessible(base + 4_MiB, 2_MiB));
+    EXPECT_FALSE(table.accessible(base, 6_MiB));
+    // Chunk count is unchanged; the extents multiplied.
+    EXPECT_EQ(table.mappingCount(), 3u);
+    EXPECT_EQ(table.extentCount(), 3u);
+
+    ASSERT_TRUE(table.setAccess(base, 6_MiB).ok());
+    EXPECT_TRUE(table.accessible(base, 6_MiB));
+}
+
+TEST_F(MappingTest, SetAccessRangeIsAtomicAcrossRanges)
+{
+    const PhysHandle h1 = chunk();
+    ASSERT_TRUE(table.map(base, h1).ok());
+
+    const std::pair<VirtAddr, Bytes> bad[] = {
+        {base, 2_MiB}, {base + 8_MiB, 2_MiB}};
+    EXPECT_EQ(table.setAccessRange(bad).code(), Errc::notMapped);
+    EXPECT_FALSE(table.accessible(base, 2_MiB));
+
+    const std::pair<VirtAddr, Bytes> good[] = {{base, 2_MiB}};
+    ASSERT_TRUE(table.setAccessRange(good).ok());
+    EXPECT_TRUE(table.accessible(base, 2_MiB));
+}
+
+TEST_F(MappingTest, RangeStatsMatchMappingsIn)
+{
+    const PhysHandle h1 = chunk();
+    const PhysHandle h2 = chunk();
+    const auto big = phys.create(4_MiB);
+    ASSERT_TRUE(big.ok());
+    const std::pair<VirtAddr, PhysHandle> batch[] = {
+        {base, h1}, {base + 2_MiB, h2}, {base + 4_MiB, *big}};
+    ASSERT_TRUE(table.mapRange(batch).ok());
+
+    for (const auto &[va, size] :
+         {std::pair<VirtAddr, Bytes>{base, 8_MiB},
+          {base, 2_MiB},
+          {base + 2_MiB, 4_MiB},
+          {base + 1_MiB, 2_MiB},
+          {base + 6_MiB, 2_MiB}}) {
+        const auto stats = table.rangeStats(va, size);
+        const auto entries = table.mappingsIn(va, size);
+        EXPECT_EQ(stats.chunks, entries.size()) << va;
+        Bytes bytes = 0;
+        for (const auto &e : entries)
+            bytes += e.size;
+        EXPECT_EQ(stats.bytes, bytes) << va;
+        EXPECT_EQ(table.hasMappingsIn(va, size), !entries.empty())
+            << va;
+    }
+
+    // The scratch-filling overload agrees with the allocating one.
+    std::vector<MappingTable::Entry> scratch;
+    table.mappingsIn(base, 8_MiB, scratch);
+    const auto fresh = table.mappingsIn(base, 8_MiB);
+    ASSERT_EQ(scratch.size(), fresh.size());
+    for (std::size_t i = 0; i < fresh.size(); ++i) {
+        EXPECT_EQ(scratch[i].va, fresh[i].va);
+        EXPECT_EQ(scratch[i].handle, fresh[i].handle);
+    }
+}
