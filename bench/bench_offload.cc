@@ -1,0 +1,18 @@
+/**
+ * @file
+ * Host-offload tier under true oversubscription: four tenants whose
+ * combined resident sets reach 1.5x the device capacity. Without the
+ * tier the device kills tenants; with it GMLake spills whole pBlocks
+ * to host via unmap/remap of the existing stitched VA and faults
+ * them back on touch (prefetch hints hide the H2D latency). The
+ * companion `serve-burst-offload` scenario covers the spiky-serving
+ * shape: `gmlake_sim run serve-burst-offload`.
+ */
+
+#include "bench/common.hh"
+
+int
+main(int argc, char **argv)
+{
+    return gmlake::bench::benchMain("oversub-offload", argc, argv);
+}

@@ -57,6 +57,9 @@ inspect(sim::AllocatorKind kind, const workload::Trace &trace)
             else
                 allocator->streamSynchronize(e.stream);
             break;
+          case workload::EventKind::touch:
+          case workload::EventKind::prefetch:
+            break; // offload-tier events; no-op without a manager
         }
     }
 

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <string>
 
+#include "alloc/offload_hook.hh"
 #include "alloc/snapshot.hh"
 #include "alloc/stats.hh"
 #include "support/expected.hh"
@@ -72,6 +73,64 @@ class Allocator
 
     virtual std::string name() const = 0;
 
+    // --- host-offload cooperation (src/offload) ------------------------
+
+    /**
+     * Attach the offload tier's reclaim hook; nullptr detaches it.
+     * With no hook attached every offload path below is dormant and
+     * the allocator behaves bit-identically to its historical self.
+     */
+    void setOffloadHook(OffloadHook *hook) { mOffloadHook = hook; }
+    OffloadHook *offloadHook() const { return mOffloadHook; }
+
+    /**
+     * Release up to @p target bytes of cached *free* device memory
+     * (no live data, so no copy), preferring forms that can be
+     * rebuilt cheaply. Returns the bytes actually released. Called
+     * by the offload manager before it spills live data.
+     */
+    virtual Bytes
+    trimCache(Bytes target)
+    {
+        (void)target;
+        return 0;
+    }
+
+    /** Upper bound on what trimCache() could release right now. */
+    virtual Bytes trimmableBytes() const { return 0; }
+
+    /** True when spillLive()/faultLive() are implemented. */
+    virtual bool supportsLiveSpill() const { return false; }
+
+    /**
+     * Spill live allocation @p id: copy-out is the manager's job;
+     * this releases the allocation's physical device backing while
+     * keeping its id and virtual address valid. Returns the physical
+     * bytes released. Allocators whose blocks pin their VA to the
+     * physical allocation (anything cudaMalloc-backed) cannot spill
+     * transparently and return Errc::notSupported.
+     */
+    virtual Expected<Bytes>
+    spillLive(AllocId id)
+    {
+        (void)id;
+        return makeError(Errc::notSupported,
+                         "allocator cannot spill live allocations");
+    }
+
+    /**
+     * Restore the physical backing of a spilled live allocation at
+     * its original virtual address. May fail with outOfMemory, in
+     * which case the manager evicts more victims and retries.
+     */
+    virtual Status
+    faultLive(AllocId id)
+    {
+        (void)id;
+        return makeError(Errc::notSupported,
+                         "allocator cannot fault live allocations");
+    }
+
     /** Structured inventory of the allocator's current blocks. */
     virtual MemorySnapshot
     snapshot() const
@@ -82,6 +141,9 @@ class Allocator
         snap.reservedBytes = stats().reservedBytes();
         return snap;
     }
+
+  protected:
+    OffloadHook *mOffloadHook = nullptr;
 };
 
 } // namespace gmlake::alloc

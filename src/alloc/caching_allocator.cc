@@ -143,8 +143,24 @@ CachingAllocator::growSegment(Bytes rounded, StreamId stream)
         // (cudaMalloc failure implies a device synchronization, so
         // stream-pinned cached blocks become reclaimable first).
         releaseStream(kAnyStream);
-        emptyCache();
+        if (mOffloadHook != nullptr) {
+            // Offload tier attached: a targeted trim (attributed as
+            // eviction traffic) instead of dropping the whole cache.
+            // Live spilling is unsupported here, so the hook cannot
+            // reclaim beyond the cache — see trimCache().
+            mOffloadHook->reclaimOnOom(segSize, stream);
+        } else {
+            emptyCache();
+        }
         va = mDevice.mallocNative(segSize);
+        if (!va.ok() && mOffloadHook != nullptr) {
+            // A targeted trim can leave the physical space too
+            // fragmented for one contiguous segment where a full
+            // cache drop would have coalesced it; fall back before
+            // reporting OOM.
+            emptyCache();
+            va = mDevice.mallocNative(segSize);
+        }
         if (!va.ok())
             return va.error();
     }
@@ -336,33 +352,68 @@ CachingAllocator::deviceSynchronize()
     releaseStream(kAnyStream);
 }
 
+Bytes
+CachingAllocator::sweepSegments(FreePool &pool, Bytes budget)
+{
+    Bytes freed = 0;
+    for (auto it = pool.begin();
+         it != pool.end() && freed < budget;) {
+        Block *block = *it;
+        if (!block->prev && !block->next) {
+            // Block spans its whole segment; release it.
+            const auto seg = mSegments.find(block->segment);
+            GMLAKE_ASSERT(seg != mSegments.end(),
+                          "free block with unknown segment");
+            GMLAKE_ASSERT(seg->second == block->size,
+                          "whole-segment block size mismatch");
+            const Status s = mDevice.freeNative(block->segment);
+            GMLAKE_ASSERT(s.ok(), "segment must free cleanly: ",
+                          s.ok() ? "" : s.error().message);
+            mStats.onRelease(seg->second);
+            freed += seg->second;
+            mSegments.erase(seg);
+            it = pool.erase(it);
+            destroyBlock(block);
+        } else {
+            ++it;
+        }
+    }
+    return freed;
+}
+
 void
 CachingAllocator::emptyCache()
 {
-    auto sweep = [&](FreePool &pool) {
-        for (auto it = pool.begin(); it != pool.end();) {
-            Block *block = *it;
-            if (!block->prev && !block->next) {
-                // Block spans its whole segment; release it.
-                const auto seg = mSegments.find(block->segment);
-                GMLAKE_ASSERT(seg != mSegments.end(),
-                              "free block with unknown segment");
-                GMLAKE_ASSERT(seg->second == block->size,
-                              "whole-segment block size mismatch");
-                const Status s = mDevice.freeNative(block->segment);
-                GMLAKE_ASSERT(s.ok(), "segment must free cleanly: ",
-                              s.ok() ? "" : s.error().message);
-                mStats.onRelease(seg->second);
-                mSegments.erase(seg);
-                it = pool.erase(it);
-                destroyBlock(block);
-            } else {
-                ++it;
-            }
+    sweepSegments(mSmallPool, ~Bytes{0});
+    sweepSegments(mLargePool, ~Bytes{0});
+}
+
+Bytes
+CachingAllocator::trimCache(Bytes target)
+{
+    if (target == 0)
+        return 0;
+    // Pool order (stream, size, addr) is deterministic, so the same
+    // request always releases the same segments.
+    Bytes freed = sweepSegments(mLargePool, target);
+    if (freed < target)
+        freed += sweepSegments(mSmallPool, target - freed);
+    return freed;
+}
+
+Bytes
+CachingAllocator::trimmableBytes() const
+{
+    Bytes total = 0;
+    auto sweep = [&](const FreePool &pool) {
+        for (const Block *b : pool) {
+            if (!b->prev && !b->next)
+                total += b->size;
         }
     };
-    sweep(mSmallPool);
     sweep(mLargePool);
+    sweep(mSmallPool);
+    return total;
 }
 
 Bytes

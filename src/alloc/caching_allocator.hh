@@ -86,6 +86,20 @@ class CachingAllocator : public Allocator
     /** Free bytes currently cached in the pools (reserved - active). */
     Bytes cachedBytes() const;
     std::size_t segmentCount() const { return mSegments.size(); }
+    const CachingConfig &config() const { return mConfig; }
+
+    // --- host-offload cooperation (src/offload) ------------------------
+
+    /**
+     * Release fully-free cached segments until @p target bytes are
+     * freed (a targeted emptyCache). Live spilling stays unsupported:
+     * segments are cudaMalloc-backed, so releasing one would tear
+     * down the virtual addresses live tensors hold — the VA/physical
+     * decoupling GMLake gets from the VMM API is exactly what this
+     * allocator lacks.
+     */
+    Bytes trimCache(Bytes target) override;
+    Bytes trimmableBytes() const override;
 
     MemorySnapshot snapshot() const override;
 
@@ -154,6 +168,13 @@ class CachingAllocator : public Allocator
 
     /** Best-fit lookup restricted to blocks reusable by @p stream. */
     Block *findFit(FreePool &pool, Bytes rounded, StreamId stream);
+
+    /**
+     * Release whole-segment free blocks of @p pool back to the
+     * device until @p budget bytes are freed; returns bytes freed.
+     * The one segment-release sweep emptyCache()/trimCache() share.
+     */
+    Bytes sweepSegments(FreePool &pool, Bytes budget);
 
     /** Merge @p block with free same-stream neighbours. */
     Block *coalesce(Block *block);

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Allocator-side view of the host-offload tier (src/offload).
+ *
+ * The OffloadManager implements this interface; allocators see only
+ * it, so the alloc layer stays free of a dependency on the offload
+ * library while still being able to ask for device memory back at
+ * their OOM points. The inverse direction — the manager asking an
+ * allocator to spill or restore a specific allocation — goes through
+ * the offload virtuals on alloc::Allocator.
+ */
+
+#ifndef GMLAKE_ALLOC_OFFLOAD_HOOK_HH
+#define GMLAKE_ALLOC_OFFLOAD_HOOK_HH
+
+#include "support/types.hh"
+
+namespace gmlake::alloc
+{
+
+class OffloadHook
+{
+  public:
+    virtual ~OffloadHook() = default;
+
+    /**
+     * Called by an allocator that failed to obtain @p needed bytes of
+     * device memory for @p stream. The hook trims the allocator's
+     * caches first, then spills live victim allocations to the host
+     * tier, and returns the bytes it reclaimed (0 = nothing left to
+     * evict); the allocator retries its allocation afterwards and
+     * reports OOM only when the retry still fails.
+     */
+    virtual Bytes reclaimOnOom(Bytes needed, StreamId stream) = 0;
+};
+
+} // namespace gmlake::alloc
+
+#endif // GMLAKE_ALLOC_OFFLOAD_HOOK_HH

@@ -102,6 +102,7 @@ GMLakeAllocator::allocPBlock(Bytes size, StreamId stream)
     block->va = *va;
     block->size = size;
     block->active = false;
+    block->resident = true;
     block->lastUse = mDevice.now();
     block->stream = stream;
     insertInactiveP(block);
@@ -119,17 +120,23 @@ GMLakeAllocator::releasePBlock(PBlock *block)
     while (!block->sharers.empty())
         destroySBlock(block->sharers.back());
 
-    Status s = mDevice.memUnmap(block->va, block->size);
-    GMLAKE_ASSERT(s.ok(), "pBlock unmap failed");
-    for (PhysHandle h : block->chunks) {
-        s = mDevice.memRelease(h);
-        GMLAKE_ASSERT(s.ok(), "pBlock chunk release failed");
+    if (block->resident) {
+        Status s = mDevice.memUnmap(block->va, block->size);
+        GMLAKE_ASSERT(s.ok(), "pBlock unmap failed");
+        for (PhysHandle h : block->chunks) {
+            s = mDevice.memRelease(h);
+            GMLAKE_ASSERT(s.ok(), "pBlock chunk release failed");
+        }
+        mPhysicalBytes -= block->size;
+        mStats.onRelease(block->size);
+    } else {
+        // A spilled block holds no mappings or chunks; only its VA
+        // reservation and the spilled-bytes accounting remain.
+        mSpilledBytes -= block->size;
     }
-    s = mDevice.memAddressFree(block->va);
+    const Status s = mDevice.memAddressFree(block->va);
     GMLAKE_ASSERT(s.ok(), "pBlock addressFree failed");
 
-    mPhysicalBytes -= block->size;
-    mStats.onRelease(block->size);
     eraseInactiveP(block);
     mPPool.release(block);
 }
@@ -138,6 +145,8 @@ Expected<GMLakeAllocator::PBlock *>
 GMLakeAllocator::splitPBlock(PBlock *block, Bytes sizeA)
 {
     GMLAKE_ASSERT(!block->active, "split of an active pBlock");
+    GMLAKE_ASSERT(block->resident,
+                  "split of a spilled pBlock (fault it in first)");
     GMLAKE_ASSERT(isAligned(sizeA, mConfig.chunkSize) &&
                   sizeA < block->size,
                   "split size must be a chunk multiple below the "
@@ -183,6 +192,7 @@ GMLakeAllocator::splitPBlock(PBlock *block, Bytes sizeA)
             block->chunks.begin() +
                 static_cast<std::ptrdiff_t>(chunkOffset + chunkCount));
         half->active = false;
+        half->resident = true;
         half->lastUse = mDevice.now();
         half->stream = block->stream;
         half->sharers.clear();
@@ -244,6 +254,9 @@ GMLakeAllocator::stitch(const std::vector<PBlock *> &members,
     Bytes total = 0;
     for (const PBlock *m : members) {
         GMLAKE_ASSERT(!m->active, "stitch of an active pBlock");
+        GMLAKE_ASSERT(m->resident,
+                      "stitch of a spilled pBlock (fault it in "
+                      "first)");
         total += m->size;
     }
 
@@ -354,6 +367,214 @@ GMLakeAllocator::stitchFree()
 }
 
 // --------------------------------------------------------------------
+// Offload tier: spill / fault-in of physical backing
+// --------------------------------------------------------------------
+
+Bytes
+GMLakeAllocator::sharerOffset(const SBlock *sblock,
+                              const PBlock *block)
+{
+    Bytes offset = 0;
+    for (const PBlock *m : sblock->members) {
+        if (m == block)
+            return offset;
+        offset += m->size;
+    }
+    GMLAKE_PANIC("block is not a member of its sharer");
+}
+
+void
+GMLakeAllocator::spillPBlock(PBlock *block)
+{
+    GMLAKE_ASSERT(block->resident, "spill of a non-resident pBlock");
+    // Unmap the chunks from the block's own VA and from every
+    // stitched sBlock VA over them; the VA structures all survive,
+    // so the later fault-in is remap-only — no re-stitch.
+    Status s = mDevice.memUnmap(block->va, block->size);
+    GMLAKE_ASSERT(s.ok(), "spill unmap failed");
+    for (SBlock *sharer : block->sharers) {
+        s = mDevice.memUnmap(sharer->va + sharerOffset(sharer, block),
+                             block->size);
+        GMLAKE_ASSERT(s.ok(), "spill sharer unmap failed");
+    }
+    for (PhysHandle h : block->chunks) {
+        s = mDevice.memRelease(h);
+        GMLAKE_ASSERT(s.ok(), "spill chunk release failed");
+    }
+    block->chunks.clear();
+    block->resident = false;
+    mSpilledBytes += block->size;
+    mPhysicalBytes -= block->size;
+    mStats.onRelease(block->size);
+}
+
+Status
+GMLakeAllocator::ensureResident(PBlock *block)
+{
+    if (block->resident)
+        return Status::success();
+    const std::size_t chunkCount = block->size / mConfig.chunkSize;
+    for (std::size_t i = 0; i < chunkCount; ++i) {
+        auto h = mDevice.memCreate(mConfig.chunkSize);
+        if (!h.ok() && mOffloadHook != nullptr) {
+            const Bytes missing =
+                (chunkCount - block->chunks.size()) *
+                mConfig.chunkSize;
+            if (mOffloadHook->reclaimOnOom(missing, block->stream) >
+                0) {
+                h = mDevice.memCreate(mConfig.chunkSize);
+            }
+        }
+        if (!h.ok()) {
+            // Roll back: the block stays cleanly spilled.
+            for (PhysHandle created : block->chunks) {
+                const Status rel = mDevice.memRelease(created);
+                GMLAKE_ASSERT(rel.ok(), "fault-in rollback failed");
+            }
+            block->chunks.clear();
+            return h.error();
+        }
+        block->chunks.push_back(*h);
+    }
+
+    // Remap under the block's own VA and every sharer VA. The
+    // stitched structures were never torn down, so this is the
+    // "no data-copy for re-stitch" path: mapping cost only.
+    auto remapAt = [&](VirtAddr base) {
+        mMapBatch.clear();
+        for (std::size_t i = 0; i < chunkCount; ++i) {
+            mMapBatch.emplace_back(
+                base + static_cast<VirtAddr>(i) * mConfig.chunkSize,
+                block->chunks[i]);
+        }
+        Status s = mDevice.memMapBatch(mMapBatch);
+        GMLAKE_ASSERT(s.ok(), "fault-in remap failed: ",
+                      s.ok() ? "" : s.error().message);
+        s = mDevice.memSetAccess(base, block->size);
+        GMLAKE_ASSERT(s.ok(), "fault-in access failed");
+    };
+    remapAt(block->va);
+    for (SBlock *sharer : block->sharers)
+        remapAt(sharer->va + sharerOffset(sharer, block));
+
+    block->resident = true;
+    mSpilledBytes -= block->size;
+    mPhysicalBytes += block->size;
+    mStats.onReserve(block->size);
+    return Status::success();
+}
+
+Status
+GMLakeAllocator::ensureResident(SBlock *sblock)
+{
+    for (PBlock *m : sblock->members) {
+        if (const Status s = ensureResident(m); !s.ok())
+            return s;
+    }
+    return Status::success();
+}
+
+Bytes
+GMLakeAllocator::trimCache(Bytes target)
+{
+    if (mTrimSuspended || target == 0)
+        return 0;
+    // Coldest inactive resident pBlocks first: their physical chunks
+    // go back to the device while block + stitched VA structures stay
+    // cached, so the pattern tape survives the trim.
+    std::vector<PBlock *> victims;
+    victims.reserve(mInactiveP.size());
+    for (PBlock *p : mInactiveP) {
+        if (p->resident)
+            victims.push_back(p);
+    }
+    std::sort(victims.begin(), victims.end(),
+              [](const PBlock *a, const PBlock *b) {
+                  if (a->lastUse != b->lastUse)
+                      return a->lastUse < b->lastUse;
+                  return a->id < b->id;
+              });
+    Bytes freed = 0;
+    for (PBlock *p : victims) {
+        if (freed >= target)
+            break;
+        spillPBlock(p);
+        freed += p->size;
+    }
+    if (freed < target) {
+        // Last resort: the small path's cached segments.
+        const Bytes before = mSmallPath.stats().reservedBytes();
+        mSmallPath.emptyCache();
+        syncSmallPathStats();
+        freed += before - mSmallPath.stats().reservedBytes();
+    }
+    return freed;
+}
+
+Bytes
+GMLakeAllocator::trimmableBytes() const
+{
+    Bytes total = 0;
+    for (const PBlock *p : mInactiveP) {
+        if (p->resident)
+            total += p->size;
+    }
+    // Only the small path's whole-free segments actually release;
+    // counting all its cached bytes would overstate the OOM
+    // post-mortem's "evictable" figure.
+    total += mSmallPath.trimmableBytes();
+    return total;
+}
+
+Expected<Bytes>
+GMLakeAllocator::spillLive(alloc::AllocId id)
+{
+    const auto it = mLive.find(id);
+    if (it == mLive.end())
+        return makeError(Errc::invalidValue, "unknown allocation id");
+    Live &live = it->second;
+    if (live.smallId != 0) {
+        return makeError(Errc::notSupported,
+                         "small-path allocations cannot spill");
+    }
+    Bytes freed = 0;
+    if (live.s != nullptr) {
+        for (PBlock *m : live.s->members) {
+            if (!m->resident)
+                continue;
+            freed += m->size;
+            spillPBlock(m);
+        }
+    } else {
+        GMLAKE_ASSERT(live.p, "live allocation with no target");
+        if (live.p->resident) {
+            freed += live.p->size;
+            spillPBlock(live.p);
+        }
+    }
+    return freed;
+}
+
+Status
+GMLakeAllocator::faultLive(alloc::AllocId id)
+{
+    const auto it = mLive.find(id);
+    if (it == mLive.end())
+        return makeError(Errc::invalidValue, "unknown allocation id");
+    Live &live = it->second;
+    if (live.smallId != 0) {
+        return makeError(Errc::notSupported,
+                         "small-path allocations cannot spill");
+    }
+    // The live blocks are active, so a reclaim triggered inside
+    // ensureResident() cannot trim them back out from under us.
+    if (live.s != nullptr)
+        return ensureResident(live.s);
+    GMLAKE_ASSERT(live.p, "live allocation with no target");
+    return ensureResident(live.p);
+}
+
+// --------------------------------------------------------------------
 // Active-state management
 // --------------------------------------------------------------------
 
@@ -406,8 +627,20 @@ GMLakeAllocator::allocate(Bytes size, StreamId stream)
 
     if (size < mConfig.smallThreshold) {
         ++mCounters.smallPath;
-        const auto inner = mSmallPath.allocate(size, stream);
+        auto inner = mSmallPath.allocate(size, stream);
         syncSmallPathStats();
+        if (!inner.ok() && mOffloadHook != nullptr &&
+            inner.error().code == Errc::outOfMemory &&
+            mOffloadHook->reclaimOnOom(
+                mSmallPath.config().largeBuffer, stream) > 0) {
+            // The embedded small path has no hook of its own: give
+            // the offload tier one shot before killing the tenant
+            // over a sub-2MB request. Reclaim a whole mid-size
+            // segment's worth — the largest segment the small path
+            // grows for these requests — not just the request size.
+            inner = mSmallPath.allocate(size, stream);
+            syncSmallPathStats();
+        }
         if (!inner.ok())
             return inner.error();
         const alloc::AllocId id = mNextAllocId++;
@@ -438,7 +671,13 @@ GMLakeAllocator::allocateLarge(Bytes size, StreamId stream)
     // before its first use.
     stitchFree();
 
-    for (int attempt = 0; attempt < 2; ++attempt) {
+    // With an offload hook each failed growth round may reclaim more
+    // (cache trim, then progressively colder live victims), so the
+    // retry ladder is longer; progress-gating below keeps it short
+    // in practice. Without a hook this is the historical two-attempt
+    // loop, bit for bit.
+    const int maxAttempts = mOffloadHook != nullptr ? 8 : 2;
+    for (int attempt = 0; attempt < maxAttempts; ++attempt) {
         // S1 fast path: most-recently-used exact match. Taking the
         // MRU candidate (rather than an arbitrary one) makes the
         // block-to-request assignment stable across the repeating
@@ -481,7 +720,16 @@ GMLakeAllocator::allocateLarge(Bytes size, StreamId stream)
                      (sHit->size == pHit->size &&
                       sHit->lastUse >= pHit->lastUse));
                 if (useS) {
+                    // Activate first: active blocks are invisible to
+                    // cache trims, so the fault-in's own reclaim
+                    // cannot evict what it is restoring.
                     markSActive(sHit, true);
+                    if (const Status st = ensureResident(sHit);
+                        !st.ok()) {
+                        markSActive(sHit, false);
+                        ++mCounters.s5Oom;
+                        return st.error();
+                    }
                     sHit->stream = stream;
                     for (PBlock *m : sHit->members)
                         m->stream = stream;
@@ -491,6 +739,12 @@ GMLakeAllocator::allocateLarge(Bytes size, StreamId stream)
                     return alloc::Allocation{id, size, sHit->va};
                 }
                 markPActive(pHit, true);
+                if (const Status st = ensureResident(pHit);
+                    !st.ok()) {
+                    markPActive(pHit, false);
+                    ++mCounters.s5Oom;
+                    return st.error();
+                }
                 pHit->stream = stream;
                 live.p = pHit;
                 mLive.emplace(id, live);
@@ -539,6 +793,11 @@ GMLakeAllocator::allocateLarge(Bytes size, StreamId stream)
             if (fit.sBlock != nullptr) {
                 SBlock *s = fit.sBlock;
                 markSActive(s, true);
+                if (const Status st = ensureResident(s); !st.ok()) {
+                    markSActive(s, false);
+                    ++mCounters.s5Oom;
+                    return st.error();
+                }
                 s->stream = stream;
                 for (PBlock *m : s->members)
                     m->stream = stream;
@@ -549,6 +808,11 @@ GMLakeAllocator::allocateLarge(Bytes size, StreamId stream)
             }
             PBlock *p = mFitCandidates.front();
             markPActive(p, true);
+            if (const Status st = ensureResident(p); !st.ok()) {
+                markPActive(p, false);
+                ++mCounters.s5Oom;
+                return st.error();
+            }
             p->stream = stream;
             live.p = p;
             mLive.emplace(id, live);
@@ -559,6 +823,15 @@ GMLakeAllocator::allocateLarge(Bytes size, StreamId stream)
           case FitState::singleBlock: {
             ++mCounters.s2SingleBlock;
             PBlock *p = mFitCandidates.front();
+            {
+                // The block is still inactive while it is restored,
+                // so suspend cache trimming around the fault-in.
+                const TrimGuard guard(*this);
+                if (const Status st = ensureResident(p); !st.ok()) {
+                    ++mCounters.s5Oom;
+                    return st.error();
+                }
+            }
             // Fragmentation limit (Section 4.2.3): never create a
             // remainder below the limit — such fragments would be
             // excluded from stitching forever and only bloat the
@@ -587,6 +860,19 @@ GMLakeAllocator::allocateLarge(Bytes size, StreamId stream)
             // The candidates already are the member pointers; the
             // scratch vector doubles as the stitch member list.
             std::vector<PBlock *> &members = mFitCandidates;
+            {
+                // Fault in any spilled member before the stitch maps
+                // its chunks; trimming is suspended so one member's
+                // restore cannot evict another.
+                const TrimGuard guard(*this);
+                for (PBlock *m : members) {
+                    if (const Status st = ensureResident(m);
+                        !st.ok()) {
+                        ++mCounters.s5Oom;
+                        return st.error();
+                    }
+                }
+            }
 
             // Trim the final candidate so the stitched size matches
             // the request (Fig 9: the final pBlock can be split) —
@@ -630,7 +916,16 @@ GMLakeAllocator::allocateLarge(Bytes size, StreamId stream)
             const Bytes need = rounded - have;
             const auto fresh = allocPBlock(need, stream);
             if (!fresh.ok()) {
-                if (attempt == 0) {
+                if (mOffloadHook != nullptr) {
+                    // Offload ladder: trim caches, then spill live
+                    // victims to the host tier; retry while the
+                    // hook keeps making progress.
+                    if (attempt + 1 < maxAttempts &&
+                        mOffloadHook->reclaimOnOom(need, stream) >
+                            0) {
+                        continue;
+                    }
+                } else if (attempt == 0) {
                     // Fallback: drop cached stitches and cached
                     // physical blocks, then retry the whole search.
                     releaseCached();
@@ -653,6 +948,20 @@ GMLakeAllocator::allocateLarge(Bytes size, StreamId stream)
                 return alloc::Allocation{id, size, p->va};
             }
             members.push_back(*fresh);
+            {
+                // As in the multi-block state: spilled members must
+                // be backed again before the stitch maps them. The
+                // fresh block is inactive too, so the guard also
+                // shields it from a nested trim.
+                const TrimGuard guard(*this);
+                for (PBlock *m : members) {
+                    if (const Status st = ensureResident(m);
+                        !st.ok()) {
+                        ++mCounters.s5Oom;
+                        return st.error();
+                    }
+                }
+            }
             const auto sblock = stitch(members, stream);
             if (!sblock.ok())
                 return sblock.error();
@@ -820,11 +1129,19 @@ void
 GMLakeAllocator::checkConsistency() const
 {
     Bytes pTotal = 0;
+    Bytes spilledTotal = 0;
     std::size_t inactiveP = 0;
     mPPool.forEachLive([&](const PBlock *p) {
-        pTotal += p->size;
-        GMLAKE_ASSERT(p->size / mConfig.chunkSize == p->chunks.size(),
-                      "pBlock chunk count mismatch");
+        if (p->resident) {
+            pTotal += p->size;
+            GMLAKE_ASSERT(p->size / mConfig.chunkSize ==
+                          p->chunks.size(),
+                          "pBlock chunk count mismatch");
+        } else {
+            spilledTotal += p->size;
+            GMLAKE_ASSERT(p->chunks.empty(),
+                          "spilled pBlock still holds chunks");
+        }
         GMLAKE_ASSERT(isAligned(p->size, mConfig.chunkSize),
                       "pBlock size not chunk aligned");
         if (!p->active)
@@ -843,6 +1160,8 @@ GMLakeAllocator::checkConsistency() const
     });
     GMLAKE_ASSERT(pTotal == mPhysicalBytes,
                   "physical byte accounting drifted");
+    GMLAKE_ASSERT(spilledTotal == mSpilledBytes,
+                  "spilled byte accounting drifted");
     GMLAKE_ASSERT(inactiveP == mInactiveP.size(),
                   "inactive pPool size mismatch");
     GMLAKE_ASSERT(mInactivePFree.size() <= mInactiveP.size(),

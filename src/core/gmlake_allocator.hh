@@ -98,10 +98,20 @@ class GMLakeAllocator : public alloc::Allocator
     std::size_t pBlockCount() const { return mPPool.liveCount(); }
     std::size_t sBlockCount() const { return mSPool.liveCount(); }
     std::size_t inactivePBlockCount() const { return mInactiveP.size(); }
-    /** Physical bytes held by pBlocks (== reserved large memory). */
+    /** Physical bytes held by resident pBlocks (reserved memory). */
     Bytes physicalBytes() const { return mPhysicalBytes; }
     /** Total VA bytes held by live sBlocks. */
     Bytes stitchedVaBytes() const { return mStitchedVaBytes; }
+    /** Bytes of pBlocks whose backing is spilled to the host tier. */
+    Bytes spilledBytes() const { return mSpilledBytes; }
+
+    // --- host-offload cooperation (src/offload) ------------------------
+
+    Bytes trimCache(Bytes target) override;
+    Bytes trimmableBytes() const override;
+    bool supportsLiveSpill() const override { return true; }
+    Expected<Bytes> spillLive(alloc::AllocId id) override;
+    Status faultLive(alloc::AllocId id) override;
 
     alloc::MemorySnapshot snapshot() const override;
 
@@ -119,6 +129,14 @@ class GMLakeAllocator : public alloc::Allocator
         Bytes size = 0;
         std::vector<PhysHandle> chunks;
         bool active = false;
+        /**
+         * Physical backing present. A spilled (offloaded) block keeps
+         * its VA, its stitched sBlock memberships, and its place in
+         * the inactive indices — only the chunks are released, so a
+         * fault-in is remap-only and never re-stitches. Always true
+         * without an offload hook attached.
+         */
+        bool resident = true;
         /** ObjectPool live flag (support/object_pool.hh). */
         bool poolLive = false;
         Tick lastUse = 0;
@@ -271,8 +289,35 @@ class GMLakeAllocator : public alloc::Allocator
 
     Bytes mPhysicalBytes = 0;
     Bytes mStitchedVaBytes = 0;
+    /** Bytes of non-resident (spilled) pBlocks. */
+    Bytes mSpilledBytes = 0;
     /** StitchFree VA bound, derived once from the device capacity. */
     Bytes mVaCapBytes = 0;
+
+    /**
+     * While set, trimCache() refuses to spill: a reclaim triggered
+     * from inside ensureResident() must not evict the inactive
+     * blocks a handout is in the middle of restoring. Managed by
+     * TrimGuard (RAII, nestable).
+     */
+    bool mTrimSuspended = false;
+
+    struct TrimGuard
+    {
+        explicit TrimGuard(GMLakeAllocator &allocator)
+            : mAllocator(allocator),
+              mPrev(allocator.mTrimSuspended)
+        {
+            allocator.mTrimSuspended = true;
+        }
+        ~TrimGuard() { mAllocator.mTrimSuspended = mPrev; }
+
+        TrimGuard(const TrimGuard &) = delete;
+        TrimGuard &operator=(const TrimGuard &) = delete;
+
+        GMLakeAllocator &mAllocator;
+        bool mPrev;
+    };
 
     /** Small (<2 MB) allocations go through the original splitter. */
     alloc::CachingAllocator mSmallPath;
@@ -337,6 +382,32 @@ class GMLakeAllocator : public alloc::Allocator
 
     /** LRU eviction of cached sBlocks down to the configured bounds. */
     void stitchFree();
+
+    // --- offload tier: spill / fault-in of physical backing ------------
+
+    /** VA offset of member @p block inside @p sblock's stitched VA. */
+    static Bytes sharerOffset(const SBlock *sblock,
+                              const PBlock *block);
+
+    /**
+     * Release @p block's physical chunks while keeping the block, its
+     * VA, and every stitched sBlock over it intact: the chunks are
+     * unmapped from the block's own VA and from each sharer's VA,
+     * then released to the device.
+     */
+    void spillPBlock(PBlock *block);
+
+    /**
+     * Recreate and remap the chunks of a spilled block under its
+     * original VA and every sharer VA (remap-only; no re-stitch, and
+     * any data copy is charged by the offload manager, not here). On
+     * device OOM asks the offload hook to reclaim and retries once;
+     * a failure leaves the block spilled.
+     */
+    Status ensureResident(PBlock *block);
+
+    /** ensureResident() over every member of @p sblock. */
+    Status ensureResident(SBlock *sblock);
 
     /** Last-resort release of cached memory, then used by retries. */
     void releaseCached();

@@ -1,0 +1,66 @@
+#include "offload/eviction_policy.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace gmlake::offload
+{
+
+void
+LruPolicy::rank(std::vector<Victim> &candidates) const
+{
+    std::sort(candidates.begin(), candidates.end(),
+              [](const Victim &a, const Victim &b) {
+                  if (a.lastTouch != b.lastTouch)
+                      return a.lastTouch < b.lastTouch;
+                  return a.id < b.id;
+              });
+}
+
+void
+SizeAwarePolicy::rank(std::vector<Victim> &candidates) const
+{
+    std::sort(candidates.begin(), candidates.end(),
+              [](const Victim &a, const Victim &b) {
+                  if (a.bytes != b.bytes)
+                      return a.bytes > b.bytes;
+                  if (a.lastTouch != b.lastTouch)
+                      return a.lastTouch < b.lastTouch;
+                  return a.id < b.id;
+              });
+}
+
+const char *
+policyKindName(PolicyKind kind)
+{
+    switch (kind) {
+      case PolicyKind::lru: return "lru";
+      case PolicyKind::sizeAware: return "size-aware";
+    }
+    return "unknown";
+}
+
+std::optional<PolicyKind>
+parsePolicyKind(std::string_view name)
+{
+    for (const PolicyKind kind :
+         {PolicyKind::lru, PolicyKind::sizeAware}) {
+        if (name == policyKindName(kind))
+            return kind;
+    }
+    return std::nullopt;
+}
+
+std::unique_ptr<EvictionPolicy>
+makePolicy(PolicyKind kind)
+{
+    switch (kind) {
+      case PolicyKind::lru: return std::make_unique<LruPolicy>();
+      case PolicyKind::sizeAware:
+        return std::make_unique<SizeAwarePolicy>();
+    }
+    GMLAKE_PANIC("unknown eviction policy kind");
+}
+
+} // namespace gmlake::offload

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Victim-selection policies for the host-offload tier.
+ *
+ * A policy only *orders* the candidate set; the OffloadManager walks
+ * the ranked list until it has reclaimed enough bytes, skipping
+ * victims the allocator refuses to spill. Keeping the interface to a
+ * deterministic sort makes every policy trivially reproducible — the
+ * decision digests pin the resulting eviction sequences exactly.
+ */
+
+#ifndef GMLAKE_OFFLOAD_EVICTION_POLICY_HH
+#define GMLAKE_OFFLOAD_EVICTION_POLICY_HH
+
+#include <memory>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "alloc/allocator.hh"
+#include "support/types.hh"
+
+namespace gmlake::offload
+{
+
+/** One evictable live allocation, as the policies see it. */
+struct Victim
+{
+    alloc::AllocId id = 0;
+    Bytes bytes = 0;
+    /** Simulated time of the last alloc/touch of this allocation. */
+    Tick lastTouch = 0;
+    /** Session namespace the allocation belongs to (0 if single). */
+    std::size_t session = 0;
+};
+
+class EvictionPolicy
+{
+  public:
+    virtual ~EvictionPolicy() = default;
+
+    virtual const char *name() const = 0;
+
+    /**
+     * Order @p candidates most-evictable first. Must be a
+     * deterministic function of the candidate fields (ties broken by
+     * id), so replays are bit-reproducible.
+     */
+    virtual void rank(std::vector<Victim> &candidates) const = 0;
+};
+
+/** Coldest first: least recently touched victims spill first. */
+class LruPolicy : public EvictionPolicy
+{
+  public:
+    const char *name() const override { return "lru"; }
+    void rank(std::vector<Victim> &candidates) const override;
+};
+
+/**
+ * Size-aware: largest inactive victim first — fewest transfers per
+ * reclaimed byte, at the risk of spilling a warm large tensor. Ties
+ * fall back to coldness.
+ */
+class SizeAwarePolicy : public EvictionPolicy
+{
+  public:
+    const char *name() const override { return "size-aware"; }
+    void rank(std::vector<Victim> &candidates) const override;
+};
+
+enum class PolicyKind
+{
+    lru,
+    sizeAware,
+};
+
+const char *policyKindName(PolicyKind kind);
+
+/** Parse a policy name ("lru", "size-aware"); nullopt when unknown. */
+std::optional<PolicyKind> parsePolicyKind(std::string_view name);
+
+std::unique_ptr<EvictionPolicy> makePolicy(PolicyKind kind);
+
+} // namespace gmlake::offload
+
+#endif // GMLAKE_OFFLOAD_EVICTION_POLICY_HH

@@ -1,0 +1,35 @@
+#include "offload/host_pool.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace gmlake::offload
+{
+
+HostPool::HostPool(Bytes capacity) : mCapacity(capacity)
+{
+}
+
+bool
+HostPool::tryStage(Bytes bytes)
+{
+    if (mStaged + bytes > mCapacity) {
+        ++mRefusedCount;
+        return false;
+    }
+    mStaged += bytes;
+    mPeakStaged = std::max(mPeakStaged, mStaged);
+    ++mStageCount;
+    return true;
+}
+
+void
+HostPool::unstage(Bytes bytes)
+{
+    GMLAKE_ASSERT(bytes <= mStaged,
+                  "host pool unstage exceeds staged bytes");
+    mStaged -= bytes;
+}
+
+} // namespace gmlake::offload

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Host-memory staging tier for spilled device allocations.
+ *
+ * The pool is pure accounting: the simulator never materializes the
+ * bytes, but capacity is enforced — a spill that does not fit in host
+ * memory is refused, which bounds how far a device can oversubscribe
+ * (host RAM is big, not infinite). Pinned staging buffers on a real
+ * system would add an allocation cost; here the transfer lanes carry
+ * all the latency, so staging itself is free once admitted.
+ */
+
+#ifndef GMLAKE_OFFLOAD_HOST_POOL_HH
+#define GMLAKE_OFFLOAD_HOST_POOL_HH
+
+#include <cstdint>
+
+#include "support/types.hh"
+
+namespace gmlake::offload
+{
+
+class HostPool
+{
+  public:
+    explicit HostPool(Bytes capacity);
+
+    /**
+     * Admit @p bytes into the staging tier; false when the pool
+     * cannot hold them (the caller must not spill the victim).
+     */
+    bool tryStage(Bytes bytes);
+
+    /** Return @p bytes to the pool (fault-back or victim death). */
+    void unstage(Bytes bytes);
+
+    Bytes capacity() const { return mCapacity; }
+    Bytes stagedBytes() const { return mStaged; }
+    Bytes peakStagedBytes() const { return mPeakStaged; }
+    std::uint64_t stageCount() const { return mStageCount; }
+    std::uint64_t refusedCount() const { return mRefusedCount; }
+
+  private:
+    Bytes mCapacity;
+    Bytes mStaged = 0;
+    Bytes mPeakStaged = 0;
+    std::uint64_t mStageCount = 0;
+    std::uint64_t mRefusedCount = 0;
+};
+
+} // namespace gmlake::offload
+
+#endif // GMLAKE_OFFLOAD_HOST_POOL_HH

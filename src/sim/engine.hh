@@ -19,6 +19,11 @@
 #include "workload/trace.hh"
 #include "workload/train_config.hh"
 
+namespace gmlake::offload
+{
+class OffloadManager;
+}
+
 namespace gmlake::sim
 {
 
@@ -71,6 +76,21 @@ struct RunResult
      */
     std::uint64_t vmmWallNs = 0;
 
+    /**
+     * Host-offload tier traffic (src/offload); all zero when no
+     * OffloadManager is attached to the run. evictedBytes counts
+     * live D2H spills plus cache trims the tier performed;
+     * faultedBytes counts live H2D fault-backs (prefetched or not);
+     * stallNs is the simulated time the run stalled on the copy
+     * lanes. offloadWallNs is the manager's own host wallclock —
+     * like the other *WallNs fields it measures the simulator, not
+     * the simulation.
+     */
+    Bytes evictedBytes = 0;
+    Bytes faultedBytes = 0;
+    Tick stallNs = 0;
+    std::uint64_t offloadWallNs = 0;
+
     std::vector<SamplePoint> series;
 };
 
@@ -80,6 +100,14 @@ struct EngineOptions
     std::size_t maxSeriesPoints = 4096;
     /** Record the time series at all. */
     bool recordSeries = true;
+    /**
+     * Host-offload tier for this run (borrowed; must be attached to
+     * the run's allocator and outlive the engine). When set, the
+     * engine registers every allocation with it, routes touch and
+     * prefetch trace events through it, and folds its eviction
+     * statistics into the results. nullptr = offload disabled.
+     */
+    offload::OffloadManager *offload = nullptr;
 };
 
 /**

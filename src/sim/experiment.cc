@@ -224,7 +224,8 @@ constexpr const char *kCsvHeader =
     "fragmentation,peak_active_bytes,peak_reserved_bytes,"
     "sim_time_ns,samples_per_sec,alloc_count,free_count,"
     "device_api_time_ns,alloc_wall_ns,alloc_wall_p50_ns,"
-    "alloc_wall_p99_ns,run_wall_ns,vmm_wall_ns";
+    "alloc_wall_p99_ns,run_wall_ns,vmm_wall_ns,"
+    "evicted_bytes,faulted_bytes,stall_ns,offload_wall_ns";
 
 void
 writeCsv(const Experiment &experiment,
@@ -272,7 +273,11 @@ writeCsv(const Experiment &experiment,
             << r.result.allocWallP50Ns << ','
             << r.result.allocWallP99Ns << ','
             << r.result.runWallNs << ','
-            << r.result.vmmWallNs << '\n';
+            << r.result.vmmWallNs << ','
+            << r.result.evictedBytes << ','
+            << r.result.faultedBytes << ','
+            << r.result.stallNs << ','
+            << r.result.offloadWallNs << '\n';
     }
 }
 
@@ -324,7 +329,12 @@ writeJson(const Experiment &experiment,
             << "\"alloc_wall_p99_ns\": " << r.result.allocWallP99Ns
             << ", "
             << "\"run_wall_ns\": " << r.result.runWallNs << ", "
-            << "\"vmm_wall_ns\": " << r.result.vmmWallNs << "}";
+            << "\"vmm_wall_ns\": " << r.result.vmmWallNs << ", "
+            << "\"evicted_bytes\": " << r.result.evictedBytes << ", "
+            << "\"faulted_bytes\": " << r.result.faultedBytes << ", "
+            << "\"stall_ns\": " << r.result.stallNs << ", "
+            << "\"offload_wall_ns\": " << r.result.offloadWallNs
+            << "}";
         first = false;
     }
     out << "\n  ],\n  \"metrics\": [";
@@ -444,6 +454,10 @@ try {
                    "scenarios (0 = all cores)\n"
                 << "  --csv [FILE]     append run records as CSV\n"
                 << "  --json [FILE]    write the report as JSON\n"
+                << "  --out FILE       write the JSON report to FILE "
+                   "(overrides the\n"
+                << "                   default BENCH_<scenario>.json "
+                   "name)\n"
                 << "  --no-banner      suppress the banner\n";
             return 0;
         } else if (flag == "--iterations") {
@@ -469,6 +483,18 @@ try {
             const char *path = optional(i);
             options.jsonPath =
                 path ? path : defaultJsonPath(*experiment);
+        } else if (flag == "--out") {
+            const std::filesystem::path path = need(i);
+            if (const auto dir = path.parent_path();
+                !dir.empty() && !std::filesystem::is_directory(dir)) {
+                GMLAKE_FATAL("--out directory does not exist: ",
+                             dir.string());
+            }
+            if (std::filesystem::is_directory(path)) {
+                GMLAKE_FATAL("--out must name a file, not a "
+                             "directory: ", path.string());
+            }
+            options.jsonPath = path.string();
         } else if (flag == "--no-banner") {
             options.banner = false;
         } else {

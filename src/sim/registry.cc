@@ -16,6 +16,7 @@
 #include "alloc/caching_allocator.hh"
 #include "alloc/compacting_allocator.hh"
 #include "core/gmlake_allocator.hh"
+#include "offload/offload_manager.hh"
 #include "sim/cluster.hh"
 #include "sim/session.hh"
 #include "support/csv.hh"
@@ -1440,6 +1441,334 @@ runFragChurn(ExperimentContext &ctx)
     table.print(ctx.out());
 }
 
+// ------------------------------------------- host offload (tiered)
+
+/**
+ * Deterministic heterogeneous split of @p total into @p n chunk-
+ * aligned sizes growing linearly (1, 2, ..., n units): the spread is
+ * what lets the LRU and size-aware eviction policies diverge.
+ */
+std::vector<Bytes>
+residentSplit(Bytes total, int n)
+{
+    const Bytes units =
+        static_cast<Bytes>(n) * static_cast<Bytes>(n + 1) / 2;
+    std::vector<Bytes> sizes;
+    sizes.reserve(static_cast<std::size_t>(n));
+    for (int i = 1; i <= n; ++i) {
+        sizes.push_back(roundUp(
+            total * static_cast<Bytes>(i) / units, 2_MiB));
+    }
+    return sizes;
+}
+
+/**
+ * One oversubscription tenant: a resident set of large, long-lived
+ * tensors (weights + optimizer state) touched phase by phase every
+ * iteration, plus transient activations churned inside each phase.
+ * With prefetch hints on, the next phase's resident tensor is
+ * announced one compute phase ahead, so a spilled tensor's H2D can
+ * overlap the current phase instead of stalling the touch.
+ * Deterministic in @p seed.
+ */
+workload::Trace
+makeOffloadTenantTrace(std::uint64_t seed, Bytes residentBytes,
+                       int residentTensors, int iterations,
+                       int transientsPerPhase, Tick phaseNs,
+                       bool prefetchHints)
+{
+    Rng rng(seed);
+    workload::TraceBuilder builder;
+
+    std::vector<workload::TensorId> resident;
+    resident.reserve(static_cast<std::size_t>(residentTensors));
+    for (const Bytes size :
+         residentSplit(residentBytes, residentTensors)) {
+        resident.push_back(builder.alloc(size, 0));
+        builder.compute(phaseNs / 8);
+    }
+
+    std::vector<workload::TensorId> transients;
+    for (int iter = 0; iter < iterations; ++iter) {
+        for (std::size_t phase = 0; phase < resident.size();
+             ++phase) {
+            if (prefetchHints) {
+                builder.prefetch(
+                    resident[(phase + 1) % resident.size()]);
+            }
+            builder.touch(resident[phase]);
+            transients.clear();
+            for (int t = 0; t < transientsPerPhase; ++t) {
+                const Bytes size =
+                    2_MiB * rng.uniformInt(32, 128); // 64-256 MiB
+                const auto stream = static_cast<StreamId>(
+                    1 + rng.uniformInt(0, 2));
+                transients.push_back(builder.alloc(size, stream));
+                builder.compute(phaseNs /
+                                (2 * transientsPerPhase));
+            }
+            builder.compute(phaseNs / 2);
+            for (const workload::TensorId id : transients)
+                builder.free(id);
+        }
+        builder.iterationMark();
+    }
+    builder.freeAll();
+    return builder.take();
+}
+
+/**
+ * One serving tenant for the burst scenario: model weights touched
+ * round-robin each decode round, a sliding window of KV-cache blocks
+ * (one admitted per round, oldest completed once the window is
+ * full), and per-round touches of random live KV blocks — the
+ * decode reads. Deterministic in @p seed.
+ */
+workload::Trace
+makeServeOffloadTrace(std::uint64_t seed, Bytes weightBytes,
+                      int weightTensors, int rounds,
+                      std::size_t kvWindow, Tick roundNs,
+                      bool prefetchHints)
+{
+    Rng rng(seed);
+    workload::TraceBuilder builder;
+
+    std::vector<workload::TensorId> weights;
+    weights.reserve(static_cast<std::size_t>(weightTensors));
+    for (const Bytes size :
+         residentSplit(weightBytes, weightTensors)) {
+        weights.push_back(builder.alloc(size, 0));
+        builder.compute(roundNs / 8);
+    }
+
+    std::vector<workload::TensorId> kv;
+    for (int round = 0; round < rounds; ++round) {
+        const std::size_t layer =
+            static_cast<std::size_t>(round) % weights.size();
+        if (prefetchHints)
+            builder.prefetch(weights[(layer + 1) % weights.size()]);
+        builder.touch(weights[layer]);
+        // Admit one request's KV buffer; decode reads two live ones.
+        kv.push_back(builder.alloc(
+            2_MiB * rng.uniformInt(64, 192), // 128-384 MiB
+            static_cast<StreamId>(1 + round % 3)));
+        for (int reads = 0; reads < 2; ++reads) {
+            builder.touch(kv[static_cast<std::size_t>(
+                rng.uniformInt(0, kv.size() - 1))]);
+        }
+        builder.compute(roundNs);
+        if (kv.size() > kvWindow) {
+            builder.free(kv.front());
+            kv.erase(kv.begin());
+        }
+        if (round % 8 == 7)
+            builder.iterationMark();
+    }
+    builder.freeAll();
+    return builder.take();
+}
+
+/** One allocator x offload-tier configuration of a scenario row. */
+struct OffloadRunSpec
+{
+    AllocatorKind kind;
+    bool offload = false;
+    offload::PolicyKind policy = offload::PolicyKind::lru;
+    const char *rowName; //!< allocator column, e.g. "gmlake+offload"
+};
+
+/**
+ * Run borrowed tenant traces co-located on one adjusted device under
+ * @p spec, with an OffloadManager attached when the spec asks for
+ * one, and record combined + per-tenant results.
+ */
+MultiRunResult
+runOffloadSpec(ExperimentContext &ctx, const OffloadRunSpec &spec,
+               const std::vector<const workload::Trace *> &traces,
+               const std::vector<Tick> &starts,
+               const std::string &label,
+               const ScenarioOptions &scenario)
+{
+    const ScenarioOptions opts = ctx.adjust(scenario);
+    vmm::Device device(opts.device);
+    const auto allocator =
+        makeAllocator(spec.kind, device, opts.gmlake);
+    std::unique_ptr<offload::OffloadManager> tier;
+    EngineOptions engineOptions = opts.engine;
+    if (spec.offload) {
+        offload::OffloadConfig cfg;
+        cfg.policy = spec.policy;
+        tier = std::make_unique<offload::OffloadManager>(
+            device, *allocator, cfg);
+        engineOptions.offload = tier.get();
+    }
+    SimEngine engine(*allocator, device, engineOptions);
+    for (std::size_t i = 0; i < traces.size(); ++i) {
+        engine.addSession(Session("tenant" + std::to_string(i),
+                                  traces[i], starts[i]));
+    }
+    MultiRunResult multi = engine.run();
+    ctx.record(label, spec.rowName, multi.combined);
+
+    int kills = 0;
+    for (const SessionResult &s : multi.sessions)
+        kills += s.oom ? 1 : 0;
+    ctx.metric(label, std::string(spec.rowName) + "_kills", kills);
+    ctx.metric(label, std::string(spec.rowName) + "_evicted_bytes",
+               static_cast<double>(multi.combined.evictedBytes));
+    ctx.metric(label, std::string(spec.rowName) + "_faulted_bytes",
+               static_cast<double>(multi.combined.faultedBytes));
+    ctx.metric(label, std::string(spec.rowName) + "_stall_ns",
+               static_cast<double>(multi.combined.stallNs));
+    return multi;
+}
+
+std::string
+offloadRow(const MultiRunResult &multi)
+{
+    int kills = 0;
+    for (const SessionResult &s : multi.sessions)
+        kills += s.oom ? 1 : 0;
+    return std::to_string(
+               static_cast<int>(multi.sessions.size()) - kills) +
+           "/" + std::to_string(multi.sessions.size());
+}
+
+void
+runOversubOffload(ExperimentContext &ctx)
+{
+    // Four training tenants, each with a 12 GiB resident set, on a
+    // 32 GiB device: 48 GiB of demand, 1.5x capacity. Without a host
+    // tier the device cannot admit the third tenant's resident set;
+    // with one, idle tenants' weights spill to host and fault back
+    // when their phase comes around.
+    const int iterations = ctx.iterations(6);
+    constexpr int kTenants = 4;
+    const std::uint64_t seed =
+        ctx.options().seed != 0 ? ctx.options().seed : 42;
+
+    ScenarioOptions scenario;
+    scenario.device.capacity = 32_GiB;
+
+    std::vector<workload::Trace> traces;
+    std::vector<const workload::Trace *> borrowed;
+    std::vector<Tick> starts;
+    traces.reserve(kTenants);
+    for (int t = 0; t < kTenants; ++t) {
+        traces.push_back(makeOffloadTenantTrace(
+            deriveSeed(seed, static_cast<std::uint64_t>(t)),
+            12_GiB, /*residentTensors=*/6, iterations,
+            /*transientsPerPhase=*/3,
+            /*phaseNs=*/Tick{40'000'000}, /*prefetchHints=*/true));
+    }
+    for (int t = 0; t < kTenants; ++t) {
+        borrowed.push_back(&traces[static_cast<std::size_t>(t)]);
+        starts.push_back(static_cast<Tick>(t) * Tick{25'000'000});
+    }
+    ctx.out() << "oversub workload: " << kTenants << " tenants x "
+              << "12 GiB resident on 32 GiB (1.5x capacity), "
+              << iterations << " iterations each\n\n";
+
+    const OffloadRunSpec specs[] = {
+        {AllocatorKind::native, false, offload::PolicyKind::lru,
+         "native"},
+        {AllocatorKind::caching, false, offload::PolicyKind::lru,
+         "caching"},
+        {AllocatorKind::gmlake, false, offload::PolicyKind::lru,
+         "gmlake"},
+        {AllocatorKind::caching, true, offload::PolicyKind::lru,
+         "caching+offload"},
+        {AllocatorKind::gmlake, true, offload::PolicyKind::lru,
+         "gmlake+offload(lru)"},
+        {AllocatorKind::gmlake, true, offload::PolicyKind::sizeAware,
+         "gmlake+offload(size-aware)"},
+    };
+
+    Table table({"Allocator", "Survivors", "Peak reserved",
+                 "Evicted", "Faulted", "Copy stall", "Sim time"});
+    for (const OffloadRunSpec &spec : specs) {
+        const auto multi = runOffloadSpec(
+            ctx, spec, borrowed, starts, "oversub 1.5x", scenario);
+        table.addRow(
+            {spec.rowName, offloadRow(multi),
+             gb(multi.combined.peakReserved) + " GB",
+             formatBytes(multi.combined.evictedBytes),
+             formatBytes(multi.combined.faultedBytes),
+             formatTime(multi.combined.stallNs),
+             formatTime(multi.combined.simTime)});
+    }
+    table.print(ctx.out());
+    ctx.out() << "(a host tier only helps an allocator that can "
+                 "release physical memory under live\n virtual "
+                 "addresses: gmlake+offload keeps every tenant, the "
+                 "cudaMalloc-backed caching\n allocator cannot spill "
+                 "live data and still loses tenants)\n";
+}
+
+void
+runServeBurstOffload(ExperimentContext &ctx)
+{
+    // A steady serving tenant (10 GiB of weights + a KV window) owns
+    // a 16 GiB device; a burst tenant with its own model instance
+    // arrives mid-run and pushes combined demand to ~1.7x capacity,
+    // then drains. Spiky serving is the offload tier's natural home:
+    // the burst borrows the steady tenant's idle weights' backing
+    // and gives it back when the spike ends.
+    const int iterations = ctx.iterations(4);
+    const int steadyRounds = 24 * iterations;
+    const int burstRounds = 10 * iterations;
+    const std::uint64_t seed =
+        ctx.options().seed != 0 ? ctx.options().seed : 1234;
+
+    ScenarioOptions scenario;
+    scenario.device.capacity = 16_GiB;
+
+    const workload::Trace steady = makeServeOffloadTrace(
+        deriveSeed(seed, 0), 10_GiB, /*weightTensors=*/5,
+        steadyRounds, /*kvWindow=*/6,
+        /*roundNs=*/Tick{20'000'000}, /*prefetchHints=*/true);
+    const workload::Trace burst = makeServeOffloadTrace(
+        deriveSeed(seed, 1), 10_GiB, /*weightTensors=*/5,
+        burstRounds, /*kvWindow=*/4,
+        /*roundNs=*/Tick{20'000'000}, /*prefetchHints=*/true);
+
+    const std::vector<const workload::Trace *> borrowed = {&steady,
+                                                           &burst};
+    // The burst lands once the steady tenant is warmed up.
+    const std::vector<Tick> starts = {0, Tick{150'000'000}};
+    ctx.out() << "serve-burst workload: steady 10 GiB + burst 10 GiB "
+                 "on 16 GiB (~1.7x during the burst)\n\n";
+
+    const OffloadRunSpec specs[] = {
+        {AllocatorKind::caching, false, offload::PolicyKind::lru,
+         "caching"},
+        {AllocatorKind::gmlake, false, offload::PolicyKind::lru,
+         "gmlake"},
+        {AllocatorKind::caching, true, offload::PolicyKind::lru,
+         "caching+offload"},
+        {AllocatorKind::gmlake, true, offload::PolicyKind::lru,
+         "gmlake+offload(lru)"},
+        {AllocatorKind::gmlake, true, offload::PolicyKind::sizeAware,
+         "gmlake+offload(size-aware)"},
+    };
+
+    Table table({"Allocator", "Survivors", "Peak reserved",
+                 "Evicted", "Faulted", "Copy stall", "Sim time"});
+    for (const OffloadRunSpec &spec : specs) {
+        const auto multi = runOffloadSpec(ctx, spec, borrowed,
+                                          starts, "serve burst",
+                                          scenario);
+        table.addRow(
+            {spec.rowName, offloadRow(multi),
+             gb(multi.combined.peakReserved) + " GB",
+             formatBytes(multi.combined.evictedBytes),
+             formatBytes(multi.combined.faultedBytes),
+             formatTime(multi.combined.stallNs),
+             formatTime(multi.combined.simTime)});
+    }
+    table.print(ctx.out());
+}
+
 // --------------------------------------------- cluster (thread pool)
 
 void
@@ -1615,6 +1944,22 @@ registerBuiltinExperiments()
          "How many co-located jobs survive before fragmentation "
          "turns headroom into OOM; dead tenants are reclaimed",
          runColocateOversub});
+    registry.add(
+        {"oversub-offload", "extension",
+         "Oversubscription — 4 tenants x 12 GiB on 32 GiB (1.5x), "
+         "host tier spills/faults the idle sets",
+         "True oversubscription beyond capacity: without offload the "
+         "device kills tenants, with it gmlake completes all four by "
+         "unmap/remap spilling whole pBlocks",
+         runOversubOffload});
+    registry.add(
+        {"serve-burst-offload", "extension",
+         "Serving burst — a second tenant spikes demand to ~1.7x "
+         "capacity, then drains",
+         "Spiky serving colocation: the burst borrows the steady "
+         "tenant's idle weights via the host tier; prefetch hints "
+         "hide the fault-back latency",
+         runServeBurstOffload});
     registry.add(
         {"stress-allocator", "extension",
          "Stress — allocator hot-path wallclock under deep pools "

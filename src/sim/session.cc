@@ -5,8 +5,10 @@
 #include <unordered_map>
 #include <utility>
 
+#include "offload/offload_manager.hh"
 #include "support/logging.hh"
 #include "support/stopwatch.hh"
+#include "support/strings.hh"
 
 namespace gmlake::sim
 {
@@ -112,6 +114,24 @@ SimEngine::run(const workload::TrainConfig *config)
     const std::uint64_t vmmWallStart = mDevice.counters().vmmWallNs;
     const Tick timeStart = mDevice.now();
 
+    // Offload tier: everything is folded in as deltas, so an engine
+    // sharing a device/manager with a previous run reports only its
+    // own traffic.
+    offload::OffloadManager *tier = mOptions.offload;
+    const Tick copyStallStart = mDevice.counters().copyStallNs;
+    Bytes evictedStart = 0, faultedStart = 0;
+    std::uint64_t offloadWallStart = 0;
+    std::vector<offload::SessionOffloadStats> sessionStart(
+        mSessions.size());
+    if (tier != nullptr) {
+        evictedStart =
+            tier->stats().evictedBytes + tier->stats().trimmedBytes;
+        faultedStart = tier->stats().faultedBytes;
+        offloadWallStart = tier->stats().offloadWallNs;
+        for (std::size_t i = 0; i < mSessions.size(); ++i)
+            sessionStart[i] = tier->sessionStats(i);
+    }
+
     std::vector<Cursor> cursors(mSessions.size());
     std::size_t totalEvents = 0;
     for (std::size_t i = 0; i < mSessions.size(); ++i) {
@@ -186,8 +206,10 @@ SimEngine::run(const workload::TrainConfig *config)
         }
         std::sort(ids.begin(), ids.end());
         for (const workload::TensorId tensor : ids) {
-            const Status s =
-                mAllocator.deallocate(dying.live.at(tensor).id);
+            const alloc::AllocId id = dying.live.at(tensor).id;
+            if (tier != nullptr)
+                tier->onFreed(id);
+            const Status s = mAllocator.deallocate(id);
             GMLAKE_ASSERT(s.ok(), "reclaim failed: ",
                           s.ok() ? "" : s.error().message);
         }
@@ -197,6 +219,42 @@ SimEngine::run(const workload::TrainConfig *config)
 
     Tick frontier = 0; //!< merged virtual time already charged
     bool sawFirstOom = false;
+
+    // Tenant kill + OOM post-mortem: which allocator, what the
+    // failing request wanted, the largest free physical extent, and
+    // what eviction could still have freed — today's answer to "why
+    // did this tenant die".
+    auto killOnOom = [&](Cursor &cursor, Bytes requested) {
+        cursor.dead = true;
+        cursor.result.oom = true;
+        cursor.result.oomAt = mDevice.now() - timeStart;
+        cursor.result.oomRequestedBytes = requested;
+        cursor.result.oomLargestFree =
+            mDevice.phys().largestHole();
+        cursor.result.oomEvictableBytes =
+            tier != nullptr ? tier->evictableBytes()
+                            : mAllocator.trimmableBytes();
+        const std::string report = detail::concat(
+            "session '", cursor.result.name, "' OOM-killed: ",
+            "allocator=", mAllocator.name(), " requested=",
+            formatBytes(requested), " largest_free_extent=",
+            formatBytes(cursor.result.oomLargestFree),
+            " evictable=",
+            formatBytes(cursor.result.oomEvictableBytes));
+        // A dead tenant in a colocation is an event worth shouting
+        // about; a lone trace ending in OOM is often the measured
+        // result itself, so it stays on the status channel.
+        if (cursors.size() > 1)
+            GMLAKE_WARN(report);
+        else
+            GMLAKE_INFORM(report);
+        if (!sawFirstOom) {
+            sawFirstOom = true;
+            result.oom = true;
+            result.oomAt = cursor.result.oomAt;
+        }
+        reclaim(cursor);
+    };
 
     // A session whose trace ends in compute leaves the pop loop
     // before its tail is charged; its endedAt is stamped at the
@@ -257,17 +315,11 @@ SimEngine::run(const workload::TrainConfig *config)
                     GMLAKE_PANIC("allocator error: ",
                                  got.error().message);
                 }
-                best->dead = true;
-                best->result.oom = true;
-                best->result.oomAt = mDevice.now() - timeStart;
-                if (!sawFirstOom) {
-                    sawFirstOom = true;
-                    result.oom = true;
-                    result.oomAt = best->result.oomAt;
-                }
-                reclaim(*best);
+                killOnOom(*best, event.bytes);
                 break;
             }
+            if (tier != nullptr)
+                tier->onAllocated(got->id, event.bytes, bestIndex);
             best->live.emplace(event.tensor,
                                LiveAlloc{got->id, event.bytes});
             best->liveBytes += event.bytes;
@@ -281,6 +333,8 @@ SimEngine::run(const workload::TrainConfig *config)
             const auto it = best->live.find(event.tensor);
             GMLAKE_ASSERT(it != best->live.end(),
                           "trace frees unknown tensor");
+            if (tier != nullptr)
+                tier->onFreed(it->second.id);
             const Status s = mAllocator.deallocate(it->second.id);
             GMLAKE_ASSERT(s.ok(), "deallocate failed: ",
                           s.ok() ? "" : s.error().message);
@@ -293,6 +347,31 @@ SimEngine::run(const workload::TrainConfig *config)
           case workload::EventKind::compute:
             best->localTime += event.computeNs;
             break;
+          case workload::EventKind::touch: {
+            const auto it = best->live.find(event.tensor);
+            GMLAKE_ASSERT(it != best->live.end(),
+                          "trace touches unknown tensor");
+            if (tier == nullptr)
+                break; // no offload: residency is a given
+            const Status st = tier->touch(it->second.id);
+            if (!st.ok()) {
+                GMLAKE_ASSERT(st.error().code == Errc::outOfMemory,
+                              "offload touch error: ",
+                              st.error().message);
+                // The tenant's working set cannot be faulted back:
+                // it dies exactly like an allocation OOM.
+                killOnOom(*best, it->second.bytes);
+            }
+            break;
+          }
+          case workload::EventKind::prefetch: {
+            const auto it = best->live.find(event.tensor);
+            GMLAKE_ASSERT(it != best->live.end(),
+                          "trace prefetches unknown tensor");
+            if (tier != nullptr)
+                tier->prefetch(it->second.id);
+            break;
+          }
           case workload::EventKind::iterationMark:
             ++best->result.iterationsDone;
             sample(true);
@@ -347,12 +426,20 @@ SimEngine::run(const workload::TrainConfig *config)
         stampComputeTails();
     }
 
-    for (Cursor &c : cursors) {
+    for (std::size_t i = 0; i < cursors.size(); ++i) {
+        Cursor &c = cursors[i];
         // Iteration marks precede the iteration body, so a session
         // that died mid-iteration never finished the marked one.
         if (c.result.oom && c.result.iterationsDone > 0)
             --c.result.iterationsDone;
         result.iterationsDone += c.result.iterationsDone;
+        if (tier != nullptr) {
+            const auto s = tier->sessionStats(i);
+            c.result.evictedBytes =
+                s.evictedBytes - sessionStart[i].evictedBytes;
+            c.result.faultedBytes =
+                s.faultedBytes - sessionStart[i].faultedBytes;
+        }
         multi.sessions.push_back(std::move(c.result));
     }
 
@@ -366,6 +453,16 @@ SimEngine::run(const workload::TrainConfig *config)
     result.freeCount = stats.freeCount();
     result.deviceApiTime = mDevice.counters().apiTime - apiTimeStart;
     result.vmmWallNs = mDevice.counters().vmmWallNs - vmmWallStart;
+    result.stallNs = mDevice.counters().copyStallNs - copyStallStart;
+    if (tier != nullptr) {
+        result.evictedBytes = tier->stats().evictedBytes +
+                              tier->stats().trimmedBytes -
+                              evictedStart;
+        result.faultedBytes =
+            tier->stats().faultedBytes - faultedStart;
+        result.offloadWallNs =
+            tier->stats().offloadWallNs - offloadWallStart;
+    }
     result.allocWallNs = allocWall.totalNs();
     result.allocWallP50Ns = allocWall.quantileNs(0.50);
     result.allocWallP99Ns = allocWall.quantileNs(0.99);

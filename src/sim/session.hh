@@ -89,6 +89,21 @@ struct SessionResult
      * compute finished.
      */
     Tick endedAt = 0;
+
+    /** Offload tier: bytes of this tenant spilled to / faulted from
+     *  host (zero without an OffloadManager). */
+    Bytes evictedBytes = 0;
+    Bytes faultedBytes = 0;
+
+    /**
+     * OOM post-mortem, filled when the session is killed: what the
+     * failing request asked for, the largest free physical extent at
+     * that instant, and how many bytes eviction could still have
+     * freed (cache trims + resident live victims). Also logged.
+     */
+    Bytes oomRequestedBytes = 0;
+    Bytes oomLargestFree = 0;
+    Bytes oomEvictableBytes = 0;
 };
 
 /** Combined + per-session metrics of one engine run. */

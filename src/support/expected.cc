@@ -15,6 +15,7 @@ errcName(Errc e)
       case Errc::notReserved: return "notReserved";
       case Errc::handleInUse: return "handleInUse";
       case Errc::addressSpaceFull: return "addressSpaceFull";
+      case Errc::notSupported: return "notSupported";
     }
     return "unknown";
 }

@@ -28,6 +28,7 @@ enum class Errc
     notReserved,        //!< map into an unreserved VA range
     handleInUse,        //!< release of a still-mapped handle
     addressSpaceFull,   //!< VA space exhausted (practically impossible)
+    notSupported,       //!< operation not available on this allocator
 };
 
 /** Human-readable name of an error code. */

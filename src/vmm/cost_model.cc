@@ -62,6 +62,24 @@ CostModel::nativeSyncPenalty() const
 
 Tick CostModel::cachedOp() const { return mParams.cachedOpNs; }
 
+Tick
+CostModel::copyD2H(Bytes bytes) const
+{
+    return mParams.copyBaseNs +
+           static_cast<Tick>(mParams.copyD2HPerByteNs *
+                             static_cast<double>(bytes));
+}
+
+Tick
+CostModel::copyH2D(Bytes bytes) const
+{
+    return mParams.copyBaseNs +
+           static_cast<Tick>(mParams.copyH2DPerByteNs *
+                             static_cast<double>(bytes));
+}
+
+Tick CostModel::copySubmit() const { return mParams.copySubmitNs; }
+
 double
 CostModel::interpPerChunk(const double *sizesMiB, const double *costs,
                           int n, Bytes chunkSize)

@@ -53,6 +53,20 @@ struct CostParams
 
     /** Pool-hit cost of a caching allocator operation (host-side). */
     Tick cachedOpNs = 1'500;
+
+    /**
+     * Host<->device transfer lanes (offload tier). A discrete GPU has
+     * one DMA engine per direction, so D2H and H2D copies overlap each
+     * other and compute, but copies in the same direction serialize.
+     * Defaults model a PCIe 4.0 x16 link: ~25 GB/s sustained per
+     * direction (0.04 ns/B) plus a fixed per-transfer latency.
+     */
+    Tick copyBaseNs = 10'000;
+    double copyD2HPerByteNs = 0.04;
+    double copyH2DPerByteNs = 0.04;
+
+    /** cudaMemcpyAsync enqueue cost, charged at submission time. */
+    Tick copySubmitNs = 4'000;
 };
 
 class CostModel
@@ -71,6 +85,15 @@ class CostModel
 
     /** Host-side bookkeeping cost of a pool hit. */
     Tick cachedOp() const;
+
+    /** Device-to-host transfer duration for @p bytes (lane time). */
+    Tick copyD2H(Bytes bytes) const;
+
+    /** Host-to-device transfer duration for @p bytes (lane time). */
+    Tick copyH2D(Bytes bytes) const;
+
+    /** Async-copy submission (enqueue) cost. */
+    Tick copySubmit() const;
 
     /** cuMemAddressReserve: cheap, size independent. */
     Tick memAddressReserve(Bytes size) const;

@@ -1,5 +1,7 @@
 #include "vmm/device.hh"
 
+#include <algorithm>
+
 #include "support/logging.hh"
 #include "support/stopwatch.hh"
 #include "support/strings.hh"
@@ -254,6 +256,39 @@ void
 Device::chargeCachedOp()
 {
     charge(mCost.cachedOp());
+}
+
+Tick
+Device::copyD2HAsync(Bytes bytes)
+{
+    ++mCounters.d2hCopies;
+    mCounters.d2hBytes += bytes;
+    charge(mCost.copySubmit());
+    const Tick start = std::max(mD2hLaneFree, now());
+    mD2hLaneFree = start + mCost.copyD2H(bytes);
+    return mD2hLaneFree;
+}
+
+Tick
+Device::copyH2DAsync(Bytes bytes)
+{
+    ++mCounters.h2dCopies;
+    mCounters.h2dBytes += bytes;
+    charge(mCost.copySubmit());
+    const Tick start = std::max(mH2dLaneFree, now());
+    mH2dLaneFree = start + mCost.copyH2D(bytes);
+    return mH2dLaneFree;
+}
+
+Tick
+Device::copyWait(Tick completion)
+{
+    if (completion <= now())
+        return 0;
+    const Tick stall = completion - now();
+    mClock.advance(stall);
+    mCounters.copyStallNs += stall;
+    return stall;
 }
 
 } // namespace gmlake::vmm

@@ -56,6 +56,13 @@ struct ApiCounters
     std::uint64_t setAccess = 0;
     std::uint64_t mallocNative = 0;
     std::uint64_t freeNative = 0;
+    /** Async copy-lane traffic (host offload tier). */
+    std::uint64_t d2hCopies = 0;
+    std::uint64_t h2dCopies = 0;
+    std::uint64_t d2hBytes = 0;
+    std::uint64_t h2dBytes = 0;
+    /** Simulated ns the clock stalled waiting on copy completions. */
+    Tick copyStallNs = 0;
     /** Simulated nanoseconds spent inside device API calls. */
     Tick apiTime = 0;
     /**
@@ -131,6 +138,28 @@ class Device
     /** Host-side bookkeeping charge for pool-hit operations. */
     void chargeCachedOp();
 
+    // --- async copy lanes (host offload tier) --------------------------
+
+    /**
+     * Submit an asynchronous device-to-host (resp. host-to-device)
+     * copy of @p bytes on that direction's DMA lane. Only the enqueue
+     * cost is charged to the simulated clock; the transfer occupies
+     * the lane from max(now, lane free) and the returned Tick is its
+     * completion time. The two directions are independent lanes (two
+     * copy engines), so D2H and H2D overlap each other and compute;
+     * same-direction copies serialize. Use copyWait() at the point a
+     * consumer must observe the transferred data.
+     */
+    Tick copyD2HAsync(Bytes bytes);
+    Tick copyH2DAsync(Bytes bytes);
+
+    /**
+     * Stall the simulated clock until @p completion (no-op when it is
+     * already past). Returns the stall charged, which also accumulates
+     * in ApiCounters::copyStallNs.
+     */
+    Tick copyWait(Tick completion);
+
     // --- introspection -------------------------------------------------
 
     const PhysMemory &phys() const { return mPhys; }
@@ -161,6 +190,10 @@ class Device
         Bytes size;
     };
     std::map<VirtAddr, NativeAlloc> mNative;
+
+    /** Per-direction DMA lanes: simulated time each is next free. */
+    Tick mD2hLaneFree = 0;
+    Tick mH2dLaneFree = 0;
 
     void charge(Tick t);
 };

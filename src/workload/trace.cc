@@ -43,6 +43,12 @@ Trace::validate() const
           case EventKind::compute:
             GMLAKE_ASSERT(e.computeNs >= 0, "negative compute time");
             break;
+          case EventKind::touch:
+          case EventKind::prefetch:
+            GMLAKE_ASSERT(live.count(e.tensor) == 1,
+                          "touch/prefetch of non-live tensor: ",
+                          e.tensor);
+            break;
           case EventKind::iterationMark:
           case EventKind::streamSync:
             break;
@@ -53,7 +59,7 @@ Trace::validate() const
 void
 Trace::save(std::ostream &os) const
 {
-    os << "gmlake-trace-v2 " << mEvents.size() << "\n";
+    os << "gmlake-trace-v3 " << mEvents.size() << "\n";
     for (const Event &e : mEvents) {
         switch (e.kind) {
           case EventKind::alloc:
@@ -72,6 +78,12 @@ Trace::save(std::ostream &os) const
           case EventKind::streamSync:
             os << "y " << e.stream << "\n";
             break;
+          case EventKind::touch:
+            os << "t " << e.tensor << "\n";
+            break;
+          case EventKind::prefetch:
+            os << "p " << e.tensor << "\n";
+            break;
         }
     }
 }
@@ -82,8 +94,10 @@ Trace::load(std::istream &is)
     std::string magic;
     std::size_t count = 0;
     is >> magic >> count;
-    const bool v2 = magic == "gmlake-trace-v2";
-    if (!v2 && magic != "gmlake-trace-v1")
+    // v2 added per-event stream ids; v3 added touch/prefetch events.
+    const bool v2plus = magic == "gmlake-trace-v2" ||
+                        magic == "gmlake-trace-v3";
+    if (!v2plus && magic != "gmlake-trace-v1")
         GMLAKE_FATAL("bad trace header: ", magic);
     Trace trace;
     for (std::size_t i = 0; i < count; ++i) {
@@ -94,8 +108,16 @@ Trace::load(std::istream &is)
           case 'a':
             e.kind = EventKind::alloc;
             is >> e.tensor >> e.bytes;
-            if (v2)
+            if (v2plus)
                 is >> e.stream;
+            break;
+          case 't':
+            e.kind = EventKind::touch;
+            is >> e.tensor;
+            break;
+          case 'p':
+            e.kind = EventKind::prefetch;
+            is >> e.tensor;
             break;
           case 'y':
             e.kind = EventKind::streamSync;
@@ -133,6 +155,8 @@ remapEvent(Event event, const TraceNamespace &ns)
             event.stream += ns.streamOffset;
         break;
       case EventKind::free:
+      case EventKind::touch:
+      case EventKind::prefetch:
         event.tensor += ns.tensorOffset;
         break;
       case EventKind::streamSync:
@@ -282,6 +306,23 @@ void
 TraceBuilder::streamSync(StreamId stream)
 {
     mTrace.append(Event{EventKind::streamSync, 0, 0, 0, stream});
+}
+
+void
+TraceBuilder::touch(TensorId id)
+{
+    GMLAKE_ASSERT(mLive.count(id) == 1,
+                  "touch of non-live tensor ", id);
+    mTrace.append(Event{EventKind::touch, id, 0, 0, kDefaultStream});
+}
+
+void
+TraceBuilder::prefetch(TensorId id)
+{
+    GMLAKE_ASSERT(mLive.count(id) == 1,
+                  "prefetch of non-live tensor ", id);
+    mTrace.append(
+        Event{EventKind::prefetch, id, 0, 0, kDefaultStream});
 }
 
 void

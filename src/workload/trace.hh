@@ -32,6 +32,10 @@ enum class EventKind : std::uint8_t
     compute,        //!< advance the clock by `computeNs`
     iterationMark,  //!< training-iteration boundary (for reporting)
     streamSync,     //!< synchronize `stream` (kAnyStream = device-wide)
+    touch,          //!< kernels read/write `tensor` (offload recency;
+                    //!< faults a spilled tensor back in)
+    prefetch,       //!< hint: `tensor` will be touched soon (offload
+                    //!< tier may start its H2D early)
 };
 
 struct Event
@@ -98,6 +102,10 @@ class TraceBuilder
     void iterationMark();
     /** Synchronize @p stream; kAnyStream = whole device. */
     void streamSync(StreamId stream);
+    /** Record a use of live tensor @p id (offload recency/fault). */
+    void touch(TensorId id);
+    /** Hint that live tensor @p id will be touched soon. */
+    void prefetch(TensorId id);
 
     /** Free every still-live tensor (end-of-run teardown). */
     void freeAll();

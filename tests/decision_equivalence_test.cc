@@ -162,6 +162,10 @@ constexpr ExpectedDigest kExpectedDigests[] = {
     {"colocate-train-serve", 0xd0b0008c3bae27bfULL},
     {"colocate-two-serving", 0xefd1c987445677c5ULL},
     {"colocate-oversub", 0xb3e6863919e69907ULL},
+    // Offload-tier scenarios: eviction/fault/stall decisions are
+    // fully deterministic, so the whole spill schedule is pinned.
+    {"oversub-offload", 0x3f157f3171c8e5d7ULL},
+    {"serve-burst-offload", 0x24497ba2c641f515ULL},
     {"stress-allocator", 0x9b2aa751be30516fULL},
     {"frag-churn", 0xde35e226c2b9b263ULL},
     {"cluster-ranks", 0x80a873f6d163fcd6ULL},

@@ -59,6 +59,8 @@ TEST(ExperimentRegistry, BuiltinScenariosAreRegistered)
         "vmm-designs",          "colocate-train-serve",
         "colocate-two-serving", "colocate-oversub",
         "cluster-ranks",        "stress-allocator",
+        "frag-churn",           "oversub-offload",
+        "serve-burst-offload",
     };
     for (const char *name : expected) {
         EXPECT_NE(findExperiment(name), nullptr)

@@ -80,6 +80,31 @@ TEST(TraceIo, RoundTripPreservesStats)
               original.stats().iterations);
 }
 
+TEST(TraceIo, RoundTripPreservesTouchAndPrefetch)
+{
+    TraceBuilder tb;
+    const auto a = tb.alloc(4_MiB, 1);
+    tb.prefetch(a);
+    tb.compute(1000);
+    tb.touch(a);
+    tb.free(a);
+    const Trace loaded = roundTrip(tb.take());
+    ASSERT_EQ(loaded.size(), 5u);
+    EXPECT_EQ(loaded.events()[1].kind, EventKind::prefetch);
+    EXPECT_EQ(loaded.events()[1].tensor, a);
+    EXPECT_EQ(loaded.events()[3].kind, EventKind::touch);
+    EXPECT_EQ(loaded.events()[3].tensor, a);
+}
+
+TEST(TraceIo, V2FilesStillLoad)
+{
+    std::istringstream in(
+        "gmlake-trace-v2 3\na 1 2097152 2\nc 5\nf 1\n");
+    const Trace trace = Trace::load(in);
+    ASSERT_EQ(trace.size(), 3u);
+    EXPECT_EQ(trace.events()[0].stream, 2u);
+}
+
 TEST(TraceIo, V1FilesLoadWithDefaultStream)
 {
     std::istringstream in(

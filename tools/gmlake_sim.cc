@@ -89,7 +89,9 @@ printHelp()
         "      --threads N     worker threads for cluster scenarios\n"
         "                      (0 = all cores; results identical)\n"
         "      --csv [FILE]    append run records as CSV\n"
-        "      --json [FILE]   write report (BENCH_<name>.json)\n\n"
+        "      --json [FILE]   write report (BENCH_<name>.json)\n"
+        "      --out FILE      write the JSON report to FILE instead\n"
+        "                      of the fixed BENCH_<name>.json\n\n"
         "Ad-hoc workloads:\n\n"
         "Workload selection:\n"
         "  --model NAME        model from the zoo (default OPT-13B)\n"
@@ -237,7 +239,8 @@ cmdList()
         table.addRow({e.name, e.kind, e.title});
     table.print(std::cout);
     std::cout << "\nrun one with: gmlake_sim run <name> "
-                 "[--iterations N] [--threads N] [--csv] [--json]\n";
+                 "[--iterations N] [--threads N] [--csv] [--json] "
+                 "[--out FILE]\n";
     return 0;
 }
 
