@@ -1,0 +1,16 @@
+/**
+ * @file
+ * Full-scale streaming serving day: ~10⁷ paged KV-cache events pulled
+ * from a generator EventSource through gmlake vs caching vs native,
+ * with host-RSS growth recorded to prove the replay footprint is
+ * independent of event count (wall_events_per_sec / peak_rss_bytes /
+ * rss_growth_bytes in BENCH_serve-day.json).
+ */
+
+#include "bench/common.hh"
+
+int
+main(int argc, char **argv)
+{
+    return gmlake::bench::benchMain("serve-day", argc, argv);
+}

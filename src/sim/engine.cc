@@ -15,4 +15,14 @@ runTrace(alloc::Allocator &allocator, vmm::Device &device,
     return engine.run(config).combined;
 }
 
+RunResult
+runSource(alloc::Allocator &allocator, vmm::Device &device,
+          std::unique_ptr<workload::EventSource> source,
+          const workload::TrainConfig *config, EngineOptions options)
+{
+    SimEngine engine(allocator, device, options);
+    engine.addSession(Session("main", std::move(source)));
+    return engine.run(config).combined;
+}
+
 } // namespace gmlake::sim

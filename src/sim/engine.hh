@@ -11,11 +11,13 @@
 #ifndef GMLAKE_SIM_ENGINE_HH
 #define GMLAKE_SIM_ENGINE_HH
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "alloc/allocator.hh"
 #include "vmm/device.hh"
+#include "workload/event_source.hh"
 #include "workload/trace.hh"
 #include "workload/train_config.hh"
 
@@ -121,6 +123,16 @@ RunResult runTrace(alloc::Allocator &allocator, vmm::Device &device,
                    const workload::Trace &trace,
                    const workload::TrainConfig *config = nullptr,
                    EngineOptions options = {});
+
+/**
+ * Replay a streaming event source — a binary trace cursor or a
+ * workload generator — without ever materializing it: the one-session
+ * engine run whose footprint is independent of the event count.
+ */
+RunResult runSource(alloc::Allocator &allocator, vmm::Device &device,
+                    std::unique_ptr<workload::EventSource> source,
+                    const workload::TrainConfig *config = nullptr,
+                    EngineOptions options = {});
 
 } // namespace gmlake::sim
 

@@ -16,7 +16,8 @@ namespace gmlake::sim
 Session::Session(std::string name, workload::Trace trace,
                  Tick startTime)
     : mName(std::move(name)),
-      mTrace(std::make_shared<workload::Trace>(std::move(trace))),
+      mSource(std::make_shared<workload::VectorSource>(
+          std::move(trace))),
       mStartTime(startTime)
 {
 }
@@ -24,11 +25,20 @@ Session::Session(std::string name, workload::Trace trace,
 Session::Session(std::string name, const workload::Trace *trace,
                  Tick startTime)
     : mName(std::move(name)),
-      // Aliasing constructor with no owner: borrow, never delete.
-      mTrace(std::shared_ptr<const workload::Trace>(), trace),
+      mSource(std::make_shared<workload::VectorSource>(trace)),
       mStartTime(startTime)
 {
-    GMLAKE_ASSERT(trace != nullptr, "session borrows a null trace");
+}
+
+Session::Session(std::string name,
+                 std::unique_ptr<workload::EventSource> source,
+                 Tick startTime)
+    : mName(std::move(name)),
+      mSource(std::move(source)),
+      mStartTime(startTime)
+{
+    GMLAKE_ASSERT(mSource != nullptr,
+                  "session streams a null source");
 }
 
 bool
@@ -76,8 +86,7 @@ struct LiveAlloc
 /** Replay cursor + bookkeeping of one session. */
 struct Cursor
 {
-    const Session *session = nullptr;
-    std::size_t next = 0;    //!< next event index in the trace
+    workload::EventSource *src = nullptr; //!< session event stream
     Tick localTime = 0;      //!< startTime + consumed compute
     bool dead = false;       //!< OOM-killed
     /** Last executed event was compute (its end needs stamping). */
@@ -89,9 +98,9 @@ struct Cursor
     SessionResult result;
 
     bool
-    finished() const
+    finished()
     {
-        return dead || next >= session->trace().size();
+        return dead || src->peek() == nullptr;
     }
 };
 
@@ -135,11 +144,12 @@ SimEngine::run(const workload::TrainConfig *config)
     std::vector<Cursor> cursors(mSessions.size());
     std::size_t totalEvents = 0;
     for (std::size_t i = 0; i < mSessions.size(); ++i) {
-        cursors[i].session = &mSessions[i];
+        cursors[i].src = &mSessions[i].source();
+        cursors[i].src->reset();
         cursors[i].localTime = mSessions[i].startTime();
         cursors[i].live.reserve(1024);
         cursors[i].result.name = mSessions[i].name();
-        totalEvents += mSessions[i].trace().size();
+        totalEvents += cursors[i].src->sizeHint();
     }
 
     const std::size_t stride =
@@ -193,7 +203,7 @@ SimEngine::run(const workload::TrainConfig *config)
     // release is skipped, matching the classic single-trace replay.
     auto reclaim = [&](Cursor &dying) {
         const bool someoneSurvives = std::any_of(
-            cursors.begin(), cursors.end(), [&](const Cursor &c) {
+            cursors.begin(), cursors.end(), [&](Cursor &c) {
                 return &c != &dying && !c.finished();
             });
         if (!someoneSurvives)
@@ -262,7 +272,7 @@ SimEngine::run(const workload::TrainConfig *config)
     auto stampComputeTails = [&]() {
         for (Cursor &c : cursors) {
             if (c.lastWasCompute && !c.dead &&
-                c.next >= c.session->trace().size() &&
+                c.src->peek() == nullptr &&
                 c.localTime <= frontier) {
                 c.result.endedAt = mDevice.now() - timeStart;
                 c.lastWasCompute = false;
@@ -295,8 +305,8 @@ SimEngine::run(const workload::TrainConfig *config)
             frontier = best->localTime;
         }
 
-        const workload::Event &event =
-            best->session->trace().events()[best->next++];
+        const workload::Event event = *best->src->peek();
+        best->src->advance();
         ++index;
         best->lastWasCompute =
             event.kind == workload::EventKind::compute;

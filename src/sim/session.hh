@@ -3,7 +3,8 @@
  * Multi-session simulation core: N workloads ("sessions") co-located
  * on one shared device + allocator.
  *
- * A Session is a trace plus a private namespace: the engine relocates
+ * A Session is an event stream plus a private namespace: the engine
+ * pulls events through the EventSource cursor API and relocates
  * each session's streams and tensors into disjoint id ranges, so a
  * training replay and a serving replay generated independently can
  * contend for the same GPU — the co-located-tenant setting where
@@ -33,6 +34,7 @@
 #include <vector>
 
 #include "sim/engine.hh"
+#include "workload/event_source.hh"
 
 namespace gmlake::sim
 {
@@ -44,29 +46,43 @@ namespace gmlake::sim
  */
 inline constexpr StreamId kSessionStreamStride = StreamId{1} << 16;
 
-/** One tenant workload: a named trace with an arrival time. */
+/**
+ * One tenant workload: a named event stream with an arrival time.
+ *
+ * The stream is any EventSource — a wrapped Trace, an mmap-ed
+ * binary trace, or a generator — and the engine only ever pulls it
+ * through the cursor interface, so a session's footprint is
+ * independent of its event count.
+ */
 class Session
 {
   public:
-    /** Own @p trace (moved in). */
+    /** Own @p trace (moved in, wrapped in a VectorSource). */
     Session(std::string name, workload::Trace trace,
             Tick startTime = 0);
 
     /**
      * Borrow @p trace without copying; the caller keeps it alive
-     * until the engine run finishes.
+     * until the engine run finishes (debug builds assert this, see
+     * Trace::assertAlive).
      */
     Session(std::string name, const workload::Trace *trace,
             Tick startTime = 0);
 
+    /** Stream events from @p source (binary trace or generator). */
+    Session(std::string name,
+            std::unique_ptr<workload::EventSource> source,
+            Tick startTime = 0);
+
     const std::string &name() const { return mName; }
-    const workload::Trace &trace() const { return *mTrace; }
+    /** The session's event cursor (reset + drained by the engine). */
+    workload::EventSource &source() const { return *mSource; }
     /** Local-timeline offset at which this session starts. */
     Tick startTime() const { return mStartTime; }
 
   private:
     std::string mName;
-    std::shared_ptr<const workload::Trace> mTrace;
+    std::shared_ptr<workload::EventSource> mSource;
     Tick mStartTime;
 };
 

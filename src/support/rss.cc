@@ -1,0 +1,70 @@
+#include "support/rss.hh"
+
+#include <cstdio>
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define GMLAKE_HAVE_RUSAGE 1
+#include <sys/resource.h>
+#endif
+
+namespace gmlake
+{
+
+namespace
+{
+
+/** Read a "Vm...: <n> kB" line from /proc/self/status; 0 if absent. */
+Bytes
+procStatusKiB(const char *key)
+{
+#if defined(__linux__)
+    std::FILE *f = std::fopen("/proc/self/status", "r");
+    if (f == nullptr)
+        return 0;
+    char line[256];
+    unsigned long long kib = 0;
+    const std::size_t keyLen = std::strlen(key);
+    while (std::fgets(line, sizeof line, f) != nullptr) {
+        if (std::strncmp(line, key, keyLen) == 0 &&
+            line[keyLen] == ':') {
+            std::sscanf(line + keyLen + 1, "%llu", &kib);
+            break;
+        }
+    }
+    std::fclose(f);
+    return static_cast<Bytes>(kib) * 1024;
+#else
+    (void)key;
+    return 0;
+#endif
+}
+
+} // namespace
+
+Bytes
+currentRssBytes()
+{
+    return procStatusKiB("VmRSS");
+}
+
+Bytes
+peakRssBytes()
+{
+    const Bytes hwm = procStatusKiB("VmHWM");
+    if (hwm != 0)
+        return hwm;
+#ifdef GMLAKE_HAVE_RUSAGE
+    struct rusage usage = {};
+    if (getrusage(RUSAGE_SELF, &usage) == 0 && usage.ru_maxrss > 0) {
+#if defined(__APPLE__)
+        return static_cast<Bytes>(usage.ru_maxrss); // bytes on macOS
+#else
+        return static_cast<Bytes>(usage.ru_maxrss) * 1024;
+#endif
+    }
+#endif
+    return 0;
+}
+
+} // namespace gmlake

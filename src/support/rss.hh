@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Process resident-set-size probes, used to assert that streaming
+ * replays stay flat in host memory regardless of event count
+ * (serve-day scenario, bench-smoke RSS ceiling).
+ */
+
+#ifndef GMLAKE_SUPPORT_RSS_HH
+#define GMLAKE_SUPPORT_RSS_HH
+
+#include "support/types.hh"
+
+namespace gmlake
+{
+
+/**
+ * Current resident set size of this process in bytes (VmRSS), or 0
+ * when the platform offers no probe.
+ */
+Bytes currentRssBytes();
+
+/**
+ * Peak resident set size of this process in bytes (VmHWM /
+ * ru_maxrss), or 0 when unknown. Monotonic over the process
+ * lifetime: use deltas around a region to bound *its* contribution.
+ */
+Bytes peakRssBytes();
+
+} // namespace gmlake
+
+#endif // GMLAKE_SUPPORT_RSS_HH

@@ -1,0 +1,479 @@
+#include "workload/binary_trace.hh"
+
+#include <cstring>
+#include <utility>
+
+#include "support/logging.hh"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define GMLAKE_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace gmlake::workload
+{
+
+namespace
+{
+
+constexpr char kFileMagic[8] = {'G', 'M', 'T', 'R',
+                                'A', 'C', 'E', '1'};
+constexpr char kFootMagic[8] = {'G', 'M', 'T', 'F',
+                                'O', 'O', 'T', '1'};
+constexpr std::uint32_t kVersion = 1;
+constexpr std::uint64_t kHeaderBytes = 16;
+constexpr std::uint64_t kTrailerBytes = 32;
+/** Bytes one event occupies across the five columns. */
+constexpr std::uint64_t kEventBytes = 1 + 8 + 8 + 8 + 4;
+constexpr std::uint64_t kChunkHeaderBytes = 8;
+
+/** FNV-1a 64, the same function the decision digests use. */
+std::uint64_t
+fnv1a(const std::uint8_t *data, std::size_t size)
+{
+    std::uint64_t hash = 0xcbf29ce484222325ULL;
+    for (std::size_t i = 0; i < size; ++i) {
+        hash ^= data[i];
+        hash *= 0x100000001b3ULL;
+    }
+    return hash;
+}
+
+template <typename T>
+T
+loadAt(const std::uint8_t *data, std::uint64_t offset)
+{
+    T v;
+    std::memcpy(&v, data + offset, sizeof v);
+    return v;
+}
+
+template <typename T>
+void
+appendRaw(std::string &out, T v)
+{
+    out.append(reinterpret_cast<const char *>(&v), sizeof v);
+}
+
+} // namespace
+
+// ----------------------------------------------------------- writer
+
+GmtWriter::GmtWriter(const std::string &path,
+                     std::size_t chunkEvents)
+    : mPath(path),
+      mOut(path, std::ios::binary | std::ios::trunc),
+      mChunkEvents(chunkEvents)
+{
+    GMLAKE_ASSERT(chunkEvents > 0, "zero-event chunks");
+    if (!mOut)
+        GMLAKE_FATAL("cannot open trace file for writing: ", path);
+    mOut.write(kFileMagic, sizeof kFileMagic);
+    const std::uint32_t version = kVersion;
+    const std::uint32_t reserved = 0;
+    mOut.write(reinterpret_cast<const char *>(&version),
+               sizeof version);
+    mOut.write(reinterpret_cast<const char *>(&reserved),
+               sizeof reserved);
+    mKind.reserve(chunkEvents);
+    mTensor.reserve(chunkEvents);
+    mBytes.reserve(chunkEvents);
+    mComputeNs.reserve(chunkEvents);
+    mStream.reserve(chunkEvents);
+}
+
+GmtWriter::~GmtWriter()
+{
+    // Best effort on the unwound path; explicit finish() reports
+    // write failures, the destructor must not throw.
+    if (!mFinished && mOut.is_open()) {
+        try {
+            finish();
+        } catch (...) {
+        }
+    }
+}
+
+void
+GmtWriter::beginSection(const std::string &name)
+{
+    GMLAKE_ASSERT(!mFinished, "section after finish()");
+    GMLAKE_ASSERT(!name.empty(), "unnamed trace section");
+    if (mInSection)
+        endSection();
+    mCurrent = GmtSection{};
+    mCurrent.name = name;
+    mCurrent.offset =
+        static_cast<std::uint64_t>(mOut.tellp());
+    mInSection = true;
+}
+
+void
+GmtWriter::append(const Event &event)
+{
+    GMLAKE_ASSERT(mInSection,
+                  "append outside a section (call beginSection)");
+    mKind.push_back(static_cast<std::uint8_t>(event.kind));
+    mTensor.push_back(event.tensor);
+    mBytes.push_back(event.bytes);
+    mComputeNs.push_back(event.computeNs);
+    mStream.push_back(event.stream);
+    ++mCurrent.events;
+    if (event.kind == EventKind::alloc) {
+        ++mCurrent.stats.allocCount;
+        mCurrent.stats.totalAllocBytes += event.bytes;
+        if (event.bytes > mCurrent.stats.maxAllocBytes)
+            mCurrent.stats.maxAllocBytes = event.bytes;
+    } else if (event.kind == EventKind::iterationMark) {
+        ++mCurrent.stats.iterations;
+    }
+    if (mKind.size() >= mChunkEvents)
+        flushChunk();
+}
+
+void
+GmtWriter::append(EventSource &source)
+{
+    for (const Event *e = source.peek(); e != nullptr;
+         source.advance(), e = source.peek())
+        append(*e);
+}
+
+void
+GmtWriter::flushChunk()
+{
+    if (mKind.empty())
+        return;
+    const std::uint32_t count =
+        static_cast<std::uint32_t>(mKind.size());
+    const std::uint32_t reserved = 0;
+    auto write = [this](const void *p, std::size_t n) {
+        mOut.write(static_cast<const char *>(p),
+                   static_cast<std::streamsize>(n));
+    };
+    write(&count, sizeof count);
+    write(&reserved, sizeof reserved);
+    write(mKind.data(), count * sizeof mKind[0]);
+    write(mTensor.data(), count * sizeof mTensor[0]);
+    write(mBytes.data(), count * sizeof mBytes[0]);
+    write(mComputeNs.data(), count * sizeof mComputeNs[0]);
+    write(mStream.data(), count * sizeof mStream[0]);
+    mKind.clear();
+    mTensor.clear();
+    mBytes.clear();
+    mComputeNs.clear();
+    mStream.clear();
+    ++mCurrent.chunks;
+}
+
+void
+GmtWriter::endSection()
+{
+    flushChunk();
+    mCurrent.byteLength =
+        static_cast<std::uint64_t>(mOut.tellp()) - mCurrent.offset;
+    mSections.push_back(std::move(mCurrent));
+    mInSection = false;
+}
+
+void
+GmtWriter::finish()
+{
+    if (mFinished)
+        return;
+    if (mInSection)
+        endSection();
+    mFinished = true;
+
+    // The footer is built in memory so its hash can ride in the
+    // trailer; sections are few, so this stays tiny.
+    std::string footer;
+    for (const GmtSection &s : mSections) {
+        appendRaw(footer, s.offset);
+        appendRaw(footer, s.byteLength);
+        appendRaw(footer, s.events);
+        appendRaw(footer, s.chunks);
+        appendRaw(footer, s.stats.allocCount);
+        appendRaw(footer,
+                  static_cast<std::uint64_t>(
+                      s.stats.totalAllocBytes));
+        appendRaw(footer,
+                  static_cast<std::uint64_t>(s.stats.maxAllocBytes));
+        appendRaw(footer,
+                  static_cast<std::uint64_t>(s.stats.iterations));
+        appendRaw(footer,
+                  static_cast<std::uint32_t>(s.name.size()));
+        footer.append(s.name);
+    }
+    const std::uint64_t footerOffset =
+        static_cast<std::uint64_t>(mOut.tellp());
+    mOut.write(footer.data(),
+               static_cast<std::streamsize>(footer.size()));
+    const std::uint64_t sectionCount = mSections.size();
+    const std::uint64_t hash = fnv1a(
+        reinterpret_cast<const std::uint8_t *>(footer.data()),
+        footer.size());
+    mOut.write(reinterpret_cast<const char *>(&footerOffset),
+               sizeof footerOffset);
+    mOut.write(reinterpret_cast<const char *>(&sectionCount),
+               sizeof sectionCount);
+    mOut.write(reinterpret_cast<const char *>(&hash), sizeof hash);
+    mOut.write(kFootMagic, sizeof kFootMagic);
+    mOut.flush();
+    if (!mOut)
+        GMLAKE_FATAL("write failed on trace file: ", mPath);
+    mOut.close();
+}
+
+// ----------------------------------------------------------- reader
+
+GmtFile::~GmtFile()
+{
+#ifdef GMLAKE_HAVE_MMAP
+    if (mMapped && mData != nullptr)
+        ::munmap(const_cast<std::uint8_t *>(mData), mSize);
+#endif
+}
+
+std::shared_ptr<const GmtFile>
+GmtFile::open(const std::string &path)
+{
+    // make_shared needs a public constructor; this does not.
+    std::shared_ptr<GmtFile> file(new GmtFile());
+    file->mPath = path;
+
+#ifdef GMLAKE_HAVE_MMAP
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0)
+        GMLAKE_FATAL("cannot open trace file: ", path);
+    struct stat st = {};
+    if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+        ::close(fd);
+        GMLAKE_FATAL("cannot stat trace file: ", path);
+    }
+    file->mSize = static_cast<std::uint64_t>(st.st_size);
+    if (file->mSize > 0) {
+        void *map = ::mmap(nullptr, file->mSize, PROT_READ,
+                           MAP_PRIVATE, fd, 0);
+        ::close(fd);
+        if (map == MAP_FAILED)
+            GMLAKE_FATAL("cannot map trace file: ", path);
+        file->mData = static_cast<const std::uint8_t *>(map);
+        file->mMapped = true;
+    } else {
+        ::close(fd);
+    }
+#else
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    if (!in)
+        GMLAKE_FATAL("cannot open trace file: ", path);
+    file->mSize = static_cast<std::uint64_t>(in.tellg());
+    in.seekg(0);
+    file->mBuffer.resize(file->mSize);
+    in.read(reinterpret_cast<char *>(file->mBuffer.data()),
+            static_cast<std::streamsize>(file->mSize));
+    if (!in)
+        GMLAKE_FATAL("cannot read trace file: ", path);
+    file->mData = file->mBuffer.data();
+#endif
+
+    file->validate();
+    return file;
+}
+
+void
+GmtFile::validate()
+{
+    if (mSize < kHeaderBytes + kTrailerBytes)
+        GMLAKE_FATAL("truncated binary trace (", mSize,
+                     " bytes): ", mPath);
+    if (std::memcmp(mData, kFileMagic, sizeof kFileMagic) != 0)
+        GMLAKE_FATAL("not a .gmt binary trace: ", mPath);
+    mVersion = loadAt<std::uint32_t>(mData, 8);
+    if (mVersion != kVersion)
+        GMLAKE_FATAL("unsupported .gmt version ", mVersion, ": ",
+                     mPath);
+
+    const std::uint64_t trailer = mSize - kTrailerBytes;
+    if (std::memcmp(mData + trailer + 24, kFootMagic,
+                    sizeof kFootMagic) != 0)
+        GMLAKE_FATAL("missing .gmt trailer (truncated?): ", mPath);
+    const auto footerOffset = loadAt<std::uint64_t>(mData, trailer);
+    const auto sectionCount =
+        loadAt<std::uint64_t>(mData, trailer + 8);
+    const auto footerHash =
+        loadAt<std::uint64_t>(mData, trailer + 16);
+    if (footerOffset < kHeaderBytes || footerOffset > trailer)
+        GMLAKE_FATAL("corrupt .gmt trailer (footer offset ",
+                     footerOffset, "): ", mPath);
+    if (fnv1a(mData + footerOffset, trailer - footerOffset) !=
+        footerHash)
+        GMLAKE_FATAL("corrupt .gmt footer (hash mismatch): ", mPath);
+
+    std::uint64_t cursor = footerOffset;
+    auto take = [&](std::uint64_t n) {
+        if (trailer - cursor < n)
+            GMLAKE_FATAL("corrupt .gmt footer (short index): ",
+                         mPath);
+        const std::uint64_t at = cursor;
+        cursor += n;
+        return at;
+    };
+    for (std::uint64_t i = 0; i < sectionCount; ++i) {
+        GmtSection s;
+        s.offset = loadAt<std::uint64_t>(mData, take(8));
+        s.byteLength = loadAt<std::uint64_t>(mData, take(8));
+        s.events = loadAt<std::uint64_t>(mData, take(8));
+        s.chunks = loadAt<std::uint64_t>(mData, take(8));
+        s.stats.allocCount = loadAt<std::uint64_t>(mData, take(8));
+        s.stats.totalAllocBytes = static_cast<Bytes>(
+            loadAt<std::uint64_t>(mData, take(8)));
+        s.stats.maxAllocBytes = static_cast<Bytes>(
+            loadAt<std::uint64_t>(mData, take(8)));
+        s.stats.iterations = static_cast<int>(
+            loadAt<std::uint64_t>(mData, take(8)));
+        const auto nameLen = loadAt<std::uint32_t>(mData, take(4));
+        const std::uint64_t nameAt = take(nameLen);
+        s.name.assign(
+            reinterpret_cast<const char *>(mData + nameAt),
+            nameLen);
+        if (s.offset < kHeaderBytes || s.offset > footerOffset ||
+            s.byteLength > footerOffset - s.offset)
+            GMLAKE_FATAL("corrupt .gmt section extent '", s.name,
+                         "': ", mPath);
+        mSections.push_back(std::move(s));
+    }
+    if (cursor != trailer)
+        GMLAKE_FATAL("corrupt .gmt footer (trailing bytes): ",
+                     mPath);
+}
+
+// ----------------------------------------------------------- cursor
+
+BinaryTraceSource::BinaryTraceSource(const std::string &path,
+                                     std::size_t section)
+    : BinaryTraceSource(GmtFile::open(path), section)
+{
+}
+
+BinaryTraceSource::BinaryTraceSource(
+    std::shared_ptr<const GmtFile> file, std::size_t section)
+    : mFile(std::move(file)), mSection(section)
+{
+    GMLAKE_ASSERT(mFile != nullptr, "null .gmt file");
+    if (section >= mFile->sections().size())
+        GMLAKE_FATAL("no section ", section, " in ",
+                     mFile->path(), " (", mFile->sections().size(),
+                     " sections)");
+    reset();
+}
+
+const GmtSection &
+BinaryTraceSource::section() const
+{
+    return mFile->sections()[mSection];
+}
+
+void
+BinaryTraceSource::reset()
+{
+    mNextChunk = section().offset;
+    mRemaining = section().events;
+    mCount = 0;
+    mIndex = 0;
+    mHave = false;
+}
+
+void
+BinaryTraceSource::loadChunk(std::uint64_t offset)
+{
+    const GmtSection &s = section();
+    const std::uint64_t end = s.offset + s.byteLength;
+    if (end - offset < kChunkHeaderBytes)
+        GMLAKE_FATAL("corrupt .gmt chunk header at ", offset, ": ",
+                     mFile->path());
+    const auto count =
+        loadAt<std::uint32_t>(mFile->data(), offset);
+    if (count == 0 || count > mRemaining ||
+        (end - offset - kChunkHeaderBytes) / kEventBytes < count)
+        GMLAKE_FATAL("corrupt .gmt chunk (", count, " events) at ",
+                     offset, ": ", mFile->path());
+    mCount = count;
+    mIndex = 0;
+    mKindCol = offset + kChunkHeaderBytes;
+    mTensorCol = mKindCol + count;
+    mBytesCol = mTensorCol + std::uint64_t{8} * count;
+    mComputeCol = mBytesCol + std::uint64_t{8} * count;
+    mStreamCol = mComputeCol + std::uint64_t{8} * count;
+    mNextChunk = mStreamCol + std::uint64_t{4} * count;
+}
+
+const Event *
+BinaryTraceSource::peek()
+{
+    if (mHave)
+        return &mCurrent;
+    if (mRemaining == 0)
+        return nullptr;
+    if (mIndex >= mCount)
+        loadChunk(mNextChunk);
+    const std::uint8_t *data = mFile->data();
+    const std::uint8_t kind = data[mKindCol + mIndex];
+    if (kind > static_cast<std::uint8_t>(EventKind::prefetch))
+        GMLAKE_FATAL("corrupt .gmt event kind ", kind, ": ",
+                     mFile->path());
+    mCurrent.kind = static_cast<EventKind>(kind);
+    mCurrent.tensor = loadAt<std::uint64_t>(
+        data, mTensorCol + std::uint64_t{8} * mIndex);
+    mCurrent.bytes = static_cast<Bytes>(loadAt<std::uint64_t>(
+        data, mBytesCol + std::uint64_t{8} * mIndex));
+    mCurrent.computeNs = loadAt<std::int64_t>(
+        data, mComputeCol + std::uint64_t{8} * mIndex);
+    mCurrent.stream = loadAt<std::uint32_t>(
+        data, mStreamCol + std::uint64_t{4} * mIndex);
+    mHave = true;
+    return &mCurrent;
+}
+
+void
+BinaryTraceSource::advance()
+{
+    GMLAKE_ASSERT(peek() != nullptr, "advance past end of stream");
+    ++mIndex;
+    --mRemaining;
+    mHave = false;
+}
+
+std::size_t
+BinaryTraceSource::sizeHint() const
+{
+    return static_cast<std::size_t>(section().events);
+}
+
+// ---------------------------------------------------------- helpers
+
+bool
+looksLikeGmtFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    char magic[8] = {};
+    in.read(magic, sizeof magic);
+    return in.gcount() == sizeof magic &&
+           std::memcmp(magic, kFileMagic, sizeof magic) == 0;
+}
+
+void
+packTrace(const Trace &trace, const std::string &path,
+          const std::string &sectionName)
+{
+    GmtWriter writer(path);
+    writer.beginSection(sectionName);
+    for (const Event &e : trace.events())
+        writer.append(e);
+    writer.finish();
+}
+
+} // namespace gmlake::workload

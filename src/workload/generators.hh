@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Generator-backed event sources: workloads synthesized on the fly,
+ * one event per pull, with O(live-state) memory — never a
+ * materialized trace. This is what makes 10⁷-event serving-day
+ * experiments replayable: the generator holds the live requests and
+ * their KV blocks, not the event history.
+ *
+ * Two generators plus a fleet combinator:
+ *
+ *  - KvServeSource models paged-attention KV-cache serving (vLLM
+ *    style, cf. the paper's Section 6 discussion): requests arrive
+ *    into a continuous batch, their KV caches grow one fixed-size
+ *    block at a time as tokens decode, finished requests free their
+ *    blocks, memory pressure preempts victims (blocks evicted,
+ *    prefill redone), and a resident prefix-cache pool absorbs a
+ *    share of prompt prefixes (shared blocks are never reallocated).
+ *    Compared to servegen.hh's realloc-and-copy model this trades
+ *    large variable buffers for a churn of uniform blocks — the
+ *    allocation pattern paging was invented for.
+ *
+ *  - TrainLoopSource streams a simplified training loop (persistent
+ *    weights, per-layer activation/gradient churn per iteration) for
+ *    mixing with serving tenants.
+ *
+ *  - makeFleetSource merges N serving + M training tenants into one
+ *    stream via MergeSource, each tenant in its own tensor/stream
+ *    namespace with a staggered arrival — a day in the life of a
+ *    shared GPU.
+ */
+
+#ifndef GMLAKE_WORKLOAD_GENERATORS_HH
+#define GMLAKE_WORKLOAD_GENERATORS_HH
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "support/rng.hh"
+#include "workload/event_source.hh"
+#include "workload/model_zoo.hh"
+#include "workload/servegen.hh"
+
+namespace gmlake::workload
+{
+
+struct KvServeConfig
+{
+    ModelSpec model;
+    /** Maximum concurrently decoding requests. */
+    int maxBatch = 48;
+    /** Total requests to serve before draining. */
+    std::uint64_t requests = 2048;
+    /** Median prompt length in tokens (lognormal, sigma 0.7). */
+    int medianPromptTokens = 384;
+    /** Mean generated tokens per request (geometric). */
+    int meanGenerateTokens = 160;
+    /** Hard cap on a request's total context. */
+    int maxContextTokens = 4096;
+    /** KV block granularity in tokens (the "page" size). */
+    int blockTokens = 64;
+    /** Probability a request's prompt prefix hits the shared pool. */
+    double prefixHitRate = 0.35;
+    /** Resident shared prefix pool, in blocks (alive all run). */
+    int prefixPoolBlocks = 48;
+    /** Cap on shared prefix blocks per request. */
+    int maxSharedBlocks = 6;
+    /** Per-round probability of preempting (evicting) one request:
+     *  its private blocks are freed and prefill redone. */
+    double preemptRate = 0.01;
+    /** Emit a touch of each request's hot block every decode round
+     *  (drives offload-tier recency when a tier is attached). */
+    bool touchEveryRound = true;
+    /** Decode rounds between iterationMark events. */
+    int marksEveryRounds = 64;
+    /** Requests round-robin across this many streams (ids 1..n). */
+    int streams = 4;
+    /** Simulated ns per decode round; 0 derives from the model. */
+    Tick decodeRoundNs = 0;
+    std::uint64_t seed = 42;
+};
+
+/** Aggregate progress counters of a KvServeSource. */
+struct KvServeCounters
+{
+    std::uint64_t emitted = 0;     //!< events handed out
+    std::uint64_t admitted = 0;    //!< requests entered the batch
+    std::uint64_t served = 0;      //!< requests completed
+    std::uint64_t preempted = 0;   //!< eviction victims
+    std::uint64_t prefixHits = 0;  //!< prompts served from the pool
+    std::uint64_t blockAllocs = 0; //!< KV blocks allocated
+};
+
+class KvServeSource final : public EventSource
+{
+  public:
+    explicit KvServeSource(KvServeConfig config);
+
+    const Event *peek() override;
+    void advance() override;
+    std::size_t sizeHint() const override;
+    void reset() override;
+
+    const KvServeConfig &config() const { return mCfg; }
+    const KvServeCounters &counters() const { return mCounters; }
+    /** Bytes of one KV block under this config. */
+    Bytes blockBytes() const;
+
+  private:
+    struct Request
+    {
+        std::vector<TensorId> blocks; //!< private KV blocks, in order
+        int sharedTokens = 0;   //!< prompt prefix held by the pool
+        int promptTokens = 0;
+        int contextTokens = 0;
+        int targetTokens = 0;   //!< prompt + planned generation
+        StreamId stream = kDefaultStream;
+    };
+
+    void init();
+    void refill();
+    void stepRound();
+    void admitOne();
+    /** Allocate blocks until @p req covers its private context. */
+    void growTo(Request &req);
+    void finishRequest(Request &req);
+
+    void push(const Event &event) { mPending.push_back(event); }
+    TensorId allocBlock(StreamId stream);
+
+    KvServeConfig mCfg;
+    Rng mRng;
+    std::deque<Event> mPending;
+    std::vector<TensorId> mPrefixPool;
+    std::vector<Request> mActive;
+    KvServeCounters mCounters;
+    TensorId mNextTensor = 1;
+    std::uint64_t mRound = 0;
+    Tick mDecodeRoundNs = 0;
+    bool mWarmedUp = false;
+    bool mShutdown = false;
+};
+
+struct TrainLoopConfig
+{
+    ModelSpec model;
+    int batchSize = 32;
+    int iterations = 20;
+    /** Activation tensors per layer per direction. */
+    int tensorsPerLayer = 2;
+    std::uint64_t seed = 42;
+};
+
+/**
+ * Streaming simplified training loop: weights live for the whole
+ * run, each iteration allocates forward activations layer by layer,
+ * then gradients on the way back (activations freed as consumed).
+ * One iteration of events is synthesized per refill, so memory use
+ * is O(layers), not O(iterations).
+ */
+class TrainLoopSource final : public EventSource
+{
+  public:
+    explicit TrainLoopSource(TrainLoopConfig config);
+
+    const Event *peek() override;
+    void advance() override;
+    std::size_t sizeHint() const override;
+    void reset() override;
+
+  private:
+    void init();
+    void refill();
+
+    void push(const Event &event) { mPending.push_back(event); }
+
+    TrainLoopConfig mCfg;
+    Rng mRng;
+    std::deque<Event> mPending;
+    std::vector<TensorId> mWeights;
+    TensorId mNextTensor = 1;
+    int mIteration = 0;
+    bool mWarmedUp = false;
+    bool mShutdown = false;
+};
+
+struct FleetConfig
+{
+    /** Serving tenants, cloned from this template (seeds derived). */
+    KvServeConfig serve;
+    int serveTenants = 2;
+    /** Training tenants, cloned from this template. */
+    TrainLoopConfig train;
+    int trainTenants = 1;
+    /** Local-time stagger between consecutive tenant arrivals. */
+    Tick arrivalStaggerNs = 0;
+    /** Per-tenant namespace strides. */
+    TensorId tensorStride = TensorId{1} << 40;
+    StreamId streamStride = 64;
+    std::uint64_t seed = 42;
+};
+
+/**
+ * Mixed train/serve fleet: tenants interleaved by MergeSource, each
+ * in a disjoint namespace, serving tenants first. The result is one
+ * merged stream suitable for a single engine session (or packing).
+ */
+std::unique_ptr<EventSource> makeFleetSource(
+    const FleetConfig &config);
+
+} // namespace gmlake::workload
+
+#endif // GMLAKE_WORKLOAD_GENERATORS_HH

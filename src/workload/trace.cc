@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <istream>
+#include <memory>
 #include <ostream>
 #include <unordered_set>
+#include <utility>
 
 #include "support/logging.hh"
+#include "workload/event_source.hh"
 
 namespace gmlake::workload
 {
@@ -145,6 +148,16 @@ Trace::load(std::istream &is)
     return trace;
 }
 
+void
+Trace::assertAlive() const
+{
+#ifndef NDEBUG
+    GMLAKE_ASSERT(mCookie.alive(),
+                  "borrowed Trace was destroyed while a Session or "
+                  "EventSource still references it");
+#endif
+}
+
 Event
 remapEvent(Event event, const TraceNamespace &ns)
 {
@@ -182,85 +195,19 @@ remapTrace(const Trace &trace, const TraceNamespace &ns)
 Trace
 mergeTraces(const std::vector<const Trace *> &traces)
 {
-    struct Cursor
-    {
-        const Trace *trace = nullptr;
-        std::size_t next = 0;
-        Tick localTime = 0; //!< elapsed compute within this trace
-        std::vector<StreamId> seenStreams;
-    };
-    std::vector<Cursor> cursors;
-    cursors.reserve(traces.size());
+    // The interleave itself lives in MergeSource (the streaming
+    // cursor form); this wrapper merely adapts Trace pointers and
+    // materializes the merged stream for callers that want one.
+    std::vector<MergeInput> inputs;
+    inputs.reserve(traces.size());
     for (const Trace *trace : traces) {
         GMLAKE_ASSERT(trace != nullptr, "null trace in merge");
-        Cursor cursor;
-        cursor.trace = trace;
-        cursors.push_back(std::move(cursor));
+        MergeInput in;
+        in.source = std::make_unique<VectorSource>(trace);
+        inputs.push_back(std::move(in));
     }
-    const bool multi = cursors.size() > 1;
-
-    auto noteStream = [](Cursor &cursor, StreamId stream) {
-        if (std::find(cursor.seenStreams.begin(),
-                      cursor.seenStreams.end(),
-                      stream) == cursor.seenStreams.end())
-            cursor.seenStreams.push_back(stream);
-    };
-
-    Trace merged;
-    Tick mergedTime = 0;
-    for (;;) {
-        Cursor *best = nullptr;
-        for (Cursor &c : cursors) {
-            if (c.next >= c.trace->size())
-                continue;
-            if (best == nullptr || c.localTime < best->localTime)
-                best = &c;
-        }
-        if (best == nullptr)
-            break;
-        const Event &e = best->trace->events()[best->next++];
-        if (e.kind == EventKind::compute) {
-            // Tenants compute concurrently: only the part that moves
-            // the merged frontier forward costs merged time, emitted
-            // lazily when some trace's next event reaches it.
-            best->localTime += e.computeNs;
-            continue;
-        }
-        if (best->localTime > mergedTime) {
-            merged.append(Event{EventKind::compute, 0, 0,
-                                best->localTime - mergedTime,
-                                kDefaultStream});
-            mergedTime = best->localTime;
-        }
-        if (multi && e.kind == EventKind::streamSync &&
-            e.stream == kAnyStream) {
-            // Tenant-scoped device sync, exactly like the engine:
-            // one tenant's device-wide sync only proves its own
-            // streams idle, not a co-tenant's.
-            for (const StreamId stream : best->seenStreams) {
-                merged.append(Event{EventKind::streamSync, 0, 0, 0,
-                                    stream});
-            }
-            continue;
-        }
-        if ((e.kind == EventKind::alloc ||
-             e.kind == EventKind::streamSync) &&
-            e.stream != kAnyStream) {
-            noteStream(*best, e.stream);
-        }
-        merged.append(e);
-    }
-    // Trailing compute so the merged run lasts as long as the
-    // longest tenant.
-    for (const Cursor &c : cursors) {
-        if (c.localTime > mergedTime) {
-            merged.append(Event{EventKind::compute, 0, 0,
-                                c.localTime - mergedTime,
-                                kDefaultStream});
-            mergedTime = c.localTime;
-        }
-    }
-    return merged;
+    MergeSource merge(std::move(inputs));
+    return materialize(merge);
 }
 
 TensorId

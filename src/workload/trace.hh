@@ -65,11 +65,46 @@ struct TraceStats
     }
 };
 
+namespace detail
+{
+
+/**
+ * Liveness watermark for borrowed objects: constructed alive, marked
+ * dead by the destructor, refreshed (not copied) on copy/move so the
+ * flag always describes *this* object. A borrower that out-lives the
+ * owner can then fail loudly in debug builds (see Trace::assertAlive)
+ * instead of silently reading freed memory.
+ */
+class AliveCookie
+{
+  public:
+    AliveCookie() = default;
+    AliveCookie(const AliveCookie &) {}
+    AliveCookie &operator=(const AliveCookie &) { return *this; }
+    ~AliveCookie() { mValue = kDead; }
+
+    bool alive() const { return mValue == kAlive; }
+
+  private:
+    static constexpr std::uint64_t kAlive = 0x616c697665ULL;
+    static constexpr std::uint64_t kDead = 0xdeadULL;
+    std::uint64_t mValue = kAlive;
+};
+
+} // namespace detail
+
 class Trace
 {
   public:
     void append(Event event);
 
+    /**
+     * Direct vector access, for builders, (de)serializers, and test
+     * assertions only. Replay paths (SimEngine, MergeSource) consume
+     * events through the EventSource cursor instead, so they work
+     * unchanged on streams that were never materialized — do not
+     * add engine-side indexing into this vector.
+     */
     const std::vector<Event> &events() const { return mEvents; }
     std::size_t size() const { return mEvents.size(); }
     const TraceStats &stats() const { return mStats; }
@@ -82,10 +117,18 @@ class Trace
     void save(std::ostream &os) const;
     static Trace load(std::istream &is);
 
+    /**
+     * Debug-build check that a *borrowed* trace has not been
+     * destroyed behind the borrower's back (VectorSource, Session).
+     * No-op in release builds.
+     */
+    void assertAlive() const;
+
   private:
     std::vector<Event> mEvents;
     TraceStats mStats;
     SizeHistogram mHistogram;
+    detail::AliveCookie mCookie;
 };
 
 /**

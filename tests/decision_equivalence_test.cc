@@ -119,8 +119,9 @@ digestScenario(const Experiment &experiment)
         d.add(static_cast<std::uint64_t>(r.result.series.size()));
     }
     for (const MetricRecord &m : ctx.metrics()) {
-        if (m.name.find("wall") != std::string::npos)
-            continue; // host wallclock: nondeterministic by design
+        if (m.name.find("wall") != std::string::npos ||
+            m.name.find("rss") != std::string::npos)
+            continue; // host wallclock/RSS: nondeterministic by design
         d.add(m.label);
         d.add(m.name);
         d.add(m.value);
@@ -169,6 +170,10 @@ constexpr ExpectedDigest kExpectedDigests[] = {
     {"stress-allocator", 0x9b2aa751be30516fULL},
     {"frag-churn", 0xde35e226c2b9b263ULL},
     {"cluster-ranks", 0x80a873f6d163fcd6ULL},
+    // Streaming-generator scenario (EventSource PR): the KV-serve
+    // block churn is seed-deterministic, so the whole serving day
+    // is pinned like any materialized trace.
+    {"serve-day", 0xb62855605fa14fe5ULL},
 };
 
 bool

@@ -1,0 +1,377 @@
+/**
+ * @file
+ * EventSource cursor tests: VectorSource is bit-identical to indexed
+ * trace iteration (owned and borrowed, with the borrowed-lifetime
+ * assert firing loudly in debug builds), RemapSource matches
+ * remapEvent(), MergeSource replays deterministically across resets,
+ * the generator sources (KV-cache serving, train loop, mixed fleet)
+ * produce valid, seed-deterministic streams, and runSource() over a
+ * VectorSource reproduces runTrace() exactly.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <new>
+#include <vector>
+
+#include "sim/runner.hh"
+#include "support/logging.hh"
+#include "support/units.hh"
+#include "vmm/device.hh"
+#include "workload/event_source.hh"
+#include "workload/generators.hh"
+#include "workload/model_zoo.hh"
+#include "workload/trace.hh"
+#include "workload/tracegen.hh"
+
+using namespace gmlake;
+using namespace gmlake::literals;
+using namespace gmlake::workload;
+
+namespace
+{
+
+Trace
+richTrace()
+{
+    TraceBuilder tb;
+    tb.iterationMark();
+    const auto a = tb.alloc(3_MiB, 1);
+    const auto b = tb.alloc(512_KiB, 2);
+    tb.compute(1'234'567);
+    tb.touch(a);
+    tb.streamSync(2);
+    tb.free(b);
+    tb.streamSync(kAnyStream);
+    tb.iterationMark();
+    const auto c = tb.alloc(7_MiB);
+    tb.prefetch(c);
+    tb.free(a);
+    tb.free(c);
+    return tb.take();
+}
+
+void
+expectSameEvent(const Event &got, const Event &want, std::size_t i)
+{
+    EXPECT_EQ(got.kind, want.kind) << "event " << i;
+    EXPECT_EQ(got.tensor, want.tensor) << "event " << i;
+    EXPECT_EQ(got.bytes, want.bytes) << "event " << i;
+    EXPECT_EQ(got.computeNs, want.computeNs) << "event " << i;
+    EXPECT_EQ(got.stream, want.stream) << "event " << i;
+}
+
+/** Drain @p source into a vector of copies. */
+std::vector<Event>
+drain(EventSource &source)
+{
+    std::vector<Event> events;
+    while (const Event *e = source.peek()) {
+        events.push_back(*e);
+        source.advance();
+    }
+    return events;
+}
+
+void
+expectSameStream(const std::vector<Event> &got,
+                 const std::vector<Event> &want)
+{
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < got.size(); ++i)
+        expectSameEvent(got[i], want[i], i);
+}
+
+} // namespace
+
+TEST(EventSource, VectorSourceMatchesIndexedIteration)
+{
+    const Trace trace = richTrace();
+    VectorSource source(&trace);
+    EXPECT_EQ(source.sizeHint(), trace.size());
+
+    const auto events = drain(source);
+    ASSERT_EQ(events.size(), trace.size());
+    for (std::size_t i = 0; i < trace.size(); ++i)
+        expectSameEvent(events[i], trace.events()[i], i);
+    EXPECT_EQ(source.peek(), nullptr);
+}
+
+TEST(EventSource, VectorSourceOwnedResetReplays)
+{
+    VectorSource source(richTrace());
+    const auto first = drain(source);
+    EXPECT_EQ(source.peek(), nullptr);
+    source.reset();
+    const auto second = drain(source);
+    expectSameStream(second, first);
+}
+
+TEST(EventSource, MaterializeRoundTrips)
+{
+    const Trace trace = richTrace();
+    VectorSource source(&trace);
+    const Trace copy = materialize(source);
+    ASSERT_EQ(copy.size(), trace.size());
+    for (std::size_t i = 0; i < trace.size(); ++i)
+        expectSameEvent(copy.events()[i], trace.events()[i], i);
+    EXPECT_EQ(copy.stats().allocCount, trace.stats().allocCount);
+    EXPECT_EQ(copy.stats().totalAllocBytes,
+              trace.stats().totalAllocBytes);
+    EXPECT_EQ(copy.stats().iterations, trace.stats().iterations);
+}
+
+TEST(EventSource, RemapSourceMatchesRemapEvent)
+{
+    const Trace trace = richTrace();
+    const TraceNamespace ns{1000, 32};
+
+    VectorSource inner(&trace);
+    RemapSource remapped(inner, ns);
+    EXPECT_EQ(remapped.sizeHint(), trace.size());
+
+    const auto events = drain(remapped);
+    ASSERT_EQ(events.size(), trace.size());
+    for (std::size_t i = 0; i < trace.size(); ++i)
+        expectSameEvent(events[i],
+                        remapEvent(trace.events()[i], ns), i);
+}
+
+TEST(EventSource, RemapSourcePreservesAnyStreamSentinel)
+{
+    TraceBuilder tb;
+    const auto a = tb.alloc(1_MiB, 3);
+    tb.streamSync(kAnyStream);
+    tb.free(a);
+    const Trace trace = tb.take();
+
+    VectorSource inner(&trace);
+    RemapSource remapped(inner, {500, 16});
+    const auto events = drain(remapped);
+    ASSERT_EQ(events.size(), 3u);
+    EXPECT_EQ(events[0].stream, 3u + 16u);
+    EXPECT_EQ(events[1].stream, kAnyStream);
+}
+
+TEST(EventSource, MergeSourceMatchesMergeTraces)
+{
+    workload::TrainConfig cfg;
+    cfg.model = findModel("GPT-2");
+    cfg.iterations = 2;
+    const Trace first = generateTrainingTrace(cfg);
+    cfg.seed = 77;
+    const Trace second = generateTrainingTrace(cfg);
+
+    const TraceNamespace nsB{TensorId{1} << 32, 64};
+    const Trace secondRemapped = remapTrace(second, nsB);
+    const Trace merged = mergeTraces({&first, &secondRemapped});
+
+    std::vector<MergeInput> inputs;
+    inputs.push_back({std::make_unique<VectorSource>(&first), {}, 0});
+    inputs.push_back(
+        {std::make_unique<VectorSource>(&second), nsB, 0});
+    MergeSource source(std::move(inputs));
+
+    const auto events = drain(source);
+    ASSERT_EQ(events.size(), merged.size());
+    for (std::size_t i = 0; i < merged.size(); ++i)
+        expectSameEvent(events[i], merged.events()[i], i);
+}
+
+TEST(EventSource, MergeSourceResetReplays)
+{
+    const Trace first = richTrace();
+    const Trace second = richTrace();
+
+    std::vector<MergeInput> inputs;
+    inputs.push_back({std::make_unique<VectorSource>(&first), {}, 0});
+    inputs.push_back({std::make_unique<VectorSource>(&second),
+                      {TensorId{1} << 32, 64},
+                      5'000});
+    MergeSource source(std::move(inputs));
+
+    const auto firstPass = drain(source);
+    EXPECT_FALSE(firstPass.empty());
+    source.reset();
+    const auto secondPass = drain(source);
+    expectSameStream(secondPass, firstPass);
+}
+
+#ifndef NDEBUG
+TEST(EventSource, BorrowedTraceDestructionFailsLoudly)
+{
+    // Destroy a borrowed Trace in place (the storage stays alive so
+    // the liveness cookie remains readable) and require the cursor
+    // to detect the dangling borrow instead of replaying garbage.
+    alignas(Trace) unsigned char storage[sizeof(Trace)];
+    Trace *trace = new (storage) Trace(richTrace());
+    VectorSource source(trace);
+    EXPECT_NE(source.peek(), nullptr);
+    trace->~Trace();
+    EXPECT_THROW(source.peek(), PanicError);
+}
+#endif
+
+// ------------------------------------------------------- generators
+
+TEST(EventSource, KvServeSourceIsValidAndComplete)
+{
+    KvServeConfig cfg;
+    cfg.model = findModel("OPT-1.3B");
+    cfg.maxBatch = 8;
+    cfg.requests = 64;
+    const auto blockBytes = KvServeSource(cfg).blockBytes();
+    EXPECT_GT(blockBytes, 0u);
+
+    KvServeSource source(cfg);
+    const Trace trace = materialize(source);
+    trace.validate(); // every block freed, no double alloc/free
+
+    EXPECT_EQ(source.counters().admitted, cfg.requests);
+    EXPECT_EQ(source.counters().served, cfg.requests);
+    EXPECT_EQ(source.counters().emitted, trace.size());
+    EXPECT_GT(source.counters().blockAllocs, cfg.requests);
+    // Every KV allocation is exactly one block.
+    for (const Event &e : trace.events()) {
+        if (e.kind == EventKind::alloc) {
+            EXPECT_EQ(e.bytes, blockBytes);
+        }
+    }
+}
+
+TEST(EventSource, KvServeSourceIsSeedDeterministic)
+{
+    KvServeConfig cfg;
+    cfg.model = findModel("OPT-1.3B");
+    cfg.maxBatch = 6;
+    cfg.requests = 48;
+
+    KvServeSource a(cfg);
+    KvServeSource b(cfg);
+    expectSameStream(drain(a), drain(b));
+
+    cfg.seed = 1234;
+    KvServeSource c(cfg);
+    const auto other = drain(c);
+    const auto base = [&] {
+        a.reset();
+        return drain(a);
+    }();
+    EXPECT_NE(other.size(), 0u);
+    // Different seed, different serving day.
+    bool differs = other.size() != base.size();
+    for (std::size_t i = 0;
+         !differs && i < other.size() && i < base.size(); ++i)
+        differs = other[i].kind != base[i].kind ||
+                  other[i].tensor != base[i].tensor ||
+                  other[i].bytes != base[i].bytes;
+    EXPECT_TRUE(differs);
+}
+
+TEST(EventSource, KvServeSourceResetReplaysIdentically)
+{
+    KvServeConfig cfg;
+    cfg.model = findModel("OPT-1.3B");
+    cfg.maxBatch = 4;
+    cfg.requests = 24;
+
+    KvServeSource source(cfg);
+    const auto first = drain(source);
+    source.reset();
+    const auto second = drain(source);
+    expectSameStream(second, first);
+}
+
+TEST(EventSource, TrainLoopSourceIsValid)
+{
+    TrainLoopConfig cfg;
+    cfg.model = findModel("OPT-1.3B");
+    cfg.iterations = 4;
+
+    TrainLoopSource source(cfg);
+    const Trace trace = materialize(source);
+    trace.validate();
+
+    int marks = 0;
+    for (const Event &e : trace.events()) {
+        if (e.kind == EventKind::iterationMark)
+            ++marks;
+    }
+    EXPECT_EQ(marks, cfg.iterations);
+
+    TrainLoopSource again(cfg);
+    VectorSource wanted(trace);
+    expectSameStream(drain(again), drain(wanted));
+}
+
+TEST(EventSource, FleetSourceMergesDisjointTenants)
+{
+    FleetConfig cfg;
+    cfg.serve.model = findModel("OPT-1.3B");
+    cfg.serve.maxBatch = 4;
+    cfg.serve.requests = 16;
+    cfg.serveTenants = 2;
+    cfg.train.model = findModel("OPT-1.3B");
+    cfg.train.iterations = 2;
+    cfg.trainTenants = 1;
+    cfg.arrivalStaggerNs = 1'000'000;
+
+    const auto source = makeFleetSource(cfg);
+    const Trace trace = materialize(*source);
+    trace.validate();
+
+    // Tenants occupy disjoint tensor namespaces.
+    bool tenant0 = false, tenant1 = false, tenant2 = false;
+    for (const Event &e : trace.events()) {
+        if (e.kind != EventKind::alloc)
+            continue;
+        const auto tenant = e.tensor / cfg.tensorStride;
+        tenant0 |= tenant == 0;
+        tenant1 |= tenant == 1;
+        tenant2 |= tenant == 2;
+    }
+    EXPECT_TRUE(tenant0);
+    EXPECT_TRUE(tenant1);
+    EXPECT_TRUE(tenant2);
+
+    // Deterministic: a second fleet replays the same day.
+    const auto again = makeFleetSource(cfg);
+    VectorSource wanted(trace);
+    expectSameStream(drain(*again), drain(wanted));
+}
+
+// ----------------------------------------------- engine equivalence
+
+TEST(EventSource, RunSourceMatchesRunTrace)
+{
+    workload::TrainConfig cfg;
+    cfg.model = findModel("GPT-2");
+    cfg.iterations = 2;
+    const Trace trace = generateTrainingTrace(cfg);
+
+    sim::RunResult byTrace, bySource;
+    {
+        vmm::Device device;
+        const auto allocator = sim::makeAllocator(
+            sim::AllocatorKind::gmlake, device);
+        byTrace = sim::runTrace(*allocator, device, trace, &cfg);
+    }
+    {
+        vmm::Device device;
+        const auto allocator = sim::makeAllocator(
+            sim::AllocatorKind::gmlake, device);
+        bySource = sim::runSource(
+            *allocator, device,
+            std::make_unique<VectorSource>(&trace), &cfg);
+    }
+
+    EXPECT_EQ(bySource.oom, byTrace.oom);
+    EXPECT_EQ(bySource.simTime, byTrace.simTime);
+    EXPECT_EQ(bySource.peakActive, byTrace.peakActive);
+    EXPECT_EQ(bySource.peakReserved, byTrace.peakReserved);
+    EXPECT_EQ(bySource.allocCount, byTrace.allocCount);
+    EXPECT_EQ(bySource.freeCount, byTrace.freeCount);
+    EXPECT_EQ(bySource.iterationsDone, byTrace.iterationsDone);
+    EXPECT_EQ(bySource.deviceApiTime, byTrace.deviceApiTime);
+}

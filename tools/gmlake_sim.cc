@@ -2,8 +2,6 @@
  * @file
  * gmlake_sim — command-line experiment runner.
  *
- * Two modes:
- *
  * Registry mode drives the shared experiment registry — the same
  * scenarios the bench_* binaries and CI run:
  *   gmlake_sim list
@@ -11,31 +9,43 @@
  *   gmlake_sim run fig10 --json --iterations 4
  *   gmlake_sim run all --iterations 1
  *
- * Ad-hoc mode runs a single workload under any of the allocators on
- * a simulated GPU and reports the paper's metrics. Traces can be
- * recorded to and replayed from files:
- *   gmlake_sim --model OPT-13B --strategies LR --gpus 4 --batch 16
- *   gmlake_sim --model GPT-NeoX-20B --batch 72 --allocator all
- *   gmlake_sim --serve --model OPT-13B --max-batch 32
- *   gmlake_sim --model GPT-2 --record trace.txt
- *   gmlake_sim --replay trace.txt --allocator gmlake --snapshot
+ * Trace mode generates, converts, inspects, and replays single
+ * workloads under any of the allocators on a simulated GPU. All five
+ * verbs share one option table:
+ *   gmlake_sim trace run --model OPT-13B --strategies LR --gpus 4
+ *   gmlake_sim trace record trace.txt --model GPT-2
+ *   gmlake_sim trace record trace.gmt --model GPT-2
+ *   gmlake_sim trace pack trace.txt trace.gmt
+ *   gmlake_sim trace info trace.gmt
+ *   gmlake_sim trace replay trace.gmt --allocator gmlake --snapshot
+ *
+ * Replay sniffs the file format: `.gmt` binary traces stream through
+ * BinaryTraceSource (multi-section files replay as co-located
+ * sessions); anything else is parsed as a text trace.
+ *
+ * The historical bare-flag interface (`gmlake_sim --model ...
+ * [--record F | --replay F]`) still parses but emits a deprecation
+ * warning and routes through the matching trace verb.
  *
  * Run with --help for the full flag list.
  */
 
 #include <cstring>
 #include <fstream>
+#include <functional>
 #include <iostream>
-#include <optional>
 #include <string>
 #include <vector>
 
 #include "alloc/snapshot.hh"
 #include "sim/experiment.hh"
 #include "sim/runner.hh"
+#include "sim/session.hh"
 #include "support/strings.hh"
 #include "support/table.hh"
 #include "support/units.hh"
+#include "workload/binary_trace.hh"
+#include "workload/event_source.hh"
 #include "workload/servegen.hh"
 #include "workload/tracegen.hh"
 
@@ -65,13 +75,212 @@ struct Options
     Bytes capacityGiB = 80;
     Bytes fragLimitMiB = 2;
 
-    // I/O
-    std::string recordPath;
-    std::string replayPath;
+    // Output
     std::string csvPath;
     bool snapshot = false;
+
+    // Legacy spellings of the record/replay verbs.
+    std::string recordPath;
+    std::string replayPath;
+
+    bool listModels = false;
     bool help = false;
 };
+
+// ------------------------------------------------ shared option table
+
+/** Which trace verbs a flag applies to. */
+enum FlagGroup : unsigned
+{
+    kWorkloadFlags = 1u << 0, //!< trace run | record (+ legacy)
+    kDeviceFlags = 1u << 1,   //!< trace run | replay (+ legacy)
+    kOutputFlags = 1u << 2,   //!< trace run | replay (+ legacy)
+    kLegacyFlags = 1u << 3,   //!< bare-flag mode only
+};
+
+unsigned long long
+parseNumber(const char *flag, const std::string &value)
+{
+    unsigned long long parsed = 0;
+    std::size_t consumed = 0;
+    if (!value.empty() && value[0] >= '0' && value[0] <= '9') {
+        try {
+            parsed = std::stoull(value, &consumed);
+        } catch (const std::exception &) {
+            consumed = 0;
+        }
+    }
+    if (consumed == 0 || consumed != value.size())
+        GMLAKE_FATAL("flag ", flag, " needs a non-negative number, "
+                     "got '", value, "'");
+    return parsed;
+}
+
+struct FlagSpec
+{
+    const char *name;
+    const char *argName; //!< nullptr for boolean toggles
+    unsigned groups;
+    const char *help;
+    void (*apply)(Options &, const std::string &);
+};
+
+/**
+ * The one option table every trace verb (and the legacy bare-flag
+ * mode) parses with; each verb admits the groups that make sense for
+ * it and rejects the rest with a pointed error.
+ */
+const FlagSpec kFlags[] = {
+    // Workload selection
+    {"--model", "NAME", kWorkloadFlags,
+     "model from the zoo (default OPT-13B)",
+     [](Options &o, const std::string &v) { o.model = v; }},
+    {"--list-models", nullptr, kWorkloadFlags,
+     "print the model zoo and exit",
+     [](Options &o, const std::string &) { o.listModels = true; }},
+    {"--strategies", "S", kWorkloadFlags,
+     "N | R | LR | RO | LRO (default LR)",
+     [](Options &o, const std::string &v) { o.strategies = v; }},
+    {"--platform", "P", kWorkloadFlags,
+     "deepspeed | fsdp | colossalai | ddp",
+     [](Options &o, const std::string &v) { o.platform = v; }},
+    {"--gpus", "N", kWorkloadFlags,
+     "data-parallel degree (default 4)",
+     [](Options &o, const std::string &v) {
+         o.gpus = static_cast<int>(parseNumber("--gpus", v));
+     }},
+    {"--batch", "N", kWorkloadFlags,
+     "per-GPU batch size (default 16)",
+     [](Options &o, const std::string &v) {
+         o.batch = static_cast<int>(parseNumber("--batch", v));
+     }},
+    {"--iterations", "N", kWorkloadFlags,
+     "training iterations (default 12)",
+     [](Options &o, const std::string &v) {
+         o.iterations =
+             static_cast<int>(parseNumber("--iterations", v));
+     }},
+    {"--seq", "N", kWorkloadFlags,
+     "max sequence length (default 512)",
+     [](Options &o, const std::string &v) {
+         o.seqLen = static_cast<int>(parseNumber("--seq", v));
+     }},
+    {"--seed", "N", kWorkloadFlags, "workload RNG seed (default 42)",
+     [](Options &o, const std::string &v) {
+         o.seed = parseNumber("--seed", v);
+     }},
+    {"--serve", nullptr, kWorkloadFlags,
+     "serving workload instead of training",
+     [](Options &o, const std::string &) { o.serve = true; }},
+    {"--requests", "N", kWorkloadFlags,
+     "serving: total requests (default 256)",
+     [](Options &o, const std::string &v) {
+         o.serveRequests =
+             static_cast<int>(parseNumber("--requests", v));
+     }},
+    {"--max-batch", "N", kWorkloadFlags,
+     "serving: concurrent requests (32)",
+     [](Options &o, const std::string &v) {
+         o.serveMaxBatch =
+             static_cast<int>(parseNumber("--max-batch", v));
+     }},
+
+    // Device and allocator
+    {"--allocator", "A", kDeviceFlags,
+     "caching | gmlake | native | compacting | expandable | all",
+     [](Options &o, const std::string &v) { o.allocator = v; }},
+    {"--capacity", "GiB", kDeviceFlags, "device memory (default 80)",
+     [](Options &o, const std::string &v) {
+         o.capacityGiB = parseNumber("--capacity", v);
+     }},
+    {"--frag-limit", "MiB", kDeviceFlags,
+     "GMLake fragmentation limit (default 2)",
+     [](Options &o, const std::string &v) {
+         o.fragLimitMiB = parseNumber("--frag-limit", v);
+     }},
+
+    // Output
+    {"--csv", "FILE", kOutputFlags,
+     "append result rows to a CSV file",
+     [](Options &o, const std::string &v) { o.csvPath = v; }},
+    {"--snapshot", nullptr, kOutputFlags,
+     "print the allocator memory snapshot",
+     [](Options &o, const std::string &) { o.snapshot = true; }},
+
+    // Deprecated spellings of the record/replay verbs.
+    {"--record", "FILE", kLegacyFlags,
+     "(deprecated) = trace record FILE",
+     [](Options &o, const std::string &v) { o.recordPath = v; }},
+    {"--replay", "FILE", kLegacyFlags,
+     "(deprecated) = trace replay FILE",
+     [](Options &o, const std::string &v) { o.replayPath = v; }},
+};
+
+const FlagSpec *
+findFlag(const std::string &name)
+{
+    for (const FlagSpec &spec : kFlags) {
+        if (name == spec.name)
+            return &spec;
+    }
+    return nullptr;
+}
+
+/**
+ * Parse argv[begin..] against the shared table, admitting only flags
+ * in @p groups. Non-flag arguments land in @p positionals (rejected
+ * when nullptr).
+ */
+Options
+parseFlags(int argc, char **argv, int begin, unsigned groups,
+           std::vector<std::string> *positionals)
+{
+    Options opt;
+    for (int i = begin; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            opt.help = true;
+            continue;
+        }
+        if (arg.size() >= 2 && arg[0] == '-' && arg[1] == '-') {
+            const FlagSpec *spec = findFlag(arg);
+            if (spec == nullptr)
+            GMLAKE_FATAL("unknown flag: ", arg, " (try --help)");
+            if ((spec->groups & groups) == 0)
+                GMLAKE_FATAL("flag ", arg, " does not apply to this "
+                             "subcommand (try --help)");
+            std::string value;
+            if (spec->argName != nullptr) {
+                if (i + 1 >= argc)
+                    GMLAKE_FATAL("flag ", arg, " needs a value");
+                value = argv[++i];
+            }
+            spec->apply(opt, value);
+        } else if (positionals != nullptr) {
+            positionals->push_back(arg);
+        } else {
+            GMLAKE_FATAL("unexpected argument: ", arg,
+                         " (try --help)");
+        }
+    }
+    return opt;
+}
+
+void
+printFlagGroup(unsigned group)
+{
+    for (const FlagSpec &spec : kFlags) {
+        if ((spec.groups & group) == 0)
+            continue;
+        std::string head = spec.name;
+        if (spec.argName != nullptr)
+            head += std::string(" ") + spec.argName;
+        std::cout << "  " << head
+                  << std::string(
+                         head.size() < 19 ? 19 - head.size() : 1, ' ')
+                  << spec.help << "\n";
+    }
+}
 
 void
 printHelp()
@@ -92,110 +301,32 @@ printHelp()
         "      --json [FILE]   write report (BENCH_<name>.json)\n"
         "      --out FILE      write the JSON report to FILE instead\n"
         "                      of the fixed BENCH_<name>.json\n\n"
-        "Ad-hoc workloads:\n\n"
-        "Workload selection:\n"
-        "  --model NAME        model from the zoo (default OPT-13B)\n"
-        "  --list-models       print the model zoo and exit\n"
-        "  --strategies S      N | R | LR | RO | LRO (default LR)\n"
-        "  --platform P        deepspeed | fsdp | colossalai | ddp\n"
-        "  --gpus N            data-parallel degree (default 4)\n"
-        "  --batch N           per-GPU batch size (default 16)\n"
-        "  --iterations N      training iterations (default 12)\n"
-        "  --seq N             max sequence length (default 512)\n"
-        "  --seed N            workload RNG seed (default 42)\n"
-        "  --serve             serving workload instead of training\n"
-        "  --requests N        serving: total requests (default 256)\n"
-        "  --max-batch N       serving: concurrent requests (32)\n\n"
-        "Device and allocator:\n"
-        "  --allocator A       caching | gmlake | native |\n"
-        "                      compacting | expandable | all\n"
-        "  --capacity GiB      device memory (default 80)\n"
-        "  --frag-limit MiB    GMLake fragmentation limit (default 2)\n\n"
-        "Input/output:\n"
-        "  --record FILE       write the generated trace and exit\n"
-        "  --replay FILE       replay a recorded trace instead\n"
-        "  --csv FILE          append result rows to a CSV file\n"
-        "  --snapshot          print the allocator memory snapshot\n"
-        "  --help              this text\n";
+        "Single workloads (trace subcommands):\n"
+        "  trace run [opts]          generate a workload and replay "
+        "it\n"
+        "  trace record OUT [opts]   generate and save a workload\n"
+        "                            (.gmt packs binary columnar,\n"
+        "                            anything else writes text)\n"
+        "  trace replay FILE [opts]  replay a saved trace (.gmt "
+        "streams,\n"
+        "                            multi-section files co-locate)\n"
+        "  trace pack IN... OUT.gmt  convert text traces to one "
+        "binary\n"
+        "                            file, one section per input\n"
+        "  trace info FILE.gmt       print sections and stats\n\n"
+        "Workload selection (trace run | record):\n";
+    printFlagGroup(kWorkloadFlags);
+    std::cout << "\nDevice and allocator (trace run | replay):\n";
+    printFlagGroup(kDeviceFlags);
+    std::cout << "\nOutput (trace run | replay):\n";
+    printFlagGroup(kOutputFlags);
+    std::cout <<
+        "\nDeprecated bare-flag aliases (warn and route to trace "
+        "verbs):\n";
+    printFlagGroup(kLegacyFlags);
 }
 
-std::optional<Options>
-parse(int argc, char **argv)
-{
-    Options opt;
-    auto need = [&](int &i) -> const char * {
-        if (i + 1 >= argc)
-            GMLAKE_FATAL("flag ", argv[i], " needs a value");
-        return argv[++i];
-    };
-    auto num = [&](int &i) -> unsigned long long {
-        const std::string flag = argv[i];
-        const char *value = need(i);
-        unsigned long long parsed = 0;
-        std::size_t consumed = 0;
-        if (value[0] >= '0' && value[0] <= '9') {
-            try {
-                parsed = std::stoull(value, &consumed);
-            } catch (const std::exception &) {
-                consumed = 0;
-            }
-        }
-        if (consumed == 0 || value[consumed] != '\0')
-            GMLAKE_FATAL("flag ", flag, " needs a non-negative "
-                         "number, got '", value, "'");
-        return parsed;
-    };
-    for (int i = 1; i < argc; ++i) {
-        const std::string flag = argv[i];
-        if (flag == "--help" || flag == "-h") {
-            opt.help = true;
-        } else if (flag == "--list-models") {
-            for (const auto &m : workload::allModels())
-                std::cout << m.name << "\n";
-            return std::nullopt;
-        } else if (flag == "--model") {
-            opt.model = need(i);
-        } else if (flag == "--strategies") {
-            opt.strategies = need(i);
-        } else if (flag == "--platform") {
-            opt.platform = need(i);
-        } else if (flag == "--gpus") {
-            opt.gpus = static_cast<int>(num(i));
-        } else if (flag == "--batch") {
-            opt.batch = static_cast<int>(num(i));
-        } else if (flag == "--iterations") {
-            opt.iterations = static_cast<int>(num(i));
-        } else if (flag == "--seq") {
-            opt.seqLen = static_cast<int>(num(i));
-        } else if (flag == "--seed") {
-            opt.seed = num(i);
-        } else if (flag == "--serve") {
-            opt.serve = true;
-        } else if (flag == "--requests") {
-            opt.serveRequests = static_cast<int>(num(i));
-        } else if (flag == "--max-batch") {
-            opt.serveMaxBatch = static_cast<int>(num(i));
-        } else if (flag == "--allocator") {
-            opt.allocator = need(i);
-        } else if (flag == "--capacity") {
-            opt.capacityGiB = num(i);
-        } else if (flag == "--frag-limit") {
-            opt.fragLimitMiB = num(i);
-        } else if (flag == "--record") {
-            opt.recordPath = need(i);
-        } else if (flag == "--replay") {
-            opt.replayPath = need(i);
-        } else if (flag == "--csv") {
-            opt.csvPath = need(i);
-        } else if (flag == "--snapshot") {
-            opt.snapshot = true;
-        } else {
-            GMLAKE_FATAL("unknown flag: ", flag,
-                         " (try --help)");
-        }
-    }
-    return opt;
-}
+// ----------------------------------------------------------- helpers
 
 workload::Platform
 parsePlatform(const std::string &name)
@@ -230,6 +361,285 @@ parseAllocators(const std::string &name)
         return {*kind};
     GMLAKE_FATAL("unknown allocator: ", name);
 }
+
+int
+doListModels()
+{
+    for (const auto &m : workload::allModels())
+        std::cout << m.name << "\n";
+    return 0;
+}
+
+bool
+endsWithGmt(const std::string &path)
+{
+    return path.size() >= 4 &&
+           path.compare(path.size() - 4, 4, ".gmt") == 0;
+}
+
+/** "dir/opt-13b.trace" -> "opt-13b" (section naming for pack). */
+std::string
+sectionNameFor(const std::string &path)
+{
+    const std::size_t slash = path.find_last_of("/\\");
+    std::string base = slash == std::string::npos
+                           ? path
+                           : path.substr(slash + 1);
+    const std::size_t dot = base.find_last_of('.');
+    if (dot != std::string::npos && dot > 0)
+        base.resize(dot);
+    return base.empty() ? "trace" : base;
+}
+
+workload::TrainConfig
+makeTrainConfig(const Options &opt)
+{
+    workload::TrainConfig cfg;
+    cfg.model = workload::findModel(opt.model);
+    cfg.strategies = workload::Strategies::parse(opt.strategies);
+    cfg.platform = parsePlatform(opt.platform);
+    cfg.gpus = opt.gpus;
+    cfg.batchSize = opt.batch;
+    cfg.iterations = opt.iterations;
+    cfg.seqLen = opt.seqLen;
+    cfg.seed = opt.seed;
+    return cfg;
+}
+
+struct BuiltWorkload
+{
+    workload::Trace trace;
+    std::uint64_t servedTokens = 0;
+    bool training = false;
+};
+
+BuiltWorkload
+buildWorkload(const Options &opt, const workload::TrainConfig &cfg)
+{
+    BuiltWorkload built;
+    if (opt.serve) {
+        workload::ServeConfig serveCfg;
+        serveCfg.model = cfg.model;
+        serveCfg.requests = opt.serveRequests;
+        serveCfg.maxBatch = opt.serveMaxBatch;
+        serveCfg.seed = opt.seed;
+        auto gen = workload::generateServingTrace(serveCfg);
+        built.trace = std::move(gen.trace);
+        built.servedTokens = gen.generatedTokens;
+        std::cout << "serving workload: " << gen.servedRequests
+                  << " requests, " << gen.generatedTokens
+                  << " tokens\n";
+    } else {
+        built.trace = workload::generateTrainingTrace(cfg);
+        built.training = true;
+        std::cout << "workload: " << cfg.describe() << " ("
+                  << built.trace.size() << " events)\n";
+    }
+    return built;
+}
+
+void
+saveTraceTo(const workload::Trace &trace, const std::string &path,
+            const std::string &section)
+{
+    if (endsWithGmt(path)) {
+        workload::packTrace(trace, path, section);
+    } else {
+        std::ofstream out(path);
+        if (!out)
+            GMLAKE_FATAL("cannot write trace: ", path);
+        trace.save(out);
+    }
+    std::cout << "trace recorded to " << path << " (" << trace.size()
+              << " events" << (endsWithGmt(path) ? ", binary" : "")
+              << ")\n";
+}
+
+/**
+ * The comparison loop every replaying verb shares: fresh device +
+ * allocator per kind, one run via @p runOne, results tabulated (and
+ * CSV-appended / snapshotted on request).
+ */
+int
+runAcrossAllocators(
+    const Options &opt, std::uint64_t servedTokens,
+    const std::function<sim::RunResult(alloc::Allocator &,
+                                       vmm::Device &)> &runOne)
+{
+    vmm::DeviceConfig deviceCfg;
+    deviceCfg.capacity = opt.capacityGiB * GiB;
+    core::GMLakeConfig gmlakeCfg;
+    gmlakeCfg.fragLimit = opt.fragLimitMiB * MiB;
+
+    Table table({"Allocator", "Utilization", "Peak active",
+                 "Peak reserved", "Sim time", "Throughput"});
+    std::ofstream csv;
+    if (!opt.csvPath.empty()) {
+        csv.open(opt.csvPath, std::ios::app);
+        if (!csv)
+            GMLAKE_FATAL("cannot open CSV: ", opt.csvPath);
+    }
+
+    for (const auto kind : parseAllocators(opt.allocator)) {
+        vmm::Device device(deviceCfg);
+        const auto allocator =
+            sim::makeAllocator(kind, device, gmlakeCfg);
+        const auto r = runOne(*allocator, device);
+
+        std::string throughput = "-";
+        if (servedTokens > 0 && r.simTime > 0) {
+            throughput = formatDouble(
+                static_cast<double>(servedTokens) /
+                    (static_cast<double>(r.simTime) * 1e-9),
+                0) + " tok/s";
+        } else if (r.samplesPerSec > 0.0) {
+            throughput =
+                formatDouble(r.samplesPerSec, 1) + " samples/s";
+        }
+        table.addRow(
+            {r.allocator,
+             r.oom ? "OOM" : formatPercent(r.utilization),
+             formatBytes(r.peakActive), formatBytes(r.peakReserved),
+             formatTime(r.simTime), throughput});
+        if (csv.is_open()) {
+            csv << r.allocator << "," << opt.model << ","
+                << opt.strategies << "," << opt.gpus << ","
+                << opt.batch << "," << r.utilization << ","
+                << r.peakActive << "," << r.peakReserved << ","
+                << r.simTime << "," << (r.oom ? 1 : 0) << "\n";
+        }
+        if (opt.snapshot)
+            std::cout << allocator->snapshot().summary();
+    }
+    table.print(std::cout);
+    return 0;
+}
+
+// -------------------------------------------------------- trace verbs
+
+int
+doTraceRun(const Options &opt)
+{
+    const auto cfg = makeTrainConfig(opt);
+    const auto built = buildWorkload(opt, cfg);
+    return runAcrossAllocators(
+        opt, built.servedTokens,
+        [&](alloc::Allocator &allocator, vmm::Device &device) {
+            return sim::runTrace(allocator, device, built.trace,
+                                 built.training ? &cfg : nullptr);
+        });
+}
+
+int
+doTraceRecord(const Options &opt, const std::string &outPath)
+{
+    const auto cfg = makeTrainConfig(opt);
+    const auto built = buildWorkload(opt, cfg);
+    saveTraceTo(built.trace, outPath, opt.model);
+    return 0;
+}
+
+int
+doTraceReplay(const Options &opt, const std::string &path)
+{
+    if (workload::looksLikeGmtFile(path)) {
+        const auto file = workload::GmtFile::open(path);
+        std::uint64_t events = 0;
+        for (const auto &section : file->sections())
+            events += section.events;
+        std::cout << "replaying " << events << " events ("
+                  << file->sections().size() << " section"
+                  << (file->sections().size() == 1 ? "" : "s")
+                  << ", streamed) from " << path << "\n";
+        return runAcrossAllocators(
+            opt, 0,
+            [&](alloc::Allocator &allocator, vmm::Device &device) {
+                if (file->sections().size() == 1) {
+                    return sim::runSource(
+                        allocator, device,
+                        std::make_unique<
+                            workload::BinaryTraceSource>(file, 0));
+                }
+                // Multi-section files replay as co-located tenants.
+                sim::SimEngine engine(allocator, device);
+                for (std::size_t i = 0; i < file->sections().size();
+                     ++i) {
+                    engine.addSession(sim::Session(
+                        file->sections()[i].name,
+                        std::make_unique<
+                            workload::BinaryTraceSource>(file, i)));
+                }
+                return engine.run().combined;
+            });
+    }
+
+    std::ifstream in(path);
+    if (!in)
+        GMLAKE_FATAL("cannot open trace: ", path);
+    const workload::Trace trace = workload::Trace::load(in);
+    std::cout << "replaying " << trace.size() << " events from "
+              << path << "\n";
+    return runAcrossAllocators(
+        opt, 0,
+        [&](alloc::Allocator &allocator, vmm::Device &device) {
+            return sim::runTrace(allocator, device, trace);
+        });
+}
+
+int
+doTracePack(const std::vector<std::string> &paths)
+{
+    const std::string &outPath = paths.back();
+    if (!endsWithGmt(outPath))
+        GMLAKE_FATAL("pack output must end in .gmt, got: ", outPath);
+
+    workload::GmtWriter writer(outPath);
+    std::uint64_t events = 0;
+    for (std::size_t i = 0; i + 1 < paths.size(); ++i) {
+        std::ifstream in(paths[i]);
+        if (!in)
+            GMLAKE_FATAL("cannot open trace: ", paths[i]);
+        const workload::Trace trace = workload::Trace::load(in);
+        writer.beginSection(sectionNameFor(paths[i]));
+        workload::VectorSource source(&trace);
+        writer.append(source);
+        events += trace.size();
+    }
+    writer.finish();
+
+    std::ifstream sized(outPath, std::ios::binary | std::ios::ate);
+    const auto bytes = static_cast<std::uint64_t>(sized.tellg());
+    std::cout << "packed " << (paths.size() - 1) << " trace"
+              << (paths.size() == 2 ? "" : "s") << ", " << events
+              << " events into " << outPath << " ("
+              << formatBytes(bytes) << ")\n";
+    return 0;
+}
+
+int
+doTraceInfo(const std::string &path)
+{
+    const auto file = workload::GmtFile::open(path);
+    std::cout << path << ": gmt v" << file->version() << ", "
+              << formatBytes(file->fileBytes()) << ", "
+              << file->sections().size() << " section"
+              << (file->sections().size() == 1 ? "" : "s") << "\n";
+    Table table({"Section", "Events", "Chunks", "Bytes", "Allocs",
+                 "Alloc bytes", "Max alloc", "Iters"});
+    for (const auto &s : file->sections()) {
+        table.addRow({s.name, std::to_string(s.events),
+                      std::to_string(s.chunks),
+                      formatBytes(s.byteLength),
+                      std::to_string(s.stats.allocCount),
+                      formatBytes(s.stats.totalAllocBytes),
+                      formatBytes(s.stats.maxAllocBytes),
+                      std::to_string(s.stats.iterations)});
+    }
+    table.print(std::cout);
+    return 0;
+}
+
+// ----------------------------------------------------------- dispatch
 
 int
 cmdList()
@@ -269,123 +679,147 @@ cmdRun(int argc, char **argv)
     return sim::experimentMain(name, argc - 2, argv + 2);
 }
 
+int
+cmdTrace(int argc, char **argv)
+{
+    const auto usage = [] {
+        std::cerr <<
+            "usage: gmlake_sim trace run    [options]\n"
+            "       gmlake_sim trace record OUT [options]\n"
+            "       gmlake_sim trace replay FILE [options]\n"
+            "       gmlake_sim trace pack   IN... OUT.gmt\n"
+            "       gmlake_sim trace info   FILE.gmt\n"
+            "       (gmlake_sim --help shows the options)\n";
+        return 1;
+    };
+    if (argc < 3)
+        return usage();
+    const std::string verb = argv[2];
+
+    if (verb == "run") {
+        const Options opt = parseFlags(
+            argc, argv, 3,
+            kWorkloadFlags | kDeviceFlags | kOutputFlags, nullptr);
+        if (opt.help) {
+            printHelp();
+            return 0;
+        }
+        if (opt.listModels)
+            return doListModels();
+        return doTraceRun(opt);
+    }
+    if (verb == "record") {
+        std::vector<std::string> paths;
+        const Options opt =
+            parseFlags(argc, argv, 3, kWorkloadFlags, &paths);
+        if (opt.help) {
+            printHelp();
+            return 0;
+        }
+        if (opt.listModels)
+            return doListModels();
+        if (paths.size() != 1)
+            return usage();
+        return doTraceRecord(opt, paths[0]);
+    }
+    if (verb == "replay") {
+        std::vector<std::string> paths;
+        const Options opt = parseFlags(
+            argc, argv, 3, kDeviceFlags | kOutputFlags, &paths);
+        if (opt.help) {
+            printHelp();
+            return 0;
+        }
+        if (paths.size() != 1)
+            return usage();
+        return doTraceReplay(opt, paths[0]);
+    }
+    if (verb == "pack") {
+        std::vector<std::string> paths;
+        const Options opt = parseFlags(argc, argv, 3, 0, &paths);
+        if (opt.help) {
+            printHelp();
+            return 0;
+        }
+        if (paths.size() < 2)
+            return usage();
+        return doTracePack(paths);
+    }
+    if (verb == "info") {
+        std::vector<std::string> paths;
+        const Options opt = parseFlags(argc, argv, 3, 0, &paths);
+        if (opt.help) {
+            printHelp();
+            return 0;
+        }
+        if (paths.size() != 1)
+            return usage();
+        return doTraceInfo(paths[0]);
+    }
+    std::cerr << "unknown trace verb: " << verb << "\n";
+    return usage();
+}
+
+/** Bare-flag invocations: warn, then route to the trace verbs. */
+int
+legacyMain(int argc, char **argv)
+{
+    const Options opt = parseFlags(
+        argc, argv, 1,
+        kWorkloadFlags | kDeviceFlags | kOutputFlags | kLegacyFlags,
+        nullptr);
+    if (opt.help) {
+        printHelp();
+        return 0;
+    }
+    if (opt.listModels)
+        return doListModels();
+
+    const char *target = !opt.recordPath.empty()   ? "trace record"
+                         : !opt.replayPath.empty() ? "trace replay"
+                                                   : "trace run";
+    std::cerr << "gmlake_sim: warning: bare flags are deprecated; "
+                 "use `gmlake_sim "
+              << target << "` (routing there now, see --help)\n";
+
+    if (!opt.recordPath.empty() && !opt.replayPath.empty()) {
+        // Historical convert mode: load then re-save (which now
+        // packs to .gmt when the output asks for it).
+        std::ifstream in(opt.replayPath);
+        if (!in)
+            GMLAKE_FATAL("cannot open trace: ", opt.replayPath);
+        const workload::Trace trace = workload::Trace::load(in);
+        saveTraceTo(trace, opt.recordPath,
+                    sectionNameFor(opt.replayPath));
+        return 0;
+    }
+    if (!opt.recordPath.empty())
+        return doTraceRecord(opt, opt.recordPath);
+    if (!opt.replayPath.empty())
+        return doTraceReplay(opt, opt.replayPath);
+    return doTraceRun(opt);
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 try {
-    if (argc >= 2 && std::strcmp(argv[1], "list") == 0)
-        return cmdList();
-    if (argc >= 2 && std::strcmp(argv[1], "run") == 0)
-        return cmdRun(argc, argv);
-
-    const auto parsed = parse(argc, argv);
-    if (!parsed)
-        return 0;
-    const Options &opt = *parsed;
-    if (opt.help) {
+    if (argc < 2) {
         printHelp();
         return 0;
     }
-
-    // ---------------------------------------------------------- trace
-    workload::TrainConfig trainCfg;
-    trainCfg.model = workload::findModel(opt.model);
-    trainCfg.strategies = workload::Strategies::parse(opt.strategies);
-    trainCfg.platform = parsePlatform(opt.platform);
-    trainCfg.gpus = opt.gpus;
-    trainCfg.batchSize = opt.batch;
-    trainCfg.iterations = opt.iterations;
-    trainCfg.seqLen = opt.seqLen;
-    trainCfg.seed = opt.seed;
-
-    workload::Trace trace;
-    std::uint64_t servedTokens = 0;
-    if (!opt.replayPath.empty()) {
-        std::ifstream in(opt.replayPath);
-        if (!in)
-            GMLAKE_FATAL("cannot open trace: ", opt.replayPath);
-        trace = workload::Trace::load(in);
-        std::cout << "replaying " << trace.size() << " events from "
-                  << opt.replayPath << "\n";
-    } else if (opt.serve) {
-        workload::ServeConfig serveCfg;
-        serveCfg.model = trainCfg.model;
-        serveCfg.requests = opt.serveRequests;
-        serveCfg.maxBatch = opt.serveMaxBatch;
-        serveCfg.seed = opt.seed;
-        auto gen = workload::generateServingTrace(serveCfg);
-        trace = std::move(gen.trace);
-        servedTokens = gen.generatedTokens;
-        std::cout << "serving workload: " << gen.servedRequests
-                  << " requests, " << gen.generatedTokens
-                  << " tokens\n";
-    } else {
-        trace = workload::generateTrainingTrace(trainCfg);
-        std::cout << "workload: " << trainCfg.describe() << " ("
-                  << trace.size() << " events)\n";
-    }
-
-    if (!opt.recordPath.empty()) {
-        std::ofstream out(opt.recordPath);
-        if (!out)
-            GMLAKE_FATAL("cannot write trace: ", opt.recordPath);
-        trace.save(out);
-        std::cout << "trace recorded to " << opt.recordPath << "\n";
-        return 0;
-    }
-
-    // ------------------------------------------------------------ run
-    vmm::DeviceConfig deviceCfg;
-    deviceCfg.capacity = opt.capacityGiB * GiB;
-    core::GMLakeConfig gmlakeCfg;
-    gmlakeCfg.fragLimit = opt.fragLimitMiB * MiB;
-
-    Table table({"Allocator", "Utilization", "Peak active",
-                 "Peak reserved", "Sim time", "Throughput"});
-    std::ofstream csv;
-    if (!opt.csvPath.empty()) {
-        csv.open(opt.csvPath, std::ios::app);
-        if (!csv)
-            GMLAKE_FATAL("cannot open CSV: ", opt.csvPath);
-    }
-
-    for (const auto kind : parseAllocators(opt.allocator)) {
-        vmm::Device device(deviceCfg);
-        const auto allocator =
-            sim::makeAllocator(kind, device, gmlakeCfg);
-        const auto r = sim::runTrace(
-            *allocator, device, trace,
-            opt.serve || !opt.replayPath.empty() ? nullptr
-                                                 : &trainCfg);
-
-        std::string throughput = "-";
-        if (opt.serve && r.simTime > 0) {
-            throughput = formatDouble(
-                static_cast<double>(servedTokens) /
-                    (static_cast<double>(r.simTime) * 1e-9),
-                0) + " tok/s";
-        } else if (r.samplesPerSec > 0.0) {
-            throughput =
-                formatDouble(r.samplesPerSec, 1) + " samples/s";
-        }
-        table.addRow(
-            {r.allocator,
-             r.oom ? "OOM" : formatPercent(r.utilization),
-             formatBytes(r.peakActive), formatBytes(r.peakReserved),
-             formatTime(r.simTime), throughput});
-        if (csv.is_open()) {
-            csv << r.allocator << "," << opt.model << ","
-                << opt.strategies << "," << opt.gpus << ","
-                << opt.batch << "," << r.utilization << ","
-                << r.peakActive << "," << r.peakReserved << ","
-                << r.simTime << "," << (r.oom ? 1 : 0) << "\n";
-        }
-        if (opt.snapshot)
-            std::cout << allocator->snapshot().summary();
-    }
-    table.print(std::cout);
-    return 0;
+    if (std::strcmp(argv[1], "list") == 0)
+        return cmdList();
+    if (std::strcmp(argv[1], "run") == 0)
+        return cmdRun(argc, argv);
+    if (std::strcmp(argv[1], "trace") == 0)
+        return cmdTrace(argc, argv);
+    if (argv[1][0] == '-')
+        return legacyMain(argc, argv);
+    std::cerr << "unknown subcommand: " << argv[1]
+              << " (try --help)\n";
+    return 1;
 } catch (const gmlake::FatalError &) {
     return 1; // diagnostic already printed by GMLAKE_FATAL
 } catch (const gmlake::PanicError &) {
