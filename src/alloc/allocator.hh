@@ -73,6 +73,23 @@ class Allocator
 
     virtual std::string name() const = 0;
 
+    // --- concurrency ----------------------------------------------------
+
+    /**
+     * True when the allocator's entry points are safe to call from
+     * several engine workers at once (it locks internally). The
+     * relaxed-commit engine wraps anything that returns false in one
+     * coarse external mutex.
+     */
+    virtual bool internallySynchronized() const { return false; }
+
+    /**
+     * Host ns callers spent blocked on the allocator's internal
+     * locks (0 for unsynchronized allocators). Feeds
+     * RunResult::lockWaitNs.
+     */
+    virtual std::uint64_t lockWaitNs() const { return 0; }
+
     // --- host-offload cooperation (src/offload) ------------------------
 
     /**

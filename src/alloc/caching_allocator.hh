@@ -16,11 +16,14 @@
 #ifndef GMLAKE_ALLOC_CACHING_ALLOCATOR_HH
 #define GMLAKE_ALLOC_CACHING_ALLOCATOR_HH
 
+#include <map>
 #include <memory>
 #include <set>
+#include <shared_mutex>
 #include <unordered_map>
 
 #include "alloc/allocator.hh"
+#include "support/timed_mutex.hh"
 #include "vmm/device.hh"
 
 namespace gmlake::alloc
@@ -83,9 +86,19 @@ class CachingAllocator : public Allocator
     const AllocatorStats &stats() const override { return mStats; }
     std::string name() const override { return "caching"; }
 
+    /**
+     * Entry points lock internally: per-stream pool shards carry
+     * their own mutexes (the allocate fast path touches only the
+     * shards it scans) and a meta mutex serializes everything that
+     * rewrites block links or the segment/live maps. Safe to call
+     * concurrently from relaxed-commit engine workers.
+     */
+    bool internallySynchronized() const override { return true; }
+    std::uint64_t lockWaitNs() const override;
+
     /** Free bytes currently cached in the pools (reserved - active). */
     Bytes cachedBytes() const;
-    std::size_t segmentCount() const { return mSegments.size(); }
+    std::size_t segmentCount() const;
     const CachingConfig &config() const { return mConfig; }
 
     // --- host-offload cooperation (src/offload) ------------------------
@@ -108,10 +121,9 @@ class CachingAllocator : public Allocator
 
   private:
     struct Block;
-    /** Heterogeneous probe for pool lookups: no Block construction. */
-    struct BlockKey
+    /** Heterogeneous probe for shard lookups: no Block construction. */
+    struct SizeKey
     {
-        StreamId stream = kDefaultStream;
         Bytes size = 0;
         VirtAddr addr = kNullAddr;
     };
@@ -120,10 +132,44 @@ class CachingAllocator : public Allocator
         using is_transparent = void;
 
         bool operator()(const Block *a, const Block *b) const;
-        bool operator()(const Block *a, const BlockKey &k) const;
-        bool operator()(const BlockKey &k, const Block *b) const;
+        bool operator()(const Block *a, const SizeKey &k) const;
+        bool operator()(const SizeKey &k, const Block *b) const;
     };
-    using FreePool = std::set<Block *, BlockCmp>;
+    using ShardSet = std::set<Block *, BlockCmp>;
+
+    /**
+     * One stream tag's slice of a pool: its free blocks ordered by
+     * (size, addr) plus the mutex that guards them. Fields of a
+     * shard-resident block are immutable; mutation requires first
+     * removing the block under the shard mutex (claiming it), which
+     * is also what gives readers their happens-before edge.
+     */
+    struct Shard
+    {
+        ShardSet blocks;
+        mutable TimedMutex mutex;
+    };
+
+    /**
+     * Free pool sharded by stream tag. The shard map is ordered, so
+     * walking it ascending visits blocks in exactly the
+     * (stream, size, addr) order of the historical single-set pool —
+     * kAnyStream (~0) still sorts last. Shards are created on demand
+     * and never removed; the map mutex is shared for lookups/walks
+     * and exclusive only to add a shard.
+     */
+    struct ShardedPool
+    {
+        std::map<StreamId, Shard> shards;
+        mutable std::shared_mutex mapMutex;
+
+        Shard &shardFor(StreamId stream);
+        void insert(Block *block);
+        /** Claim @p block: false when someone else already did. */
+        bool remove(Block *block);
+        /** Host ns callers spent blocked on the shard mutexes. */
+        std::uint64_t lockWaitNs() const;
+    };
 
     struct Block
     {
@@ -133,7 +179,7 @@ class CachingAllocator : public Allocator
         Block *prev = nullptr;   //!< address-adjacent within segment
         Block *next = nullptr;
         VirtAddr segment = kNullAddr;
-        FreePool *pool = nullptr;
+        ShardedPool *pool = nullptr;
         /** Stream that may reuse this block (kAnyStream after sync). */
         StreamId stream = kDefaultStream;
         /** Simulated time of the last free (for the event lag). */
@@ -145,8 +191,8 @@ class CachingAllocator : public Allocator
     AllocatorStats mStats;
     AllocId mNextId = 1;
 
-    FreePool mSmallPool;
-    FreePool mLargePool;
+    ShardedPool mSmallPool;
+    ShardedPool mLargePool;
     /** Segment base address -> segment size. */
     std::unordered_map<VirtAddr, Bytes> mSegments;
     /** Ownership of all block nodes. */
@@ -154,32 +200,57 @@ class CachingAllocator : public Allocator
     /** Live allocations. */
     std::unordered_map<AllocId, Block *> mLive;
 
+    /**
+     * Meta mutex: guards mSegments/mBlocks/mLive/mNextId, every
+     * prev/next link, and all field writes to claimed blocks. Lock
+     * hierarchy: meta -> pool map -> shard -> device; findFit runs
+     * with shard locks only (no meta), which is the allocate fast
+     * path the sharding exists for.
+     */
+    mutable TimedMutex mMetaMutex;
+
     Bytes roundSize(Bytes size) const;
     Bytes allocationSize(Bytes rounded) const;
-    FreePool &poolFor(Bytes rounded);
+    ShardedPool &poolFor(Bytes rounded);
     bool shouldSplit(const Block &block, Bytes rounded) const;
 
+    /** Requires the meta mutex (owns mBlocks). */
     Block *newBlock(VirtAddr addr, Bytes size, VirtAddr segment,
-                    FreePool *pool, StreamId stream);
+                    ShardedPool *pool, StreamId stream);
+    /** Requires the meta mutex. */
     void destroyBlock(Block *block);
 
-    /** Acquire a fresh segment from the device. */
+    /** Acquire a fresh segment from the device. Takes meta itself. */
     Expected<Block *> growSegment(Bytes rounded, StreamId stream);
 
-    /** Best-fit lookup restricted to blocks reusable by @p stream. */
-    Block *findFit(FreePool &pool, Bytes rounded, StreamId stream);
+    /**
+     * Best-fit lookup restricted to blocks reusable by @p stream;
+     * the returned block has been claimed (removed from its shard).
+     * Takes only shard locks, one at a time.
+     */
+    Block *findFit(ShardedPool &pool, Bytes rounded, StreamId stream);
 
     /**
      * Release whole-segment free blocks of @p pool back to the
      * device until @p budget bytes are freed; returns bytes freed.
      * The one segment-release sweep emptyCache()/trimCache() share.
+     * Requires the meta mutex.
      */
-    Bytes sweepSegments(FreePool &pool, Bytes budget);
+    Bytes sweepSegments(ShardedPool &pool, Bytes budget);
 
-    /** Merge @p block with free same-stream neighbours. */
+    /**
+     * Merge @p block (claimed, free) with free same-stream
+     * neighbours. Requires the meta mutex; neighbours that fail to
+     * claim (another thread got them first) are skipped, which
+     * cannot happen single-threaded.
+     */
     Block *coalesce(Block *block);
 
-    /** Retag free blocks of @p stream (kAnyStream = all) and merge. */
+    /**
+     * Retag free blocks of @p stream (kAnyStream = all) and merge.
+     * Takes meta itself (callers never hold it: the OOM retry ladder
+     * must be able to reenter via the offload hook).
+     */
     void releaseStream(StreamId stream);
 };
 

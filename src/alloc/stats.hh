@@ -13,6 +13,7 @@
 #ifndef GMLAKE_ALLOC_STATS_HH
 #define GMLAKE_ALLOC_STATS_HH
 
+#include <atomic>
 #include <cstdint>
 
 #include "support/types.hh"
@@ -20,62 +21,111 @@
 namespace gmlake::alloc
 {
 
+/**
+ * All counters are relaxed atomics so concurrent engine workers can
+ * account allocations without taking the allocator's locks; the
+ * peaks are CAS-max loops. Relaxed ordering is enough — readers are
+ * either the owning thread or post-run result assembly, and peaks
+ * only need to dominate every individually-published value.
+ */
 class AllocatorStats
 {
   public:
     void
     onAllocate(Bytes active)
     {
-        ++mAllocCount;
-        mActive += active;
-        if (mActive > mPeakActive)
-            mPeakActive = mActive;
+        mAllocCount.fetch_add(1, std::memory_order_relaxed);
+        const Bytes now =
+            mActive.fetch_add(active, std::memory_order_relaxed) +
+            active;
+        raiseMax(mPeakActive, now);
     }
 
     void
     onDeallocate(Bytes active)
     {
-        ++mFreeCount;
-        mActive -= active;
+        mFreeCount.fetch_add(1, std::memory_order_relaxed);
+        mActive.fetch_sub(active, std::memory_order_relaxed);
     }
 
     void
     onReserve(Bytes reserved)
     {
-        mReserved += reserved;
-        if (mReserved > mPeakReserved)
-            mPeakReserved = mReserved;
+        const Bytes now =
+            mReserved.fetch_add(reserved,
+                                std::memory_order_relaxed) +
+            reserved;
+        raiseMax(mPeakReserved, now);
     }
 
-    void onRelease(Bytes reserved) { mReserved -= reserved; }
+    void
+    onRelease(Bytes reserved)
+    {
+        mReserved.fetch_sub(reserved, std::memory_order_relaxed);
+    }
 
-    Bytes activeBytes() const { return mActive; }
-    Bytes reservedBytes() const { return mReserved; }
-    Bytes peakActiveBytes() const { return mPeakActive; }
-    Bytes peakReservedBytes() const { return mPeakReserved; }
-    std::uint64_t allocCount() const { return mAllocCount; }
-    std::uint64_t freeCount() const { return mFreeCount; }
+    Bytes
+    activeBytes() const
+    {
+        return mActive.load(std::memory_order_relaxed);
+    }
+    Bytes
+    reservedBytes() const
+    {
+        return mReserved.load(std::memory_order_relaxed);
+    }
+    Bytes
+    peakActiveBytes() const
+    {
+        return mPeakActive.load(std::memory_order_relaxed);
+    }
+    Bytes
+    peakReservedBytes() const
+    {
+        return mPeakReserved.load(std::memory_order_relaxed);
+    }
+    std::uint64_t
+    allocCount() const
+    {
+        return mAllocCount.load(std::memory_order_relaxed);
+    }
+    std::uint64_t
+    freeCount() const
+    {
+        return mFreeCount.load(std::memory_order_relaxed);
+    }
 
     /** Peak active / peak reserved; 1.0 when nothing was reserved. */
     double
     utilizationRatio() const
     {
-        if (mPeakReserved == 0)
+        const Bytes peakReserved = peakReservedBytes();
+        if (peakReserved == 0)
             return 1.0;
-        return static_cast<double>(mPeakActive) /
-               static_cast<double>(mPeakReserved);
+        return static_cast<double>(peakActiveBytes()) /
+               static_cast<double>(peakReserved);
     }
 
     /** The paper's fragmentation metric: 1 - utilization. */
     double fragmentationRatio() const { return 1.0 - utilizationRatio(); }
 
   private:
-    Bytes mActive = 0;
-    Bytes mReserved = 0;
-    Bytes mPeakActive = 0;
-    Bytes mPeakReserved = 0;
-    std::uint64_t mAllocCount = 0;
-    std::uint64_t mFreeCount = 0;
+    static void
+    raiseMax(std::atomic<Bytes> &peak, Bytes value)
+    {
+        Bytes cur = peak.load(std::memory_order_relaxed);
+        while (cur < value &&
+               !peak.compare_exchange_weak(
+                   cur, value, std::memory_order_relaxed)) {
+        }
+    }
+
+    std::atomic<Bytes> mActive{0};
+    std::atomic<Bytes> mReserved{0};
+    std::atomic<Bytes> mPeakActive{0};
+    std::atomic<Bytes> mPeakReserved{0};
+    std::atomic<std::uint64_t> mAllocCount{0};
+    std::atomic<std::uint64_t> mFreeCount{0};
 };
 
 } // namespace gmlake::alloc

@@ -25,8 +25,18 @@ GMLakeAllocator::GMLakeAllocator(vmm::Device &device, GMLakeConfig config)
     // and the scratch buffers once, up front (block nodes themselves
     // come from the slab pools).
     mLive.reserve(4096);
-    mFitCandidates.reserve(64);
-    mMapBatch.reserve(1024);
+    mScratch = &arenaFor(kDefaultStream);
+}
+
+GMLakeAllocator::ScratchArena &
+GMLakeAllocator::arenaFor(StreamId stream)
+{
+    auto [it, inserted] = mArenas.try_emplace(stream);
+    if (inserted) {
+        it->second.fitCandidates.reserve(64);
+        it->second.mapBatch.reserve(1024);
+    }
+    return it->second;
 }
 
 GMLakeAllocator::~GMLakeAllocator() = default;
@@ -171,13 +181,13 @@ GMLakeAllocator::splitPBlock(PBlock *block, Bytes sizeA)
         const auto va = mDevice.memAddressReserve(size);
         if (!va.ok())
             return va.error();
-        mMapBatch.clear();
+        mScratch->mapBatch.clear();
         for (std::size_t i = 0; i < chunkCount; ++i) {
-            mMapBatch.emplace_back(
+            mScratch->mapBatch.emplace_back(
                 *va + static_cast<VirtAddr>(i) * mConfig.chunkSize,
                 block->chunks[chunkOffset + i]);
         }
-        const Status s = mDevice.memMapBatch(mMapBatch);
+        const Status s = mDevice.memMapBatch(mScratch->mapBatch);
         GMLAKE_ASSERT(s.ok(), "split remap failed");
         const Status acc = mDevice.memSetAccess(*va, size);
         GMLAKE_ASSERT(acc.ok(), "split access failed");
@@ -269,15 +279,15 @@ GMLakeAllocator::stitch(const std::vector<PBlock *> &members,
     // chunk, but the mapping table validates once and splices one
     // extent instead of per-chunk tree inserts. The sBlock never
     // creates physical chunks (paper Section 3.3.1).
-    mMapBatch.clear();
+    mScratch->mapBatch.clear();
     VirtAddr cursor = *va;
     for (const PBlock *m : members) {
         for (PhysHandle h : m->chunks) {
-            mMapBatch.emplace_back(cursor, h);
+            mScratch->mapBatch.emplace_back(cursor, h);
             cursor += mConfig.chunkSize;
         }
     }
-    const Status mapped = mDevice.memMapBatch(mMapBatch);
+    const Status mapped = mDevice.memMapBatch(mScratch->mapBatch);
     GMLAKE_ASSERT(mapped.ok(), "stitch map failed: ",
                   mapped.ok() ? "" : mapped.error().message);
     const Status acc = mDevice.memSetAccess(*va, total);
@@ -441,13 +451,13 @@ GMLakeAllocator::ensureResident(PBlock *block)
     // stitched structures were never torn down, so this is the
     // "no data-copy for re-stitch" path: mapping cost only.
     auto remapAt = [&](VirtAddr base) {
-        mMapBatch.clear();
+        mScratch->mapBatch.clear();
         for (std::size_t i = 0; i < chunkCount; ++i) {
-            mMapBatch.emplace_back(
+            mScratch->mapBatch.emplace_back(
                 base + static_cast<VirtAddr>(i) * mConfig.chunkSize,
                 block->chunks[i]);
         }
-        Status s = mDevice.memMapBatch(mMapBatch);
+        Status s = mDevice.memMapBatch(mScratch->mapBatch);
         GMLAKE_ASSERT(s.ok(), "fault-in remap failed: ",
                       s.ok() ? "" : s.error().message);
         s = mDevice.memSetAccess(base, block->size);
@@ -624,6 +634,7 @@ GMLakeAllocator::allocate(Bytes size, StreamId stream)
         return makeError(Errc::invalidValue,
                          "cannot allocate on the sentinel stream");
     mDevice.chargeCachedOp();
+    mScratch = &arenaFor(stream);
 
     if (size < mConfig.smallThreshold) {
         ++mCounters.smallPath;
@@ -777,11 +788,11 @@ GMLakeAllocator::allocateLarge(Bytes size, StreamId stream)
         auto fit = bestFitOverPools(rounded, mInactiveS,
                                     mInactivePFree, fragLimit,
                                     sEligible, pEligible,
-                                    mFitCandidates);
+                                    mScratch->fitCandidates);
         if (fit.state == FitState::insufficient) {
             fit = bestFitOverPools(rounded, mInactiveS, mInactiveP,
                                    fragLimit, sEligible, pEligible,
-                                   mFitCandidates);
+                                   mScratch->fitCandidates);
         }
 
         switch (fit.state) {
@@ -806,7 +817,7 @@ GMLakeAllocator::allocateLarge(Bytes size, StreamId stream)
                 mStats.onAllocate(s->size);
                 return alloc::Allocation{id, size, s->va};
             }
-            PBlock *p = mFitCandidates.front();
+            PBlock *p = mScratch->fitCandidates.front();
             markPActive(p, true);
             if (const Status st = ensureResident(p); !st.ok()) {
                 markPActive(p, false);
@@ -822,7 +833,7 @@ GMLakeAllocator::allocateLarge(Bytes size, StreamId stream)
 
           case FitState::singleBlock: {
             ++mCounters.s2SingleBlock;
-            PBlock *p = mFitCandidates.front();
+            PBlock *p = mScratch->fitCandidates.front();
             {
                 // The block is still inactive while it is restored,
                 // so suspend cache trimming around the fault-in.
@@ -859,7 +870,7 @@ GMLakeAllocator::allocateLarge(Bytes size, StreamId stream)
             ++mCounters.s3MultiBlocks;
             // The candidates already are the member pointers; the
             // scratch vector doubles as the stitch member list.
-            std::vector<PBlock *> &members = mFitCandidates;
+            std::vector<PBlock *> &members = mScratch->fitCandidates;
             {
                 // Fault in any spilled member before the stitch maps
                 // its chunks; trimming is suspended so one member's
@@ -907,7 +918,7 @@ GMLakeAllocator::allocateLarge(Bytes size, StreamId stream)
 
           case FitState::insufficient: {
             ++mCounters.s4Insufficient;
-            std::vector<PBlock *> &members = mFitCandidates;
+            std::vector<PBlock *> &members = mScratch->fitCandidates;
             Bytes have = fit.candidateBytes;
             if (!mConfig.enableStitching) {
                 members.clear();

@@ -17,7 +17,7 @@ runTrace(alloc::Allocator &allocator, vmm::Device &device,
 
 RunResult
 runSource(alloc::Allocator &allocator, vmm::Device &device,
-          std::unique_ptr<workload::EventSource> source,
+          std::shared_ptr<workload::EventSource> source,
           const workload::TrainConfig *config, EngineOptions options)
 {
     SimEngine engine(allocator, device, options);

@@ -93,7 +93,42 @@ struct RunResult
     Tick stallNs = 0;
     std::uint64_t offloadWallNs = 0;
 
+    /**
+     * In-device concurrency instrumentation. lockWaitNs is host time
+     * threads spent blocked on the device state lock plus the
+     * allocator's internal shard/meta locks (TimedMutex deltas);
+     * snapshotPublishes counts mapping-snapshot rebuilds the run
+     * caused; commitStallNs is host time the deterministic committer
+     * spent waiting on stager threads (0 for serial and relaxed
+     * runs). All three measure the simulator, like the *WallNs
+     * fields — never the simulation.
+     */
+    std::uint64_t lockWaitNs = 0;
+    std::uint64_t snapshotPublishes = 0;
+    std::uint64_t commitStallNs = 0;
+
     std::vector<SamplePoint> series;
+};
+
+/**
+ * How a multi-threaded engine orders allocator decisions.
+ *
+ * deterministic — events commit in the serial engine's exact
+ * (localTime, sessionIndex) order; worker threads only pre-pull
+ * events from the per-session sources through bounded stage buffers.
+ * Every allocator decision (and thus every decision digest) is
+ * identical to a single-threaded run by construction.
+ *
+ * relaxed — each worker owns a subset of sessions and replays them
+ * concurrently against the shared allocator/device, synchronizing
+ * only through their locks. Measures real contention; decisions and
+ * sim-time metrics depend on the interleaving, so digests are not
+ * comparable across runs.
+ */
+enum class CommitMode
+{
+    deterministic,
+    relaxed,
 };
 
 struct EngineOptions
@@ -110,6 +145,21 @@ struct EngineOptions
      * statistics into the results. nullptr = offload disabled.
      */
     offload::OffloadManager *offload = nullptr;
+    /**
+     * Engine worker threads: 1 = classic serial replay, N > 1 =
+     * parallel replay (stagers + committer in deterministic mode,
+     * session-owning workers in relaxed mode), 0 = one per hardware
+     * thread. Relaxed mode additionally needs more than one session
+     * to have anything to race; otherwise it degenerates to the
+     * serial replay.
+     */
+    std::size_t engineThreads = 1;
+    CommitMode commitMode = CommitMode::deterministic;
+    /**
+     * Deterministic mode only: max events a stager may run ahead of
+     * the committer per session (the StageBuffer capacity).
+     */
+    std::size_t commitWindow = 256;
 };
 
 /**
@@ -128,9 +178,13 @@ RunResult runTrace(alloc::Allocator &allocator, vmm::Device &device,
  * Replay a streaming event source — a binary trace cursor or a
  * workload generator — without ever materializing it: the one-session
  * engine run whose footprint is independent of the event count.
+ * Ownership is shared: pass a unique_ptr (it converts) to hand the
+ * source over, or keep a shared_ptr copy to read generator counters
+ * after the run — the engine destroys its sessions before returning,
+ * so a raw pointer into a handed-over source dangles.
  */
 RunResult runSource(alloc::Allocator &allocator, vmm::Device &device,
-                    std::unique_ptr<workload::EventSource> source,
+                    std::shared_ptr<workload::EventSource> source,
                     const workload::TrainConfig *config = nullptr,
                     EngineOptions options = {});
 

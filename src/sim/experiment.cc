@@ -73,6 +73,9 @@ ScenarioOptions
 ExperimentContext::adjust(ScenarioOptions scenario) const
 {
     scenario.device = adjust(scenario.device);
+    scenario.engine.engineThreads = static_cast<std::size_t>(
+        std::max(0, mOptions.engineThreads));
+    scenario.engine.commitMode = mOptions.engineCommit;
     return scenario;
 }
 
@@ -225,7 +228,9 @@ constexpr const char *kCsvHeader =
     "sim_time_ns,samples_per_sec,alloc_count,free_count,"
     "device_api_time_ns,alloc_wall_ns,alloc_wall_p50_ns,"
     "alloc_wall_p99_ns,run_wall_ns,vmm_wall_ns,"
-    "evicted_bytes,faulted_bytes,stall_ns,offload_wall_ns";
+    "evicted_bytes,faulted_bytes,stall_ns,offload_wall_ns,"
+    "lock_wait_ns,snapshot_publishes,commit_stall_ns,"
+    "engine_threads";
 
 void
 writeCsv(const Experiment &experiment,
@@ -277,7 +282,11 @@ writeCsv(const Experiment &experiment,
             << r.result.evictedBytes << ','
             << r.result.faultedBytes << ','
             << r.result.stallNs << ','
-            << r.result.offloadWallNs << '\n';
+            << r.result.offloadWallNs << ','
+            << r.result.lockWaitNs << ','
+            << r.result.snapshotPublishes << ','
+            << r.result.commitStallNs << ','
+            << context.options().engineThreads << '\n';
     }
 }
 
@@ -299,6 +308,12 @@ writeJson(const Experiment &experiment,
         << ",\n"
         << "  \"device_capacity_override\": "
         << options.deviceCapacity << ",\n"
+        << "  \"engine_threads\": " << options.engineThreads << ",\n"
+        << "  \"engine_commit\": \""
+        << (options.engineCommit == CommitMode::relaxed
+                ? "relaxed"
+                : "deterministic")
+        << "\",\n"
         << "  \"records\": [";
     bool first = true;
     for (const RunRecord &r : context.records()) {
@@ -334,6 +349,11 @@ writeJson(const Experiment &experiment,
             << "\"faulted_bytes\": " << r.result.faultedBytes << ", "
             << "\"stall_ns\": " << r.result.stallNs << ", "
             << "\"offload_wall_ns\": " << r.result.offloadWallNs
+            << ", "
+            << "\"lock_wait_ns\": " << r.result.lockWaitNs << ", "
+            << "\"snapshot_publishes\": "
+            << r.result.snapshotPublishes << ", "
+            << "\"commit_stall_ns\": " << r.result.commitStallNs
             << "}";
         first = false;
     }
@@ -452,6 +472,15 @@ try {
                 << "  --seed N         override the workload seed\n"
                 << "  --threads N      worker threads for cluster "
                    "scenarios (0 = all cores)\n"
+                << "  --engine-threads N\n"
+                << "                   worker threads inside each "
+                   "engine run (0 = all\n"
+                << "                   cores); deterministic mode "
+                   "keeps results identical\n"
+                << "  --engine-commit MODE\n"
+                << "                   deterministic (default) or "
+                   "relaxed commit order\n"
+                << "                   for parallel engine runs\n"
                 << "  --csv [FILE]     append run records as CSV\n"
                 << "  --json [FILE]    write the report as JSON\n"
                 << "  --out FILE       write the JSON report to FILE "
@@ -475,6 +504,21 @@ try {
         } else if (flag == "--threads") {
             options.experiment.threads = static_cast<int>(
                 parseUnsigned("--threads", need(i), 4096));
+        } else if (flag == "--engine-threads") {
+            options.experiment.engineThreads = static_cast<int>(
+                parseUnsigned("--engine-threads", need(i), 4096));
+        } else if (flag == "--engine-commit") {
+            const std::string mode = need(i);
+            if (mode == "deterministic") {
+                options.experiment.engineCommit =
+                    CommitMode::deterministic;
+            } else if (mode == "relaxed") {
+                options.experiment.engineCommit = CommitMode::relaxed;
+            } else {
+                GMLAKE_FATAL("flag --engine-commit accepts "
+                             "'deterministic' or 'relaxed', got '",
+                             mode, "'");
+            }
         } else if (flag == "--csv") {
             const char *path = optional(i);
             options.csvPath =

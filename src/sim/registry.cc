@@ -1862,16 +1862,17 @@ runServeDay(ExperimentContext &ctx)
         vmm::Device device(opts.device);
         const auto allocator =
             makeAllocator(kind, device, opts.gmlake);
-        auto source = std::make_unique<workload::KvServeSource>(cfg);
-        const auto *gen = source.get();
+        // Shared ownership: the engine run tears its sessions down
+        // before runSource returns, and the counters are read after.
+        const auto source =
+            std::make_shared<workload::KvServeSource>(cfg);
         const Bytes rssBefore = currentRssBytes();
-        const auto r = runSource(*allocator, device,
-                                 std::move(source), nullptr,
+        const auto r = runSource(*allocator, device, source, nullptr,
                                  opts.engine);
         const Bytes rssPeak = peakRssBytes();
         const Bytes rssGrowth =
             rssPeak > rssBefore ? rssPeak - rssBefore : 0;
-        const auto &counters = gen->counters();
+        const auto &counters = source->counters();
         const double eventsPerSec =
             r.runWallNs > 0
                 ? static_cast<double>(counters.emitted) /

@@ -1,14 +1,18 @@
 #include "sim/session.hh"
 
 #include <algorithm>
+#include <memory>
 #include <queue>
+#include <thread>
 #include <unordered_map>
 #include <utility>
 
 #include "offload/offload_manager.hh"
+#include "sim/stage_queue.hh"
 #include "support/logging.hh"
 #include "support/stopwatch.hh"
 #include "support/strings.hh"
+#include "support/timed_mutex.hh"
 
 namespace gmlake::sim
 {
@@ -31,7 +35,7 @@ Session::Session(std::string name, const workload::Trace *trace,
 }
 
 Session::Session(std::string name,
-                 std::unique_ptr<workload::EventSource> source,
+                 std::shared_ptr<workload::EventSource> source,
                  Tick startTime)
     : mName(std::move(name)),
       mSource(std::move(source)),
@@ -83,10 +87,26 @@ struct LiveAlloc
     Bytes bytes;
 };
 
-/** Replay cursor + bookkeeping of one session. */
+/**
+ * Replay cursor + bookkeeping of one session. Events arrive either
+ * straight from the source (serial / relaxed replay) or through a
+ * StageBuffer filled by a stager thread (staged deterministic
+ * replay); fetch/consume/refresh hide the difference from the replay
+ * loop.
+ */
 struct Cursor
 {
     workload::EventSource *src = nullptr; //!< session event stream
+    StageBuffer *buffer = nullptr;  //!< staging lane (may be null)
+    /**
+     * Cached end-of-stream flag, refreshed definitively after each
+     * of this cursor's own consumes. Only the cursor's own
+     * consumption can change it, so cross-cursor queries
+     * (reclaim's survivor scan, compute-tail stamping) read the
+     * cache instead of poking the source — which in staged mode
+     * belongs to the stager thread.
+     */
+    bool exhausted = false;
     Tick localTime = 0;      //!< startTime + consumed compute
     bool dead = false;       //!< OOM-killed
     /** Last executed event was compute (its end needs stamping). */
@@ -97,12 +117,65 @@ struct Cursor
     std::vector<StreamId> seenStreams;
     SessionResult result;
 
-    bool
-    finished()
+    /** Current event, or nullptr at end of stream (may block). */
+    const workload::Event *
+    fetch()
     {
-        return dead || src->peek() == nullptr;
+        return buffer != nullptr ? buffer->front() : src->peek();
+    }
+
+    void
+    consume()
+    {
+        if (buffer != nullptr)
+            buffer->pop();
+        else
+            src->advance();
+    }
+
+    /** Re-cache `exhausted` (blocks until definitive when staged). */
+    void
+    refresh()
+    {
+        exhausted = fetch() == nullptr;
+    }
+
+    bool
+    finished() const
+    {
+        return dead || exhausted;
     }
 };
+
+/**
+ * Stager thread body: pre-pull one session's source into its
+ * StageBuffer. For impure sources, stop pulling — not even peek() —
+ * after handing over a risky event (one that can kill the session)
+ * until the committer confirms it executed, so the source never
+ * consumes past the serial engine's kill point.
+ */
+void
+stagerMain(workload::EventSource *src, StageBuffer *buffer, bool gate,
+           bool tierAttached)
+{
+    for (;;) {
+        if (!buffer->awaitSlot())
+            return; // session killed
+        const workload::Event *next = src->peek();
+        if (next == nullptr) {
+            buffer->markEos();
+            return;
+        }
+        const workload::Event event = *next;
+        src->advance();
+        const bool risky =
+            gate &&
+            (event.kind == workload::EventKind::alloc ||
+             (tierAttached &&
+              event.kind == workload::EventKind::touch));
+        buffer->push(event, risky);
+    }
+}
 
 } // namespace
 
@@ -113,6 +186,25 @@ SimEngine::run(const workload::TrainConfig *config)
     GMLAKE_ASSERT(!mSessions.empty(), "engine has no sessions");
     mRan = true;
 
+    std::size_t threads = mOptions.engineThreads;
+    if (threads == 0) {
+        const unsigned hw = std::thread::hardware_concurrency();
+        threads = hw == 0 ? 1 : hw;
+    }
+    // Relaxed mode needs sessions to actually race; a lone session
+    // (or a lone thread) degenerates to the serial replay.
+    if (mOptions.commitMode == CommitMode::relaxed && threads > 1 &&
+        mSessions.size() > 1) {
+        return runRelaxed(config,
+                          std::min(threads, mSessions.size()));
+    }
+    return runMerged(config, threads);
+}
+
+MultiRunResult
+SimEngine::runMerged(const workload::TrainConfig *config,
+                     std::size_t stagerThreads)
+{
     MultiRunResult multi;
     RunResult &result = multi.combined;
     result.allocator = mAllocator.name();
@@ -121,6 +213,10 @@ SimEngine::run(const workload::TrainConfig *config)
     LatencyHistogram allocWall;
     const Tick apiTimeStart = mDevice.counters().apiTime;
     const std::uint64_t vmmWallStart = mDevice.counters().vmmWallNs;
+    const std::uint64_t snapStart =
+        mDevice.counters().snapshotPublishes;
+    const std::uint64_t lockWaitStart =
+        mDevice.lockWaitNs() + mAllocator.lockWaitNs();
     const Tick timeStart = mDevice.now();
 
     // Offload tier: everything is folded in as deltas, so an engine
@@ -150,6 +246,28 @@ SimEngine::run(const workload::TrainConfig *config)
         cursors[i].live.reserve(1024);
         cursors[i].result.name = mSessions[i].name();
         totalEvents += cursors[i].src->sizeHint();
+    }
+
+    // Staged deterministic pipeline: with a thread budget beyond the
+    // committer, give the first (budget - 1) sessions a stager
+    // thread each; any remaining sessions stay on the serial
+    // fetch path. The commit order is unchanged either way.
+    std::vector<std::unique_ptr<StageBuffer>> buffers;
+    std::vector<std::thread> stagers;
+    if (stagerThreads >= 2) {
+        const std::size_t staged =
+            std::min(stagerThreads - 1, mSessions.size());
+        buffers.reserve(staged);
+        stagers.reserve(staged);
+        for (std::size_t i = 0; i < staged; ++i) {
+            buffers.push_back(std::make_unique<StageBuffer>(
+                mOptions.commitWindow));
+            cursors[i].buffer = buffers.back().get();
+            stagers.emplace_back(stagerMain, cursors[i].src,
+                                 cursors[i].buffer,
+                                 !cursors[i].src->pure(),
+                                 tier != nullptr);
+        }
     }
 
     const std::size_t stride =
@@ -203,7 +321,7 @@ SimEngine::run(const workload::TrainConfig *config)
     // release is skipped, matching the classic single-trace replay.
     auto reclaim = [&](Cursor &dying) {
         const bool someoneSurvives = std::any_of(
-            cursors.begin(), cursors.end(), [&](Cursor &c) {
+            cursors.begin(), cursors.end(), [&](const Cursor &c) {
                 return &c != &dying && !c.finished();
             });
         if (!someoneSurvives)
@@ -231,24 +349,27 @@ SimEngine::run(const workload::TrainConfig *config)
     bool sawFirstOom = false;
 
     // Tenant kill + OOM post-mortem: which allocator, what the
-    // failing request wanted, the largest free physical extent, and
-    // what eviction could still have freed — today's answer to "why
-    // did this tenant die".
+    // failing request wanted, the largest free physical extent, the
+    // mapping-table shape, and what eviction could still have freed
+    // — today's answer to "why did this tenant die".
     auto killOnOom = [&](Cursor &cursor, Bytes requested) {
         cursor.dead = true;
+        if (cursor.buffer != nullptr)
+            cursor.buffer->abort(); // stop the stager at the kill
         cursor.result.oom = true;
         cursor.result.oomAt = mDevice.now() - timeStart;
         cursor.result.oomRequestedBytes = requested;
-        cursor.result.oomLargestFree =
-            mDevice.phys().largestHole();
+        cursor.result.oomLargestFree = mDevice.largestFreeExtent();
         cursor.result.oomEvictableBytes =
             tier != nullptr ? tier->evictableBytes()
                             : mAllocator.trimmableBytes();
+        const auto mapSnap = mDevice.mappingSnapshot();
         const std::string report = detail::concat(
             "session '", cursor.result.name, "' OOM-killed: ",
             "allocator=", mAllocator.name(), " requested=",
             formatBytes(requested), " largest_free_extent=",
             formatBytes(cursor.result.oomLargestFree),
+            " mapped_extents=", mapSnap->extentCount(),
             " evictable=",
             formatBytes(cursor.result.oomEvictableBytes));
         // A dead tenant in a colocation is an event worth shouting
@@ -271,8 +392,7 @@ SimEngine::run(const workload::TrainConfig *config)
     // first merged-timeline instant not earlier than its end.
     auto stampComputeTails = [&]() {
         for (Cursor &c : cursors) {
-            if (c.lastWasCompute && !c.dead &&
-                c.src->peek() == nullptr &&
+            if (c.lastWasCompute && !c.dead && c.exhausted &&
                 c.localTime <= frontier) {
                 c.result.endedAt = mDevice.now() - timeStart;
                 c.lastWasCompute = false;
@@ -291,6 +411,7 @@ SimEngine::run(const workload::TrainConfig *config)
                         std::greater<ReadyKey>>
         ready;
     for (std::size_t i = 0; i < cursors.size(); ++i) {
+        cursors[i].refresh();
         if (!cursors[i].finished())
             ready.push({cursors[i].localTime, i});
     }
@@ -305,8 +426,8 @@ SimEngine::run(const workload::TrainConfig *config)
             frontier = best->localTime;
         }
 
-        const workload::Event event = *best->src->peek();
-        best->src->advance();
+        const workload::Event event = *best->fetch();
+        best->consume();
         ++index;
         best->lastWasCompute =
             event.kind == workload::EventKind::compute;
@@ -328,6 +449,8 @@ SimEngine::run(const workload::TrainConfig *config)
                 killOnOom(*best, event.bytes);
                 break;
             }
+            if (best->buffer != nullptr)
+                best->buffer->confirmRisky();
             if (tier != nullptr)
                 tier->onAllocated(got->id, event.bytes, bestIndex);
             best->live.emplace(event.tensor,
@@ -371,7 +494,10 @@ SimEngine::run(const workload::TrainConfig *config)
                 // The tenant's working set cannot be faulted back:
                 // it dies exactly like an allocation OOM.
                 killOnOom(*best, it->second.bytes);
+                break;
             }
+            if (best->buffer != nullptr)
+                best->buffer->confirmRisky();
             break;
           }
           case workload::EventKind::prefetch: {
@@ -406,12 +532,19 @@ SimEngine::run(const workload::TrainConfig *config)
             }
             break;
         }
+        if (!best->dead)
+            best->refresh();
         if (!best->lastWasCompute)
             best->result.endedAt = mDevice.now() - timeStart;
         stampComputeTails();
         if (!best->finished())
             ready.push({best->localTime, bestIndex});
     }
+
+    // Every stager has terminated by now — EOS for drained sessions,
+    // abort for killed ones — so the joins return immediately.
+    for (std::thread &stager : stagers)
+        stager.join();
 
     // Charge trailing compute (sessions whose traces end in compute
     // events never re-enter the pop loop), in timeline order so each
@@ -464,6 +597,12 @@ SimEngine::run(const workload::TrainConfig *config)
     result.deviceApiTime = mDevice.counters().apiTime - apiTimeStart;
     result.vmmWallNs = mDevice.counters().vmmWallNs - vmmWallStart;
     result.stallNs = mDevice.counters().copyStallNs - copyStallStart;
+    result.snapshotPublishes =
+        mDevice.counters().snapshotPublishes - snapStart;
+    result.lockWaitNs = mDevice.lockWaitNs() +
+                        mAllocator.lockWaitNs() - lockWaitStart;
+    for (const auto &buffer : buffers)
+        result.commitStallNs += buffer->stallNs();
     if (tier != nullptr) {
         result.evictedBytes = tier->stats().evictedBytes +
                               tier->stats().trimmedBytes -
@@ -487,6 +626,331 @@ SimEngine::run(const workload::TrainConfig *config)
             samples / (static_cast<double>(result.simTime) * 1e-9);
     }
     sample(true);
+    return multi;
+}
+
+MultiRunResult
+SimEngine::runRelaxed(const workload::TrainConfig *config,
+                      std::size_t workers)
+{
+    // The offload tier's bookkeeping assumes the serial commit
+    // order; relaxed contention runs measure the allocator/VMM
+    // layers only.
+    GMLAKE_ASSERT(mOptions.offload == nullptr,
+                  "relaxed commit mode does not support an offload "
+                  "tier; use deterministic mode");
+
+    MultiRunResult multi;
+    RunResult &result = multi.combined;
+    result.allocator = mAllocator.name();
+
+    const Stopwatch runWall;
+    const Tick apiTimeStart = mDevice.counters().apiTime;
+    const std::uint64_t vmmWallStart = mDevice.counters().vmmWallNs;
+    const Tick copyStallStart = mDevice.counters().copyStallNs;
+    const std::uint64_t snapStart =
+        mDevice.counters().snapshotPublishes;
+    const std::uint64_t lockWaitStart =
+        mDevice.lockWaitNs() + mAllocator.lockWaitNs();
+    const Tick timeStart = mDevice.now();
+
+    std::vector<Cursor> cursors(mSessions.size());
+    for (std::size_t i = 0; i < mSessions.size(); ++i) {
+        cursors[i].src = &mSessions[i].source();
+        cursors[i].src->reset();
+        cursors[i].localTime = mSessions[i].startTime();
+        cursors[i].live.reserve(1024);
+        cursors[i].result.name = mSessions[i].name();
+    }
+
+    // Workers race on the shared allocator; allocators without
+    // internal synchronization get one engine-level lock (its wait
+    // time is part of the measured contention).
+    TimedMutex engineMutex;
+    const bool guard = !mAllocator.internallySynchronized();
+    auto withGuard = [&](auto fn) {
+        if (guard) {
+            const std::lock_guard<TimedMutex> lock(engineMutex);
+            return fn();
+        }
+        return fn();
+    };
+
+    auto remapStream = [](std::size_t sessionIndex, StreamId stream) {
+        GMLAKE_ASSERT(stream < kSessionStreamStride,
+                      "session stream id exceeds the namespace "
+                      "stride: ", stream);
+        return static_cast<StreamId>(sessionIndex) *
+                   kSessionStreamStride +
+               stream;
+    };
+
+    auto noteStream = [](Cursor &cursor, StreamId stream) {
+        if (stream == kAnyStream)
+            return;
+        if (std::find(cursor.seenStreams.begin(),
+                      cursor.seenStreams.end(),
+                      stream) == cursor.seenStreams.end())
+            cursor.seenStreams.push_back(stream);
+    };
+
+    // Tenant-scoped failure, relaxed flavor: with several sessions
+    // racing there is (almost) always a survivor, and the serial
+    // engine's exact survivor scan would read other workers'
+    // cursors; reclaim unconditionally instead. Divergence from the
+    // deterministic replay is expected here — relaxed runs are not
+    // digest-comparable by design.
+    auto reclaim = [&](Cursor &dying) {
+        std::vector<workload::TensorId> ids;
+        ids.reserve(dying.live.size());
+        for (const auto &[tensor, allocation] : dying.live) {
+            (void)allocation;
+            ids.push_back(tensor);
+        }
+        std::sort(ids.begin(), ids.end());
+        for (const workload::TensorId tensor : ids) {
+            const alloc::AllocId id = dying.live.at(tensor).id;
+            const Status s = withGuard(
+                [&] { return mAllocator.deallocate(id); });
+            GMLAKE_ASSERT(s.ok(), "reclaim failed: ",
+                          s.ok() ? "" : s.error().message);
+        }
+        dying.live.clear();
+        dying.liveBytes = 0;
+    };
+
+    auto killOnOom = [&](Cursor &cursor, Bytes requested) {
+        cursor.dead = true;
+        cursor.result.oom = true;
+        cursor.result.oomAt = mDevice.now() - timeStart;
+        cursor.result.oomRequestedBytes = requested;
+        cursor.result.oomLargestFree = mDevice.largestFreeExtent();
+        cursor.result.oomEvictableBytes = withGuard(
+            [&] { return mAllocator.trimmableBytes(); });
+        GMLAKE_WARN(detail::concat(
+            "session '", cursor.result.name, "' OOM-killed: ",
+            "allocator=", mAllocator.name(), " requested=",
+            formatBytes(requested), " largest_free_extent=",
+            formatBytes(cursor.result.oomLargestFree),
+            " evictable=",
+            formatBytes(cursor.result.oomEvictableBytes)));
+        reclaim(cursor);
+    };
+
+    std::vector<LatencyHistogram> workerWall(workers);
+
+    // Worker w owns sessions {i : i mod workers == w}: it merges
+    // them with the serial engine's (localTime, index) order
+    // *within* its own subset, while subsets interleave freely —
+    // that interleaving is exactly the contention being measured.
+    // The shared clock advances via CAS-max, so simulated time reads
+    // as the max of the per-session frontiers plus the serialized
+    // API charges, not their sum.
+    auto workerMain = [&](std::size_t w) {
+        using ReadyKey = std::pair<Tick, std::size_t>;
+        std::priority_queue<ReadyKey, std::vector<ReadyKey>,
+                            std::greater<ReadyKey>>
+            ready;
+        std::vector<std::size_t> owned;
+        for (std::size_t i = w; i < cursors.size(); i += workers)
+            owned.push_back(i);
+        Tick frontier = 0;
+
+        auto stampComputeTails = [&]() {
+            for (const std::size_t i : owned) {
+                Cursor &c = cursors[i];
+                if (c.lastWasCompute && !c.dead && c.exhausted &&
+                    c.localTime <= frontier) {
+                    c.result.endedAt = mDevice.now() - timeStart;
+                    c.lastWasCompute = false;
+                }
+            }
+        };
+
+        for (const std::size_t i : owned) {
+            cursors[i].refresh();
+            if (!cursors[i].finished())
+                ready.push({cursors[i].localTime, i});
+        }
+
+        while (!ready.empty()) {
+            const std::size_t bestIndex = ready.top().second;
+            ready.pop();
+            Cursor *best = &cursors[bestIndex];
+
+            if (best->localTime > frontier) {
+                mDevice.clock().advanceTo(timeStart +
+                                          best->localTime);
+                frontier = best->localTime;
+            }
+
+            const workload::Event event = *best->fetch();
+            best->consume();
+            best->lastWasCompute =
+                event.kind == workload::EventKind::compute;
+            switch (event.kind) {
+              case workload::EventKind::alloc: {
+                const StreamId stream =
+                    event.stream == kAnyStream
+                        ? kAnyStream
+                        : remapStream(bestIndex, event.stream);
+                noteStream(*best, stream);
+                const std::uint64_t wall0 = Stopwatch::nowNs();
+                const auto got = withGuard([&] {
+                    return mAllocator.allocate(event.bytes, stream);
+                });
+                workerWall[w].add(Stopwatch::nowNs() - wall0);
+                if (!got.ok()) {
+                    if (got.error().code != Errc::outOfMemory) {
+                        GMLAKE_PANIC("allocator error: ",
+                                     got.error().message);
+                    }
+                    killOnOom(*best, event.bytes);
+                    break;
+                }
+                best->live.emplace(event.tensor,
+                                   LiveAlloc{got->id, event.bytes});
+                best->liveBytes += event.bytes;
+                best->result.peakLiveBytes = std::max(
+                    best->result.peakLiveBytes, best->liveBytes);
+                ++best->result.allocCount;
+                break;
+              }
+              case workload::EventKind::free: {
+                const auto it = best->live.find(event.tensor);
+                GMLAKE_ASSERT(it != best->live.end(),
+                              "trace frees unknown tensor");
+                const Status s = withGuard([&] {
+                    return mAllocator.deallocate(it->second.id);
+                });
+                GMLAKE_ASSERT(s.ok(), "deallocate failed: ",
+                              s.ok() ? "" : s.error().message);
+                best->liveBytes -= it->second.bytes;
+                best->live.erase(it);
+                ++best->result.freeCount;
+                break;
+              }
+              case workload::EventKind::compute:
+                best->localTime += event.computeNs;
+                break;
+              case workload::EventKind::touch: {
+                const auto it = best->live.find(event.tensor);
+                GMLAKE_ASSERT(it != best->live.end(),
+                              "trace touches unknown tensor");
+                break; // no offload tier in relaxed mode
+              }
+              case workload::EventKind::prefetch: {
+                const auto it = best->live.find(event.tensor);
+                GMLAKE_ASSERT(it != best->live.end(),
+                              "trace prefetches unknown tensor");
+                break;
+              }
+              case workload::EventKind::iterationMark:
+                ++best->result.iterationsDone;
+                break;
+              case workload::EventKind::streamSync:
+                if (event.stream == kAnyStream) {
+                    // Tenant-scoped "device" sync (relaxed always
+                    // has co-tenants).
+                    for (const StreamId stream : best->seenStreams) {
+                        withGuard([&] {
+                            mAllocator.streamSynchronize(stream);
+                            return 0;
+                        });
+                    }
+                } else {
+                    const StreamId stream =
+                        remapStream(bestIndex, event.stream);
+                    noteStream(*best, stream);
+                    withGuard([&] {
+                        mAllocator.streamSynchronize(stream);
+                        return 0;
+                    });
+                }
+                break;
+            }
+            if (!best->dead)
+                best->refresh();
+            if (!best->lastWasCompute)
+                best->result.endedAt = mDevice.now() - timeStart;
+            stampComputeTails();
+            if (!best->finished())
+                ready.push({best->localTime, bestIndex});
+        }
+
+        // Trailing compute of this worker's sessions.
+        std::vector<Cursor *> tails;
+        for (const std::size_t i : owned) {
+            Cursor &c = cursors[i];
+            if (!c.dead && c.localTime > frontier)
+                tails.push_back(&c);
+        }
+        std::stable_sort(tails.begin(), tails.end(),
+                         [](const Cursor *a, const Cursor *b) {
+                             return a->localTime < b->localTime;
+                         });
+        for (const Cursor *c : tails) {
+            if (c->localTime > frontier) {
+                mDevice.clock().advanceTo(timeStart + c->localTime);
+                frontier = c->localTime;
+            }
+            stampComputeTails();
+        }
+        stampComputeTails();
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w)
+        pool.emplace_back(workerMain, w);
+    for (std::thread &worker : pool)
+        worker.join();
+
+    LatencyHistogram allocWall;
+    for (const LatencyHistogram &h : workerWall)
+        allocWall.merge(h);
+
+    for (Cursor &c : cursors) {
+        if (c.result.oom && c.result.iterationsDone > 0)
+            --c.result.iterationsDone;
+        result.iterationsDone += c.result.iterationsDone;
+        if (c.result.oom &&
+            (!result.oom || c.result.oomAt < result.oomAt)) {
+            result.oom = true;
+            result.oomAt = c.result.oomAt;
+        }
+        multi.sessions.push_back(std::move(c.result));
+    }
+
+    const auto &stats = mAllocator.stats();
+    result.simTime = mDevice.now() - timeStart;
+    result.peakActive = stats.peakActiveBytes();
+    result.peakReserved = stats.peakReservedBytes();
+    result.utilization = stats.utilizationRatio();
+    result.fragmentation = stats.fragmentationRatio();
+    result.allocCount = stats.allocCount();
+    result.freeCount = stats.freeCount();
+    result.deviceApiTime = mDevice.counters().apiTime - apiTimeStart;
+    result.vmmWallNs = mDevice.counters().vmmWallNs - vmmWallStart;
+    result.stallNs = mDevice.counters().copyStallNs - copyStallStart;
+    result.snapshotPublishes =
+        mDevice.counters().snapshotPublishes - snapStart;
+    result.lockWaitNs = mDevice.lockWaitNs() +
+                        mAllocator.lockWaitNs() +
+                        engineMutex.waitNs() - lockWaitStart;
+    result.allocWallNs = allocWall.totalNs();
+    result.allocWallP50Ns = allocWall.quantileNs(0.50);
+    result.allocWallP99Ns = allocWall.quantileNs(0.99);
+    result.runWallNs = runWall.elapsedNs();
+
+    if (config && result.iterationsDone > 0 && result.simTime > 0) {
+        const double samples =
+            static_cast<double>(result.iterationsDone) *
+            static_cast<double>(config->batchSize) *
+            static_cast<double>(config->gpus);
+        result.samplesPerSec =
+            samples / (static_cast<double>(result.simTime) * 1e-9);
+    }
     return multi;
 }
 

@@ -69,9 +69,16 @@ class Session
     Session(std::string name, const workload::Trace *trace,
             Tick startTime = 0);
 
-    /** Stream events from @p source (binary trace or generator). */
+    /**
+     * Stream events from @p source (binary trace or generator).
+     * Ownership is shared: pass a unique_ptr (it converts) to hand
+     * the source over entirely, or keep a shared_ptr copy to read
+     * generator counters after the engine has been torn down —
+     * sessions die with the engine, so a raw pointer into a
+     * handed-over source dangles once the run returns.
+     */
     Session(std::string name,
-            std::unique_ptr<workload::EventSource> source,
+            std::shared_ptr<workload::EventSource> source,
             Tick startTime = 0);
 
     const std::string &name() const { return mName; }
@@ -162,6 +169,25 @@ class SimEngine
     MultiRunResult run(const workload::TrainConfig *config = nullptr);
 
   private:
+    /**
+     * Serial-order replay: the committer (calling thread) executes
+     * all events in (localTime, sessionIndex) order; with
+     * @p stagerThreads >= 2 each session gets a stager thread
+     * pre-pulling its source through a bounded StageBuffer
+     * (decision-identical to serial, see sim/stage_queue.hh).
+     */
+    MultiRunResult runMerged(const workload::TrainConfig *config,
+                             std::size_t stagerThreads);
+
+    /**
+     * Contention-measuring replay: @p workers threads each own a
+     * disjoint subset of sessions and replay them concurrently
+     * against the shared allocator/device. Not digest-comparable to
+     * deterministic runs; see CommitMode::relaxed.
+     */
+    MultiRunResult runRelaxed(const workload::TrainConfig *config,
+                              std::size_t workers);
+
     alloc::Allocator &mAllocator;
     vmm::Device &mDevice;
     EngineOptions mOptions;

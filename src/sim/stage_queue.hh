@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Bounded per-session staging buffer for the deterministic parallel
+ * replay: one stager thread pre-pulls events from a session's
+ * EventSource into the buffer while the committer thread executes
+ * events from every session in the serial engine's exact
+ * (localTime, sessionIndex) order. The commit order — and with it
+ * every allocator decision — is therefore identical to the
+ * single-threaded replay by construction; the pipeline only moves
+ * the cursor-pulling cost (generator arithmetic, trace decoding,
+ * merge interleaving) off the commit thread.
+ *
+ * Impure sources (EventSource::pure() == false) mutate observable
+ * state on advance(), and events whose execution can kill the
+ * session (alloc always; touch when an offload tier is attached)
+ * decide how much of the stream is ever consumed. For those the
+ * stager gates: after pulling a risky event it may not even peek()
+ * the next one until the committer confirms the risky event executed
+ * (confirmRisky) or kills the session (abort). That pins generator
+ * counters to exactly the serial consumption prefix.
+ */
+
+#ifndef GMLAKE_SIM_STAGE_QUEUE_HH
+#define GMLAKE_SIM_STAGE_QUEUE_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+
+#include "support/stopwatch.hh"
+#include "workload/trace.hh"
+
+namespace gmlake::sim
+{
+
+class StageBuffer
+{
+  public:
+    explicit StageBuffer(std::size_t capacity)
+        : mCapacity(capacity == 0 ? 1 : capacity)
+    {
+    }
+
+    // --- stager side -------------------------------------------------
+
+    /**
+     * Block until the buffer has room and no risky event awaits
+     * confirmation; false when the committer aborted the session
+     * (the stager must stop pulling immediately).
+     */
+    bool
+    awaitSlot()
+    {
+        std::unique_lock<std::mutex> lock(mMutex);
+        mStagerCv.wait(lock, [&] {
+            return mAborted ||
+                   (mQueue.size() < mCapacity && !mAwaitConfirm);
+        });
+        return !mAborted;
+    }
+
+    /**
+     * Hand the committer the next event (after awaitSlot()); a risky
+     * event closes the gate until confirmRisky()/abort().
+     */
+    void
+    push(const workload::Event &event, bool risky)
+    {
+        {
+            const std::lock_guard<std::mutex> lock(mMutex);
+            mQueue.push_back(event);
+            if (risky)
+                mAwaitConfirm = true;
+        }
+        mCommitterCv.notify_one();
+    }
+
+    /** The source is exhausted; no further push will come. */
+    void
+    markEos()
+    {
+        {
+            const std::lock_guard<std::mutex> lock(mMutex);
+            mEos = true;
+        }
+        mCommitterCv.notify_one();
+    }
+
+    // --- committer side ----------------------------------------------
+
+    /**
+     * The session's next event, or nullptr once the stream is
+     * definitively exhausted. Blocks until it can answer; blocked
+     * host time accumulates in stallNs() — the commit-window stall
+     * the run reports. The pointer stays valid until pop().
+     */
+    const workload::Event *
+    front()
+    {
+        std::unique_lock<std::mutex> lock(mMutex);
+        if (mQueue.empty() && !mEos) {
+            const std::uint64_t start = Stopwatch::nowNs();
+            mCommitterCv.wait(
+                lock, [&] { return !mQueue.empty() || mEos; });
+            mStallNs += Stopwatch::nowNs() - start;
+        }
+        return mQueue.empty() ? nullptr : &mQueue.front();
+    }
+
+    /** Step past the current event (requires front() != nullptr). */
+    void
+    pop()
+    {
+        {
+            const std::lock_guard<std::mutex> lock(mMutex);
+            mQueue.pop_front();
+        }
+        mStagerCv.notify_one();
+    }
+
+    /**
+     * The pending risky event executed without killing the session;
+     * the stager may pull again. No-op when nothing is gated (pure
+     * sources never gate).
+     */
+    void
+    confirmRisky()
+    {
+        {
+            const std::lock_guard<std::mutex> lock(mMutex);
+            mAwaitConfirm = false;
+        }
+        mStagerCv.notify_one();
+    }
+
+    /**
+     * The session died (or the run is unwinding): release the stager
+     * from any wait and make it stop before touching the source
+     * again.
+     */
+    void
+    abort()
+    {
+        {
+            const std::lock_guard<std::mutex> lock(mMutex);
+            mAborted = true;
+        }
+        mStagerCv.notify_one();
+    }
+
+    /** Host ns the committer spent blocked in front(). */
+    std::uint64_t stallNs() const { return mStallNs; }
+
+  private:
+    const std::size_t mCapacity;
+    std::mutex mMutex;
+    std::condition_variable mStagerCv;
+    std::condition_variable mCommitterCv;
+    std::deque<workload::Event> mQueue;
+    bool mEos = false;
+    bool mAborted = false;
+    bool mAwaitConfirm = false;
+    /** Committer-only accumulation; read after the run. */
+    std::uint64_t mStallNs = 0;
+};
+
+} // namespace gmlake::sim
+
+#endif // GMLAKE_SIM_STAGE_QUEUE_HH

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Contention-accounting mutex: a std::mutex whose lock acquisitions
+ * accumulate the host wall-clock time spent *waiting* (not holding)
+ * into an atomic counter. The fast path — an uncontended try_lock —
+ * costs one atomic exchange and no clock reads, so wrapping a hot
+ * lock in TimedMutex is cheap until there is actual contention,
+ * which is exactly when the numbers become interesting.
+ *
+ * The counters feed RunResult::lockWaitNs: how much host time a
+ * parallel replay spent blocked on allocator/device locks.
+ */
+
+#ifndef GMLAKE_SUPPORT_TIMED_MUTEX_HH
+#define GMLAKE_SUPPORT_TIMED_MUTEX_HH
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+
+#include "support/stopwatch.hh"
+
+namespace gmlake
+{
+
+class TimedMutex
+{
+  public:
+    void
+    lock()
+    {
+        if (mMutex.try_lock())
+            return;
+        const std::uint64_t start = Stopwatch::nowNs();
+        mMutex.lock();
+        mWaitNs.fetch_add(Stopwatch::nowNs() - start,
+                          std::memory_order_relaxed);
+    }
+
+    void unlock() { mMutex.unlock(); }
+    bool try_lock() { return mMutex.try_lock(); }
+
+    /** Total ns threads spent blocked acquiring this mutex. */
+    std::uint64_t
+    waitNs() const
+    {
+        return mWaitNs.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::mutex mMutex;
+    std::atomic<std::uint64_t> mWaitNs{0};
+};
+
+} // namespace gmlake
+
+#endif // GMLAKE_SUPPORT_TIMED_MUTEX_HH

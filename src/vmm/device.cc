@@ -48,12 +48,13 @@ void
 Device::charge(Tick t)
 {
     mClock.advance(t);
-    mCounters.apiTime += t;
+    mCounters.apiTime.fetch_add(t, std::memory_order_relaxed);
 }
 
 Expected<VirtAddr>
 Device::memAddressReserve(Bytes size)
 {
+    const std::lock_guard<TimedMutex> state(mStateMutex);
     ++mCounters.addressReserve;
     const WallScope wall(mCounters);
     charge(mCost.memAddressReserve(size));
@@ -66,6 +67,7 @@ Device::memAddressReserve(Bytes size)
 Status
 Device::memAddressFree(VirtAddr va)
 {
+    const std::lock_guard<TimedMutex> state(mStateMutex);
     ++mCounters.addressFree;
     const WallScope wall(mCounters);
     charge(mCost.memAddressFree());
@@ -84,6 +86,7 @@ Device::memAddressFree(VirtAddr va)
 Expected<PhysHandle>
 Device::memCreate(Bytes size)
 {
+    const std::lock_guard<TimedMutex> state(mStateMutex);
     ++mCounters.create;
     const WallScope wall(mCounters);
     charge(mCost.memCreate(size));
@@ -93,6 +96,7 @@ Device::memCreate(Bytes size)
 Status
 Device::memRelease(PhysHandle handle)
 {
+    const std::lock_guard<TimedMutex> state(mStateMutex);
     ++mCounters.release;
     const WallScope wall(mCounters);
     charge(mCost.memRelease());
@@ -102,6 +106,7 @@ Device::memRelease(PhysHandle handle)
 Status
 Device::memMap(VirtAddr va, PhysHandle handle)
 {
+    const std::lock_guard<TimedMutex> state(mStateMutex);
     ++mCounters.map;
     const WallScope wall(mCounters);
     const auto size = mPhys.sizeOf(handle);
@@ -123,6 +128,7 @@ Status
 Device::memMapBatch(
     std::span<const std::pair<VirtAddr, PhysHandle>> batch)
 {
+    const std::lock_guard<TimedMutex> state(mStateMutex);
     if (batch.empty())
         return Status::success();
     const WallScope wall(mCounters);
@@ -176,6 +182,7 @@ Device::memMapBatch(
 Status
 Device::memUnmap(VirtAddr va, Bytes size)
 {
+    const std::lock_guard<TimedMutex> state(mStateMutex);
     ++mCounters.unmap;
     const WallScope wall(mCounters);
     const auto stats = mMap.rangeStats(va, size);
@@ -186,6 +193,7 @@ Device::memUnmap(VirtAddr va, Bytes size)
 Status
 Device::memSetAccess(VirtAddr va, Bytes size)
 {
+    const std::lock_guard<TimedMutex> state(mStateMutex);
     ++mCounters.setAccess;
     const WallScope wall(mCounters);
     const auto stats = mMap.rangeStats(va, size);
@@ -203,6 +211,7 @@ Device::memSetAccess(VirtAddr va, Bytes size)
 Expected<VirtAddr>
 Device::mallocNative(Bytes size)
 {
+    const std::lock_guard<TimedMutex> state(mStateMutex);
     ++mCounters.mallocNative;
     const WallScope wall(mCounters);
     charge(mCost.nativeAlloc(size));
@@ -229,6 +238,7 @@ Device::mallocNative(Bytes size)
 Status
 Device::freeNative(VirtAddr va)
 {
+    const std::lock_guard<TimedMutex> state(mStateMutex);
     ++mCounters.freeNative;
     const WallScope wall(mCounters);
     charge(mCost.nativeFree());
@@ -261,6 +271,7 @@ Device::chargeCachedOp()
 Tick
 Device::copyD2HAsync(Bytes bytes)
 {
+    const std::lock_guard<TimedMutex> state(mStateMutex);
     ++mCounters.d2hCopies;
     mCounters.d2hBytes += bytes;
     charge(mCost.copySubmit());
@@ -272,6 +283,7 @@ Device::copyD2HAsync(Bytes bytes)
 Tick
 Device::copyH2DAsync(Bytes bytes)
 {
+    const std::lock_guard<TimedMutex> state(mStateMutex);
     ++mCounters.h2dCopies;
     mCounters.h2dBytes += bytes;
     charge(mCost.copySubmit());
@@ -283,12 +295,31 @@ Device::copyH2DAsync(Bytes bytes)
 Tick
 Device::copyWait(Tick completion)
 {
+    const std::lock_guard<TimedMutex> state(mStateMutex);
     if (completion <= now())
         return 0;
     const Tick stall = completion - now();
     mClock.advance(stall);
     mCounters.copyStallNs += stall;
     return stall;
+}
+
+Bytes
+Device::largestFreeExtent() const
+{
+    const std::lock_guard<TimedMutex> state(mStateMutex);
+    return mPhys.largestHole();
+}
+
+std::shared_ptr<const MappingSnapshot>
+Device::mappingSnapshot()
+{
+    const std::lock_guard<TimedMutex> state(mStateMutex);
+    bool rebuilt = false;
+    auto snap = mMap.snapshot(&rebuilt);
+    if (rebuilt)
+        ++mCounters.snapshotPublishes;
+    return snap;
 }
 
 } // namespace gmlake::vmm

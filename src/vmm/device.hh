@@ -19,12 +19,16 @@
 #ifndef GMLAKE_VMM_DEVICE_HH
 #define GMLAKE_VMM_DEVICE_HH
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <span>
 #include <utility>
 
 #include "support/expected.hh"
+#include "support/timed_mutex.hh"
 #include "support/types.hh"
 #include "vmm/clock.hh"
 #include "vmm/cost_model.hh"
@@ -63,8 +67,15 @@ struct ApiCounters
     std::uint64_t h2dBytes = 0;
     /** Simulated ns the clock stalled waiting on copy completions. */
     Tick copyStallNs = 0;
-    /** Simulated nanoseconds spent inside device API calls. */
-    Tick apiTime = 0;
+    /**
+     * Simulated nanoseconds spent inside device API calls. Atomic
+     * because chargeCachedOp() stays lock-free (the pool-hit fast
+     * path of concurrent replay); every other field is mutated under
+     * the device state lock.
+     */
+    std::atomic<Tick> apiTime{0};
+    /** Mapping snapshots rebuilt and published (epoch went stale). */
+    std::uint64_t snapshotPublishes = 0;
     /**
      * Host wall-clock nanoseconds spent inside the device's
      * memory-management entry points (everything touching the VA
@@ -175,6 +186,28 @@ class Device
     Bytes capacity() const { return mPhys.capacity(); }
     Bytes granularity() const { return mPhys.granularity(); }
 
+    // --- concurrency ----------------------------------------------------
+
+    /**
+     * Largest free contiguous physical range, read under the state
+     * lock — the post-mortem OOM query concurrent sessions use
+     * instead of poking mPhys directly.
+     */
+    Bytes largestFreeExtent() const;
+
+    /**
+     * Current-epoch mapping snapshot, rebuilt (and counted in
+     * ApiCounters::snapshotPublishes) under the state lock when the
+     * table mutated since the last publish. The returned snapshot is
+     * immutable; consume it lock-free from any thread. Readers that
+     * tolerate staleness can skip even this call and use
+     * mappings().publishedSnapshot().
+     */
+    std::shared_ptr<const MappingSnapshot> mappingSnapshot();
+
+    /** Host ns threads spent blocked on the device state lock. */
+    std::uint64_t lockWaitNs() const { return mStateMutex.waitNs(); }
+
   private:
     CostModel mCost;
     SimClock mClock;
@@ -194,6 +227,16 @@ class Device
     /** Per-direction DMA lanes: simulated time each is next free. */
     Tick mD2hLaneFree = 0;
     Tick mH2dLaneFree = 0;
+
+    /**
+     * Device-wide state lock: serializes every entry point that
+     * touches the VA space, physical memory, mapping table, native
+     * map, or copy lanes. Pure cost charges (syncPenalty,
+     * chargeCachedOp) stay lock-free — the clock is atomic and
+     * apiTime is the one counter they touch. Wait time feeds
+     * RunResult::lockWaitNs via lockWaitNs().
+     */
+    mutable TimedMutex mStateMutex;
 
     void charge(Tick t);
 };

@@ -62,6 +62,18 @@ class EventSource
 
     /** Rewind to the first event. */
     virtual void reset() = 0;
+
+    /**
+     * True when advance() has no observable side effect beyond
+     * moving the cursor: no externally visible counters mutate, so a
+     * consumer may pull ahead of the events it has actually
+     * committed (the staged parallel engine does exactly that).
+     * Generator sources whose counters are part of the recorded
+     * results must return false; for them lookahead is gated at the
+     * first uncommitted event whose outcome can change the stream's
+     * consumers (see sim/stage_queue.hh).
+     */
+    virtual bool pure() const { return false; }
 };
 
 /**
@@ -86,6 +98,7 @@ class VectorSource final : public EventSource
     void advance() override;
     std::size_t sizeHint() const override { return mTrace->size(); }
     void reset() override;
+    bool pure() const override { return true; }
 
     const Trace &trace() const { return *mTrace; }
 
@@ -108,6 +121,8 @@ class RemapSource final : public EventSource
     void advance() override;
     std::size_t sizeHint() const override;
     void reset() override;
+    /** As pure as the inner source (remapping adds no state). */
+    bool pure() const override { return mInner.pure(); }
 
   private:
     EventSource &mInner;
@@ -145,6 +160,8 @@ class MergeSource final : public EventSource
     void advance() override;
     std::size_t sizeHint() const override;
     void reset() override;
+    /** Pure iff every input is (the interleave adds no state). */
+    bool pure() const override;
 
   private:
     struct Cursor

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Deterministic parallel replay: running any registry scenario with
+ * --engine-threads > 1 in the default deterministic commit mode must
+ * produce bit-identical allocation decisions to the serial engine.
+ * Every scenario's recorded runs and metrics are folded into the
+ * same FNV-1a digest decision_equivalence_test pins, and the digest
+ * is compared across 1, 2, and 8 engine threads — covering the
+ * serial path, the partially-staged path (fewer stagers than
+ * sessions), and the fully-staged path.
+ *
+ * Unlike decision_equivalence_test there are no recorded constants
+ * here: the serial digest is the oracle, so this suite stays valid
+ * across intentional decision changes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+#include "sim/experiment.hh"
+
+using namespace gmlake;
+using namespace gmlake::sim;
+
+namespace
+{
+
+/** FNV-1a 64-bit, fed field by field. */
+class Digest
+{
+  public:
+    void
+    add(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i) {
+            mHash ^= (v >> (8 * i)) & 0xff;
+            mHash *= 0x100000001b3ULL;
+        }
+    }
+
+    void
+    add(double v)
+    {
+        if (!std::isfinite(v)) {
+            add(std::uint64_t{0x7ff0dead});
+            return;
+        }
+        add(static_cast<std::uint64_t>(
+            std::llround(v * 1048576.0)));
+    }
+
+    void
+    add(std::string_view s)
+    {
+        for (const char c : s) {
+            mHash ^= static_cast<unsigned char>(c);
+            mHash *= 0x100000001b3ULL;
+        }
+        add(static_cast<std::uint64_t>(s.size()));
+    }
+
+    std::uint64_t value() const { return mHash; }
+
+  private:
+    std::uint64_t mHash = 0xcbf29ce484222325ULL;
+};
+
+/**
+ * Run one registry scenario at smoke scale with the given engine
+ * thread count and digest everything deterministic it recorded
+ * (host-wallclock and RSS fields excluded, exactly like
+ * decision_equivalence_test).
+ */
+std::uint64_t
+digestAt(const Experiment &experiment, int engineThreads)
+{
+    ExperimentOptions options;
+    options.iterations = 1;
+    options.engineThreads = engineThreads;
+    std::ostringstream sink;
+    ExperimentContext ctx(options, sink);
+    experiment.run(ctx);
+
+    Digest d;
+    for (const RunRecord &r : ctx.records()) {
+        d.add(r.label);
+        d.add(r.allocator);
+        d.add(static_cast<std::uint64_t>(r.result.oom));
+        d.add(static_cast<std::uint64_t>(r.result.oomAt));
+        d.add(static_cast<std::uint64_t>(r.result.iterationsDone));
+        d.add(static_cast<std::uint64_t>(r.result.simTime));
+        d.add(static_cast<std::uint64_t>(r.result.peakActive));
+        d.add(static_cast<std::uint64_t>(r.result.peakReserved));
+        d.add(r.result.utilization);
+        d.add(r.result.fragmentation);
+        d.add(r.result.samplesPerSec);
+        d.add(r.result.allocCount);
+        d.add(r.result.freeCount);
+        d.add(static_cast<std::uint64_t>(r.result.deviceApiTime));
+        d.add(static_cast<std::uint64_t>(r.result.series.size()));
+    }
+    for (const MetricRecord &m : ctx.metrics()) {
+        if (m.name.find("wall") != std::string::npos ||
+            m.name.find("rss") != std::string::npos)
+            continue; // host wallclock/RSS: nondeterministic by design
+        d.add(m.label);
+        d.add(m.name);
+        d.add(m.value);
+    }
+    return d.value();
+}
+
+} // namespace
+
+TEST(ParallelReplay, EveryScenarioDigestsEquallyAcrossThreadCounts)
+{
+    for (const Experiment &e : allExperiments()) {
+        const std::uint64_t serial = digestAt(e, 1);
+        EXPECT_EQ(digestAt(e, 2), serial)
+            << "scenario '" << e.name
+            << "' diverges at 2 engine threads";
+        EXPECT_EQ(digestAt(e, 8), serial)
+            << "scenario '" << e.name
+            << "' diverges at 8 engine threads";
+    }
+}

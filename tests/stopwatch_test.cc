@@ -127,6 +127,51 @@ TEST(LatencyHistogram, QuantileClampsToObservedRange)
     EXPECT_EQ(h.quantileNs(1.0), 1000u);
 }
 
+TEST(LatencyHistogram, MergeMatchesCombinedRecording)
+{
+    // merge() is the aggregation path for per-thread histograms:
+    // folding two disjoint recordings must equal recording every
+    // sample into one histogram — aggregates, buckets, and the
+    // quantiles derived from them.
+    LatencyHistogram a, b, combined;
+    for (int i = 0; i < 90; ++i) {
+        a.add(1000 + i);
+        combined.add(1000 + i);
+    }
+    for (int i = 0; i < 10; ++i) {
+        b.add(1'000'000 + i);
+        combined.add(1'000'000 + i);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), combined.count());
+    EXPECT_EQ(a.totalNs(), combined.totalNs());
+    EXPECT_EQ(a.minNs(), combined.minNs());
+    EXPECT_EQ(a.maxNs(), combined.maxNs());
+    for (int bucket = 0; bucket <= 64; ++bucket)
+        EXPECT_EQ(a.bucketCount(bucket), combined.bucketCount(bucket))
+            << "bucket " << bucket;
+    EXPECT_EQ(a.quantileNs(0.5), combined.quantileNs(0.5));
+    EXPECT_EQ(a.quantileNs(0.99), combined.quantileNs(0.99));
+}
+
+TEST(LatencyHistogram, MergeWithEmptyIsIdentity)
+{
+    LatencyHistogram a, empty;
+    a.add(42);
+    a.add(4242);
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_EQ(a.minNs(), 42u);
+    EXPECT_EQ(a.maxNs(), 4242u);
+
+    // Empty absorbing non-empty adopts its min/max (the min of an
+    // empty histogram must not poison the merge with zero).
+    empty.merge(a);
+    EXPECT_EQ(empty.count(), 2u);
+    EXPECT_EQ(empty.minNs(), 42u);
+    EXPECT_EQ(empty.maxNs(), 4242u);
+}
+
 // ------------------------------------------------ replay wallclock
 
 TEST(RunWallclock, ReplayRecordsAllocationWallTime)

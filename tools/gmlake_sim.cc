@@ -297,6 +297,13 @@ printHelp()
         "      --seed N        override the workload seed\n"
         "      --threads N     worker threads for cluster scenarios\n"
         "                      (0 = all cores; results identical)\n"
+        "      --engine-threads N\n"
+        "                      worker threads inside each engine run\n"
+        "                      (0 = all cores; deterministic mode\n"
+        "                      keeps results identical)\n"
+        "      --engine-commit MODE\n"
+        "                      deterministic (default) or relaxed\n"
+        "                      commit order for parallel runs\n"
         "      --csv [FILE]    append run records as CSV\n"
         "      --json [FILE]   write report (BENCH_<name>.json)\n"
         "      --out FILE      write the JSON report to FILE instead\n"
@@ -649,7 +656,8 @@ cmdList()
         table.addRow({e.name, e.kind, e.title});
     table.print(std::cout);
     std::cout << "\nrun one with: gmlake_sim run <name> "
-                 "[--iterations N] [--threads N] [--csv] [--json] "
+                 "[--iterations N] [--threads N] "
+                 "[--engine-threads N] [--csv] [--json] "
                  "[--out FILE]\n";
     return 0;
 }
