@@ -1,0 +1,18 @@
+/**
+ * @file
+ * Warm-started policy sweep at smoke scale: the warmup prefix of two
+ * co-located training tenants is replayed once and checkpointed
+ * (Allocator::saveState()), then every point of a small GMLake-knob
+ * grid restores the checkpoint and replays only the divergent tail
+ * in parallel (sim/sweep.hh). Decision-digest pinned; per-point
+ * metrics and the Pareto frontier land in BENCH_sweep-smoke.json.
+ * For free-form grids and random search use `gmlake_sim sweep`.
+ */
+
+#include "bench/common.hh"
+
+int
+main(int argc, char **argv)
+{
+    return gmlake::bench::benchMain("sweep-smoke", argc, argv);
+}

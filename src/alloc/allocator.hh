@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <string>
 
+#include "alloc/checkpoint.hh"
 #include "alloc/offload_hook.hh"
 #include "alloc/snapshot.hh"
 #include "alloc/stats.hh"
@@ -72,6 +73,28 @@ class Allocator
     virtual const AllocatorStats &stats() const = 0;
 
     virtual std::string name() const = 0;
+
+    // --- checkpoint / restore ------------------------------------------
+
+    /**
+     * Deep-copy the allocator's pools *and* the backing device into
+     * a value object (alloc/checkpoint.hh). The checkpoint is
+     * self-contained: restoring it into this allocator — or into a
+     * freshly constructed allocator of the same kind on a device of
+     * the same geometry — reproduces every future decision of the
+     * checkpointed run bit-identically (verified by
+     * checkpoint_restore_test against the decision-digest machinery).
+     */
+    virtual Checkpoint saveState() const = 0;
+
+    /**
+     * Restore @p checkpoint, replacing the allocator's entire state
+     * and the backing device's. The checkpoint must come from an
+     * allocator of the same kind (panics otherwise). Restore is pure
+     * bookkeeping — no device API calls, so it costs no simulated
+     * time beyond what the checkpoint recorded.
+     */
+    virtual void restoreState(const Checkpoint &checkpoint) = 0;
 
     // --- concurrency ----------------------------------------------------
 

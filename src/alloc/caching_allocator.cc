@@ -536,6 +536,134 @@ CachingAllocator::lockWaitNs() const
            mLargePool.lockWaitNs();
 }
 
+CachingAllocator::State
+CachingAllocator::captureState() const
+{
+    const std::lock_guard<TimedMutex> meta(mMetaMutex);
+    State state;
+    state.nextId = mNextId;
+    state.stats = mStats.capture();
+
+    std::unordered_map<const Block *, AllocId> liveIds;
+    liveIds.reserve(mLive.size());
+    for (const auto &[id, block] : mLive)
+        liveIds.emplace(block, id);
+
+    std::map<VirtAddr, State::SegmentRec> segments;
+    for (const auto &[base, size] : mSegments) {
+        State::SegmentRec rec;
+        rec.base = base;
+        rec.size = size;
+        segments.emplace(base, std::move(rec));
+    }
+    for (const auto &[raw, owned] : mBlocks) {
+        (void)owned;
+        const Block *b = raw;
+        auto it = segments.find(b->segment);
+        GMLAKE_ASSERT(it != segments.end(),
+                      "checkpoint found a block without segment");
+        if (b->pool == &mSmallPool)
+            it->second.smallPool = true;
+        State::BlockRec rec;
+        rec.addr = b->addr;
+        rec.size = b->size;
+        rec.allocated = b->allocated;
+        rec.stream = b->stream;
+        rec.freedAt = b->freedAt;
+        if (const auto id = liveIds.find(b); id != liveIds.end())
+            rec.liveId = id->second;
+        it->second.blocks.push_back(rec);
+    }
+    state.segments.reserve(segments.size());
+    for (auto &[base, rec] : segments) {
+        (void)base;
+        std::sort(rec.blocks.begin(), rec.blocks.end(),
+                  [](const State::BlockRec &a,
+                     const State::BlockRec &b) {
+                      return a.addr < b.addr;
+                  });
+        state.segments.push_back(std::move(rec));
+    }
+    return state;
+}
+
+void
+CachingAllocator::restoreInternal(const State &state)
+{
+    const std::lock_guard<TimedMutex> meta(mMetaMutex);
+    // Drop every block node: pure metadata, no device interaction
+    // (the caller restores the device wholesale).
+    const auto clearPool = [](ShardedPool &pool) {
+        std::unique_lock mapLock(pool.mapMutex);
+        for (auto &[tag, shard] : pool.shards) {
+            (void)tag;
+            const std::lock_guard<TimedMutex> lock(shard.mutex);
+            shard.blocks.clear();
+        }
+    };
+    clearPool(mSmallPool);
+    clearPool(mLargePool);
+    mBlocks.clear();
+    mLive.clear();
+    mSegments.clear();
+
+    for (const auto &seg : state.segments) {
+        mSegments.emplace(seg.base, seg.size);
+        ShardedPool *pool =
+            seg.smallPool ? &mSmallPool : &mLargePool;
+        Block *prev = nullptr;
+        for (const auto &rec : seg.blocks) {
+            Block *b = newBlock(rec.addr, rec.size, seg.base, pool,
+                                rec.stream);
+            b->allocated = rec.allocated;
+            b->freedAt = rec.freedAt;
+            b->prev = prev;
+            if (prev != nullptr)
+                prev->next = b;
+            prev = b;
+            if (rec.allocated) {
+                GMLAKE_ASSERT(rec.liveId != 0,
+                              "allocated block without live id");
+                mLive.emplace(rec.liveId, b);
+            } else {
+                pool->insert(b);
+            }
+        }
+    }
+    mNextId = state.nextId;
+    mStats.restore(state.stats);
+}
+
+namespace
+{
+/** Checkpoint payload of a standalone CachingAllocator. */
+struct CachingStateBox : AllocatorState
+{
+    CachingAllocator::State state;
+};
+} // namespace
+
+Checkpoint
+CachingAllocator::saveState() const
+{
+    auto box = std::make_shared<CachingStateBox>();
+    box->state = captureState();
+    return Checkpoint{name(), mDevice.saveState(), std::move(box)};
+}
+
+void
+CachingAllocator::restoreState(const Checkpoint &checkpoint)
+{
+    GMLAKE_ASSERT(checkpoint.allocator == name(),
+                  "checkpoint from allocator '",
+                  checkpoint.allocator, "' restored into caching");
+    const auto *box = dynamic_cast<const CachingStateBox *>(
+        checkpoint.state.get());
+    GMLAKE_ASSERT(box != nullptr, "malformed caching checkpoint");
+    mDevice.restoreState(checkpoint.device);
+    restoreInternal(box->state);
+}
+
 MemorySnapshot
 CachingAllocator::snapshot() const
 {

@@ -21,6 +21,7 @@
 #include <set>
 #include <shared_mutex>
 #include <unordered_map>
+#include <vector>
 
 #include "alloc/allocator.hh"
 #include "support/timed_mutex.hh"
@@ -115,6 +116,47 @@ class CachingAllocator : public Allocator
     Bytes trimmableBytes() const override;
 
     MemorySnapshot snapshot() const override;
+
+    // --- checkpoint / restore ------------------------------------------
+
+    /**
+     * Value checkpoint of the pool/segment/live bookkeeping — the
+     * allocator half only, no device state. Segment block lists are
+     * stored in address order, so restoring rebuilds the exact
+     * prev/next chains; free-pool membership is implied (free blocks
+     * re-insert into their stream shard). GMLakeAllocator embeds one
+     * of these for its small path.
+     */
+    struct State
+    {
+        struct BlockRec
+        {
+            VirtAddr addr = kNullAddr;
+            Bytes size = 0;
+            bool allocated = false;
+            StreamId stream = kDefaultStream;
+            Tick freedAt = 0;
+            AllocId liveId = 0; //!< 0 for free blocks
+        };
+        struct SegmentRec
+        {
+            VirtAddr base = kNullAddr;
+            Bytes size = 0;
+            bool smallPool = false;
+            std::vector<BlockRec> blocks; //!< address order
+        };
+        std::vector<SegmentRec> segments; //!< base order
+        AllocId nextId = 1;
+        AllocatorStats::Snapshot stats;
+    };
+
+    /** Capture the internal bookkeeping (device not included). */
+    State captureState() const;
+    /** Inverse of captureState(); replaces all bookkeeping. */
+    void restoreInternal(const State &state);
+
+    Checkpoint saveState() const override;
+    void restoreState(const Checkpoint &checkpoint) override;
 
     /** Internal invariant check used by tests; panics on violation. */
     void checkConsistency() const;

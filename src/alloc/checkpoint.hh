@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Allocator/device checkpoints: a compact value object freezing one
+ * allocator's pools *and* the backing device so a replay can be
+ * forked — restore the checkpoint into a fresh (or the same) device
+ * and every subsequent allocator decision is bit-identical to the
+ * uninterrupted run. The sweep harness (sim/sweep.hh) replays a
+ * scenario's shared warmup prefix once, checkpoints, and warm-starts
+ * every sweep point from the copy; the chaos-hardening roadmap item
+ * gets crash/restore from the same object.
+ *
+ * The allocator half is polymorphic: each allocator derives its own
+ * state struct from AllocatorState and downcasts on restore (the
+ * `allocator` name field catches mismatched checkpoints early).
+ */
+
+#ifndef GMLAKE_ALLOC_CHECKPOINT_HH
+#define GMLAKE_ALLOC_CHECKPOINT_HH
+
+#include <memory>
+#include <string>
+
+#include "vmm/device.hh"
+
+namespace gmlake::alloc
+{
+
+/** Base of every allocator's private checkpoint payload. */
+struct AllocatorState
+{
+    virtual ~AllocatorState() = default;
+};
+
+/**
+ * One frozen (allocator, device) pair. Value semantics: copies are
+ * independent of the live objects; the allocator payload is shared
+ * immutably (restore never mutates it), so copying a Checkpoint is
+ * cheap and N sweep workers can restore from one instance
+ * concurrently.
+ */
+struct Checkpoint
+{
+    /** Allocator::name() of the producer, validated on restore. */
+    std::string allocator;
+    vmm::Device::State device;
+    std::shared_ptr<const AllocatorState> state;
+};
+
+} // namespace gmlake::alloc
+
+#endif // GMLAKE_ALLOC_CHECKPOINT_HH

@@ -1,6 +1,8 @@
 #include "alloc/compacting_allocator.hh"
 
 #include <algorithm>
+#include <memory>
+#include <utility>
 
 #include "support/logging.hh"
 #include "support/strings.hh"
@@ -8,6 +10,54 @@
 
 namespace gmlake::alloc
 {
+
+/**
+ * Checkpoint payload: slabs are kept in vector order because mLive
+ * addresses blocks by (slab index, offset).
+ */
+struct CompactingAllocator::State : AllocatorState
+{
+    std::vector<Slab> slabs;
+    std::unordered_map<AllocId, std::pair<std::size_t, Bytes>> live;
+    AllocId nextId = 1;
+    std::uint64_t compactions = 0;
+    Bytes bytesMoved = 0;
+    AllocatorStats::Snapshot stats;
+};
+
+Checkpoint
+CompactingAllocator::saveState() const
+{
+    auto state = std::make_shared<State>();
+    state->slabs = mSlabs;
+    state->live = mLive;
+    state->nextId = mNextId;
+    state->compactions = mCompactions;
+    state->bytesMoved = mBytesMoved;
+    state->stats = mStats.capture();
+    return Checkpoint{name(), mDevice.saveState(),
+                      std::move(state)};
+}
+
+void
+CompactingAllocator::restoreState(const Checkpoint &checkpoint)
+{
+    GMLAKE_ASSERT(checkpoint.allocator == name(),
+                  "checkpoint from allocator '",
+                  checkpoint.allocator,
+                  "' restored into compacting");
+    const auto *state =
+        dynamic_cast<const State *>(checkpoint.state.get());
+    GMLAKE_ASSERT(state != nullptr,
+                  "malformed compacting checkpoint");
+    mDevice.restoreState(checkpoint.device);
+    mSlabs = state->slabs;
+    mLive = state->live;
+    mNextId = state->nextId;
+    mCompactions = state->compactions;
+    mBytesMoved = state->bytesMoved;
+    mStats.restore(state->stats);
+}
 
 Bytes
 CompactingAllocator::Slab::usedBytes() const

@@ -62,10 +62,15 @@ class CompactingAllocator : public Allocator
     Bytes bytesMoved() const { return mBytesMoved; }
     std::size_t slabCount() const { return mSlabs.size(); }
 
+    Checkpoint saveState() const override;
+    void restoreState(const Checkpoint &checkpoint) override;
+
     /** Internal invariant check used by tests; panics on violation. */
     void checkConsistency() const;
 
   private:
+    struct State;
+
     struct Slab
     {
         VirtAddr base = kNullAddr;

@@ -1,6 +1,8 @@
 #include "alloc/expandable_allocator.hh"
 
 #include <algorithm>
+#include <memory>
+#include <utility>
 
 #include "support/logging.hh"
 #include "support/strings.hh"
@@ -8,6 +10,55 @@
 
 namespace gmlake::alloc
 {
+
+/**
+ * Checkpoint payload: segments keep their vector order (segmentFor
+ * scans linearly and mLive addresses by segment index), including
+ * their chunk handle vectors and free/live maps.
+ */
+struct ExpandableSegmentsAllocator::State : AllocatorState
+{
+    std::vector<Segment> segments;
+    std::unordered_map<AllocId, std::pair<std::size_t, Bytes>> live;
+    AllocId nextId = 1;
+    std::uint64_t chunkMaps = 0;
+    std::uint64_t chunkUnmaps = 0;
+    AllocatorStats::Snapshot stats;
+};
+
+Checkpoint
+ExpandableSegmentsAllocator::saveState() const
+{
+    auto state = std::make_shared<State>();
+    state->segments = mSegments;
+    state->live = mLive;
+    state->nextId = mNextId;
+    state->chunkMaps = mChunkMaps;
+    state->chunkUnmaps = mChunkUnmaps;
+    state->stats = mStats.capture();
+    return Checkpoint{name(), mDevice.saveState(),
+                      std::move(state)};
+}
+
+void
+ExpandableSegmentsAllocator::restoreState(const Checkpoint &checkpoint)
+{
+    GMLAKE_ASSERT(checkpoint.allocator == name(),
+                  "checkpoint from allocator '",
+                  checkpoint.allocator,
+                  "' restored into expandable");
+    const auto *state =
+        dynamic_cast<const State *>(checkpoint.state.get());
+    GMLAKE_ASSERT(state != nullptr,
+                  "malformed expandable checkpoint");
+    mDevice.restoreState(checkpoint.device);
+    mSegments = state->segments;
+    mLive = state->live;
+    mNextId = state->nextId;
+    mChunkMaps = state->chunkMaps;
+    mChunkUnmaps = state->chunkUnmaps;
+    mStats.restore(state->stats);
+}
 
 ExpandableSegmentsAllocator::ExpandableSegmentsAllocator(
     vmm::Device &device, ExpandableConfig config)

@@ -72,10 +72,15 @@ class ExpandableSegmentsAllocator : public Allocator
     std::uint64_t chunkMaps() const { return mChunkMaps; }
     std::uint64_t chunkUnmaps() const { return mChunkUnmaps; }
 
+    Checkpoint saveState() const override;
+    void restoreState(const Checkpoint &checkpoint) override;
+
     /** Internal invariant check used by tests; panics on violation. */
     void checkConsistency() const;
 
   private:
+    struct State;
+
     struct FreeBlock
     {
         Bytes size = 0;

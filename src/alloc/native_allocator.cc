@@ -1,9 +1,19 @@
 #include "alloc/native_allocator.hh"
 
+#include <utility>
+
+#include "support/logging.hh"
 #include "support/units.hh"
 
 namespace gmlake::alloc
 {
+
+struct NativeAllocator::State : AllocatorState
+{
+    std::unordered_map<AllocId, Record> live;
+    AllocId nextId = 1;
+    AllocatorStats::Snapshot stats;
+};
 
 NativeAllocator::NativeAllocator(vmm::Device &device)
     : mDevice(device)
@@ -27,6 +37,32 @@ NativeAllocator::allocate(Bytes size, StreamId stream)
     mStats.onAllocate(size);
     mStats.onReserve(reserved);
     return Allocation{id, size, *va};
+}
+
+Checkpoint
+NativeAllocator::saveState() const
+{
+    auto state = std::make_shared<State>();
+    state->live = mLive;
+    state->nextId = mNextId;
+    state->stats = mStats.capture();
+    return Checkpoint{name(), mDevice.saveState(),
+                      std::move(state)};
+}
+
+void
+NativeAllocator::restoreState(const Checkpoint &checkpoint)
+{
+    GMLAKE_ASSERT(checkpoint.allocator == name(),
+                  "checkpoint from allocator '",
+                  checkpoint.allocator, "' restored into native");
+    const auto *state =
+        dynamic_cast<const State *>(checkpoint.state.get());
+    GMLAKE_ASSERT(state != nullptr, "malformed native checkpoint");
+    mDevice.restoreState(checkpoint.device);
+    mLive = state->live;
+    mNextId = state->nextId;
+    mStats.restore(state->stats);
 }
 
 Status

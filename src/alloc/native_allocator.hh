@@ -30,6 +30,9 @@ class NativeAllocator : public Allocator
     const AllocatorStats &stats() const override { return mStats; }
     std::string name() const override { return "native"; }
 
+    Checkpoint saveState() const override;
+    void restoreState(const Checkpoint &checkpoint) override;
+
   private:
     struct Record
     {
@@ -37,6 +40,8 @@ class NativeAllocator : public Allocator
         Bytes requested;
         Bytes reserved;
     };
+
+    struct State;
 
     vmm::Device &mDevice;
     AllocatorStats mStats;

@@ -109,6 +109,37 @@ class AllocatorStats
     /** The paper's fragmentation metric: 1 - utilization. */
     double fragmentationRatio() const { return 1.0 - utilizationRatio(); }
 
+    /** Plain-value copy of every counter, for checkpoints. */
+    struct Snapshot
+    {
+        Bytes active = 0;
+        Bytes reserved = 0;
+        Bytes peakActive = 0;
+        Bytes peakReserved = 0;
+        std::uint64_t allocCount = 0;
+        std::uint64_t freeCount = 0;
+    };
+
+    Snapshot
+    capture() const
+    {
+        return Snapshot{activeBytes(),      reservedBytes(),
+                        peakActiveBytes(),  peakReservedBytes(),
+                        allocCount(),       freeCount()};
+    }
+
+    void
+    restore(const Snapshot &snap)
+    {
+        mActive.store(snap.active, std::memory_order_relaxed);
+        mReserved.store(snap.reserved, std::memory_order_relaxed);
+        mPeakActive.store(snap.peakActive, std::memory_order_relaxed);
+        mPeakReserved.store(snap.peakReserved,
+                            std::memory_order_relaxed);
+        mAllocCount.store(snap.allocCount, std::memory_order_relaxed);
+        mFreeCount.store(snap.freeCount, std::memory_order_relaxed);
+    }
+
   private:
     static void
     raiseMax(std::atomic<Bytes> &peak, Bytes value)

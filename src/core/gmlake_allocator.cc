@@ -1,6 +1,9 @@
 #include "core/gmlake_allocator.hh"
 
 #include <algorithm>
+#include <memory>
+#include <unordered_map>
+#include <utility>
 
 #include "support/logging.hh"
 #include "support/strings.hh"
@@ -1135,6 +1138,237 @@ GMLakeAllocator::snapshot() const
 // --------------------------------------------------------------------
 // Invariants
 // --------------------------------------------------------------------
+
+// --------------------------------------------------------------------
+// Checkpoint / restore
+// --------------------------------------------------------------------
+
+/**
+ * Checkpoint payload. The pBlock/sBlock graphs are flattened to id
+ * references: block ids are stable and unique for the allocator's
+ * lifetime, so the pointer graph rebuilds exactly — including the
+ * *order* of each pBlock's sharers vector (releasePBlock destroys
+ * sharers back-first) and each sBlock's members vector (stitch
+ * order). The inactive indices are not stored: they are ordered sets
+ * keyed on (size, id), so rebuilding them from the active flags is
+ * insertion-order independent.
+ */
+struct GMLakeAllocator::State : alloc::AllocatorState
+{
+    struct PRec
+    {
+        std::uint64_t id = 0;
+        VirtAddr va = kNullAddr;
+        Bytes size = 0;
+        std::vector<PhysHandle> chunks;
+        bool active = false;
+        bool resident = true;
+        Tick lastUse = 0;
+        StreamId stream = kDefaultStream;
+        std::vector<std::uint64_t> sharerIds;
+    };
+    struct SRec
+    {
+        std::uint64_t id = 0;
+        VirtAddr va = kNullAddr;
+        Bytes size = 0;
+        std::vector<std::uint64_t> memberIds;
+        bool active = false;
+        Tick lastUse = 0;
+        StreamId stream = kDefaultStream;
+    };
+    struct LiveRec
+    {
+        alloc::AllocId id = 0;
+        std::uint64_t pId = 0;
+        std::uint64_t sId = 0;
+        Bytes requested = 0;
+        alloc::AllocId smallId = 0;
+    };
+
+    std::vector<PRec> pblocks; //!< id order
+    std::vector<SRec> sblocks; //!< id order
+    std::vector<LiveRec> live; //!< id order
+    std::uint64_t nextBlockId = 1;
+    alloc::AllocId nextAllocId = 1;
+    StrategyCounters counters;
+    Bytes physicalBytes = 0;
+    Bytes stitchedVaBytes = 0;
+    Bytes spilledBytes = 0;
+    Bytes smallReservedSeen = 0;
+    alloc::AllocatorStats::Snapshot stats;
+    alloc::CachingAllocator::State smallPath;
+};
+
+alloc::Checkpoint
+GMLakeAllocator::saveState() const
+{
+    auto state = std::make_shared<State>();
+
+    mPPool.forEachLive([&](const PBlock *p) {
+        State::PRec rec;
+        rec.id = p->id;
+        rec.va = p->va;
+        rec.size = p->size;
+        rec.chunks = p->chunks;
+        rec.active = p->active;
+        rec.resident = p->resident;
+        rec.lastUse = p->lastUse;
+        rec.stream = p->stream;
+        rec.sharerIds.reserve(p->sharers.size());
+        for (const SBlock *s : p->sharers)
+            rec.sharerIds.push_back(s->id);
+        state->pblocks.push_back(std::move(rec));
+    });
+    std::sort(state->pblocks.begin(), state->pblocks.end(),
+              [](const State::PRec &a, const State::PRec &b) {
+                  return a.id < b.id;
+              });
+
+    mSPool.forEachLive([&](const SBlock *s) {
+        State::SRec rec;
+        rec.id = s->id;
+        rec.va = s->va;
+        rec.size = s->size;
+        rec.memberIds.reserve(s->members.size());
+        for (const PBlock *m : s->members)
+            rec.memberIds.push_back(m->id);
+        rec.active = s->active;
+        rec.lastUse = s->lastUse;
+        rec.stream = s->stream;
+        state->sblocks.push_back(std::move(rec));
+    });
+    std::sort(state->sblocks.begin(), state->sblocks.end(),
+              [](const State::SRec &a, const State::SRec &b) {
+                  return a.id < b.id;
+              });
+
+    state->live.reserve(mLive.size());
+    for (const auto &[id, live] : mLive) {
+        State::LiveRec rec;
+        rec.id = id;
+        rec.pId = live.p != nullptr ? live.p->id : 0;
+        rec.sId = live.s != nullptr ? live.s->id : 0;
+        rec.requested = live.requested;
+        rec.smallId = live.smallId;
+        state->live.push_back(rec);
+    }
+    std::sort(state->live.begin(), state->live.end(),
+              [](const State::LiveRec &a, const State::LiveRec &b) {
+                  return a.id < b.id;
+              });
+
+    state->nextBlockId = mNextBlockId;
+    state->nextAllocId = mNextAllocId;
+    state->counters = mCounters;
+    state->physicalBytes = mPhysicalBytes;
+    state->stitchedVaBytes = mStitchedVaBytes;
+    state->spilledBytes = mSpilledBytes;
+    state->smallReservedSeen = mSmallReservedSeen;
+    state->stats = mStats.capture();
+    state->smallPath = mSmallPath.captureState();
+
+    return alloc::Checkpoint{name(), mDevice.saveState(),
+                             std::move(state)};
+}
+
+void
+GMLakeAllocator::restoreState(const alloc::Checkpoint &checkpoint)
+{
+    GMLAKE_ASSERT(checkpoint.allocator == name(),
+                  "checkpoint from allocator '",
+                  checkpoint.allocator, "' restored into gmlake");
+    const auto *state =
+        dynamic_cast<const State *>(checkpoint.state.get());
+    GMLAKE_ASSERT(state != nullptr, "malformed gmlake checkpoint");
+
+    mDevice.restoreState(checkpoint.device);
+
+    // Tear down the current metadata graph — pure bookkeeping, the
+    // device was already replaced wholesale above.
+    std::vector<PBlock *> oldP;
+    mPPool.forEachLive([&](PBlock *p) { oldP.push_back(p); });
+    std::vector<SBlock *> oldS;
+    mSPool.forEachLive([&](SBlock *s) { oldS.push_back(s); });
+    for (SBlock *s : oldS)
+        mSPool.release(s);
+    for (PBlock *p : oldP)
+        mPPool.release(p);
+    mInactiveP.clear();
+    mInactivePFree.clear();
+    mInactiveS.clear();
+    mLive.clear();
+
+    // Rebuild the pointer graph from the id references. Recycled
+    // nodes come off the pool freelist in teardown order — pointer
+    // identity differs from the checkpointed run, but every ordered
+    // structure keys on (size, id), never on addresses.
+    std::unordered_map<std::uint64_t, PBlock *> pById;
+    pById.reserve(state->pblocks.size());
+    for (const State::PRec &rec : state->pblocks) {
+        PBlock *p = mPPool.acquire();
+        p->id = rec.id;
+        p->va = rec.va;
+        p->size = rec.size;
+        p->chunks = rec.chunks;
+        p->active = rec.active;
+        p->resident = rec.resident;
+        p->lastUse = rec.lastUse;
+        p->stream = rec.stream;
+        p->sharers.clear();
+        pById.emplace(rec.id, p);
+    }
+    std::unordered_map<std::uint64_t, SBlock *> sById;
+    sById.reserve(state->sblocks.size());
+    for (const State::SRec &rec : state->sblocks) {
+        SBlock *s = mSPool.acquire();
+        s->id = rec.id;
+        s->va = rec.va;
+        s->size = rec.size;
+        s->members.clear();
+        s->members.reserve(rec.memberIds.size());
+        for (const std::uint64_t mid : rec.memberIds)
+            s->members.push_back(pById.at(mid));
+        s->active = rec.active;
+        s->lastUse = rec.lastUse;
+        s->stream = rec.stream;
+        sById.emplace(rec.id, s);
+        if (!rec.active)
+            mInactiveS.insert(s);
+    }
+    for (const State::PRec &rec : state->pblocks) {
+        PBlock *p = pById.at(rec.id);
+        p->sharers.reserve(rec.sharerIds.size());
+        for (const std::uint64_t sid : rec.sharerIds)
+            p->sharers.push_back(sById.at(sid));
+        // Index insertion needs the final sharers list: the
+        // unshared-inactive index tests sharers.empty().
+        if (!rec.active)
+            insertInactiveP(p);
+    }
+    mLive.reserve(state->live.size());
+    for (const State::LiveRec &rec : state->live) {
+        Live live;
+        live.p = rec.pId != 0 ? pById.at(rec.pId) : nullptr;
+        live.s = rec.sId != 0 ? sById.at(rec.sId) : nullptr;
+        live.requested = rec.requested;
+        live.smallId = rec.smallId;
+        mLive.emplace(rec.id, live);
+    }
+
+    mNextBlockId = state->nextBlockId;
+    mNextAllocId = state->nextAllocId;
+    mCounters = state->counters;
+    mPhysicalBytes = state->physicalBytes;
+    mStitchedVaBytes = state->stitchedVaBytes;
+    mSpilledBytes = state->spilledBytes;
+    mSmallPath.restoreInternal(state->smallPath);
+    mSmallReservedSeen = state->smallReservedSeen;
+    mStats.restore(state->stats);
+    // mVaCapBytes stays as constructed: it derives from *this*
+    // allocator's config, so a sweep point restoring a shared warmup
+    // checkpoint keeps its own overscribe bound.
+}
 
 void
 GMLakeAllocator::checkConsistency() const

@@ -115,11 +115,15 @@ class GMLakeAllocator : public alloc::Allocator
 
     alloc::MemorySnapshot snapshot() const override;
 
+    alloc::Checkpoint saveState() const override;
+    void restoreState(const alloc::Checkpoint &checkpoint) override;
+
     /** Internal invariant check used by tests; panics on violation. */
     void checkConsistency() const;
 
   private:
     struct SBlock;
+    struct State;
 
     /** Primitive block: owns physical chunks and a VA of its own. */
     struct PBlock

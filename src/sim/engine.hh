@@ -160,6 +160,27 @@ struct EngineOptions
      * the committer per session (the StageBuffer capacity).
      */
     std::size_t commitWindow = 256;
+    /**
+     * Checkpoint-resume support (deterministic mode only); see
+     * sim/sweep.hh for the harness built on top.
+     *
+     * captureResume — capture a ResumeState at the end of the run
+     * instead of charging trailing compute: each session's local
+     * time, live tensors, seen streams and death flag, plus the
+     * merged-time frontier. A run split at a time threshold charges
+     * trailing compute only when the *tail* replays past it, exactly
+     * like the uninterrupted run would.
+     *
+     * startFrontier — initial merged-time frontier. A tail run
+     * resumed from a ResumeState passes the captured frontier here
+     * (and keeps sessions' absolute local times as their seeds'
+     * localTime): events whose local time is below the frontier
+     * replay in (localTime, session) order without advancing the
+     * clock — time up to the frontier was already charged by the
+     * warmup run.
+     */
+    bool captureResume = false;
+    Tick startFrontier = 0;
 };
 
 /**

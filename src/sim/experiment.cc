@@ -314,6 +314,21 @@ writeJson(const Experiment &experiment,
                 ? "relaxed"
                 : "deterministic")
         << "\",\n"
+        // Everything a reader needs to reproduce the run: the
+        // resolved override set, as one block (the legacy top-level
+        // keys above stay for existing consumers).
+        << "  \"config\": {"
+        << "\"seed\": " << options.seed << ", "
+        << "\"iterations\": " << options.iterations << ", "
+        << "\"device_capacity_bytes\": " << options.deviceCapacity
+        << ", "
+        << "\"threads\": " << options.threads << ", "
+        << "\"engine_threads\": " << options.engineThreads << ", "
+        << "\"engine_commit\": \""
+        << (options.engineCommit == CommitMode::relaxed
+                ? "relaxed"
+                : "deterministic")
+        << "\"},\n"
         << "  \"records\": [";
     bool first = true;
     for (const RunRecord &r : context.records()) {

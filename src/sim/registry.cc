@@ -19,6 +19,7 @@
 #include "offload/offload_manager.hh"
 #include "sim/cluster.hh"
 #include "sim/session.hh"
+#include "sim/sweep.hh"
 #include "support/csv.hh"
 #include "support/logging.hh"
 #include "support/rng.hh"
@@ -1918,6 +1919,65 @@ runServeDay(ExperimentContext &ctx)
                  "live state, not event count)\n";
 }
 
+// ----------------------------------------------- policy sweep
+
+void
+runSweepSmoke(ExperimentContext &ctx)
+{
+    const std::uint64_t seed =
+        ctx.options().seed != 0 ? ctx.options().seed : 42;
+    SweepScenario scenario =
+        buildSweepScenario("smoke", seed, ctx.iterations(2));
+    if (ctx.options().deviceCapacity != 0)
+        scenario.device.capacity = ctx.options().deviceCapacity;
+
+    // A small but non-degenerate grid: 2 x 2 x 2 = 8 points.
+    SweepGrid grid;
+    grid.fragLimits = {2_MiB, 16_MiB};
+    grid.nearMatchTolerances = {0.0, 0.125};
+    grid.enableStitching = {true, false};
+    const std::vector<SweepPoint> points =
+        grid.expand(scenario.base);
+
+    SweepRunOptions options;
+    options.threads = static_cast<std::size_t>(ctx.threads());
+    options.engineThreads = ctx.options().engineThreads < 0
+                                ? 1
+                                : static_cast<std::size_t>(
+                                      ctx.options().engineThreads);
+    const SweepReport report = runSweep(scenario, points, options);
+
+    ctx.record("warmup", report.allocator, report.warmup);
+    for (const SweepPointRecord &rec : report.points)
+        ctx.record(rec.point.label, report.allocator, rec.tail);
+    ctx.metric("sweep", "points",
+               static_cast<double>(report.points.size()));
+    ctx.metric("sweep", "frontier_points",
+               static_cast<double>(report.frontier().size()));
+
+    ctx.out() << "sweep workload: " << scenario.sessionNames.size()
+              << " co-located sessions, split at "
+              << formatTime(scenario.splitTime)
+              << " of virtual time; " << report.points.size()
+              << " policy points forked from one checkpoint\n\n";
+    Table table({"Point", "Frag", "Peak reserved", "Dev API",
+                 "Sim time", "Pareto"});
+    for (const SweepPointRecord &rec : report.points) {
+        table.addRow(
+            {rec.point.label,
+             oomOr(rec.tail, formatPercent(rec.tail.fragmentation)),
+             oomOr(rec.tail, gb(rec.tail.peakReserved) + " GB"),
+             formatTime(rec.tail.deviceApiTime),
+             formatTime(rec.tail.simTime),
+             rec.onFrontier ? "*" : ""});
+    }
+    table.print(ctx.out());
+    ctx.out() << "(warmup prefix replayed once, checkpointed; each "
+                 "point restores the checkpoint and replays only "
+                 "the divergent tail — bit-identical to a full "
+                 "re-replay per point)\n";
+}
+
 } // namespace
 
 // ----------------------------------------------------- registration
@@ -2102,6 +2162,15 @@ registerBuiltinExperiments()
          "paged-block churn without the caching allocator's "
          "reserved-memory creep",
          runServeDay});
+    registry.add(
+        {"sweep-smoke", "extension",
+         "Policy sweep — checkpoint/restore warm-started grid over "
+         "GMLake knobs (smoke scale)",
+         "One shared warmup prefix is replayed once and "
+         "checkpointed; every sweep point restores it and replays "
+         "only the divergent tail, bit-identical to re-replaying "
+         "the whole run per point",
+         runSweepSmoke});
     registry.add(
         {"vmm-designs", "extension",
          "Extension — VMM allocator designs: stitching vs "

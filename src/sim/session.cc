@@ -77,6 +77,15 @@ SimEngine::addSession(Session session)
     return mSessions.size() - 1;
 }
 
+void
+SimEngine::seedSession(std::size_t index, SessionSeed seed)
+{
+    GMLAKE_ASSERT(!mRan, "session seeded after run()");
+    GMLAKE_ASSERT(index < mSessions.size(),
+                  "seed for unknown session index ", index);
+    mSeeds.emplace_back(index, std::move(seed));
+}
+
 namespace
 {
 
@@ -248,6 +257,22 @@ SimEngine::runMerged(const workload::TrainConfig *config,
         totalEvents += cursors[i].src->sizeHint();
     }
 
+    // Resume seeds: warm-start cursors mid-timeline. The seeded
+    // local time overrides the session's startTime — seeds carry
+    // absolute local times, paired with options.startFrontier.
+    for (const auto &[seedIndex, seed] : mSeeds) {
+        Cursor &c = cursors[seedIndex];
+        c.localTime = seed.localTime;
+        c.dead = seed.dead;
+        c.seenStreams = seed.seenStreams;
+        for (const SessionSeed::LiveEntry &entry : seed.live) {
+            c.live.emplace(entry.tensor,
+                           LiveAlloc{entry.id, entry.bytes});
+            c.liveBytes += entry.bytes;
+        }
+        c.result.peakLiveBytes = c.liveBytes;
+    }
+
     // Staged deterministic pipeline: with a thread budget beyond the
     // committer, give the first (budget - 1) sessions a stager
     // thread each; any remaining sessions stay on the serial
@@ -260,6 +285,10 @@ SimEngine::runMerged(const workload::TrainConfig *config,
         buffers.reserve(staged);
         stagers.reserve(staged);
         for (std::size_t i = 0; i < staged; ++i) {
+            // Seeded-dead sessions consume nothing; a stager for one
+            // would fill the buffer and block forever.
+            if (cursors[i].dead)
+                continue;
             buffers.push_back(std::make_unique<StageBuffer>(
                 mOptions.commitWindow));
             cursors[i].buffer = buffers.back().get();
@@ -345,7 +374,8 @@ SimEngine::runMerged(const workload::TrainConfig *config,
         dying.liveBytes = 0;
     };
 
-    Tick frontier = 0; //!< merged virtual time already charged
+    //! Merged virtual time already charged (resumes carry it over).
+    Tick frontier = mOptions.startFrontier;
     bool sawFirstOom = false;
 
     // Tenant kill + OOM post-mortem: which allocator, what the
@@ -546,10 +576,39 @@ SimEngine::runMerged(const workload::TrainConfig *config,
     for (std::thread &stager : stagers)
         stager.join();
 
+    // Capture mode: record each session's mid-timeline state instead
+    // of charging trailing compute — a prefix cut at a time threshold
+    // usually ends in compute whose cost the *tail* run charges when
+    // (and only when) a later event pops, exactly like the
+    // uninterrupted run. The frontier travels with the seeds so the
+    // tail run knows how much virtual time is already on the clock.
+    if (mOptions.captureResume) {
+        auto resume = std::make_shared<ResumeState>();
+        resume->frontier = frontier;
+        resume->sessions.resize(cursors.size());
+        for (std::size_t i = 0; i < cursors.size(); ++i) {
+            SessionSeed &seed = resume->sessions[i];
+            seed.localTime = cursors[i].localTime;
+            seed.dead = cursors[i].dead;
+            seed.seenStreams = cursors[i].seenStreams;
+            seed.live.reserve(cursors[i].live.size());
+            for (const auto &[tensor, allocation] : cursors[i].live) {
+                seed.live.push_back(SessionSeed::LiveEntry{
+                    tensor, allocation.id, allocation.bytes});
+            }
+            std::sort(seed.live.begin(), seed.live.end(),
+                      [](const SessionSeed::LiveEntry &a,
+                         const SessionSeed::LiveEntry &b) {
+                          return a.tensor < b.tensor;
+                      });
+        }
+        multi.resume = std::move(resume);
+    }
+
     // Charge trailing compute (sessions whose traces end in compute
     // events never re-enter the pop loop), in timeline order so each
     // compute tail's endedAt lands when the frontier reaches it.
-    {
+    if (!mOptions.captureResume) {
         std::vector<Cursor *> tails;
         for (Cursor &c : cursors) {
             if (!c.dead && c.localTime > frontier)
@@ -639,6 +698,13 @@ SimEngine::runRelaxed(const workload::TrainConfig *config,
     GMLAKE_ASSERT(mOptions.offload == nullptr,
                   "relaxed commit mode does not support an offload "
                   "tier; use deterministic mode");
+    // Checkpoint resume is a deterministic-replay feature: seeds and
+    // the carried frontier only make sense against the serial commit
+    // order that produced them.
+    GMLAKE_ASSERT(!mOptions.captureResume && mSeeds.empty() &&
+                      mOptions.startFrontier == 0,
+                  "relaxed commit mode does not support "
+                  "checkpoint/resume; use deterministic mode");
 
     MultiRunResult multi;
     RunResult &result = multi.combined;

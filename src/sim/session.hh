@@ -31,6 +31,7 @@
 
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "sim/engine.hh"
@@ -129,6 +130,47 @@ struct SessionResult
     Bytes oomEvictableBytes = 0;
 };
 
+/**
+ * Mid-run state of one session, captured by a run with
+ * EngineOptions::captureResume and re-injected into a tail run via
+ * SimEngine::seedSession. Pure bookkeeping — the allocator/device
+ * state travels separately as an alloc::Checkpoint.
+ */
+struct SessionSeed
+{
+    /** One live tensor: trace id, allocator id, requested bytes. */
+    struct LiveEntry
+    {
+        workload::TensorId tensor = 0;
+        alloc::AllocId id = 0;
+        Bytes bytes = 0;
+    };
+
+    /** Live tensors at capture, sorted by tensor id. */
+    std::vector<LiveEntry> live;
+    /** Remapped stream ids the session touched, first-use order. */
+    std::vector<StreamId> seenStreams;
+    /**
+     * Session was OOM-killed during the captured prefix. A seeded
+     * dead session replays nothing but still occupies its slot, so
+     * reclaim's survivor scan and stream namespacing match the
+     * uninterrupted run. Its tail SessionResult reports oom = false —
+     * the death belongs to the warmup run's results.
+     */
+    bool dead = false;
+    /** The session's local timeline (absolute, not normalized). */
+    Tick localTime = 0;
+};
+
+/** Everything a tail run needs to continue a captured run. */
+struct ResumeState
+{
+    /** Merged virtual time already charged to the device clock. */
+    Tick frontier = 0;
+    /** One seed per session, in session-index order. */
+    std::vector<SessionSeed> sessions;
+};
+
 /** Combined + per-session metrics of one engine run. */
 struct MultiRunResult
 {
@@ -138,6 +180,9 @@ struct MultiRunResult
      */
     RunResult combined;
     std::vector<SessionResult> sessions;
+
+    /** Captured state (only when EngineOptions::captureResume). */
+    std::shared_ptr<const ResumeState> resume;
 
     bool anyOom() const;
     /** Result for the session named @p name; nullptr if unknown. */
@@ -158,6 +203,16 @@ class SimEngine
 
     /** Register a session; returns its index (= namespace id). */
     std::size_t addSession(Session session);
+
+    /**
+     * Inject a captured SessionSeed into session @p index before the
+     * run: the session resumes with the seed's local time, live
+     * tensors, seen streams and death flag instead of a cold start.
+     * Call after addSession, before run(); deterministic mode only.
+     * The allocator ids in the seed must be live in the allocator —
+     * restore the matching alloc::Checkpoint first.
+     */
+    void seedSession(std::size_t index, SessionSeed seed);
 
     std::size_t sessionCount() const { return mSessions.size(); }
 
@@ -192,6 +247,7 @@ class SimEngine
     vmm::Device &mDevice;
     EngineOptions mOptions;
     std::vector<Session> mSessions;
+    std::vector<std::pair<std::size_t, SessionSeed>> mSeeds;
     bool mRan = false;
 };
 

@@ -1,0 +1,404 @@
+#include "sim/sweep.hh"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "alloc/allocator.hh"
+#include "sim/session.hh"
+#include "support/logging.hh"
+#include "support/rng.hh"
+#include "support/stopwatch.hh"
+#include "support/strings.hh"
+#include "support/thread_pool.hh"
+#include "support/units.hh"
+#include "workload/servegen.hh"
+#include "workload/tracegen.hh"
+
+namespace gmlake::sim
+{
+
+namespace
+{
+
+using namespace gmlake::literals;
+
+std::string
+pointLabel(const core::GMLakeConfig &c)
+{
+    return detail::concat(
+        "frag=", formatDouble(static_cast<double>(c.fragLimit) /
+                                  static_cast<double>(MiB), 0),
+        "M tol=", formatDouble(c.nearMatchTolerance, 3),
+        " sblk=", c.maxCachedSBlocks,
+        " ovs=", formatDouble(c.maxVaOverscribe, 1),
+        " stitch=", c.enableStitching ? "on" : "off");
+}
+
+/** start + total compute of one session, i.e. its final local time. */
+Tick
+traceSpan(const workload::Trace &trace, Tick startTime)
+{
+    Tick local = startTime;
+    for (const workload::Event &event : trace.events()) {
+        if (event.kind == workload::EventKind::compute)
+            local += event.computeNs;
+    }
+    return local;
+}
+
+workload::TrainConfig
+sweepTrainConfig(const char *model, const char *strategies, int gpus,
+                 int batch, int iterations, std::uint64_t seed)
+{
+    workload::TrainConfig cfg;
+    cfg.model = workload::findModel(model);
+    cfg.strategies = workload::Strategies::parse(strategies);
+    cfg.gpus = gpus;
+    cfg.batchSize = batch;
+    cfg.iterations = iterations;
+    cfg.seed = seed;
+    return cfg;
+}
+
+/** What the warmup replay leaves behind for the per-point forks. */
+struct WarmupArtifacts
+{
+    alloc::Checkpoint checkpoint;
+    std::shared_ptr<const ResumeState> resume;
+    RunResult result;
+    bool oom = false;
+};
+
+WarmupArtifacts
+replayWarmup(const SweepScenario &scenario,
+             const std::vector<workload::Trace> &warmupTraces,
+             const SweepRunOptions &options)
+{
+    vmm::Device device(scenario.device);
+    const auto allocator =
+        makeAllocator(options.kind, device, scenario.base);
+    EngineOptions engineOptions;
+    engineOptions.recordSeries = false;
+    engineOptions.captureResume = true;
+    engineOptions.engineThreads = options.engineThreads;
+    SimEngine engine(*allocator, device, engineOptions);
+    for (std::size_t i = 0; i < warmupTraces.size(); ++i) {
+        engine.addSession(Session(scenario.sessionNames[i],
+                                  &warmupTraces[i],
+                                  scenario.startTimes[i]));
+    }
+    MultiRunResult multi = engine.run();
+    GMLAKE_ASSERT(multi.resume != nullptr,
+                  "warmup run captured no resume state");
+    return WarmupArtifacts{allocator->saveState(), multi.resume,
+                           std::move(multi.combined),
+                           multi.anyOom()};
+}
+
+RunResult
+replayTail(const SweepScenario &scenario,
+           const std::vector<workload::Trace> &tailTraces,
+           const core::GMLakeConfig &config,
+           const WarmupArtifacts &warmup,
+           const SweepRunOptions &options)
+{
+    vmm::Device device(scenario.device);
+    const auto allocator =
+        makeAllocator(options.kind, device, config);
+    allocator->restoreState(warmup.checkpoint);
+    EngineOptions engineOptions;
+    engineOptions.recordSeries = false;
+    engineOptions.engineThreads = options.engineThreads;
+    engineOptions.startFrontier = warmup.resume->frontier;
+    SimEngine engine(*allocator, device, engineOptions);
+    // Every session rides along — even one whose tail is empty or
+    // that died during warmup — so stream namespacing and reclaim's
+    // survivor scan match the uninterrupted replay.
+    for (std::size_t i = 0; i < tailTraces.size(); ++i) {
+        engine.addSession(
+            Session(scenario.sessionNames[i], &tailTraces[i]));
+        engine.seedSession(i, warmup.resume->sessions[i]);
+    }
+    return engine.run().combined;
+}
+
+/** a dominates b on (fragmentation, deviceApiTime, simTime). */
+bool
+dominates(const RunResult &a, const RunResult &b)
+{
+    if (a.fragmentation > b.fragmentation ||
+        a.deviceApiTime > b.deviceApiTime || a.simTime > b.simTime)
+        return false;
+    return a.fragmentation < b.fragmentation ||
+           a.deviceApiTime < b.deviceApiTime || a.simTime < b.simTime;
+}
+
+} // namespace
+
+std::pair<workload::Trace, workload::Trace>
+splitTraceAt(const workload::Trace &trace, Tick startTime,
+             Tick splitTime)
+{
+    workload::Trace warmup;
+    workload::Trace tail;
+    Tick local = startTime;
+    for (const workload::Event &event : trace.events()) {
+        if (local < splitTime)
+            warmup.append(event);
+        else
+            tail.append(event);
+        if (event.kind == workload::EventKind::compute)
+            local += event.computeNs;
+    }
+    return {std::move(warmup), std::move(tail)};
+}
+
+std::vector<SweepPoint>
+SweepGrid::expand(const core::GMLakeConfig &base) const
+{
+    // Empty axes collapse to the base value so the product below
+    // is never empty.
+    const auto orBase = [](auto axis, auto baseValue) {
+        if (axis.empty())
+            axis.push_back(baseValue);
+        return axis;
+    };
+    const auto frags = orBase(fragLimits, base.fragLimit);
+    const auto tols =
+        orBase(nearMatchTolerances, base.nearMatchTolerance);
+    const auto sblocks =
+        orBase(maxCachedSBlocks, base.maxCachedSBlocks);
+    const auto overs = orBase(maxVaOverscribes, base.maxVaOverscribe);
+    const auto stitch = orBase(enableStitching, base.enableStitching);
+
+    std::vector<SweepPoint> points;
+    points.reserve(frags.size() * tols.size() * sblocks.size() *
+                   overs.size() * stitch.size());
+    for (const Bytes frag : frags) {
+        for (const double tol : tols) {
+            for (const std::size_t sblk : sblocks) {
+                for (const double over : overs) {
+                    for (const bool on : stitch) {
+                        core::GMLakeConfig config = base;
+                        config.fragLimit = frag;
+                        config.nearMatchTolerance = tol;
+                        config.maxCachedSBlocks = sblk;
+                        config.maxVaOverscribe = over;
+                        config.enableStitching = on;
+                        points.push_back(SweepPoint{
+                            pointLabel(config), config});
+                    }
+                }
+            }
+        }
+    }
+    return points;
+}
+
+std::vector<SweepPoint>
+randomSweepPoints(const core::GMLakeConfig &base, std::size_t count,
+                  std::uint64_t seed)
+{
+    Rng rng(deriveSeed(seed, 0x5eebULL));
+    std::vector<SweepPoint> points;
+    points.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        core::GMLakeConfig config = base;
+        // Chunk-aligned power-of-two frag limits up to 128 MiB.
+        config.fragLimit =
+            base.chunkSize << rng.uniformInt(0, 6);
+        config.nearMatchTolerance =
+            static_cast<double>(rng.uniformInt(0, 16)) / 32.0;
+        config.maxCachedSBlocks =
+            std::size_t{1} << rng.uniformInt(2, 13);
+        config.maxVaOverscribe =
+            1.0 + static_cast<double>(rng.uniformInt(0, 28)) / 4.0;
+        config.enableStitching = rng.chance(0.85);
+        points.push_back(SweepPoint{pointLabel(config), config});
+    }
+    return points;
+}
+
+const std::vector<std::string> &
+sweepScenarioNames()
+{
+    static const std::vector<std::string> names = {"smoke", "train",
+                                                   "colocate"};
+    return names;
+}
+
+SweepScenario
+buildSweepScenario(const std::string &name, std::uint64_t seed,
+                   int iterations)
+{
+    SweepScenario scenario;
+    scenario.name = name;
+    if (name == "smoke") {
+        // Two staggered GPT-2 tenants: small enough for CI, two
+        // sessions so the resume path covers the co-location
+        // machinery (stream namespaces, per-session seeds).
+        const int iters = iterations > 0 ? iterations : 2;
+        scenario.device.capacity = 16_GiB;
+        for (int t = 0; t < 2; ++t) {
+            scenario.traces.push_back(
+                workload::generateTrainingTrace(sweepTrainConfig(
+                    "GPT-2", "LR", 2, 8, iters,
+                    deriveSeed(seed,
+                               static_cast<std::uint64_t>(t)))));
+            scenario.sessionNames.push_back(
+                detail::concat("train-", t));
+            scenario.startTimes.push_back(static_cast<Tick>(t) *
+                                          Tick{5'000'000});
+        }
+    } else if (name == "train") {
+        const int iters = iterations > 0 ? iterations : 6;
+        scenario.device.capacity = 24_GiB;
+        scenario.traces.push_back(workload::generateTrainingTrace(
+            sweepTrainConfig("OPT-1.3B", "LR", 4, 32, iters,
+                             deriveSeed(seed, 0))));
+        scenario.sessionNames.push_back("train");
+        scenario.startTimes.push_back(0);
+    } else if (name == "colocate") {
+        const int iters = iterations > 0 ? iterations : 4;
+        scenario.device.capacity = 24_GiB;
+        scenario.traces.push_back(workload::generateTrainingTrace(
+            sweepTrainConfig("OPT-1.3B", "LR", 2, 32, iters,
+                             deriveSeed(seed, 0))));
+        scenario.sessionNames.push_back("train");
+        scenario.startTimes.push_back(0);
+        workload::ServeConfig serveCfg;
+        serveCfg.model = workload::findModel("OPT-1.3B");
+        serveCfg.requests = 64 * iters;
+        serveCfg.seed = deriveSeed(seed, 1);
+        scenario.traces.push_back(
+            workload::generateServingTrace(serveCfg).trace);
+        scenario.sessionNames.push_back("serve");
+        scenario.startTimes.push_back(Tick{20'000'000});
+    } else {
+        GMLAKE_FATAL("unknown sweep scenario: ", name,
+                     " (available: smoke, train, colocate)");
+    }
+
+    // Default split: 75% into the longest session's timeline. The
+    // shared warmup prefix is the expensive part a warm start
+    // amortizes; the swept tail is the divergent endgame.
+    Tick span = 0;
+    for (std::size_t i = 0; i < scenario.traces.size(); ++i) {
+        span = std::max(span, traceSpan(scenario.traces[i],
+                                        scenario.startTimes[i]));
+    }
+    scenario.splitTime = span * 3 / 4;
+    return scenario;
+}
+
+std::vector<std::size_t>
+SweepReport::frontier() const
+{
+    std::vector<std::size_t> indices;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        if (points[i].onFrontier)
+            indices.push_back(i);
+    }
+    return indices;
+}
+
+SweepReport
+runSweep(const SweepScenario &scenario,
+         const std::vector<SweepPoint> &points,
+         const SweepRunOptions &options)
+{
+    GMLAKE_ASSERT(!points.empty(), "sweep has no points");
+    GMLAKE_ASSERT(!scenario.traces.empty(),
+                  "sweep scenario has no sessions");
+    GMLAKE_ASSERT(scenario.traces.size() ==
+                          scenario.sessionNames.size() &&
+                      scenario.traces.size() ==
+                          scenario.startTimes.size(),
+                  "sweep scenario session lists disagree");
+    for (const SweepPoint &point : points) {
+        GMLAKE_ASSERT(
+            point.config.chunkSize == scenario.base.chunkSize &&
+                point.config.smallThreshold ==
+                    scenario.base.smallThreshold,
+            "sweep point '", point.label,
+            "' changes a structural knob (chunkSize/smallThreshold); "
+            "the checkpointed pool layout depends on those");
+    }
+
+    const Stopwatch totalWall;
+    SweepReport report;
+    report.scenario = scenario.name;
+    report.allocator = allocatorKindName(options.kind);
+
+    std::vector<workload::Trace> warmupTraces;
+    std::vector<workload::Trace> tailTraces;
+    warmupTraces.reserve(scenario.traces.size());
+    tailTraces.reserve(scenario.traces.size());
+    for (std::size_t i = 0; i < scenario.traces.size(); ++i) {
+        auto [warmup, tail] =
+            splitTraceAt(scenario.traces[i],
+                         scenario.startTimes[i],
+                         scenario.splitTime);
+        warmupTraces.push_back(std::move(warmup));
+        tailTraces.push_back(std::move(tail));
+    }
+
+    // Warm start: one shared warmup replay, checkpointed; every
+    // point restores from the same immutable Checkpoint value
+    // concurrently. Cold mode re-replays the warmup inside each
+    // point's job instead — same results, N-1 extra warmup replays.
+    std::unique_ptr<WarmupArtifacts> shared;
+    if (options.warmStart) {
+        const Stopwatch warmupWall;
+        shared = std::make_unique<WarmupArtifacts>(
+            replayWarmup(scenario, warmupTraces, options));
+        report.warmupWallNs = warmupWall.elapsedNs();
+        report.warmup = shared->result;
+        report.warmupOom = shared->oom;
+    }
+
+    report.points.resize(points.size());
+    parallelFor(
+        points.size(), options.threads, [&](std::size_t i) {
+            const Stopwatch pointWall;
+            SweepPointRecord &record = report.points[i];
+            record.point = points[i];
+            if (shared != nullptr) {
+                record.tail =
+                    replayTail(scenario, tailTraces,
+                               points[i].config, *shared, options);
+            } else {
+                const WarmupArtifacts warmup =
+                    replayWarmup(scenario, warmupTraces, options);
+                record.tail =
+                    replayTail(scenario, tailTraces,
+                               points[i].config, warmup, options);
+                if (i == 0) {
+                    // Every cold point replays the identical,
+                    // deterministic prefix; report point 0's copy.
+                    report.warmup = warmup.result;
+                    report.warmupOom = warmup.oom;
+                }
+            }
+            record.pointWallNs = pointWall.elapsedNs();
+        });
+
+    for (std::size_t i = 0; i < report.points.size(); ++i) {
+        if (report.points[i].tail.oom)
+            continue;
+        bool dominated = false;
+        for (std::size_t j = 0;
+             j < report.points.size() && !dominated; ++j) {
+            dominated = j != i && !report.points[j].tail.oom &&
+                        dominates(report.points[j].tail,
+                                  report.points[i].tail);
+        }
+        report.points[i].onFrontier = !dominated;
+    }
+
+    report.totalWallNs = totalWall.elapsedNs();
+    return report;
+}
+
+} // namespace gmlake::sim

@@ -304,6 +304,43 @@ Device::copyWait(Tick completion)
     return stall;
 }
 
+Device::State
+Device::saveState() const
+{
+    const std::lock_guard<TimedMutex> state(mStateMutex);
+    State out;
+    out.capacity = mPhys.capacity();
+    out.granularity = mPhys.granularity();
+    out.clock = mClock.now();
+    out.counters = mCounters;
+    out.native = mNative;
+    out.d2hLaneFree = mD2hLaneFree;
+    out.h2dLaneFree = mH2dLaneFree;
+    out.phys = mPhys.saveState();
+    out.va = mVa.saveState();
+    out.map = mMap.saveState();
+    return out;
+}
+
+void
+Device::restoreState(const State &state)
+{
+    const std::lock_guard<TimedMutex> lock(mStateMutex);
+    GMLAKE_ASSERT(state.capacity == mPhys.capacity() &&
+                  state.granularity == mPhys.granularity(),
+                  "checkpoint restore into a device of different "
+                  "geometry");
+    mClock.reset();
+    mClock.advance(state.clock);
+    mCounters = state.counters;
+    mNative = state.native;
+    mD2hLaneFree = state.d2hLaneFree;
+    mH2dLaneFree = state.h2dLaneFree;
+    mPhys.restoreState(state.phys);
+    mVa.restoreState(state.va);
+    mMap.restoreState(state.map);
+}
+
 Bytes
 Device::largestFreeExtent() const
 {

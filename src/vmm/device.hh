@@ -48,9 +48,39 @@ struct DeviceConfig
     CostParams cost{};
 };
 
-/** Per-API invocation counters, for overhead analysis. */
+/**
+ * Per-API invocation counters, for overhead analysis. Copyable so
+ * checkpoints can deep-copy it despite the atomic member (the copy
+ * is a relaxed load — callers checkpoint quiescent devices).
+ */
 struct ApiCounters
 {
+    ApiCounters() = default;
+    ApiCounters(const ApiCounters &other) { *this = other; }
+    ApiCounters &
+    operator=(const ApiCounters &other)
+    {
+        addressReserve = other.addressReserve;
+        addressFree = other.addressFree;
+        create = other.create;
+        release = other.release;
+        map = other.map;
+        unmap = other.unmap;
+        setAccess = other.setAccess;
+        mallocNative = other.mallocNative;
+        freeNative = other.freeNative;
+        d2hCopies = other.d2hCopies;
+        h2dCopies = other.h2dCopies;
+        d2hBytes = other.d2hBytes;
+        h2dBytes = other.h2dBytes;
+        copyStallNs = other.copyStallNs;
+        apiTime.store(other.apiTime.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+        snapshotPublishes = other.snapshotPublishes;
+        vmmWallNs = other.vmmWallNs;
+        return *this;
+    }
+
     std::uint64_t addressReserve = 0;
     std::uint64_t addressFree = 0;
     std::uint64_t create = 0;
@@ -208,6 +238,48 @@ class Device
     /** Host ns threads spent blocked on the device state lock. */
     std::uint64_t lockWaitNs() const { return mStateMutex.waitNs(); }
 
+    // --- checkpoint / restore ------------------------------------------
+
+    /** Native allocations: va -> (handle, reserved size). */
+    struct NativeAlloc
+    {
+        PhysHandle handle;
+        Bytes size;
+    };
+
+    /**
+     * Deep copy of everything that decides future device behaviour:
+     * clock, counters, native allocations, copy-lane horizons, and
+     * the three memory managers. Capacity and granularity are
+     * recorded for validation — a checkpoint only restores into a
+     * device of identical geometry. Host-side telemetry (lock wait
+     * times) is not part of it.
+     */
+    struct State
+    {
+        Bytes capacity = 0;
+        Bytes granularity = 0;
+        Tick clock = 0;
+        ApiCounters counters;
+        std::map<VirtAddr, NativeAlloc> native;
+        Tick d2hLaneFree = 0;
+        Tick h2dLaneFree = 0;
+        PhysMemory::State phys;
+        VaSpace::State va;
+        MappingTable::State map;
+    };
+
+    /** Checkpoint the device (taken under the state lock). */
+    State saveState() const;
+
+    /**
+     * Restore a checkpoint taken from this device or any device with
+     * the same capacity/granularity. After the restore every entry
+     * point behaves exactly as it would have on the checkpointed
+     * device — same addresses, same handles, same simulated time.
+     */
+    void restoreState(const State &state);
+
   private:
     CostModel mCost;
     SimClock mClock;
@@ -216,12 +288,6 @@ class Device
     MappingTable mMap;
     ApiCounters mCounters;
 
-    /** Native allocations: va -> (handle, reserved size). */
-    struct NativeAlloc
-    {
-        PhysHandle handle;
-        Bytes size;
-    };
     std::map<VirtAddr, NativeAlloc> mNative;
 
     /** Per-direction DMA lanes: simulated time each is next free. */

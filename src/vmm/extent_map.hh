@@ -89,6 +89,23 @@ class FreeExtentMap
     /** All extents in base order (diagnostics and tests). */
     std::vector<Extent> extents() const;
 
+    /**
+     * Drop every extent. With insert() this rebuilds a map from a
+     * captured extents() list; the rebuilt tree may have a different
+     * shape (priorities rehash from the current bases), but every
+     * query answer is determined by the extent set alone, so the
+     * rebuild is decision-identical.
+     */
+    void
+    clear()
+    {
+        mNodes.clear();
+        mFreeNodes.clear();
+        mRoot = kNil;
+        mCount = 0;
+        mTotal = 0;
+    }
+
   private:
     static constexpr std::uint32_t kNil = ~std::uint32_t{0};
 

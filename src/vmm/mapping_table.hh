@@ -45,7 +45,60 @@ class MappingSnapshot;
 class MappingTable
 {
   public:
+    /** One mapped chunk inside an extent. */
+    struct Chunk
+    {
+        PhysHandle handle;
+        Bytes size;
+    };
+
+    /**
+     * A run of virtually-contiguous chunks in one access state.
+     * size is the sum of the chunk sizes.
+     */
+    struct Extent
+    {
+        Bytes size = 0;
+        bool accessible = false;
+        std::vector<Chunk> chunks;
+    };
+
+    /**
+     * Checkpoint of the table (vmm/device.hh Device checkpoints).
+     * Handle refcounts are not part of it — they live in the
+     * PhysMemory slots, restored alongside.
+     */
+    struct State
+    {
+        std::map<VirtAddr, Extent> extents;
+        std::size_t chunkCount = 0;
+        std::uint64_t epoch = 0;
+    };
+
     explicit MappingTable(PhysMemory &phys);
+
+    State
+    saveState() const
+    {
+        return State{mExtents, mChunkCount,
+                     mEpoch.load(std::memory_order_acquire)};
+    }
+
+    /**
+     * Replace the table contents with @p state. The cached snapshot
+     * is dropped (the next snapshot() call rebuilds and republishes),
+     * so restoring can cost one extra publish versus the
+     * uninterrupted run — snapshot counts are simulator telemetry,
+     * never simulation decisions.
+     */
+    void
+    restoreState(const State &state)
+    {
+        mExtents = state.extents;
+        mChunkCount = state.chunkCount;
+        mEpoch.store(state.epoch, std::memory_order_release);
+        mSnapshot.store(nullptr);
+    }
 
     /** Map @p handle (whole) at @p va. The VA range must be free. */
     Status map(VirtAddr va, PhysHandle handle);
@@ -156,24 +209,6 @@ class MappingTable
     snapshot(bool *rebuilt = nullptr) const;
 
   private:
-    /** One mapped chunk inside an extent. */
-    struct Chunk
-    {
-        PhysHandle handle;
-        Bytes size;
-    };
-
-    /**
-     * A run of virtually-contiguous chunks in one access state.
-     * size is the sum of the chunk sizes.
-     */
-    struct Extent
-    {
-        Bytes size = 0;
-        bool accessible = false;
-        std::vector<Chunk> chunks;
-    };
-
     PhysMemory &mPhys;
     /** va -> extent; extents are disjoint, never empty. */
     std::map<VirtAddr, Extent> mExtents;

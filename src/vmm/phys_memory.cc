@@ -158,6 +158,34 @@ PhysMemory::mapRefs(PhysHandle handle) const
     return s == nullptr ? 0 : s->mapRefs;
 }
 
+PhysMemory::State
+PhysMemory::saveState() const
+{
+    State state;
+    state.inUse = mInUse;
+    state.peakInUse = mPeakInUse;
+    state.peakHoles = mPeakHoles;
+    state.liveHandles = mLiveHandles;
+    state.slots = mSlots;
+    state.freeSlots = mFreeSlots;
+    state.holes = mHoles.extents();
+    return state;
+}
+
+void
+PhysMemory::restoreState(const State &state)
+{
+    mInUse = state.inUse;
+    mPeakInUse = state.peakInUse;
+    mPeakHoles = state.peakHoles;
+    mLiveHandles = state.liveHandles;
+    mSlots = state.slots;
+    mFreeSlots = state.freeSlots;
+    mHoles.clear();
+    for (const auto &hole : state.holes)
+        mHoles.insert(hole.base, hole.size);
+}
+
 std::vector<std::pair<Bytes, Bytes>>
 PhysMemory::liveRanges() const
 {

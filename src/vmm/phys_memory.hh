@@ -41,11 +41,57 @@ class PhysMemory
 {
   public:
     /**
+     * One handle slot. Slots are recycled through a freelist; the
+     * generation increments each time create() (re)acquires the
+     * slot, so a stale handle to a recycled slot never resolves
+     * (release only clears the live flag). Generation 0 is never
+     * issued, so a packed handle is never 0.
+     */
+    struct Slot
+    {
+        Bytes base = 0;
+        Bytes size = 0;
+        std::uint32_t mapRefs = 0;
+        std::uint32_t generation = 0;
+        bool live = false;
+    };
+
+    /**
+     * Checkpoint of the full manager state (vmm/device.hh Device
+     * checkpoints). Dead slots and the freelist order are part of it:
+     * future handle *values* depend on which slot create() recycles
+     * next and on its generation counter, so a restore that dropped
+     * them would hand out different handles than the uninterrupted
+     * run.
+     */
+    struct State
+    {
+        Bytes inUse = 0;
+        Bytes peakInUse = 0;
+        std::size_t peakHoles = 1;
+        std::size_t liveHandles = 0;
+        std::vector<Slot> slots;
+        std::vector<std::uint32_t> freeSlots;
+        std::vector<FreeExtentMap::Extent> holes;
+    };
+
+    /**
      * @param capacity device memory size in bytes
      * @param granularity minimum allocation granularity (2 MiB on
      *        real hardware); all handle sizes must be multiples
      */
     PhysMemory(Bytes capacity, Bytes granularity);
+
+    /** Deep-copy the current state into a value object. */
+    State saveState() const;
+
+    /**
+     * Replace the current state with @p state (captured from a
+     * manager of the same capacity/granularity). Handle values issued
+     * after the restore are identical to those the checkpointed
+     * manager would have issued.
+     */
+    void restoreState(const State &state);
 
     /**
      * Allocate a physical handle of @p size contiguous bytes.
@@ -86,22 +132,6 @@ class PhysMemory
     std::size_t peakHoleCount() const { return mPeakHoles; }
 
   private:
-    /**
-     * One handle slot. Slots are recycled through a freelist; the
-     * generation increments each time create() (re)acquires the
-     * slot, so a stale handle to a recycled slot never resolves
-     * (release only clears the live flag). Generation 0 is never
-     * issued, so a packed handle is never 0.
-     */
-    struct Slot
-    {
-        Bytes base = 0;
-        Bytes size = 0;
-        std::uint32_t mapRefs = 0;
-        std::uint32_t generation = 0;
-        bool live = false;
-    };
-
     Bytes mCapacity;
     Bytes mGranularity;
     Bytes mInUse = 0;

@@ -85,6 +85,30 @@ VaSpace::free(VirtAddr addr)
     return Status::success();
 }
 
+VaSpace::State
+VaSpace::saveState() const
+{
+    State state;
+    state.bump = mBump;
+    state.reservedBytes = mReservedBytes;
+    state.peakReservedBytes = mPeakReservedBytes;
+    state.live = mLive;
+    state.holes = mHoles.extents();
+    return state;
+}
+
+void
+VaSpace::restoreState(const State &state)
+{
+    mBump = state.bump;
+    mReservedBytes = state.reservedBytes;
+    mPeakReservedBytes = state.peakReservedBytes;
+    mLive = state.live;
+    mHoles.clear();
+    for (const auto &hole : state.holes)
+        mHoles.insert(hole.base, hole.size);
+}
+
 Expected<VaSpace::Reservation>
 VaSpace::containing(VirtAddr addr, Bytes size) const
 {

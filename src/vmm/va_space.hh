@@ -11,6 +11,7 @@
 #define GMLAKE_VMM_VA_SPACE_HH
 
 #include <map>
+#include <vector>
 
 #include "support/expected.hh"
 #include "support/types.hh"
@@ -48,6 +49,23 @@ class VaSpace
     Bytes reservedBytes() const { return mReservedBytes; }
     Bytes peakReservedBytes() const { return mPeakReservedBytes; }
     std::size_t reservationCount() const { return mLive.size(); }
+
+    /**
+     * Checkpoint of the full space: bump pointer, live reservations,
+     * and the released holes — addresses reserve() issues after a
+     * restore are identical to the checkpointed space's.
+     */
+    struct State
+    {
+        VirtAddr bump = 0;
+        Bytes reservedBytes = 0;
+        Bytes peakReservedBytes = 0;
+        std::map<VirtAddr, Bytes> live;
+        std::vector<FreeExtentMap::Extent> holes;
+    };
+
+    State saveState() const;
+    void restoreState(const State &state);
 
   private:
     Bytes mLimit;

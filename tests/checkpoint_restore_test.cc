@@ -1,0 +1,349 @@
+/**
+ * @file
+ * Checkpoint/restore equivalence: a run split at a virtual-time
+ * threshold — warmup replay, Allocator::saveState(), restore into a
+ * fresh device + allocator, seeded tail replay — must leave final
+ * state bit-identical to the uninterrupted run, for every allocator
+ * kind. This is the invariant the sweep harness (sim/sweep.hh)
+ * builds on: a warm-started sweep point is exactly a full re-replay,
+ * minus the shared prefix's wall time.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "alloc/allocator.hh"
+#include "alloc/checkpoint.hh"
+#include "alloc/snapshot.hh"
+#include "sim/runner.hh"
+#include "sim/session.hh"
+#include "sim/sweep.hh"
+#include "support/units.hh"
+
+using namespace gmlake;
+using namespace gmlake::literals;
+using namespace gmlake::sim;
+
+namespace
+{
+
+// ---------------------------------------------- final-state digest
+
+void
+fnv(std::uint64_t &hash, std::uint64_t value)
+{
+    for (int i = 0; i < 8; ++i) {
+        hash ^= (value >> (i * 8)) & 0xff;
+        hash *= 0x100000001b3ULL;
+    }
+}
+
+/**
+ * FNV-1a over everything deterministic the run leaves behind: the
+ * allocator's accounting, the device clock and simulated API
+ * counters, the largest free physical extent, and the full block
+ * inventory. Host wall-time counters (vmmWallNs) and
+ * simulator-introspection counters (snapshotPublishes) are excluded
+ * — they measure the simulator, not the simulation.
+ */
+std::uint64_t
+finalStateDigest(const alloc::Allocator &allocator,
+                 const vmm::Device &device)
+{
+    std::uint64_t hash = 0xcbf29ce484222325ULL;
+    const auto stats = allocator.stats().capture();
+    fnv(hash, stats.active);
+    fnv(hash, stats.reserved);
+    fnv(hash, stats.peakActive);
+    fnv(hash, stats.peakReserved);
+    fnv(hash, stats.allocCount);
+    fnv(hash, stats.freeCount);
+
+    fnv(hash, device.now());
+    fnv(hash, device.largestFreeExtent());
+    const auto &c = device.counters();
+    fnv(hash, c.addressReserve);
+    fnv(hash, c.addressFree);
+    fnv(hash, c.create);
+    fnv(hash, c.release);
+    fnv(hash, c.map);
+    fnv(hash, c.unmap);
+    fnv(hash, c.setAccess);
+    fnv(hash, c.mallocNative);
+    fnv(hash, c.freeNative);
+    fnv(hash, c.copyStallNs);
+    fnv(hash, c.apiTime.load(std::memory_order_relaxed));
+
+    const alloc::MemorySnapshot snap = allocator.snapshot();
+    fnv(hash, snap.activeBytes);
+    fnv(hash, snap.reservedBytes);
+    fnv(hash, snap.regions.size());
+    for (const alloc::RegionSnapshot &region : snap.regions) {
+        for (const char ch : region.kind)
+            fnv(hash, static_cast<std::uint64_t>(ch));
+        fnv(hash, region.base);
+        fnv(hash, region.size);
+        fnv(hash, region.blocks.size());
+        for (const alloc::BlockSnapshot &block : region.blocks) {
+            fnv(hash, block.addr);
+            fnv(hash, block.size);
+            fnv(hash, block.allocated ? 1 : 0);
+            fnv(hash, block.stream);
+        }
+    }
+    return hash;
+}
+
+// --------------------------------------------------- run harnesses
+
+/** The straight run: every session replayed start to finish. */
+std::uint64_t
+straightDigest(const SweepScenario &scenario, AllocatorKind kind)
+{
+    vmm::Device device(scenario.device);
+    const auto allocator =
+        makeAllocator(kind, device, scenario.base);
+    EngineOptions options;
+    options.recordSeries = false;
+    SimEngine engine(*allocator, device, options);
+    for (std::size_t i = 0; i < scenario.traces.size(); ++i) {
+        engine.addSession(Session(scenario.sessionNames[i],
+                                  &scenario.traces[i],
+                                  scenario.startTimes[i]));
+    }
+    engine.run();
+    return finalStateDigest(*allocator, device);
+}
+
+struct WarmupCapture
+{
+    alloc::Checkpoint checkpoint;
+    std::shared_ptr<const ResumeState> resume;
+    bool anyOom = false;
+};
+
+WarmupCapture
+runWarmup(const SweepScenario &scenario, AllocatorKind kind,
+          const std::vector<workload::Trace> &warmupTraces)
+{
+    vmm::Device device(scenario.device);
+    const auto allocator =
+        makeAllocator(kind, device, scenario.base);
+    EngineOptions options;
+    options.recordSeries = false;
+    options.captureResume = true;
+    SimEngine engine(*allocator, device, options);
+    for (std::size_t i = 0; i < warmupTraces.size(); ++i) {
+        engine.addSession(Session(scenario.sessionNames[i],
+                                  &warmupTraces[i],
+                                  scenario.startTimes[i]));
+    }
+    const MultiRunResult multi = engine.run();
+    EXPECT_NE(multi.resume, nullptr);
+    return WarmupCapture{allocator->saveState(), multi.resume,
+                         multi.anyOom()};
+}
+
+/**
+ * Restore @p warmup into @p allocator (fresh or dirty) and replay
+ * the tail on @p device.
+ */
+std::uint64_t
+restoredTailDigest(const SweepScenario &scenario,
+                   const std::vector<workload::Trace> &tailTraces,
+                   const WarmupCapture &warmup,
+                   alloc::Allocator &allocator, vmm::Device &device)
+{
+    allocator.restoreState(warmup.checkpoint);
+    EngineOptions options;
+    options.recordSeries = false;
+    options.startFrontier = warmup.resume->frontier;
+    SimEngine engine(allocator, device, options);
+    for (std::size_t i = 0; i < tailTraces.size(); ++i) {
+        engine.addSession(
+            Session(scenario.sessionNames[i], &tailTraces[i]));
+        engine.seedSession(i, warmup.resume->sessions[i]);
+    }
+    engine.run();
+    return finalStateDigest(allocator, device);
+}
+
+std::uint64_t
+splitDigest(const SweepScenario &scenario, AllocatorKind kind)
+{
+    std::vector<workload::Trace> warmupTraces;
+    std::vector<workload::Trace> tailTraces;
+    for (std::size_t i = 0; i < scenario.traces.size(); ++i) {
+        auto [head, tail] =
+            splitTraceAt(scenario.traces[i], scenario.startTimes[i],
+                         scenario.splitTime);
+        warmupTraces.push_back(std::move(head));
+        tailTraces.push_back(std::move(tail));
+    }
+    const WarmupCapture warmup =
+        runWarmup(scenario, kind, warmupTraces);
+    vmm::Device device(scenario.device);
+    const auto allocator =
+        makeAllocator(kind, device, scenario.base);
+    return restoredTailDigest(scenario, tailTraces, warmup,
+                              *allocator, device);
+}
+
+// ------------------------------------------------------------ tests
+
+/**
+ * The core equivalence, for every allocator kind: checkpoint at the
+ * split, restore into a fresh allocator, replay the tail — final
+ * state digests match the uninterrupted run bit for bit.
+ */
+TEST(CheckpointRestore, SplitRunMatchesStraightRunAllKinds)
+{
+    const SweepScenario scenario =
+        buildSweepScenario("smoke", 42, 2);
+    for (const AllocatorKind kind : allAllocatorKinds()) {
+        EXPECT_EQ(straightDigest(scenario, kind),
+                  splitDigest(scenario, kind))
+            << "allocator kind: " << allocatorKindName(kind);
+    }
+}
+
+/** A different seed and a later split keep the equivalence. */
+TEST(CheckpointRestore, EquivalenceHoldsAcrossSeedsAndSplits)
+{
+    for (const std::uint64_t seed : {7ULL, 1234ULL}) {
+        SweepScenario scenario =
+            buildSweepScenario("smoke", seed, 2);
+        scenario.splitTime = scenario.splitTime / 3;
+        for (const AllocatorKind kind :
+             {AllocatorKind::gmlake, AllocatorKind::caching}) {
+            EXPECT_EQ(straightDigest(scenario, kind),
+                      splitDigest(scenario, kind))
+                << "seed " << seed << ", kind "
+                << allocatorKindName(kind);
+        }
+    }
+}
+
+/**
+ * One checkpoint, many restores: the sweep restores the same
+ * immutable Checkpoint into every point's allocator. Two restores +
+ * tail replays from one capture must agree with each other and with
+ * the straight run.
+ */
+TEST(CheckpointRestore, DoubleRestoreFromOneCheckpoint)
+{
+    const SweepScenario scenario =
+        buildSweepScenario("smoke", 42, 2);
+    std::vector<workload::Trace> warmupTraces;
+    std::vector<workload::Trace> tailTraces;
+    for (std::size_t i = 0; i < scenario.traces.size(); ++i) {
+        auto [head, tail] =
+            splitTraceAt(scenario.traces[i], scenario.startTimes[i],
+                         scenario.splitTime);
+        warmupTraces.push_back(std::move(head));
+        tailTraces.push_back(std::move(tail));
+    }
+    const WarmupCapture warmup =
+        runWarmup(scenario, AllocatorKind::gmlake, warmupTraces);
+
+    std::uint64_t digests[2];
+    for (auto &digest : digests) {
+        vmm::Device device(scenario.device);
+        const auto allocator = makeAllocator(
+            AllocatorKind::gmlake, device, scenario.base);
+        digest = restoredTailDigest(scenario, tailTraces, warmup,
+                                    *allocator, device);
+    }
+    EXPECT_EQ(digests[0], digests[1]);
+    EXPECT_EQ(digests[0],
+              straightDigest(scenario, AllocatorKind::gmlake));
+}
+
+/**
+ * Restoring into a *dirty* allocator (one that already replayed
+ * unrelated work) must wipe its state wholesale: the tail digest
+ * matches the fresh-restore digest exactly.
+ */
+TEST(CheckpointRestore, RestoreIntoDirtyAllocator)
+{
+    const SweepScenario scenario =
+        buildSweepScenario("smoke", 42, 2);
+    std::vector<workload::Trace> warmupTraces;
+    std::vector<workload::Trace> tailTraces;
+    for (std::size_t i = 0; i < scenario.traces.size(); ++i) {
+        auto [head, tail] =
+            splitTraceAt(scenario.traces[i], scenario.startTimes[i],
+                         scenario.splitTime);
+        warmupTraces.push_back(std::move(head));
+        tailTraces.push_back(std::move(tail));
+    }
+    const WarmupCapture warmup =
+        runWarmup(scenario, AllocatorKind::gmlake, warmupTraces);
+
+    vmm::Device freshDevice(scenario.device);
+    const auto fresh = makeAllocator(AllocatorKind::gmlake,
+                                     freshDevice, scenario.base);
+    const std::uint64_t freshDigest = restoredTailDigest(
+        scenario, tailTraces, warmup, *fresh, freshDevice);
+
+    // Dirty the second allocator with an unrelated replay first;
+    // restoreState must replace every trace of it.
+    vmm::Device dirtyDevice(scenario.device);
+    const auto dirty = makeAllocator(AllocatorKind::gmlake,
+                                     dirtyDevice, scenario.base);
+    {
+        const SweepScenario other =
+            buildSweepScenario("smoke", 99, 2);
+        SimEngine engine(*dirty, dirtyDevice);
+        engine.addSession(
+            Session("noise", &other.traces[0], 0));
+        engine.run();
+    }
+    EXPECT_EQ(freshDigest,
+              restoredTailDigest(scenario, tailTraces, warmup,
+                                 *dirty, dirtyDevice));
+}
+
+/**
+ * A checkpoint taken after a tenant OOM-killed during the warmup is
+ * still resumable: the dead session is seeded dead (replays
+ * nothing), survivors replay on, and the split run stays
+ * bit-identical to the straight run in which the same tenant dies
+ * at the same instant.
+ */
+TEST(CheckpointRestore, RestoreAfterWarmupOom)
+{
+    SweepScenario scenario = buildSweepScenario("smoke", 42, 2);
+    // Squeeze the device until a tenant dies inside the warmup
+    // prefix (both tenants are ~7 GiB peak on 16 GiB by default).
+    scenario.device.capacity = 5_GiB;
+
+    std::vector<workload::Trace> warmupTraces;
+    std::vector<workload::Trace> tailTraces;
+    for (std::size_t i = 0; i < scenario.traces.size(); ++i) {
+        auto [head, tail] =
+            splitTraceAt(scenario.traces[i], scenario.startTimes[i],
+                         scenario.splitTime);
+        warmupTraces.push_back(std::move(head));
+        tailTraces.push_back(std::move(tail));
+    }
+    const WarmupCapture warmup =
+        runWarmup(scenario, AllocatorKind::gmlake, warmupTraces);
+    ASSERT_TRUE(warmup.anyOom)
+        << "expected a warmup-phase OOM at 5 GiB; adjust capacity";
+    bool anyDead = false;
+    for (const SessionSeed &seed : warmup.resume->sessions)
+        anyDead = anyDead || seed.dead;
+    ASSERT_TRUE(anyDead);
+
+    vmm::Device device(scenario.device);
+    const auto allocator = makeAllocator(AllocatorKind::gmlake,
+                                         device, scenario.base);
+    EXPECT_EQ(straightDigest(scenario, AllocatorKind::gmlake),
+              restoredTailDigest(scenario, tailTraces, warmup,
+                                 *allocator, device));
+}
+
+} // namespace

@@ -174,6 +174,10 @@ constexpr ExpectedDigest kExpectedDigests[] = {
     // block churn is seed-deterministic, so the whole serving day
     // is pinned like any materialized trace.
     {"serve-day", 0xb62855605fa14fe5ULL},
+    // Checkpoint/restore sweep: warmup prefix + per-point tail
+    // replays are deterministic end to end (sim/sweep.hh), so the
+    // whole warm-started grid pins like a straight run.
+    {"sweep-smoke", 0xc134c53e615c6e37ULL},
 };
 
 bool

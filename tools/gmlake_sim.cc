@@ -41,6 +41,7 @@
 #include "sim/experiment.hh"
 #include "sim/runner.hh"
 #include "sim/session.hh"
+#include "sim/sweep.hh"
 #include "support/strings.hh"
 #include "support/table.hh"
 #include "support/units.hh"
@@ -308,6 +309,12 @@ printHelp()
         "      --json [FILE]   write report (BENCH_<name>.json)\n"
         "      --out FILE      write the JSON report to FILE instead\n"
         "                      of the fixed BENCH_<name>.json\n\n"
+        "Policy sweeps (checkpoint/restore warm-starts):\n"
+        "  sweep SCENARIO [opts]\n"
+        "                      replay the warmup prefix once, fork\n"
+        "                      each policy point from the checkpoint\n"
+        "                      (smoke | train | colocate; see\n"
+        "                      gmlake_sim sweep --help)\n\n"
         "Single workloads (trace subcommands):\n"
         "  trace run [opts]          generate a workload and replay "
         "it\n"
@@ -768,6 +775,316 @@ cmdTrace(int argc, char **argv)
     return usage();
 }
 
+// -------------------------------------------------------- sweep verb
+
+/** `gmlake_sim sweep` options (separate from the trace table). */
+struct SweepCliOptions
+{
+    std::string scenario;
+    std::string allocator = "gmlake";
+    std::string gridSpec;
+    std::size_t randomPoints = 0;
+    std::size_t threads = 1;
+    std::size_t engineThreads = 1;
+    std::uint64_t seed = 42;
+    int iterations = 0; //!< 0 = scenario default
+    Bytes capacityGiB = 0;
+    bool cold = false;
+    std::string outPath;
+    bool help = false;
+};
+
+std::vector<std::string>
+splitOn(const std::string &s, char sep)
+{
+    std::vector<std::string> parts;
+    std::size_t begin = 0;
+    while (begin <= s.size()) {
+        const std::size_t end = s.find(sep, begin);
+        if (end == std::string::npos) {
+            parts.push_back(s.substr(begin));
+            break;
+        }
+        parts.push_back(s.substr(begin, end - begin));
+        begin = end + 1;
+    }
+    return parts;
+}
+
+double
+parseReal(const char *what, const std::string &value)
+{
+    try {
+        std::size_t consumed = 0;
+        const double parsed = std::stod(value, &consumed);
+        if (consumed == value.size())
+            return parsed;
+    } catch (const std::exception &) {
+    }
+    GMLAKE_FATAL("sweep grid axis ", what, ": bad number '", value,
+                 "'");
+}
+
+/**
+ * Parse "frag=2,16;tol=0,0.125;sblocks=4096;overscribe=4,8;
+ * stitch=on,off" into grid axes (frag in MiB; unknown keys are a
+ * hard error so typos do not silently sweep nothing).
+ */
+sim::SweepGrid
+parseGridSpec(const std::string &spec)
+{
+    sim::SweepGrid grid;
+    for (const std::string &axis : splitOn(spec, ';')) {
+        if (axis.empty())
+            continue;
+        const std::size_t eq = axis.find('=');
+        if (eq == std::string::npos)
+            GMLAKE_FATAL("sweep grid axis '", axis,
+                         "' has no '=' (expected KEY=V1,V2,...)");
+        const std::string key = axis.substr(0, eq);
+        const std::vector<std::string> values =
+            splitOn(axis.substr(eq + 1), ',');
+        if (values.empty() ||
+            (values.size() == 1 && values[0].empty()))
+            GMLAKE_FATAL("sweep grid axis '", key, "' has no values");
+        for (const std::string &value : values) {
+            if (key == "frag") {
+                grid.fragLimits.push_back(
+                    parseNumber("frag", value) * MiB);
+            } else if (key == "tol") {
+                grid.nearMatchTolerances.push_back(
+                    parseReal("tol", value));
+            } else if (key == "sblocks") {
+                grid.maxCachedSBlocks.push_back(
+                    static_cast<std::size_t>(
+                        parseNumber("sblocks", value)));
+            } else if (key == "overscribe") {
+                grid.maxVaOverscribes.push_back(
+                    parseReal("overscribe", value));
+            } else if (key == "stitch") {
+                if (value != "on" && value != "off")
+                    GMLAKE_FATAL("sweep grid axis stitch: expected "
+                                 "on/off, got '", value, "'");
+                grid.enableStitching.push_back(value == "on");
+            } else {
+                GMLAKE_FATAL("unknown sweep grid axis '", key,
+                             "' (frag | tol | sblocks | overscribe "
+                             "| stitch)");
+            }
+        }
+    }
+    return grid;
+}
+
+SweepCliOptions
+parseSweepFlags(int argc, char **argv)
+{
+    SweepCliOptions opt;
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto value = [&]() -> std::string {
+            if (i + 1 >= argc)
+                GMLAKE_FATAL("flag ", arg, " needs a value");
+            return argv[++i];
+        };
+        if (arg == "--help" || arg == "-h")
+            opt.help = true;
+        else if (arg == "--allocator")
+            opt.allocator = value();
+        else if (arg == "--grid")
+            opt.gridSpec = value();
+        else if (arg == "--points")
+            opt.randomPoints = static_cast<std::size_t>(
+                parseNumber("--points", value()));
+        else if (arg == "--threads")
+            opt.threads = static_cast<std::size_t>(
+                parseNumber("--threads", value()));
+        else if (arg == "--engine-threads")
+            opt.engineThreads = static_cast<std::size_t>(
+                parseNumber("--engine-threads", value()));
+        else if (arg == "--seed")
+            opt.seed = parseNumber("--seed", value());
+        else if (arg == "--iterations")
+            opt.iterations = static_cast<int>(
+                parseNumber("--iterations", value()));
+        else if (arg == "--capacity")
+            opt.capacityGiB = parseNumber("--capacity", value());
+        else if (arg == "--cold")
+            opt.cold = true;
+        else if (arg == "--out")
+            opt.outPath = value();
+        else if (!arg.empty() && arg[0] == '-')
+            GMLAKE_FATAL("unknown sweep flag: ", arg,
+                         " (try --help)");
+        else if (opt.scenario.empty())
+            opt.scenario = arg;
+        else
+            GMLAKE_FATAL("unexpected argument: ", arg);
+    }
+    return opt;
+}
+
+void
+writeSweepJson(const sim::SweepReport &report,
+               const SweepCliOptions &opt, Tick splitTime,
+               const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        GMLAKE_FATAL("cannot open JSON for writing: ", path);
+    const auto runFields = [&out](const sim::RunResult &r) {
+        out << "\"oom\": " << (r.oom ? "true" : "false") << ", "
+            << "\"utilization\": " << r.utilization << ", "
+            << "\"fragmentation\": " << r.fragmentation << ", "
+            << "\"peak_active_bytes\": " << r.peakActive << ", "
+            << "\"peak_reserved_bytes\": " << r.peakReserved << ", "
+            << "\"sim_time_ns\": " << r.simTime << ", "
+            << "\"alloc_count\": " << r.allocCount << ", "
+            << "\"free_count\": " << r.freeCount << ", "
+            << "\"device_api_time_ns\": " << r.deviceApiTime;
+    };
+    out << "{\n"
+        << "  \"scenario\": \"" << opt.scenario << "\",\n"
+        << "  \"mode\": \"sweep\",\n"
+        << "  \"allocator\": \"" << report.allocator << "\",\n"
+        << "  \"config\": {"
+        << "\"seed\": " << opt.seed << ", "
+        << "\"iterations\": " << opt.iterations << ", "
+        << "\"device_capacity_bytes\": " << opt.capacityGiB * GiB
+        << ", "
+        << "\"threads\": " << opt.threads << ", "
+        << "\"engine_threads\": " << opt.engineThreads << ", "
+        << "\"engine_commit\": \"deterministic\", "
+        << "\"warm_start\": " << (opt.cold ? "false" : "true")
+        << ", "
+        << "\"split_time_ns\": " << splitTime << "},\n"
+        << "  \"warmup\": {";
+    runFields(report.warmup);
+    out << ", \"wall_ns\": " << report.warmupWallNs << "},\n"
+        << "  \"total_wall_ns\": " << report.totalWallNs << ",\n"
+        << "  \"points\": [";
+    bool first = true;
+    for (const sim::SweepPointRecord &rec : report.points) {
+        const core::GMLakeConfig &c = rec.point.config;
+        out << (first ? "" : ",") << "\n    {"
+            << "\"label\": \"" << rec.point.label << "\", "
+            << "\"frag_limit_bytes\": " << c.fragLimit << ", "
+            << "\"near_match_tolerance\": " << c.nearMatchTolerance
+            << ", "
+            << "\"max_cached_sblocks\": " << c.maxCachedSBlocks
+            << ", "
+            << "\"max_va_overscribe\": " << c.maxVaOverscribe << ", "
+            << "\"enable_stitching\": "
+            << (c.enableStitching ? "true" : "false") << ", ";
+        runFields(rec.tail);
+        out << ", \"point_wall_ns\": " << rec.pointWallNs
+            << ", \"pareto\": " << (rec.onFrontier ? "true" : "false")
+            << "}";
+        first = false;
+    }
+    out << "\n  ],\n  \"pareto_frontier\": [";
+    first = true;
+    for (const std::size_t index : report.frontier()) {
+        out << (first ? "" : ", ") << index;
+        first = false;
+    }
+    out << "]\n}\n";
+}
+
+int
+cmdSweep(int argc, char **argv)
+{
+    const SweepCliOptions opt = parseSweepFlags(argc, argv);
+    if (opt.help || opt.scenario.empty()) {
+        std::cerr <<
+            "usage: gmlake_sim sweep <scenario> [options]\n"
+            "  scenarios: smoke | train | colocate\n"
+            "  --allocator A       allocator kind (default gmlake)\n"
+            "  --grid SPEC         frag=2,16;tol=0,0.125;"
+            "sblocks=4096;overscribe=4,8;stitch=on,off\n"
+            "                      (frag in MiB; omitted axes keep "
+            "the base value)\n"
+            "  --points N          random search with N points "
+            "instead of a grid\n"
+            "  --threads N         per-point fork threads "
+            "(0 = all cores; results identical)\n"
+            "  --engine-threads N  threads inside each replay\n"
+            "  --seed N            workload seed (default 42)\n"
+            "  --iterations N      scenario scale override\n"
+            "  --capacity GiB      device capacity override\n"
+            "  --cold              re-replay the warmup per point "
+            "(baseline; same results)\n"
+            "  --out FILE          report path (default "
+            "BENCH_sweep_<scenario>.json)\n";
+        return opt.help ? 0 : 1;
+    }
+    if (!opt.gridSpec.empty() && opt.randomPoints > 0)
+        GMLAKE_FATAL("--grid and --points are mutually exclusive");
+
+    const auto kind = sim::parseAllocatorKind(opt.allocator);
+    if (!kind)
+        GMLAKE_FATAL("unknown allocator: ", opt.allocator);
+
+    sim::SweepScenario scenario = sim::buildSweepScenario(
+        opt.scenario, opt.seed, opt.iterations);
+    if (opt.capacityGiB != 0)
+        scenario.device.capacity = opt.capacityGiB * GiB;
+
+    std::vector<sim::SweepPoint> points;
+    if (opt.randomPoints > 0) {
+        points = sim::randomSweepPoints(scenario.base,
+                                        opt.randomPoints, opt.seed);
+    } else if (!opt.gridSpec.empty()) {
+        points = parseGridSpec(opt.gridSpec).expand(scenario.base);
+    } else {
+        sim::SweepGrid grid;
+        grid.fragLimits = {2_MiB, 16_MiB};
+        grid.nearMatchTolerances = {0.0, 0.125};
+        grid.enableStitching = {true, false};
+        points = grid.expand(scenario.base);
+    }
+
+    sim::SweepRunOptions options;
+    options.kind = *kind;
+    options.threads = opt.threads;
+    options.warmStart = !opt.cold;
+    options.engineThreads = opt.engineThreads;
+
+    std::cout << "sweep " << opt.scenario << ": " << points.size()
+              << " points, " << (opt.cold ? "cold" : "warm-start")
+              << ", split at " << formatTime(scenario.splitTime)
+              << "\n";
+    const sim::SweepReport report =
+        sim::runSweep(scenario, points, options);
+
+    Table table({"Point", "Frag", "Peak reserved", "Dev API",
+                 "Sim time", "Wall", "Pareto"});
+    for (const sim::SweepPointRecord &rec : report.points) {
+        table.addRow(
+            {rec.point.label,
+             rec.tail.oom ? "OOM"
+                          : formatPercent(rec.tail.fragmentation),
+             formatBytes(rec.tail.peakReserved),
+             formatTime(rec.tail.deviceApiTime),
+             formatTime(rec.tail.simTime),
+             formatTime(rec.pointWallNs),
+             rec.onFrontier ? "*" : ""});
+    }
+    table.print(std::cout);
+    std::cout << "warmup " << formatTime(report.warmupWallNs)
+              << ", total " << formatTime(report.totalWallNs)
+              << " (" << report.frontier().size()
+              << " Pareto point"
+              << (report.frontier().size() == 1 ? "" : "s") << ")\n";
+
+    const std::string outPath =
+        opt.outPath.empty() ? "BENCH_sweep_" + opt.scenario + ".json"
+                            : opt.outPath;
+    writeSweepJson(report, opt, scenario.splitTime, outPath);
+    std::cout << "(report written to " << outPath << ")\n";
+    return 0;
+}
+
 /** Bare-flag invocations: warn, then route to the trace verbs. */
 int
 legacyMain(int argc, char **argv)
@@ -823,6 +1140,8 @@ try {
         return cmdRun(argc, argv);
     if (std::strcmp(argv[1], "trace") == 0)
         return cmdTrace(argc, argv);
+    if (std::strcmp(argv[1], "sweep") == 0)
+        return cmdSweep(argc, argv);
     if (argv[1][0] == '-')
         return legacyMain(argc, argv);
     std::cerr << "unknown subcommand: " << argv[1]
