@@ -81,35 +81,52 @@ GMLakeAllocator::allocPBlock(Bytes size, StreamId stream)
 
     const std::size_t chunkCount = size / mConfig.chunkSize;
     block->chunks.reserve(chunkCount);
+    // Roll back a partially built block: every chunk in
+    // block->chunks is mapped at its slot; @p extra is a created but
+    // not yet mapped handle. Undoing freshly created state uses only
+    // teardown calls, which cannot fail on valid arguments.
+    const auto unwind = [&](const PhysHandle *extra) {
+        for (std::size_t j = 0; j < block->chunks.size(); ++j) {
+            const VirtAddr at =
+                *va + static_cast<VirtAddr>(j) * mConfig.chunkSize;
+            Status s = mDevice.memUnmap(at, mConfig.chunkSize);
+            GMLAKE_ASSERT(s.ok(), "rollback unmap failed");
+            s = mDevice.memRelease(block->chunks[j]);
+            GMLAKE_ASSERT(s.ok(), "rollback release failed");
+        }
+        if (extra != nullptr) {
+            const Status s = mDevice.memRelease(*extra);
+            GMLAKE_ASSERT(s.ok(), "rollback release failed");
+        }
+        const Status s = mDevice.memAddressFree(*va);
+        GMLAKE_ASSERT(s.ok(), "rollback addressFree failed");
+        block->chunks.clear();
+        mPPool.release(block);
+        noteRollback();
+    };
     // Chunks are created and mapped one by one — the simulated cost
     // and failure behaviour of the real driver loop — but each map
     // is an O(1) append to the tail extent of the fresh VA range.
     for (std::size_t i = 0; i < chunkCount; ++i) {
         auto h = mDevice.memCreate(mConfig.chunkSize);
         if (!h.ok()) {
-            // Roll back everything created so far.
-            for (std::size_t j = 0; j < block->chunks.size(); ++j) {
-                const VirtAddr at =
-                    *va + static_cast<VirtAddr>(j) * mConfig.chunkSize;
-                Status s = mDevice.memUnmap(at, mConfig.chunkSize);
-                GMLAKE_ASSERT(s.ok(), "rollback unmap failed");
-                s = mDevice.memRelease(block->chunks[j]);
-                GMLAKE_ASSERT(s.ok(), "rollback release failed");
-            }
-            const Status s = mDevice.memAddressFree(*va);
-            GMLAKE_ASSERT(s.ok(), "rollback addressFree failed");
-            mPPool.release(block);
+            unwind(nullptr);
             return h.error();
         }
         const VirtAddr at =
             *va + static_cast<VirtAddr>(i) * mConfig.chunkSize;
         const Status mapped = mDevice.memMap(at, *h);
-        GMLAKE_ASSERT(mapped.ok(), "fresh VA must map: ",
-                      mapped.ok() ? "" : mapped.error().message);
+        if (!mapped.ok()) {
+            unwind(&*h);
+            return mapped.error();
+        }
         block->chunks.push_back(*h);
     }
     const Status acc = mDevice.memSetAccess(*va, size);
-    GMLAKE_ASSERT(acc.ok(), "fresh mapping must accept access");
+    if (!acc.ok()) {
+        unwind(nullptr);
+        return acc.error();
+    }
 
     block->id = mNextBlockId++;
     block->va = *va;
@@ -191,9 +208,26 @@ GMLakeAllocator::splitPBlock(PBlock *block, Bytes sizeA)
                 block->chunks[chunkOffset + i]);
         }
         const Status s = mDevice.memMapBatch(mScratch->mapBatch);
-        GMLAKE_ASSERT(s.ok(), "split remap failed");
+        if (!s.ok()) {
+            // memMapBatch is atomic on error: nothing was installed,
+            // so only the fresh reservation needs undoing. The
+            // original block's own mapping is still fully intact.
+            const Status freed = mDevice.memAddressFree(*va);
+            GMLAKE_ASSERT(freed.ok(),
+                          "split rollback addressFree failed");
+            noteRollback();
+            return s.error();
+        }
         const Status acc = mDevice.memSetAccess(*va, size);
-        GMLAKE_ASSERT(acc.ok(), "split access failed");
+        if (!acc.ok()) {
+            Status undo = mDevice.memUnmap(*va, size);
+            GMLAKE_ASSERT(undo.ok(), "split rollback unmap failed");
+            undo = mDevice.memAddressFree(*va);
+            GMLAKE_ASSERT(undo.ok(),
+                          "split rollback addressFree failed");
+            noteRollback();
+            return acc.error();
+        }
 
         PBlock *half = mPPool.acquire();
         half->id = mNextBlockId++;
@@ -219,7 +253,8 @@ GMLakeAllocator::splitPBlock(PBlock *block, Bytes sizeA)
     const auto halfB =
         makeHalf(chunksA, block->chunks.size() - chunksA, sizeB);
     if (!halfB.ok()) {
-        // Extremely unlikely (VA space exhaustion); undo half A.
+        // VA exhaustion or an injected fault; undo half A so the
+        // original block survives the failed attempt untouched.
         PBlock *a = *halfA;
         Status s = mDevice.memUnmap(a->va, a->size);
         GMLAKE_ASSERT(s.ok(), "split rollback unmap failed");
@@ -227,6 +262,7 @@ GMLakeAllocator::splitPBlock(PBlock *block, Bytes sizeA)
         GMLAKE_ASSERT(s.ok(), "split rollback addressFree failed");
         eraseInactiveP(a);
         mPPool.release(a);
+        noteRollback();
         return halfB.error();
     }
 
@@ -291,10 +327,27 @@ GMLakeAllocator::stitch(const std::vector<PBlock *> &members,
         }
     }
     const Status mapped = mDevice.memMapBatch(mScratch->mapBatch);
-    GMLAKE_ASSERT(mapped.ok(), "stitch map failed: ",
-                  mapped.ok() ? "" : mapped.error().message);
+    if (!mapped.ok()) {
+        // Atomic batch: no mapping was installed. Undo the fresh VA
+        // reservation and stop — members, their own mappings, and
+        // the sharer indices are only mutated after success below,
+        // so the pools are exactly as they were before the attempt.
+        const Status freed = mDevice.memAddressFree(*va);
+        GMLAKE_ASSERT(freed.ok(),
+                      "stitch rollback addressFree failed");
+        noteRollback();
+        return mapped.error();
+    }
     const Status acc = mDevice.memSetAccess(*va, total);
-    GMLAKE_ASSERT(acc.ok(), "stitch access failed");
+    if (!acc.ok()) {
+        Status undo = mDevice.memUnmap(*va, total);
+        GMLAKE_ASSERT(undo.ok(), "stitch rollback unmap failed");
+        undo = mDevice.memAddressFree(*va);
+        GMLAKE_ASSERT(undo.ok(),
+                      "stitch rollback addressFree failed");
+        noteRollback();
+        return acc.error();
+    }
 
     SBlock *sblock = mSPool.acquire();
     sblock->id = mNextBlockId++;
@@ -445,6 +498,7 @@ GMLakeAllocator::ensureResident(PBlock *block)
                 GMLAKE_ASSERT(rel.ok(), "fault-in rollback failed");
             }
             block->chunks.clear();
+            noteRollback();
             return h.error();
         }
         block->chunks.push_back(*h);
@@ -453,22 +507,59 @@ GMLakeAllocator::ensureResident(PBlock *block)
     // Remap under the block's own VA and every sharer VA. The
     // stitched structures were never torn down, so this is the
     // "no data-copy for re-stitch" path: mapping cost only.
-    auto remapAt = [&](VirtAddr base) {
+    auto remapAt = [&](VirtAddr base) -> Status {
         mScratch->mapBatch.clear();
         for (std::size_t i = 0; i < chunkCount; ++i) {
             mScratch->mapBatch.emplace_back(
                 base + static_cast<VirtAddr>(i) * mConfig.chunkSize,
                 block->chunks[i]);
         }
-        Status s = mDevice.memMapBatch(mScratch->mapBatch);
-        GMLAKE_ASSERT(s.ok(), "fault-in remap failed: ",
-                      s.ok() ? "" : s.error().message);
-        s = mDevice.memSetAccess(base, block->size);
-        GMLAKE_ASSERT(s.ok(), "fault-in access failed");
+        const Status s = mDevice.memMapBatch(mScratch->mapBatch);
+        if (!s.ok())
+            return s; // atomic: nothing was installed at @p base
+        const Status acc = mDevice.memSetAccess(base, block->size);
+        if (!acc.ok()) {
+            const Status undo = mDevice.memUnmap(base, block->size);
+            GMLAKE_ASSERT(undo.ok(),
+                          "fault-in rollback unmap failed");
+            return acc;
+        }
+        return Status::success();
     };
-    remapAt(block->va);
-    for (SBlock *sharer : block->sharers)
-        remapAt(sharer->va + sharerOffset(sharer, block));
+    bool ownMapped = false;
+    std::size_t sharersMapped = 0;
+    Status remap = remapAt(block->va);
+    if (remap.ok()) {
+        ownMapped = true;
+        for (SBlock *sharer : block->sharers) {
+            remap = remapAt(sharer->va + sharerOffset(sharer, block));
+            if (!remap.ok())
+                break;
+            ++sharersMapped;
+        }
+    }
+    if (!remap.ok()) {
+        // Unwind every range remapped so far and release the fresh
+        // chunks: the block ends exactly as spilled as it started.
+        if (ownMapped) {
+            const Status s = mDevice.memUnmap(block->va, block->size);
+            GMLAKE_ASSERT(s.ok(), "fault-in rollback unmap failed");
+        }
+        for (std::size_t i = 0; i < sharersMapped; ++i) {
+            SBlock *sharer = block->sharers[i];
+            const Status s = mDevice.memUnmap(
+                sharer->va + sharerOffset(sharer, block),
+                block->size);
+            GMLAKE_ASSERT(s.ok(), "fault-in rollback unmap failed");
+        }
+        for (PhysHandle created : block->chunks) {
+            const Status rel = mDevice.memRelease(created);
+            GMLAKE_ASSERT(rel.ok(), "fault-in rollback failed");
+        }
+        block->chunks.clear();
+        noteRollback();
+        return remap;
+    }
 
     block->resident = true;
     mSpilledBytes -= block->size;

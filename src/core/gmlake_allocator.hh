@@ -121,6 +121,13 @@ class GMLakeAllocator : public alloc::Allocator
     /** Internal invariant check used by tests; panics on violation. */
     void checkConsistency() const;
 
+    /**
+     * Partial-failure unwinds executed (stitch, split, fresh pBlock
+     * build, fault-in remap). Zero unless a device API failed
+     * mid-mutation — which never happens without fault injection.
+     */
+    std::uint64_t rollbackCount() const { return mRollbacks; }
+
   private:
     struct SBlock;
     struct State;
@@ -427,6 +434,10 @@ class GMLakeAllocator : public alloc::Allocator
 
     /** Last-resort release of cached memory, then used by retries. */
     void releaseCached();
+
+    /** Count one partial-failure unwind (see rollbackCount()). */
+    void noteRollback() { ++mRollbacks; }
+    std::uint64_t mRollbacks = 0;
 
     /** Serve one large request; factor of allocate(). */
     Expected<alloc::Allocation> allocateLarge(Bytes size,
