@@ -74,6 +74,34 @@ class Allocator
 
     virtual std::string name() const = 0;
 
+    // --- fault recovery -------------------------------------------------
+
+    /**
+     * How often the allocator unwound or rode out a failed device API
+     * call. Both stay 0 in fault-free runs (a failing device call is
+     * the only trigger), so reporting them is digest-neutral.
+     */
+    struct RecoveryCounters
+    {
+        /** Multi-call mutations unwound to their pre-attempt state. */
+        std::uint64_t rollbacks = 0;
+        /** Failed attempts later satisfied through the reclaim ladder. */
+        std::uint64_t recovered = 0;
+    };
+
+    virtual RecoveryCounters recoveryCounters() const { return {}; }
+
+    /**
+     * Deep self-check of every internal invariant the allocator can
+     * state against its own books and the backing device: extent and
+     * mapping consistency, refcounts, sharer back-pointers, byte
+     * conservation, index memberships. Panics (GMLAKE_ASSERT) on the
+     * first violation; returns normally when clean. Called by tests
+     * and by the chaos harness after every recovery — it is O(state)
+     * and takes no shortcuts, so keep it off hot paths.
+     */
+    virtual void auditInvariants() const {}
+
     // --- checkpoint / restore ------------------------------------------
 
     /**

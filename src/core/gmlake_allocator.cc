@@ -762,6 +762,17 @@ GMLakeAllocator::allocate(Bytes size, StreamId stream)
 Expected<alloc::Allocation>
 GMLakeAllocator::allocateLarge(Bytes size, StreamId stream)
 {
+    bool retried = false;
+    auto result = allocateLargeInner(size, stream, retried);
+    if (retried && result.ok())
+        ++mRecovered;
+    return result;
+}
+
+Expected<alloc::Allocation>
+GMLakeAllocator::allocateLargeInner(Bytes size, StreamId stream,
+                                    bool &retried)
+{
     const Bytes rounded = roundUp(size, mConfig.chunkSize);
     // Largest acceptable over-allocation for a whole-block hand-out.
     const Bytes slack = roundDown(
@@ -1028,12 +1039,14 @@ GMLakeAllocator::allocateLarge(Bytes size, StreamId stream)
                     if (attempt + 1 < maxAttempts &&
                         mOffloadHook->reclaimOnOom(need, stream) >
                             0) {
+                        retried = true;
                         continue;
                     }
                 } else if (attempt == 0) {
                     // Fallback: drop cached stitches and cached
                     // physical blocks, then retry the whole search.
                     releaseCached();
+                    retried = true;
                     continue;
                 }
                 ++mCounters.s5Oom;
@@ -1521,6 +1534,14 @@ GMLakeAllocator::checkConsistency() const
     GMLAKE_ASSERT(sVaTotal == mStitchedVaBytes,
                   "stitched VA accounting drifted");
 
+    GMLAKE_ASSERT(mInactivePFree.size() ==
+                  static_cast<std::size_t>(std::count_if(
+                      mInactiveP.begin(), mInactiveP.end(),
+                      [](const PBlock *p) {
+                          return p->sharers.empty();
+                      })),
+                  "unshared-inactive index out of sync");
+
     // Exclusive tensor use: every live allocation targets an active
     // block, and no two live allocations share a pBlock.
     std::set<const PBlock *> used;
@@ -1540,6 +1561,45 @@ GMLakeAllocator::checkConsistency() const
                           "pBlock used by two tensors");
         }
     }
+}
+
+void
+GMLakeAllocator::auditInvariants() const
+{
+    checkConsistency();
+
+    // Cross-check the books against the device itself, so a rollback
+    // that restored the metadata but leaked a mapping (or vice versa)
+    // cannot hide: every block VA must sit in a reservation of its
+    // exact geometry, and every resident chunk must be a live handle
+    // of chunkSize mapped once per VA that exposes it — its own
+    // pBlock plus every stitched sharer.
+    const vmm::PhysMemory &phys = mDevice.phys();
+    const vmm::VaSpace &va = mDevice.vaSpace();
+    mPPool.forEachLive([&](const PBlock *p) {
+        const auto res = va.containing(p->va, p->size);
+        GMLAKE_ASSERT(res.ok(), "pBlock VA not reserved");
+        GMLAKE_ASSERT(res->base == p->va && res->size == p->size,
+                      "pBlock reservation geometry mismatch");
+        if (!p->resident)
+            return;
+        const auto expectedRefs =
+            static_cast<std::uint32_t>(1 + p->sharers.size());
+        for (const PhysHandle h : p->chunks) {
+            GMLAKE_ASSERT(phys.isLive(h),
+                          "resident chunk is a dead handle");
+            GMLAKE_ASSERT(*phys.sizeOf(h) == mConfig.chunkSize,
+                          "resident chunk size mismatch");
+            GMLAKE_ASSERT(phys.mapRefs(h) == expectedRefs,
+                          "chunk mapRefs != 1 + sharers");
+        }
+    });
+    mSPool.forEachLive([&](const SBlock *s) {
+        const auto res = va.containing(s->va, s->size);
+        GMLAKE_ASSERT(res.ok(), "sBlock VA not reserved");
+        GMLAKE_ASSERT(res->base == s->va && res->size == s->size,
+                      "sBlock reservation geometry mismatch");
+    });
 }
 
 } // namespace gmlake::core

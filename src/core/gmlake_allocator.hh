@@ -122,6 +122,19 @@ class GMLakeAllocator : public alloc::Allocator
     void checkConsistency() const;
 
     /**
+     * checkConsistency() plus cross-checks against the device:
+     * reservation geometry for every block VA, chunk liveness, chunk
+     * size, and mapRefs == 1 + sharers for every resident chunk.
+     */
+    void auditInvariants() const override;
+
+    alloc::Allocator::RecoveryCounters
+    recoveryCounters() const override
+    {
+        return {mRollbacks, mRecovered};
+    }
+
+    /**
      * Partial-failure unwinds executed (stitch, split, fresh pBlock
      * build, fault-in remap). Zero unless a device API failed
      * mid-mutation — which never happens without fault injection.
@@ -438,10 +451,21 @@ class GMLakeAllocator : public alloc::Allocator
     /** Count one partial-failure unwind (see rollbackCount()). */
     void noteRollback() { ++mRollbacks; }
     std::uint64_t mRollbacks = 0;
+    /** Allocations that succeeded only after a failed growth round. */
+    std::uint64_t mRecovered = 0;
 
     /** Serve one large request; factor of allocate(). */
     Expected<alloc::Allocation> allocateLarge(Bytes size,
                                               StreamId stream);
+
+    /**
+     * allocateLarge() body: the retry ladder sets @p retried when a
+     * failed growth round was answered with a reclaim-and-retry, so
+     * the wrapper can count ultimately successful recoveries.
+     */
+    Expected<alloc::Allocation> allocateLargeInner(Bytes size,
+                                                   StreamId stream,
+                                                   bool &retried);
 
     /** Bridge small-path stats into the unified stats object. */
     void syncSmallPathStats();

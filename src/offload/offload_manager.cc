@@ -116,8 +116,15 @@ OffloadManager::touch(alloc::AllocId id)
                         " and nothing is left to evict");
             }
         }
-        const Tick done = mDevice.copyH2DAsync(entry.bytes);
-        mDevice.copyWait(done);
+        const auto done = mDevice.copyH2DAsync(entry.bytes);
+        if (!done.ok()) {
+            // Injected copy-lane failure. The backing is restored but
+            // the data never came home: leave the entry spilled with
+            // its staging intact so a retried touch repeats only the
+            // copy (the faultLive above is then a no-op).
+            return done.error();
+        }
+        mDevice.copyWait(*done);
         mHostPool.unstage(entry.bytes);
         entry.spilled = false;
         ++mStats.faults;
@@ -150,7 +157,10 @@ OffloadManager::prefetch(alloc::AllocId id)
     mPrefetching = false;
     if (!restored.ok())
         return; // device full; the touch will pay the full fault
-    entry.dataReadyAt = mDevice.copyH2DAsync(entry.bytes);
+    const auto ready = mDevice.copyH2DAsync(entry.bytes);
+    if (!ready.ok())
+        return; // injected lane failure; likewise deferred to touch
+    entry.dataReadyAt = *ready;
     mHostPool.unstage(entry.bytes);
     entry.spilled = false;
     // A hint is an intent signal: mark the entry warm so the LRU
@@ -221,8 +231,28 @@ OffloadManager::spillVictims(Bytes needed)
         // both charges land serially on the same clock, so the order
         // is unobservable — and this way a refused spill charges
         // nothing.
-        const Tick done = mDevice.copyD2HAsync(entry.bytes);
-        mDevice.copyWait(done);
+        const auto done = mDevice.copyD2HAsync(entry.bytes);
+        if (!done.ok()) {
+            // Injected copy-lane failure: the copy that physically
+            // precedes the release never ran, so undo the release and
+            // skip the victim. The mPrefetching guard keeps the undo
+            // from re-entering this loop through the reclaim hook
+            // (mCandidates is live). If the restore is itself refused
+            // the entry stays staged on the host tier and the next
+            // touch pays the fault.
+            mPrefetching = true;
+            const bool restored = mAllocator.faultLive(victim.id).ok();
+            mPrefetching = false;
+            if (restored) {
+                mHostPool.unstage(entry.bytes);
+                continue;
+            }
+            entry.spilled = true;
+            entry.dataReadyAt = 0;
+            freed += *released;
+            continue;
+        }
+        mDevice.copyWait(*done);
         entry.spilled = true;
         entry.dataReadyAt = 0;
         ++mStats.evictions;

@@ -1,0 +1,205 @@
+#include "sim/chaos.hh"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "alloc/allocator.hh"
+#include "sim/session.hh"
+#include "support/logging.hh"
+#include "support/rng.hh"
+#include "support/stopwatch.hh"
+#include "support/strings.hh"
+#include "support/units.hh"
+#include "vmm/device.hh"
+
+namespace gmlake::sim
+{
+
+namespace
+{
+
+/** start + total compute of one session, i.e. its final local time. */
+Tick
+traceSpan(const workload::Trace &trace, Tick startTime)
+{
+    Tick local = startTime;
+    for (const workload::Event &event : trace.events()) {
+        if (event.kind == workload::EventKind::compute)
+            local += event.computeNs;
+    }
+    return local;
+}
+
+/**
+ * Post-run accounting: the deep allocator audit plus a simulated-
+ * device leak check. After a clean completion every trace frees what
+ * it allocated, so once the cache is flushed the device must hold
+ * exactly the bytes the injector destroyed. A trial whose *last*
+ * surviving session died keeps that tenant's allocations live (the
+ * engine skips reclaim with nobody left to benefit), so the strict
+ * check only applies when nothing is live.
+ */
+void
+auditTrial(alloc::Allocator &allocator, vmm::Device &device,
+           const ChaosTrialRecord &record)
+{
+    allocator.auditInvariants();
+
+    const Bytes active = allocator.stats().activeBytes();
+    const bool anyDeath = record.oomSessions > 0 ||
+                          record.result.abortedSessions > 0;
+    if (active != 0 && !anyDeath)
+        GMLAKE_PANIC("chaos leak check: ", formatBytes(active),
+                     " still active after a clean completion");
+    if (active != 0)
+        return;
+
+    allocator.deviceSynchronize();
+    allocator.emptyCache();
+    allocator.auditInvariants();
+    const Bytes residual = device.phys().inUse();
+    if (residual != record.capacityLost)
+        GMLAKE_PANIC("chaos leak check: device holds ",
+                     formatBytes(residual), " after teardown, "
+                     "expected exactly the injected capacity loss (",
+                     formatBytes(record.capacityLost), ")");
+    const std::size_t reservations = device.vaSpace().reservationCount();
+    if (reservations != 0)
+        GMLAKE_PANIC("chaos leak check: ", reservations,
+                     " VA reservations survived teardown");
+}
+
+} // namespace
+
+ChaosTrialRecord
+runChaosTrial(const ChaosOptions &options, std::uint64_t trialSeed)
+{
+    ChaosTrialRecord record;
+    record.faultSeed = trialSeed;
+    const Stopwatch wall;
+    try {
+        SweepScenario scenario = buildSweepScenario(
+            options.scenario, options.workloadSeed,
+            options.iterations);
+        vmm::Device device(scenario.device);
+        const auto allocator =
+            makeAllocator(options.kind, device, scenario.base);
+
+        if (!options.faultSpec.empty()) {
+            vmm::FaultPlan plan =
+                vmm::FaultPlan::parse(options.faultSpec);
+            if (!plan.empty())
+                device.installFaultInjector(std::move(plan),
+                                            trialSeed);
+        }
+
+        EngineOptions engineOptions;
+        engineOptions.recordSeries = false;
+        engineOptions.engineThreads = options.engineThreads;
+        engineOptions.abortSessionOnFault = true;
+        // Scripted kills: each tenant dies with killChance at an
+        // instant uniform over the scenario span — a deterministic
+        // function of the trial seed, like the fault plan draws.
+        Rng rng(deriveSeed(trialSeed, 0xC4A05ULL));
+        Tick span = 0;
+        for (std::size_t i = 0; i < scenario.traces.size(); ++i) {
+            span = std::max(span, traceSpan(scenario.traces[i],
+                                            scenario.startTimes[i]));
+        }
+        for (std::size_t i = 0; i < scenario.traces.size(); ++i) {
+            if (!rng.chance(options.killChance))
+                continue;
+            const Tick at = static_cast<Tick>(rng.uniformInt(
+                1, span > 0 ? static_cast<std::uint64_t>(span) : 1));
+            engineOptions.tenantKills.emplace_back(i, at);
+        }
+        record.scriptedKills = engineOptions.tenantKills.size();
+
+        SimEngine engine(*allocator, device, engineOptions);
+        for (std::size_t i = 0; i < scenario.traces.size(); ++i) {
+            engine.addSession(Session(scenario.sessionNames[i],
+                                      &scenario.traces[i],
+                                      scenario.startTimes[i]));
+        }
+        MultiRunResult multi = engine.run();
+        record.result = std::move(multi.combined);
+        for (const SessionResult &session : multi.sessions) {
+            if (session.oom)
+                ++record.oomSessions;
+        }
+        if (device.faultInjector() != nullptr)
+            record.capacityLost =
+                device.faultInjector()->counters().capacityLost;
+
+        auditTrial(*allocator, device, record);
+        record.auditPassed = true;
+    } catch (const PanicError &e) {
+        record.internalError = true;
+        record.error = e.what();
+    } catch (const FatalError &e) {
+        record.internalError = true;
+        record.error = e.what();
+    }
+    record.wallNs = wall.elapsedNs();
+    return record;
+}
+
+ChaosReport
+runChaos(const ChaosOptions &options)
+{
+    GMLAKE_ASSERT(options.trials >= 1, "chaos soak needs >= 1 trial");
+    const auto &names = sweepScenarioNames();
+    if (std::find(names.begin(), names.end(), options.scenario) ==
+        names.end())
+        GMLAKE_FATAL("unknown chaos scenario: ", options.scenario,
+                     " (available: smoke, train, colocate)");
+    // Validate the spec once, loudly, before the soak: a malformed
+    // spec is user error, not K identical internal-error trials.
+    if (!options.faultSpec.empty())
+        (void)vmm::FaultPlan::parse(options.faultSpec);
+
+    const Stopwatch wall;
+    ChaosReport report;
+    report.scenario = options.scenario;
+    report.allocator = allocatorKindName(options.kind);
+    report.faultSpec = options.faultSpec;
+    report.faultSeed = options.faultSeed;
+    report.workloadSeed = options.workloadSeed;
+    report.trials.reserve(options.trials);
+    for (std::size_t k = 0; k < options.trials; ++k) {
+        // A one-trial run uses the base seed verbatim, so any trial
+        // of a soak replays as `--fault-seed <its seed> --soak 1`.
+        const std::uint64_t trialSeed =
+            options.trials > 1 ? deriveSeed(options.faultSeed, k)
+                               : options.faultSeed;
+        report.trials.push_back(runChaosTrial(options, trialSeed));
+    }
+    report.totalWallNs = wall.elapsedNs();
+    return report;
+}
+
+std::size_t
+ChaosReport::failures() const
+{
+    return static_cast<std::size_t>(std::count_if(
+        trials.begin(), trials.end(),
+        [](const ChaosTrialRecord &t) { return !t.auditPassed; }));
+}
+
+int
+ChaosReport::exitCode() const
+{
+    int code = kChaosExitClean;
+    for (const ChaosTrialRecord &trial : trials) {
+        if (!trial.auditPassed)
+            return kChaosExitInternal;
+        if (trial.result.abortedSessions > 0)
+            code = kChaosExitAborted;
+        else if (trial.oomSessions > 0 && code == kChaosExitClean)
+            code = kChaosExitOom;
+    }
+    return code;
+}
+
+} // namespace gmlake::sim

@@ -11,8 +11,10 @@
 #ifndef GMLAKE_SIM_ENGINE_HH
 #define GMLAKE_SIM_ENGINE_HH
 
+#include <cstdint>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "alloc/allocator.hh"
@@ -107,6 +109,22 @@ struct RunResult
     std::uint64_t snapshotPublishes = 0;
     std::uint64_t commitStallNs = 0;
 
+    /**
+     * Fault-injection and recovery accounting; all zero in fault-free
+     * runs (an installed vmm::FaultPlan is the only source of device
+     * failures, so reporting these is digest-neutral).
+     * injectedFaults counts device API calls failed by the plan;
+     * recovered counts allocations that succeeded after a failed
+     * growth round; rollbacks counts the allocator's partial-failure
+     * unwinds; abortedSessions counts tenants terminated by chaos —
+     * an injected non-OOM fault or a scripted kill (OOM deaths stay
+     * under `oom`).
+     */
+    std::uint64_t injectedFaults = 0;
+    std::uint64_t recovered = 0;
+    std::uint64_t rollbacks = 0;
+    std::uint64_t abortedSessions = 0;
+
     std::vector<SamplePoint> series;
 };
 
@@ -181,6 +199,23 @@ struct EngineOptions
      */
     bool captureResume = false;
     Tick startFrontier = 0;
+    /**
+     * Chaos mode (deterministic commit only): a session hitting a
+     * non-OOM device failure — Errc::faultInjected from an installed
+     * FaultPlan — is killed like a tenant OOM instead of panicking
+     * the engine, counted in RunResult::abortedSessions. Fault-free
+     * runs never see such errors, so the default (off = panic, the
+     * historical behavior) only matters under injection.
+     */
+    bool abortSessionOnFault = false;
+    /**
+     * Scripted tenant kills (deterministic commit only): session
+     * index i is killed — live allocations reclaimed, counted as
+     * aborted — at the first of its events whose local time is at or
+     * past the given tick. Models a randomized `kill -9` while
+     * staying a deterministic function of the schedule.
+     */
+    std::vector<std::pair<std::size_t, Tick>> tenantKills;
 };
 
 /**

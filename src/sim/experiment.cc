@@ -230,6 +230,7 @@ constexpr const char *kCsvHeader =
     "alloc_wall_p99_ns,run_wall_ns,vmm_wall_ns,"
     "evicted_bytes,faulted_bytes,stall_ns,offload_wall_ns,"
     "lock_wait_ns,snapshot_publishes,commit_stall_ns,"
+    "injected_faults,recovered,aborted_sessions,rollbacks,"
     "engine_threads";
 
 void
@@ -286,6 +287,10 @@ writeCsv(const Experiment &experiment,
             << r.result.lockWaitNs << ','
             << r.result.snapshotPublishes << ','
             << r.result.commitStallNs << ','
+            << r.result.injectedFaults << ','
+            << r.result.recovered << ','
+            << r.result.abortedSessions << ','
+            << r.result.rollbacks << ','
             << context.options().engineThreads << '\n';
     }
 }
@@ -369,6 +374,13 @@ writeJson(const Experiment &experiment,
             << "\"snapshot_publishes\": "
             << r.result.snapshotPublishes << ", "
             << "\"commit_stall_ns\": " << r.result.commitStallNs
+            << ", "
+            << "\"injected_faults\": " << r.result.injectedFaults
+            << ", "
+            << "\"recovered\": " << r.result.recovered << ", "
+            << "\"aborted_sessions\": " << r.result.abortedSessions
+            << ", "
+            << "\"rollbacks\": " << r.result.rollbacks
             << "}";
         first = false;
     }

@@ -227,6 +227,11 @@ SimEngine::runMerged(const workload::TrainConfig *config,
     const std::uint64_t lockWaitStart =
         mDevice.lockWaitNs() + mAllocator.lockWaitNs();
     const Tick timeStart = mDevice.now();
+    const std::uint64_t injectedStart =
+        mDevice.faultInjector() != nullptr
+            ? mDevice.faultInjector()->counters().totalInjected()
+            : 0;
+    const auto recoveryStart = mAllocator.recoveryCounters();
 
     // Offload tier: everything is folded in as deltas, so an engine
     // sharing a device/manager with a previous run reports only its
@@ -417,6 +422,36 @@ SimEngine::runMerged(const workload::TrainConfig *config,
         reclaim(cursor);
     };
 
+    // Chaos terminations: an injected non-OOM device fault the
+    // session could not absorb, or a scripted tenant kill. Either way
+    // the tenant dies like an OOM-killed one — allocations reclaimed,
+    // survivors replay on — but is reported as aborted, not oom.
+    auto killAborted = [&](Cursor &cursor, const std::string &why) {
+        cursor.dead = true;
+        if (cursor.buffer != nullptr)
+            cursor.buffer->abort();
+        cursor.result.aborted = true;
+        cursor.result.endedAt = mDevice.now() - timeStart;
+        if (cursors.size() > 1)
+            GMLAKE_WARN("session '", cursor.result.name,
+                        "' aborted: ", why);
+        else
+            GMLAKE_INFORM("session '", cursor.result.name,
+                          "' aborted: ", why);
+        reclaim(cursor);
+    };
+
+    // Scripted kills keyed by session index; a session is killed at
+    // the first of its events whose local time reaches the mark.
+    std::vector<Tick> killAt(cursors.size(), 0);
+    for (const auto &[session, at] : mOptions.tenantKills) {
+        GMLAKE_ASSERT(session < cursors.size(),
+                      "tenant kill for unknown session ", session);
+        killAt[session] = killAt[session] == 0
+                              ? at
+                              : std::min(killAt[session], at);
+    }
+
     // A session whose trace ends in compute leaves the pop loop
     // before its tail is charged; its endedAt is stamped at the
     // first merged-timeline instant not earlier than its end.
@@ -451,6 +486,17 @@ SimEngine::runMerged(const workload::TrainConfig *config,
         ready.pop();
         Cursor *best = &cursors[bestIndex];
 
+        // Scripted kill: fires instead of the first event at or past
+        // the mark, before any clock advance — the tenant just never
+        // gets to run it. Entry not re-pushed; the session is dead.
+        if (killAt[bestIndex] != 0 && !best->dead &&
+            best->localTime >= killAt[bestIndex]) {
+            killAborted(*best,
+                        detail::concat("scripted kill at local time ",
+                                       formatTime(killAt[bestIndex])));
+            continue;
+        }
+
         if (best->localTime > frontier) {
             mDevice.clock().advance(best->localTime - frontier);
             frontier = best->localTime;
@@ -472,11 +518,14 @@ SimEngine::runMerged(const workload::TrainConfig *config,
             const auto got = mAllocator.allocate(event.bytes, stream);
             allocWall.add(Stopwatch::nowNs() - wall0);
             if (!got.ok()) {
-                if (got.error().code != Errc::outOfMemory) {
+                if (got.error().code == Errc::outOfMemory) {
+                    killOnOom(*best, event.bytes);
+                } else if (mOptions.abortSessionOnFault) {
+                    killAborted(*best, got.error().message);
+                } else {
                     GMLAKE_PANIC("allocator error: ",
                                  got.error().message);
                 }
-                killOnOom(*best, event.bytes);
                 break;
             }
             if (best->buffer != nullptr)
@@ -518,12 +567,17 @@ SimEngine::runMerged(const workload::TrainConfig *config,
                 break; // no offload: residency is a given
             const Status st = tier->touch(it->second.id);
             if (!st.ok()) {
-                GMLAKE_ASSERT(st.error().code == Errc::outOfMemory,
-                              "offload touch error: ",
-                              st.error().message);
                 // The tenant's working set cannot be faulted back:
-                // it dies exactly like an allocation OOM.
-                killOnOom(*best, it->second.bytes);
+                // it dies exactly like an allocation OOM. A failed
+                // copy lane under chaos aborts it instead.
+                if (st.error().code == Errc::outOfMemory) {
+                    killOnOom(*best, it->second.bytes);
+                } else if (mOptions.abortSessionOnFault) {
+                    killAborted(*best, st.error().message);
+                } else {
+                    GMLAKE_PANIC("offload touch error: ",
+                                 st.error().message);
+                }
                 break;
             }
             if (best->buffer != nullptr)
@@ -642,8 +696,19 @@ SimEngine::runMerged(const workload::TrainConfig *config,
             c.result.faultedBytes =
                 s.faultedBytes - sessionStart[i].faultedBytes;
         }
+        if (c.result.aborted)
+            ++result.abortedSessions;
         multi.sessions.push_back(std::move(c.result));
     }
+
+    if (mDevice.faultInjector() != nullptr) {
+        result.injectedFaults =
+            mDevice.faultInjector()->counters().totalInjected() -
+            injectedStart;
+    }
+    const auto recoveryEnd = mAllocator.recoveryCounters();
+    result.rollbacks = recoveryEnd.rollbacks - recoveryStart.rollbacks;
+    result.recovered = recoveryEnd.recovered - recoveryStart.recovered;
 
     const auto &stats = mAllocator.stats();
     result.simTime = mDevice.now() - timeStart;
@@ -705,6 +770,11 @@ SimEngine::runRelaxed(const workload::TrainConfig *config,
                       mOptions.startFrontier == 0,
                   "relaxed commit mode does not support "
                   "checkpoint/resume; use deterministic mode");
+    // Chaos features are defined against the serial commit order.
+    GMLAKE_ASSERT(!mOptions.abortSessionOnFault &&
+                      mOptions.tenantKills.empty(),
+                  "relaxed commit mode does not support fault "
+                  "aborts or tenant kills; use deterministic mode");
 
     MultiRunResult multi;
     RunResult &result = multi.combined;

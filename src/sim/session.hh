@@ -101,6 +101,12 @@ struct SessionResult
     bool oom = false;
     /** Engine time (ns since run start) at which the session died. */
     Tick oomAt = 0;
+    /**
+     * Session was terminated by chaos — an injected non-OOM fault
+     * (EngineOptions::abortSessionOnFault) or a scripted tenant kill
+     * — rather than by OOM; mutually exclusive with `oom`.
+     */
+    bool aborted = false;
     int iterationsDone = 0;
     std::uint64_t allocCount = 0;
     std::uint64_t freeCount = 0;

@@ -16,6 +16,7 @@ errcName(Errc e)
       case Errc::handleInUse: return "handleInUse";
       case Errc::addressSpaceFull: return "addressSpaceFull";
       case Errc::notSupported: return "notSupported";
+      case Errc::faultInjected: return "faultInjected";
     }
     return "unknown";
 }

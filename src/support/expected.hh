@@ -29,6 +29,7 @@ enum class Errc
     handleInUse,        //!< release of a still-mapped handle
     addressSpaceFull,   //!< VA space exhausted (practically impossible)
     notSupported,       //!< operation not available on this allocator
+    faultInjected,      //!< failure injected by a vmm::FaultPlan
 };
 
 /** Human-readable name of an error code. */

@@ -90,6 +90,11 @@ Device::memCreate(Bytes size)
     ++mCounters.create;
     const WallScope wall(mCounters);
     charge(mCost.memCreate(size));
+    if (mFaults) {
+        applyCapacityLossLocked();
+        if (auto err = mFaults->onCall(FaultApi::memCreate))
+            return *err;
+    }
     return mPhys.create(size);
 }
 
@@ -109,6 +114,12 @@ Device::memMap(VirtAddr va, PhysHandle handle)
     const std::lock_guard<TimedMutex> state(mStateMutex);
     ++mCounters.map;
     const WallScope wall(mCounters);
+    if (mFaults) {
+        if (auto err = mFaults->onCall(FaultApi::memMap)) {
+            charge(mCost.memMap(granularity()));
+            return *err;
+        }
+    }
     const auto size = mPhys.sizeOf(handle);
     if (!size.ok()) {
         charge(mCost.memMap(granularity()));
@@ -132,6 +143,15 @@ Device::memMapBatch(
     if (batch.empty())
         return Status::success();
     const WallScope wall(mCounters);
+    if (mFaults) {
+        // One rejected vectored submission: count and charge a single
+        // driver call, nothing is installed.
+        if (auto err = mFaults->onCall(FaultApi::memMapBatch)) {
+            ++mCounters.map;
+            charge(mCost.memMap(granularity()));
+            return *err;
+        }
+    }
     // One simulated driver call per chunk: count and charge each
     // entry as it is inspected, exactly like a loop of memMap()
     // calls up to (and including) the first invalid entry.
@@ -196,6 +216,12 @@ Device::memSetAccess(VirtAddr va, Bytes size)
     const std::lock_guard<TimedMutex> state(mStateMutex);
     ++mCounters.setAccess;
     const WallScope wall(mCounters);
+    if (mFaults) {
+        if (auto err = mFaults->onCall(FaultApi::memSetAccess)) {
+            charge(mCost.memSetAccess(1, granularity()));
+            return *err;
+        }
+    }
     const auto stats = mMap.rangeStats(va, size);
     if (stats.chunks == 0) {
         charge(mCost.memSetAccess(1, granularity()));
@@ -268,28 +294,72 @@ Device::chargeCachedOp()
     charge(mCost.cachedOp());
 }
 
-Tick
+Expected<Tick>
 Device::copyD2HAsync(Bytes bytes)
 {
     const std::lock_guard<TimedMutex> state(mStateMutex);
     ++mCounters.d2hCopies;
-    mCounters.d2hBytes += bytes;
     charge(mCost.copySubmit());
+    // A failed submission charges the enqueue cost but transfers
+    // nothing and leaves the lane horizon untouched.
+    if (mFaults) {
+        if (auto err = mFaults->onCall(FaultApi::copyD2H))
+            return *err;
+    }
+    mCounters.d2hBytes += bytes;
     const Tick start = std::max(mD2hLaneFree, now());
     mD2hLaneFree = start + mCost.copyD2H(bytes);
     return mD2hLaneFree;
 }
 
-Tick
+Expected<Tick>
 Device::copyH2DAsync(Bytes bytes)
 {
     const std::lock_guard<TimedMutex> state(mStateMutex);
     ++mCounters.h2dCopies;
-    mCounters.h2dBytes += bytes;
     charge(mCost.copySubmit());
+    if (mFaults) {
+        if (auto err = mFaults->onCall(FaultApi::copyH2D))
+            return *err;
+    }
+    mCounters.h2dBytes += bytes;
     const Tick start = std::max(mH2dLaneFree, now());
     mH2dLaneFree = start + mCost.copyH2D(bytes);
     return mH2dLaneFree;
+}
+
+void
+Device::installFaultInjector(FaultPlan plan, std::uint64_t seed)
+{
+    const std::lock_guard<TimedMutex> state(mStateMutex);
+    mFaults = std::make_unique<FaultInjector>(std::move(plan), seed);
+}
+
+void
+Device::clearFaultInjector()
+{
+    const std::lock_guard<TimedMutex> state(mStateMutex);
+    mFaults.reset();
+}
+
+void
+Device::applyCapacityLossLocked()
+{
+    Bytes due = mFaults->pendingCapacityLoss(now());
+    while (due > 0) {
+        // Carve granularity-aligned pieces out of the largest free
+        // extents; the handles are kept forever, modeling permanently
+        // retired device memory (row remaps, ECC-disabled banks).
+        const Bytes hole = std::min(due, mPhys.largestHole());
+        const Bytes take = roundDown(hole, granularity());
+        if (take == 0)
+            break; // too fragmented now; retried on the next create
+        const auto handle = mPhys.create(take);
+        GMLAKE_ASSERT(handle.ok(), "capacity-loss carve failed");
+        mLostChunks.push_back(*handle);
+        mFaults->noteCapacityLost(take);
+        due -= take;
+    }
 }
 
 Tick

@@ -26,12 +26,14 @@
 #include <mutex>
 #include <span>
 #include <utility>
+#include <vector>
 
 #include "support/expected.hh"
 #include "support/timed_mutex.hh"
 #include "support/types.hh"
 #include "vmm/clock.hh"
 #include "vmm/cost_model.hh"
+#include "vmm/fault_injector.hh"
 #include "vmm/mapping_table.hh"
 #include "vmm/phys_memory.hh"
 #include "vmm/va_space.hh"
@@ -189,10 +191,11 @@ class Device
      * completion time. The two directions are independent lanes (two
      * copy engines), so D2H and H2D overlap each other and compute;
      * same-direction copies serialize. Use copyWait() at the point a
-     * consumer must observe the transferred data.
+     * consumer must observe the transferred data. Fails only under an
+     * installed FaultPlan targeting the copy lanes.
      */
-    Tick copyD2HAsync(Bytes bytes);
-    Tick copyH2DAsync(Bytes bytes);
+    Expected<Tick> copyD2HAsync(Bytes bytes);
+    Expected<Tick> copyH2DAsync(Bytes bytes);
 
     /**
      * Stall the simulated clock until @p completion (no-op when it is
@@ -237,6 +240,23 @@ class Device
 
     /** Host ns threads spent blocked on the device state lock. */
     std::uint64_t lockWaitNs() const { return mStateMutex.waitNs(); }
+
+    // --- fault injection ----------------------------------------------
+
+    /**
+     * Install a seeded fault injector; every subsequent targeted entry
+     * point consults it before performing the real operation. Replaces
+     * any previous injector. Scheduled capacity losses are realized
+     * lazily from memCreate() and are permanent: the carved extents
+     * are never returned, surviving even clearFaultInjector().
+     */
+    void installFaultInjector(FaultPlan plan, std::uint64_t seed);
+
+    /** Remove the injector; behavior reverts to fault-free. */
+    void clearFaultInjector();
+
+    /** The installed injector, or nullptr (read-only introspection). */
+    const FaultInjector *faultInjector() const { return mFaults.get(); }
 
     // --- checkpoint / restore ------------------------------------------
 
@@ -304,7 +324,19 @@ class Device
      */
     mutable TimedMutex mStateMutex;
 
+    /**
+     * Optional fault injector (null in every fault-free run: the only
+     * cost the subsystem adds then is one pointer test per targeted
+     * entry point). Consulted under the state lock. Not part of
+     * State — checkpoints capture the device, not the sabotage plan.
+     */
+    std::unique_ptr<FaultInjector> mFaults;
+    /** Physical extents carved out by capacity losses (never freed). */
+    std::vector<PhysHandle> mLostChunks;
+
     void charge(Tick t);
+    /** Realize any capacity loss that has come due (lock held). */
+    void applyCapacityLossLocked();
 };
 
 } // namespace gmlake::vmm

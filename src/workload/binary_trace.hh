@@ -27,8 +27,8 @@
  * Each chunk holds up to kGmtChunkEvents events as per-column arrays
  * (structure-of-arrays, the columnar part):
  *
- *   u32 count · u32 0 · u8 kind[count] · u64 tensor[count] ·
- *   u64 bytes[count] · i64 computeNs[count] · u32 stream[count]
+ *   u32 count · u32 payloadHash · u8 kind[count] · u64 tensor[count]
+ *   · u64 bytes[count] · i64 computeNs[count] · u32 stream[count]
  *
  * The footer lives at the end so the writer streams: events are
  * appended chunk by chunk with O(chunk) memory, and the index is
@@ -36,6 +36,11 @@
  * fixed-size trailer, verify the footer hash, and bounds-check every
  * chunk against the section extent — truncated or corrupt files are
  * rejected at open (or first touch) instead of replaying garbage.
+ * The footer hash does not cover event data, so each chunk header
+ * carries a folded FNV-1a of its own columns (format v2), verified
+ * when the chunk is first decoded: a flipped bit anywhere in a
+ * payload fails loudly instead of replaying a silently different
+ * workload.
  */
 
 #ifndef GMLAKE_WORKLOAD_BINARY_TRACE_HH

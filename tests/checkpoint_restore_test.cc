@@ -17,10 +17,12 @@
 #include "alloc/allocator.hh"
 #include "alloc/checkpoint.hh"
 #include "alloc/snapshot.hh"
+#include "core/gmlake_allocator.hh"
 #include "sim/runner.hh"
 #include "sim/session.hh"
 #include "sim/sweep.hh"
 #include "support/units.hh"
+#include "vmm/fault_injector.hh"
 
 using namespace gmlake;
 using namespace gmlake::literals;
@@ -344,6 +346,66 @@ TEST(CheckpointRestore, RestoreAfterWarmupOom)
     EXPECT_EQ(straightDigest(scenario, AllocatorKind::gmlake),
               restoredTailDigest(scenario, tailTraces, warmup,
                                  *allocator, device));
+}
+
+/**
+ * Fault-injection recovery through a checkpoint: the checkpoint is
+ * taken just before an injected device fault makes an allocation
+ * fail (the fault plan defeats the reclaim-ladder retry too), and
+ * restoring it — after clearing the injector — replays to a state
+ * bit-identical to a run that never saw the fault.
+ */
+TEST(CheckpointRestore, RestoreFromCheckpointTakenBeforeInjectedFault)
+{
+    vmm::DeviceConfig devCfg;
+    devCfg.capacity = 256_MiB;
+    devCfg.granularity = 2_MiB;
+    core::GMLakeConfig lakeCfg;
+    lakeCfg.nearMatchTolerance = 0.0;
+    lakeCfg.fragLimit = 2_MiB;
+
+    // Warm state both runs share: one live block, one cached block.
+    const auto warm = [&](alloc::Allocator &allocator) {
+        const auto held = allocator.allocate(8_MiB);
+        const auto cached = allocator.allocate(8_MiB);
+        EXPECT_TRUE(held.ok() && cached.ok());
+        EXPECT_TRUE(allocator.deallocate(cached->id).ok());
+        return held->id;
+    };
+
+    // Control: the fault never happens.
+    vmm::Device controlDevice(devCfg);
+    core::GMLakeAllocator control(controlDevice, lakeCfg);
+    warm(control);
+    ASSERT_TRUE(control.allocate(32_MiB).ok());
+    const std::uint64_t cleanDigest =
+        finalStateDigest(control, controlDevice);
+
+    // Faulted run: checkpoint, then both memCreate attempts of the
+    // 32 MiB allocation fail (ordinal 1 on the first try, ordinal 2
+    // on the post-releaseCached retry), so the allocation fails for
+    // real and the reclaim ladder empties the cache on the way.
+    vmm::Device device(devCfg);
+    core::GMLakeAllocator lake(device, lakeCfg);
+    warm(lake);
+    const alloc::Checkpoint checkpoint = lake.saveState();
+
+    vmm::FaultPlan plan;
+    plan.rule(vmm::FaultApi::memCreate).nthCalls = {1, 2};
+    plan.rule(vmm::FaultApi::memCreate).code = Errc::outOfMemory;
+    device.installFaultInjector(std::move(plan), 17);
+    const auto faulted = lake.allocate(32_MiB);
+    ASSERT_FALSE(faulted.ok());
+    EXPECT_EQ(faulted.error().code, Errc::outOfMemory);
+    lake.auditInvariants();
+
+    // Recovery: drop the injector, restore the pre-fault checkpoint,
+    // and redo the allocation — indistinguishable from the control.
+    device.clearFaultInjector();
+    lake.restoreState(checkpoint);
+    lake.auditInvariants();
+    ASSERT_TRUE(lake.allocate(32_MiB).ok());
+    EXPECT_EQ(finalStateDigest(lake, device), cleanDigest);
 }
 
 } // namespace

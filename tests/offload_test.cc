@@ -90,12 +90,12 @@ TEST(EvictionPolicy, KindNamesRoundTrip)
 TEST(CopyLanes, SameDirectionSerializesAndWaitStalls)
 {
     vmm::Device device;
-    const Tick done1 = device.copyD2HAsync(1_GiB);
-    const Tick done2 = device.copyD2HAsync(1_GiB);
+    const Tick done1 = *device.copyD2HAsync(1_GiB);
+    const Tick done2 = *device.copyD2HAsync(1_GiB);
     EXPECT_GT(done2, done1); // one lane per direction
     // The opposite direction has its own lane: it completes before
     // the second D2H despite being submitted after it.
-    const Tick doneH2d = device.copyH2DAsync(1_GiB);
+    const Tick doneH2d = *device.copyH2DAsync(1_GiB);
     EXPECT_LT(doneH2d, done2);
 
     const Tick before = device.now();

@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Fuzz-lite robustness corpus over the two trace formats: a seeded,
+ * deterministic sweep of truncations and bit flips applied to a
+ * generated text trace and its packed `.gmt` twin. The property is
+ * the loader contract, not any particular diagnostic — every mutated
+ * input either loads (the text format tolerates benign whitespace /
+ * comment damage) or is rejected with FatalError/PanicError. Nothing
+ * may crash, hang, or replay silently different data: a `.gmt` whose
+ * event payload was tampered with must be rejected via the per-chunk
+ * payload hash introduced in format v2.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "support/logging.hh"
+#include "support/rng.hh"
+#include "support/units.hh"
+#include "workload/binary_trace.hh"
+#include "workload/trace.hh"
+#include "workload/tracegen.hh"
+
+using namespace gmlake;
+using namespace gmlake::literals;
+using namespace gmlake::workload;
+
+namespace
+{
+
+std::string
+scratchPath(const std::string &name)
+{
+    return testing::TempDir() + "gmlake_trace_fuzz_" + name;
+}
+
+struct ScopedFile
+{
+    explicit ScopedFile(std::string p) : path(std::move(p)) {}
+    ~ScopedFile() { std::remove(path.c_str()); }
+    std::string path;
+};
+
+/** Small but representative generated trace (all event kinds). */
+const Trace &
+corpusTrace()
+{
+    static const Trace trace = [] {
+        TrainConfig cfg;
+        cfg.model = findModel("GPT-2");
+        cfg.gpus = 1;
+        cfg.batchSize = 2;
+        cfg.iterations = 2;
+        return generateTrainingTrace(cfg);
+    }();
+    return trace;
+}
+
+std::string
+corpusText()
+{
+    std::stringstream buffer;
+    corpusTrace().save(buffer);
+    return buffer.str();
+}
+
+std::vector<char>
+readAll(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    return std::vector<char>(std::istreambuf_iterator<char>(in),
+                             std::istreambuf_iterator<char>());
+}
+
+void
+writeAll(const std::string &path, const std::vector<char> &bytes)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(),
+              static_cast<std::streamsize>(bytes.size()));
+}
+
+/**
+ * The loader contract for one text mutation: Trace::load either
+ * returns a validated trace or throws the project's fatal/panic
+ * exceptions. Anything else (std::bad_alloc, segfault, silent
+ * partial parse past validate()) fails the test.
+ */
+void
+expectTextContract(const std::string &mutated, const char *what)
+{
+    std::stringstream in(mutated);
+    try {
+        const Trace loaded = Trace::load(in);
+        loaded.validate();
+    } catch (const FatalError &) {
+    } catch (const PanicError &) {
+    } catch (...) {
+        FAIL() << what << ": escaped a non-gmlake exception";
+    }
+}
+
+/** Same contract for the binary format: open + full decode walk. */
+void
+expectGmtContract(const std::string &path, const char *what)
+{
+    try {
+        BinaryTraceSource source(path);
+        while (source.peek() != nullptr)
+            source.advance();
+    } catch (const FatalError &) {
+    } catch (const PanicError &) {
+    } catch (...) {
+        FAIL() << what << ": escaped a non-gmlake exception";
+    }
+}
+
+} // namespace
+
+TEST(TraceFuzz, TextTruncationNeverCrashes)
+{
+    const std::string text = corpusText();
+    ASSERT_GT(text.size(), 64u);
+    // Every prefix at a deterministic stride, plus the tight tail.
+    for (std::size_t len = 0; len < text.size();
+         len += (text.size() > 4096 ? 101 : 7)) {
+        expectTextContract(text.substr(0, len), "truncation");
+    }
+    for (std::size_t back = 1; back <= 32; ++back)
+        expectTextContract(text.substr(0, text.size() - back),
+                           "tail truncation");
+}
+
+TEST(TraceFuzz, TextBitFlipsNeverCrash)
+{
+    const std::string text = corpusText();
+    Rng rng(2024);
+    for (int round = 0; round < 400; ++round) {
+        std::string mutated = text;
+        const std::size_t flips = rng.uniformInt(1, 4);
+        for (std::size_t f = 0; f < flips; ++f) {
+            const std::size_t at =
+                rng.uniformInt(0, mutated.size() - 1);
+            mutated[at] = static_cast<char>(
+                mutated[at] ^
+                static_cast<char>(1u << rng.uniformInt(0, 7)));
+        }
+        expectTextContract(mutated, "bit flip");
+    }
+}
+
+TEST(TraceFuzz, GmtTruncationNeverCrashes)
+{
+    ScopedFile whole(scratchPath("trunc_src.gmt"));
+    packTrace(corpusTrace(), whole.path, "fuzz");
+    const std::vector<char> bytes = readAll(whole.path);
+    ASSERT_GT(bytes.size(), 128u);
+
+    ScopedFile cut(scratchPath("trunc_cut.gmt"));
+    const std::size_t stride = bytes.size() > 8192 ? 257 : 13;
+    for (std::size_t len = 0; len < bytes.size(); len += stride) {
+        writeAll(cut.path,
+                 std::vector<char>(bytes.begin(),
+                                   bytes.begin() +
+                                       static_cast<std::ptrdiff_t>(
+                                           len)));
+        expectGmtContract(cut.path, "gmt truncation");
+    }
+    for (std::size_t back = 1; back <= 32; ++back) {
+        writeAll(cut.path,
+                 std::vector<char>(bytes.begin(),
+                                   bytes.end() -
+                                       static_cast<std::ptrdiff_t>(
+                                           back)));
+        expectGmtContract(cut.path, "gmt tail truncation");
+    }
+}
+
+TEST(TraceFuzz, GmtBitFlipsNeverCrash)
+{
+    ScopedFile whole(scratchPath("flip_src.gmt"));
+    packTrace(corpusTrace(), whole.path, "fuzz");
+    const std::vector<char> bytes = readAll(whole.path);
+
+    ScopedFile flipped(scratchPath("flip_mut.gmt"));
+    Rng rng(4242);
+    for (int round = 0; round < 300; ++round) {
+        std::vector<char> mutated = bytes;
+        const std::size_t at = rng.uniformInt(0, mutated.size() - 1);
+        mutated[at] = static_cast<char>(
+            mutated[at] ^
+            static_cast<char>(1u << rng.uniformInt(0, 7)));
+        writeAll(flipped.path, mutated);
+        expectGmtContract(flipped.path, "gmt bit flip");
+    }
+}
+
+TEST(TraceFuzz, GmtPayloadTamperIsRejectedLoudly)
+{
+    ScopedFile file(scratchPath("tamper.gmt"));
+    packTrace(corpusTrace(), file.path, "fuzz");
+    std::vector<char> bytes = readAll(file.path);
+
+    // The first chunk starts right after the 16-byte file header:
+    // u32 count · u32 payloadHash · columns. Flip one payload byte
+    // past the 8-byte chunk header; the footer hash does not cover
+    // it, so only the v2 per-chunk hash can catch this.
+    const std::size_t target = 16 + 8 + 3;
+    ASSERT_LT(target, bytes.size());
+    bytes[target] = static_cast<char>(bytes[target] ^ 0x10);
+    writeAll(file.path, bytes);
+
+    EXPECT_THROW(
+        {
+            BinaryTraceSource source(file.path);
+            while (source.peek() != nullptr)
+                source.advance();
+        },
+        FatalError);
+}
+
+TEST(TraceFuzz, UnmutatedCorpusStillLoadsEquivalently)
+{
+    // Sanity anchor for the whole suite: the pristine corpus loads
+    // from both formats with identical events.
+    const Trace &original = corpusTrace();
+    std::stringstream buffer;
+    original.save(buffer);
+    const Trace reloaded = Trace::load(buffer);
+    ASSERT_EQ(reloaded.size(), original.size());
+
+    ScopedFile file(scratchPath("pristine.gmt"));
+    packTrace(original, file.path, "fuzz");
+    BinaryTraceSource source(file.path);
+    std::size_t i = 0;
+    while (const Event *e = source.peek()) {
+        ASSERT_LT(i, original.size());
+        const Event &want = original.events()[i];
+        EXPECT_EQ(e->kind, want.kind) << i;
+        EXPECT_EQ(e->bytes, want.bytes) << i;
+        source.advance();
+        ++i;
+    }
+    EXPECT_EQ(i, original.size());
+}

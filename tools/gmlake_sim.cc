@@ -38,6 +38,7 @@
 #include <vector>
 
 #include "alloc/snapshot.hh"
+#include "sim/chaos.hh"
 #include "sim/experiment.hh"
 #include "sim/runner.hh"
 #include "sim/session.hh"
@@ -315,6 +316,13 @@ printHelp()
         "                      each policy point from the checkpoint\n"
         "                      (smoke | train | colocate; see\n"
         "                      gmlake_sim sweep --help)\n\n"
+        "Chaos / fault-injection soaks:\n"
+        "  chaos SCENARIO [opts]\n"
+        "                      replay under a deterministic fault\n"
+        "                      plan + randomized tenant kills, audit\n"
+        "                      invariants after every trial (see\n"
+        "                      gmlake_sim chaos --help; distinct\n"
+        "                      exit codes, see docs/BUILDING.md)\n\n"
         "Single workloads (trace subcommands):\n"
         "  trace run [opts]          generate a workload and replay "
         "it\n"
@@ -821,8 +829,7 @@ parseReal(const char *what, const std::string &value)
             return parsed;
     } catch (const std::exception &) {
     }
-    GMLAKE_FATAL("sweep grid axis ", what, ": bad number '", value,
-                 "'");
+    GMLAKE_FATAL(what, ": bad real number '", value, "'");
 }
 
 /**
@@ -1085,6 +1092,221 @@ cmdSweep(int argc, char **argv)
     return 0;
 }
 
+// -------------------------------------------------------- chaos verb
+
+/** `gmlake_sim chaos` options. */
+struct ChaosCliOptions
+{
+    std::string scenario;
+    std::string allocator = "gmlake";
+    std::string faultSpec;
+    std::uint64_t faultSeed = 1;
+    std::uint64_t seed = 42; //!< workload seed
+    std::size_t soak = 1;
+    int iterations = 0;
+    std::size_t engineThreads = 1;
+    double killChance = 0.25;
+    std::string outPath;
+    bool help = false;
+};
+
+ChaosCliOptions
+parseChaosFlags(int argc, char **argv)
+{
+    ChaosCliOptions opt;
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto value = [&]() -> std::string {
+            if (i + 1 >= argc)
+                GMLAKE_FATAL("flag ", arg, " needs a value");
+            return argv[++i];
+        };
+        if (arg == "--help" || arg == "-h")
+            opt.help = true;
+        else if (arg == "--allocator")
+            opt.allocator = value();
+        else if (arg == "--faults")
+            opt.faultSpec = value();
+        else if (arg == "--fault-seed")
+            opt.faultSeed = parseNumber("--fault-seed", value());
+        else if (arg == "--seed")
+            opt.seed = parseNumber("--seed", value());
+        else if (arg == "--soak")
+            opt.soak = static_cast<std::size_t>(
+                parseNumber("--soak", value()));
+        else if (arg == "--iterations")
+            opt.iterations = static_cast<int>(
+                parseNumber("--iterations", value()));
+        else if (arg == "--engine-threads")
+            opt.engineThreads = static_cast<std::size_t>(
+                parseNumber("--engine-threads", value()));
+        else if (arg == "--kill-chance")
+            opt.killChance = parseReal("--kill-chance", value());
+        else if (arg == "--out")
+            opt.outPath = value();
+        else if (!arg.empty() && arg[0] == '-')
+            GMLAKE_FATAL("unknown chaos flag: ", arg,
+                         " (try --help)");
+        else if (opt.scenario.empty())
+            opt.scenario = arg;
+        else
+            GMLAKE_FATAL("unexpected argument: ", arg);
+    }
+    return opt;
+}
+
+void
+writeChaosJson(const sim::ChaosReport &report,
+               const ChaosCliOptions &opt, const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        GMLAKE_FATAL("cannot open JSON for writing: ", path);
+    out << "{\n"
+        << "  \"scenario\": \"" << report.scenario << "\",\n"
+        << "  \"mode\": \"chaos\",\n"
+        << "  \"allocator\": \"" << report.allocator << "\",\n"
+        << "  \"config\": {"
+        << "\"workload_seed\": " << report.workloadSeed << ", "
+        << "\"fault_seed\": " << report.faultSeed << ", "
+        << "\"fault_spec\": \"" << report.faultSpec << "\", "
+        << "\"soak\": " << report.trials.size() << ", "
+        << "\"iterations\": " << opt.iterations << ", "
+        << "\"kill_chance\": " << opt.killChance << ", "
+        << "\"engine_threads\": " << opt.engineThreads << "},\n"
+        << "  \"exit_code\": " << report.exitCode() << ",\n"
+        << "  \"failures\": " << report.failures() << ",\n"
+        << "  \"total_wall_ns\": " << report.totalWallNs << ",\n"
+        << "  \"trials\": [";
+    bool first = true;
+    for (const sim::ChaosTrialRecord &t : report.trials) {
+        const sim::RunResult &r = t.result;
+        out << (first ? "" : ",") << "\n    {"
+            << "\"fault_seed\": " << t.faultSeed << ", "
+            << "\"audit_passed\": "
+            << (t.auditPassed ? "true" : "false") << ", "
+            << "\"internal_error\": "
+            << (t.internalError ? "true" : "false") << ", "
+            << "\"injected_faults\": " << r.injectedFaults << ", "
+            << "\"recovered\": " << r.recovered << ", "
+            << "\"rollbacks\": " << r.rollbacks << ", "
+            << "\"aborted_sessions\": " << r.abortedSessions << ", "
+            << "\"oom_sessions\": " << t.oomSessions << ", "
+            << "\"scripted_kills\": " << t.scriptedKills << ", "
+            << "\"capacity_lost_bytes\": " << t.capacityLost << ", "
+            << "\"oom\": " << (r.oom ? "true" : "false") << ", "
+            << "\"fragmentation\": " << r.fragmentation << ", "
+            << "\"peak_reserved_bytes\": " << r.peakReserved << ", "
+            << "\"sim_time_ns\": " << r.simTime << ", "
+            << "\"alloc_count\": " << r.allocCount << ", "
+            << "\"free_count\": " << r.freeCount << ", "
+            << "\"wall_ns\": " << t.wallNs << "}";
+        first = false;
+    }
+    out << "\n  ]\n}\n";
+}
+
+int
+cmdChaos(int argc, char **argv)
+{
+    const ChaosCliOptions opt = parseChaosFlags(argc, argv);
+    if (opt.help || opt.scenario.empty()) {
+        std::cerr <<
+            "usage: gmlake_sim chaos <scenario> [options]\n"
+            "  scenarios: smoke | train | colocate\n"
+            "  --faults SPEC       fault plan, e.g. "
+            "create:p=0.02;map:n=5;cap:t=1000000,b=2G\n"
+            "                      (apis: create map mapbatch "
+            "setaccess copyd2h copyh2d cap)\n"
+            "  --fault-seed N      fault/kill RNG seed (default 1)\n"
+            "  --soak K            randomized trials; trial k uses\n"
+            "                      a seed derived from --fault-seed\n"
+            "                      and printed for replay\n"
+            "  --kill-chance P     per-tenant scripted-kill "
+            "probability (default 0.25)\n"
+            "  --allocator A       allocator kind (default gmlake)\n"
+            "  --seed N            workload seed (default 42)\n"
+            "  --iterations N      scenario scale override\n"
+            "  --engine-threads N  threads inside each replay\n"
+            "  --out FILE          report path (default "
+            "BENCH_chaos_<scenario>.json)\n"
+            "exit codes: 0 clean, 2 tenant OOM, 3 injected-fault "
+            "abort, 1 internal error\n";
+        return opt.help ? 0 : 1;
+    }
+    const auto kind = sim::parseAllocatorKind(opt.allocator);
+    if (!kind)
+        GMLAKE_FATAL("unknown allocator: ", opt.allocator);
+    if (opt.soak == 0)
+        GMLAKE_FATAL("--soak needs at least 1 trial");
+    if (opt.killChance < 0.0 || opt.killChance > 1.0)
+        GMLAKE_FATAL("--kill-chance needs a probability in [0, 1]");
+
+    sim::ChaosOptions options;
+    options.scenario = opt.scenario;
+    options.kind = *kind;
+    options.workloadSeed = opt.seed;
+    options.faultSeed = opt.faultSeed;
+    options.faultSpec = opt.faultSpec;
+    options.trials = opt.soak;
+    options.iterations = opt.iterations;
+    options.engineThreads = opt.engineThreads;
+    options.killChance = opt.killChance;
+
+    std::cout << "chaos " << opt.scenario << ": " << opt.soak
+              << " trial" << (opt.soak == 1 ? "" : "s")
+              << ", fault seed " << opt.faultSeed;
+    if (!opt.faultSpec.empty()) {
+        std::cout << ", plan "
+                  << vmm::FaultPlan::parse(opt.faultSpec).describe();
+    }
+    std::cout << "\n";
+
+    const sim::ChaosReport report = sim::runChaos(options);
+
+    Table table({"Trial", "Fault seed", "Injected", "Recovered",
+                 "Rollbacks", "Aborted", "OOM", "Lost", "Audit"});
+    for (std::size_t k = 0; k < report.trials.size(); ++k) {
+        const sim::ChaosTrialRecord &t = report.trials[k];
+        // The per-trial seed line is the replay handle:
+        //   gmlake_sim chaos <scenario> --fault-seed <seed> --soak 1
+        table.addRow({std::to_string(k), std::to_string(t.faultSeed),
+                      std::to_string(t.result.injectedFaults),
+                      std::to_string(t.result.recovered),
+                      std::to_string(t.result.rollbacks),
+                      std::to_string(t.result.abortedSessions),
+                      std::to_string(t.oomSessions),
+                      formatBytes(t.capacityLost),
+                      t.auditPassed ? "ok" : "FAIL"});
+    }
+    table.print(std::cout);
+    for (const sim::ChaosTrialRecord &t : report.trials) {
+        if (!t.auditPassed)
+            std::cout << "trial with fault seed " << t.faultSeed
+                      << " FAILED: " << t.error << "\n"
+                      << "  replay: gmlake_sim chaos " << opt.scenario
+                      << " --fault-seed " << t.faultSeed
+                      << " --soak 1"
+                      << (opt.faultSpec.empty()
+                              ? std::string()
+                              : " --faults '" + opt.faultSpec + "'")
+                      << "\n";
+    }
+    std::cout << report.trials.size() << " trial"
+              << (report.trials.size() == 1 ? "" : "s") << ", "
+              << report.failures() << " failure"
+              << (report.failures() == 1 ? "" : "s") << ", total "
+              << formatTime(report.totalWallNs) << "\n";
+
+    const std::string outPath =
+        opt.outPath.empty() ? "BENCH_chaos_" + opt.scenario + ".json"
+                            : opt.outPath;
+    writeChaosJson(report, opt, outPath);
+    std::cout << "(report written to " << outPath << ", exit code "
+              << report.exitCode() << ")\n";
+    return report.exitCode();
+}
+
 /** Bare-flag invocations: warn, then route to the trace verbs. */
 int
 legacyMain(int argc, char **argv)
@@ -1142,6 +1364,8 @@ try {
         return cmdTrace(argc, argv);
     if (std::strcmp(argv[1], "sweep") == 0)
         return cmdSweep(argc, argv);
+    if (std::strcmp(argv[1], "chaos") == 0)
+        return cmdChaos(argc, argv);
     if (argv[1][0] == '-')
         return legacyMain(argc, argv);
     std::cerr << "unknown subcommand: " << argv[1]
