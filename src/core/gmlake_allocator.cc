@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "obs/recorder.hh"
 #include "support/logging.hh"
 #include "support/strings.hh"
 #include "support/units.hh"
@@ -268,12 +269,19 @@ GMLakeAllocator::splitPBlock(PBlock *block, Bytes sizeA)
 
     // Retire the original block: its VA goes away, the chunks live on
     // in the two halves. Physical accounting is unchanged.
+    const std::uint64_t originalId = block->id;
     Status s = mDevice.memUnmap(block->va, block->size);
     GMLAKE_ASSERT(s.ok(), "split retire unmap failed");
     s = mDevice.memAddressFree(block->va);
     GMLAKE_ASSERT(s.ok(), "split retire addressFree failed");
     eraseInactiveP(block);
     mPPool.release(block);
+
+    if (auto *r = obs::active()) {
+        r->instant(obs::EvName::split, obs::EventCat::alloc,
+                   allocTrack(*r), mDevice.now(), originalId, sizeA,
+                   sizeB);
+    }
 
     // Keep the original footprint reachable for the repeating training
     // pattern: re-stitch the halves into an sBlock of the old size.
@@ -367,6 +375,26 @@ GMLakeAllocator::stitch(const std::vector<PBlock *> &members,
     }
 
     mStitchedVaBytes += total;
+    if (auto *r = obs::active()) {
+        // The member pBlock ids ride along as the event blob so the
+        // timeline and the provenance ledger can show the exact
+        // composition of the stitched block.
+        std::vector<std::uint64_t> ids;
+        ids.reserve(members.size());
+        for (const PBlock *m : members)
+            ids.push_back(m->id);
+        obs::Event e;
+        e.simTime = mDevice.now();
+        e.a0 = sblock->id;
+        e.a1 = total;
+        e.a2 = obs::scopeToken();
+        e.track = allocTrack(*r);
+        e.name = obs::EvName::stitch;
+        e.kind = obs::EventKind::instant;
+        e.cat = obs::EventCat::alloc;
+        r->emitWithBlob(e, ids.data(),
+                        static_cast<std::uint32_t>(ids.size()));
+    }
     return sblock;
 }
 
@@ -428,6 +456,11 @@ GMLakeAllocator::stitchFree()
         if (!victim)
             break; // everything is active; nothing to evict
         ++mCounters.stitchFrees;
+        if (auto *r = obs::active()) {
+            r->instant(obs::EvName::stitchFree,
+                       obs::EventCat::alloc, allocTrack(*r),
+                       mDevice.now(), victim->id, victim->size);
+        }
         destroySBlock(victim);
     }
 }
@@ -472,6 +505,11 @@ GMLakeAllocator::spillPBlock(PBlock *block)
     mSpilledBytes += block->size;
     mPhysicalBytes -= block->size;
     mStats.onRelease(block->size);
+    if (auto *r = obs::active()) {
+        r->instant(obs::EvName::spill, obs::EventCat::offload,
+                   allocTrack(*r), mDevice.now(), block->id,
+                   block->size, obs::scopeToken());
+    }
 }
 
 Status
@@ -565,6 +603,11 @@ GMLakeAllocator::ensureResident(PBlock *block)
     mSpilledBytes -= block->size;
     mPhysicalBytes += block->size;
     mStats.onReserve(block->size);
+    if (auto *r = obs::active()) {
+        r->instant(obs::EvName::faultIn, obs::EventCat::offload,
+                   allocTrack(*r), mDevice.now(), block->id,
+                   block->size, obs::scopeToken());
+    }
     return Status::success();
 }
 
@@ -716,11 +759,73 @@ GMLakeAllocator::markSActive(SBlock *sblock, bool active)
 }
 
 // --------------------------------------------------------------------
+// Observability: decision events (no-ops under the null sink)
+// --------------------------------------------------------------------
+
+std::uint32_t
+GMLakeAllocator::allocTrack(obs::Recorder &recorder)
+{
+    // track() takes a mutex; cache the id, revalidated against the
+    // recorder generation so a new run (or recorder) re-interns.
+    if (mObsGeneration != recorder.generation()) {
+        mObsTrack = recorder.track("alloc");
+        mObsGeneration = recorder.generation();
+    }
+    return mObsTrack;
+}
+
+void
+GMLakeAllocator::notePhase(obs::AllocPhase phase, Bytes rounded)
+{
+    if (auto *r = obs::active()) {
+        r->instant(obs::EvName::allocPhase, obs::EventCat::alloc,
+                   allocTrack(*r), mDevice.now(),
+                   static_cast<std::uint64_t>(phase), rounded,
+                   obs::scopeToken());
+    }
+}
+
+void
+GMLakeAllocator::noteReclaimRung(int attempt, Bytes reclaimed)
+{
+    if (auto *r = obs::active()) {
+        r->instant(obs::EvName::reclaimRung, obs::EventCat::alloc,
+                   allocTrack(*r), mDevice.now(),
+                   static_cast<std::uint64_t>(attempt), reclaimed,
+                   obs::scopeToken());
+    }
+}
+
+// --------------------------------------------------------------------
 // Allocation strategy (Fig 9)
 // --------------------------------------------------------------------
 
 Expected<alloc::Allocation>
 GMLakeAllocator::allocate(Bytes size, StreamId stream)
+{
+    auto *r = obs::active();
+    if (r == nullptr)
+        return allocateImpl(size, stream);
+
+    // Provenance scope: every device-API span emitted while the
+    // request is served carries this token, which is how the ledger
+    // attributes device time to the allocation that caused it. The
+    // recorder only reads the simulated clock — decisions, costs and
+    // digests are identical with and without it.
+    const std::uint64_t token = r->nextScopeToken();
+    const obs::ScopeToken scope(token);
+    const Tick t0 = mDevice.now();
+    auto result = allocateImpl(size, stream);
+    if (!result.ok())
+        notePhase(obs::AllocPhase::s5Oom, size);
+    r->span(obs::EvName::alloc, obs::EventCat::alloc, allocTrack(*r),
+            t0, mDevice.now() - t0, result.ok() ? result->id : 0,
+            size, token);
+    return result;
+}
+
+Expected<alloc::Allocation>
+GMLakeAllocator::allocateImpl(Bytes size, StreamId stream)
 {
     if (size == 0)
         return makeError(Errc::invalidValue, "allocate of zero bytes");
@@ -732,19 +837,23 @@ GMLakeAllocator::allocate(Bytes size, StreamId stream)
 
     if (size < mConfig.smallThreshold) {
         ++mCounters.smallPath;
+        notePhase(obs::AllocPhase::smallPath, size);
         auto inner = mSmallPath.allocate(size, stream);
         syncSmallPathStats();
         if (!inner.ok() && mOffloadHook != nullptr &&
-            inner.error().code == Errc::outOfMemory &&
-            mOffloadHook->reclaimOnOom(
-                mSmallPath.config().largeBuffer, stream) > 0) {
+            inner.error().code == Errc::outOfMemory) {
             // The embedded small path has no hook of its own: give
             // the offload tier one shot before killing the tenant
             // over a sub-2MB request. Reclaim a whole mid-size
             // segment's worth — the largest segment the small path
             // grows for these requests — not just the request size.
-            inner = mSmallPath.allocate(size, stream);
-            syncSmallPathStats();
+            const Bytes reclaimed = mOffloadHook->reclaimOnOom(
+                mSmallPath.config().largeBuffer, stream);
+            if (reclaimed > 0) {
+                noteReclaimRung(0, reclaimed);
+                inner = mSmallPath.allocate(size, stream);
+                syncSmallPathStats();
+            }
         }
         if (!inner.ok())
             return inner.error();
@@ -827,6 +936,7 @@ GMLakeAllocator::allocateLargeInner(Bytes size, StreamId stream,
             }
             if (sHit || pHit) {
                 ++mCounters.s1ExactMatch;
+                notePhase(obs::AllocPhase::s1ExactMatch, rounded);
                 const alloc::AllocId id = mNextAllocId++;
                 Live live;
                 live.requested = size;
@@ -903,6 +1013,7 @@ GMLakeAllocator::allocateLargeInner(Bytes size, StreamId stream,
         switch (fit.state) {
           case FitState::exactMatch: {
             ++mCounters.s1ExactMatch;
+            notePhase(obs::AllocPhase::s1ExactMatch, rounded);
             const alloc::AllocId id = mNextAllocId++;
             Live live;
             live.requested = size;
@@ -938,6 +1049,7 @@ GMLakeAllocator::allocateLargeInner(Bytes size, StreamId stream,
 
           case FitState::singleBlock: {
             ++mCounters.s2SingleBlock;
+            notePhase(obs::AllocPhase::s2SingleBlock, rounded);
             PBlock *p = mScratch->fitCandidates.front();
             {
                 // The block is still inactive while it is restored,
@@ -973,6 +1085,7 @@ GMLakeAllocator::allocateLargeInner(Bytes size, StreamId stream,
 
           case FitState::multiBlocks: {
             ++mCounters.s3MultiBlocks;
+            notePhase(obs::AllocPhase::s3MultiBlocks, rounded);
             // The candidates already are the member pointers; the
             // scratch vector doubles as the stitch member list.
             std::vector<PBlock *> &members = mScratch->fitCandidates;
@@ -1023,6 +1136,7 @@ GMLakeAllocator::allocateLargeInner(Bytes size, StreamId stream,
 
           case FitState::insufficient: {
             ++mCounters.s4Insufficient;
+            notePhase(obs::AllocPhase::s4Insufficient, rounded);
             std::vector<PBlock *> &members = mScratch->fitCandidates;
             Bytes have = fit.candidateBytes;
             if (!mConfig.enableStitching) {
@@ -1036,11 +1150,14 @@ GMLakeAllocator::allocateLargeInner(Bytes size, StreamId stream,
                     // Offload ladder: trim caches, then spill live
                     // victims to the host tier; retry while the
                     // hook keeps making progress.
-                    if (attempt + 1 < maxAttempts &&
-                        mOffloadHook->reclaimOnOom(need, stream) >
-                            0) {
-                        retried = true;
-                        continue;
+                    if (attempt + 1 < maxAttempts) {
+                        const Bytes reclaimed =
+                            mOffloadHook->reclaimOnOom(need, stream);
+                        if (reclaimed > 0) {
+                            noteReclaimRung(attempt, reclaimed);
+                            retried = true;
+                            continue;
+                        }
                     }
                 } else if (attempt == 0) {
                     // Fallback: drop cached stitches and cached
@@ -1160,6 +1277,7 @@ GMLakeAllocator::deviceSynchronize()
 void
 GMLakeAllocator::releaseCached()
 {
+    const Bytes reservedBefore = mStats.reservedBytes();
     // Destroy every eligible cached sBlock first (they pin pBlocks).
     // Cache release implies a device synchronization, so stream tags
     // do not constrain it — only activity does.
@@ -1173,6 +1291,11 @@ GMLakeAllocator::releaseCached()
     }
     for (SBlock *s : victims) {
         ++mCounters.stitchFrees;
+        if (auto *r = obs::active()) {
+            r->instant(obs::EvName::stitchFree,
+                       obs::EventCat::alloc, allocTrack(*r),
+                       mDevice.now(), s->id, s->size);
+        }
         destroySBlock(s);
     }
     // Then return every unshared inactive pBlock to the device.
@@ -1183,6 +1306,11 @@ GMLakeAllocator::releaseCached()
     }
     mSmallPath.emptyCache();
     syncSmallPathStats();
+    if (auto *r = obs::active()) {
+        r->instant(obs::EvName::releaseCached, obs::EventCat::alloc,
+                   allocTrack(*r), mDevice.now(),
+                   reservedBefore - mStats.reservedBytes());
+    }
 }
 
 void

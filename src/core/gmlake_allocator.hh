@@ -32,6 +32,7 @@
 #include "alloc/caching_allocator.hh"
 #include "core/best_fit.hh"
 #include "core/gmlake_config.hh"
+#include "obs/recorder.hh"
 #include "support/object_pool.hh"
 #include "vmm/device.hh"
 
@@ -453,6 +454,25 @@ class GMLakeAllocator : public alloc::Allocator
     std::uint64_t mRollbacks = 0;
     /** Allocations that succeeded only after a failed growth round. */
     std::uint64_t mRecovered = 0;
+
+    // --- observability ------------------------------------------------
+
+    /**
+     * allocate() body; the public entry wraps it in a provenance
+     * scope + span when a recorder is active, and calls it directly
+     * (zero added work beyond one branch) when none is.
+     */
+    Expected<alloc::Allocation> allocateImpl(Bytes size,
+                                             StreamId stream);
+
+    /** Track id for allocator decision events, re-interned per run. */
+    std::uint32_t allocTrack(obs::Recorder &recorder);
+    std::uint32_t mObsTrack = 0;
+    std::uint64_t mObsGeneration = 0;
+
+    /** Decision instants (no-ops under the null sink). */
+    void notePhase(obs::AllocPhase phase, Bytes rounded);
+    void noteReclaimRung(int attempt, Bytes reclaimed);
 
     /** Serve one large request; factor of allocate(). */
     Expected<alloc::Allocation> allocateLarge(Bytes size,

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Chrome-trace ("Trace Event Format") JSON exporter.
+ *
+ * The emitted file loads in `chrome://tracing` and in Perfetto's
+ * legacy-trace importer (ui.perfetto.dev → "Open trace file").
+ * Mapping: run → process (pid), track → thread (tid) with a
+ * thread_name metadata record, span → "X" complete event, instant →
+ * "i", counter → "C" with the track name as the counter name.
+ * Timestamps convert from simulated ns to the format's µs.
+ */
+
+#ifndef GMLAKE_OBS_EXPORT_CHROME_HH
+#define GMLAKE_OBS_EXPORT_CHROME_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "obs/recorder.hh"
+
+namespace gmlake::obs
+{
+
+/** Serialize @p snap as Chrome-trace JSON on @p out. */
+void writeChromeTrace(const RecorderSnapshot &snap,
+                      std::ostream &out);
+
+/** Write @p snap to @p path (fatal on I/O error). */
+void writeChromeTrace(const RecorderSnapshot &snap,
+                      const std::string &path);
+
+/** Snapshot @p recorder and write to @p path (fatal on I/O error). */
+void writeChromeTrace(const Recorder &recorder,
+                      const std::string &path);
+
+} // namespace gmlake::obs
+
+#endif // GMLAKE_OBS_EXPORT_CHROME_HH

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Columnar binary dump of a recorder snapshot (`.gmo`).
+ *
+ * Same engineering as the workload `.gmt` format (binary_trace.hh),
+ * re-stated here because obs sits below workload in the layer
+ * diagram: a magic header, fixed-size chunks of per-column arrays
+ * each carrying a folded FNV-1a payload hash, a footer with the
+ * side tables (blob arena, track and run names), and a fixed-size
+ * trailer holding the footer offset + hash so truncated or corrupt
+ * files are rejected at open instead of decoding garbage.
+ *
+ *   ┌──────────────────────────────────────────────────┐
+ *   │ Header   "GMOBSEV1" · u32 version · u32 0        │
+ *   ├──────────────────────────────────────────────────┤
+ *   │ Chunk*   u32 count · u32 payloadHash · columns:  │
+ *   │          u64 simTime/dur/a0/a1/a2 ·              │
+ *   │          u32 seq/track/blobOff/blobLen ·         │
+ *   │          u16 name · u8 kind · u8 cat             │
+ *   ├──────────────────────────────────────────────────┤
+ *   │ Footer   u64 events · u64 chunks ·               │
+ *   │          blob arena · track table · run table ·  │
+ *   │          u64 dropped                             │
+ *   ├──────────────────────────────────────────────────┤
+ *   │ Trailer  u64 footerOffset · u64 footerHash ·     │
+ *   │          "GMOFOOT1"                              │
+ *   └──────────────────────────────────────────────────┘
+ */
+
+#ifndef GMLAKE_OBS_EXPORT_COLUMNAR_HH
+#define GMLAKE_OBS_EXPORT_COLUMNAR_HH
+
+#include <string>
+
+#include "obs/recorder.hh"
+
+namespace gmlake::obs
+{
+
+/** Events per chunk of the columnar dump. */
+inline constexpr std::size_t kObsChunkEvents = 16 * 1024;
+
+/** Write @p snap to @p path; GMLAKE_FATAL on I/O failure. */
+void writeColumnarTrace(const RecorderSnapshot &snap,
+                        const std::string &path);
+
+/**
+ * Read a `.gmo` file back into a snapshot, verifying the trailer
+ * magic, footer hash and every chunk's payload hash; GMLAKE_FATAL
+ * on any defect.
+ */
+RecorderSnapshot readColumnarTrace(const std::string &path);
+
+/** True when @p path starts with the `.gmo` magic. */
+bool looksLikeObsTrace(const std::string &path);
+
+} // namespace gmlake::obs
+
+#endif // GMLAKE_OBS_EXPORT_COLUMNAR_HH

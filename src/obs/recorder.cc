@@ -1,0 +1,161 @@
+#include "obs/recorder.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace gmlake::obs
+{
+
+namespace
+{
+/** Distinguishes recorder instances for the thread-local cache. */
+std::atomic<std::uint64_t> gInstanceCounter{1};
+} // namespace
+
+Recorder::Recorder(RecorderOptions options)
+    : mOptions(options),
+      mInstance(gInstanceCounter.fetch_add(1)),
+      mGeneration(gInstanceCounter.fetch_add(1))
+{
+    GMLAKE_ASSERT(mOptions.ringCapacity > 0, "empty recorder ring");
+}
+
+Recorder::~Recorder() { deactivate(); }
+
+void
+Recorder::activate()
+{
+    detail::gActive.store(this, std::memory_order_release);
+}
+
+void
+Recorder::deactivate()
+{
+    Recorder *self = this;
+    detail::gActive.compare_exchange_strong(
+        self, nullptr, std::memory_order_acq_rel);
+}
+
+std::uint32_t
+Recorder::beginRun(const std::string &label)
+{
+    std::lock_guard<std::mutex> lock(mRegistry);
+    mRuns.push_back(label);
+    // New run, new track namespace: same-named tracks of different
+    // runs must not merge, so interning restarts.
+    mTrackIds.clear();
+    mGeneration.fetch_add(1, std::memory_order_acq_rel);
+    return static_cast<std::uint32_t>(mRuns.size() - 1);
+}
+
+std::uint32_t
+Recorder::track(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mRegistry);
+    auto it = mTrackIds.find(name);
+    if (it != mTrackIds.end())
+        return it->second;
+    const auto id = static_cast<std::uint32_t>(mTracks.size());
+    TrackInfo info;
+    info.name = name;
+    info.run = mRuns.empty()
+                   ? 0
+                   : static_cast<std::uint32_t>(mRuns.size() - 1);
+    mTracks.push_back(std::move(info));
+    mTrackIds.emplace(name, id);
+    return id;
+}
+
+void
+Recorder::emitWithBlob(Event e, const std::uint64_t *words,
+                       std::uint32_t n)
+{
+    ThreadLog &log = threadLog();
+    if (log.events.size() >= mOptions.ringCapacity ||
+        log.blob.size() + n > mOptions.blobCapacity) {
+        ++log.dropped;
+        return;
+    }
+    e.blobOff = static_cast<std::uint32_t>(log.blob.size());
+    e.blobLen = n;
+    log.blob.insert(log.blob.end(), words, words + n);
+    e.seq = log.seq++;
+    log.events.push_back(e);
+}
+
+Recorder::ThreadLog &
+Recorder::registerThread()
+{
+    std::lock_guard<std::mutex> lock(mRegistry);
+    auto log = std::make_unique<ThreadLog>();
+    log->epoch = static_cast<std::uint32_t>(mLogs.size());
+    log->events.reserve(
+        std::min<std::size_t>(mOptions.ringCapacity, 4096));
+    mLogs.push_back(std::move(log));
+    return *mLogs.back();
+}
+
+RecorderSnapshot
+Recorder::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mRegistry);
+    RecorderSnapshot out;
+    out.tracks = mTracks;
+    out.runs = mRuns;
+    if (out.runs.empty())
+        out.runs.emplace_back("run");
+
+    // (event, owning thread epoch) pairs; blobs are rewritten into
+    // the merged arena so the snapshot is self-contained.
+    struct Keyed
+    {
+        Event e;
+        std::uint32_t epoch;
+    };
+    std::vector<Keyed> keyed;
+    std::size_t total = 0;
+    for (const auto &log : mLogs)
+        total += log->events.size();
+    keyed.reserve(total);
+    for (const auto &log : mLogs) {
+        out.dropped += log->dropped;
+        for (const Event &e : log->events) {
+            Keyed k{e, log->epoch};
+            if (e.blobLen != 0) {
+                const auto off =
+                    static_cast<std::uint32_t>(out.blob.size());
+                out.blob.insert(out.blob.end(),
+                                log->blob.begin() + e.blobOff,
+                                log->blob.begin() + e.blobOff +
+                                    e.blobLen);
+                k.e.blobOff = off;
+            }
+            keyed.push_back(k);
+        }
+    }
+    std::sort(keyed.begin(), keyed.end(),
+              [](const Keyed &a, const Keyed &b) {
+                  if (a.e.simTime != b.e.simTime)
+                      return a.e.simTime < b.e.simTime;
+                  if (a.epoch != b.epoch)
+                      return a.epoch < b.epoch;
+                  return a.e.seq < b.e.seq;
+              });
+    out.events.reserve(keyed.size());
+    for (const Keyed &k : keyed)
+        out.events.push_back(k.e);
+    return out;
+}
+
+std::uint64_t
+Recorder::dropped() const
+{
+    std::lock_guard<std::mutex> lock(mRegistry);
+    std::uint64_t total = 0;
+    for (const auto &log : mLogs)
+        total += log->dropped;
+    return total;
+}
+
+} // namespace gmlake::obs

@@ -1,0 +1,277 @@
+/**
+ * @file
+ * Per-thread span/event recorder with a null global sink.
+ *
+ * Design goals, in order:
+ *
+ *  1. *Zero-ish cost when off.* Every instrumentation site is
+ *     guarded by `if (auto *r = obs::active())` — one relaxed-ish
+ *     atomic load and a predictable branch. With no recorder
+ *     installed the stack runs exactly the code it ran before this
+ *     layer existed (pinned by the decision digests and the
+ *     stress-allocator overhead assertion).
+ *
+ *  2. *No cross-thread contention when on.* Each thread appends to
+ *     its own bounded segment (events + a u64 side blob for
+ *     variable-length payloads); the only lock is taken once per
+ *     thread at registration, in the spirit of the per-thread
+ *     statistical counters in McKenney's perfbook. When a segment
+ *     fills, further records are dropped and counted — recording
+ *     never blocks or reallocates unboundedly mid-run.
+ *
+ *  3. *Deterministic output.* Segments are merged at run end by
+ *     (simTime, threadEpoch, seq) where threadEpoch is registration
+ *     order and seq the per-thread emission tick, so the merged
+ *     stream is a pure function of the simulation, not of host
+ *     scheduling. Timestamps are simulated nanoseconds; the
+ *     recorder never reads or advances the clock itself.
+ */
+
+#ifndef GMLAKE_OBS_RECORDER_HH
+#define GMLAKE_OBS_RECORDER_HH
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/events.hh"
+
+namespace gmlake::obs
+{
+
+struct RecorderOptions
+{
+    /** Max events buffered per thread before drops begin. */
+    std::size_t ringCapacity = std::size_t{1} << 18;
+    /** Max u64 words of variable-length payload per thread. */
+    std::size_t blobCapacity = std::size_t{1} << 20;
+};
+
+/** One track of the exported timeline (tid in Chrome-trace terms). */
+struct TrackInfo
+{
+    std::string name;
+    std::uint32_t run = 0; //!< run index the track belongs to
+};
+
+/**
+ * Everything recorded, merged and ready for export: events sorted
+ * by (simTime, threadEpoch, seq), blobs rewritten into one arena.
+ */
+struct RecorderSnapshot
+{
+    std::vector<Event> events;
+    std::vector<std::uint64_t> blob;
+    std::vector<TrackInfo> tracks;   //!< index = Event::track
+    std::vector<std::string> runs;   //!< index = TrackInfo::run
+    std::uint64_t dropped = 0;
+
+    /** Blob words of @p e (already retargeted to the arena). */
+    const std::uint64_t *blobOf(const Event &e) const
+    {
+        return e.blobLen == 0 ? nullptr : blob.data() + e.blobOff;
+    }
+};
+
+class Recorder
+{
+  public:
+    explicit Recorder(RecorderOptions options = {});
+    ~Recorder();
+    Recorder(const Recorder &) = delete;
+    Recorder &operator=(const Recorder &) = delete;
+
+    /** Install / remove this recorder as the process-global sink. */
+    void activate();
+    void deactivate();
+
+    /**
+     * Start a new run (one scenario execution); subsequent track()
+     * interning binds to it. Returns the run index (Chrome pid).
+     */
+    std::uint32_t beginRun(const std::string &label);
+
+    /**
+     * Intern @p name as a track of the current run. Serialized by a
+     * mutex — cache the id at the call site, keyed on generation().
+     */
+    std::uint32_t track(const std::string &name);
+
+    /**
+     * Monotonic id distinguishing this recorder instance *and* run:
+     * bumped at construction and on every beginRun(). Call sites
+     * caching track ids revalidate against it.
+     */
+    std::uint64_t generation() const
+    {
+        return mGeneration.load(std::memory_order_acquire);
+    }
+
+    /** Fresh non-zero provenance scope token. */
+    std::uint64_t nextScopeToken()
+    {
+        return mNextToken.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    // ---- emission (hot path) ---------------------------------
+
+    /** Append @p e to the calling thread's segment (seq assigned). */
+    void emit(Event e)
+    {
+        ThreadLog &log = threadLog();
+        if (log.events.size() >= mOptions.ringCapacity) {
+            ++log.dropped;
+            return;
+        }
+        e.seq = log.seq++;
+        log.events.push_back(e);
+    }
+
+    /** As emit(), attaching @p n u64 words as the event's blob. */
+    void emitWithBlob(Event e, const std::uint64_t *words,
+                      std::uint32_t n);
+
+    void span(EvName name, EventCat cat, std::uint32_t track,
+              std::uint64_t t0, std::uint64_t dur,
+              std::uint64_t a0 = 0, std::uint64_t a1 = 0,
+              std::uint64_t a2 = 0)
+    {
+        Event e;
+        e.simTime = t0;
+        e.dur = dur;
+        e.a0 = a0;
+        e.a1 = a1;
+        e.a2 = a2;
+        e.track = track;
+        e.name = name;
+        e.kind = EventKind::span;
+        e.cat = cat;
+        emit(e);
+    }
+
+    void instant(EvName name, EventCat cat, std::uint32_t track,
+                 std::uint64_t t, std::uint64_t a0 = 0,
+                 std::uint64_t a1 = 0, std::uint64_t a2 = 0)
+    {
+        Event e;
+        e.simTime = t;
+        e.a0 = a0;
+        e.a1 = a1;
+        e.a2 = a2;
+        e.track = track;
+        e.name = name;
+        e.kind = EventKind::instant;
+        e.cat = cat;
+        emit(e);
+    }
+
+    /** Counter sample: the track name is the counter name. */
+    void counter(std::uint32_t track, std::uint64_t t,
+                 std::uint64_t value, EventCat cat = EventCat::sample)
+    {
+        Event e;
+        e.simTime = t;
+        e.a0 = value;
+        e.track = track;
+        e.name = EvName::counterSample;
+        e.kind = EventKind::counter;
+        e.cat = cat;
+        emit(e);
+    }
+
+    // ---- draining --------------------------------------------
+
+    /**
+     * Merge all thread segments deterministically. Call only when
+     * no thread is concurrently emitting (engine joined).
+     */
+    RecorderSnapshot snapshot() const;
+
+    /** Records dropped to ring/blob bounds so far. */
+    std::uint64_t dropped() const;
+
+  private:
+    struct ThreadLog
+    {
+        std::vector<Event> events;
+        std::vector<std::uint64_t> blob;
+        std::uint32_t epoch = 0; //!< registration order
+        std::uint32_t seq = 0;
+        std::uint64_t dropped = 0;
+    };
+
+    /** Per-thread segment, registering on first use. */
+    ThreadLog &threadLog()
+    {
+        struct Cache
+        {
+            std::uint64_t instance = 0;
+            ThreadLog *log = nullptr;
+        };
+        thread_local Cache cache;
+        if (cache.instance != mInstance) {
+            cache.log = &registerThread();
+            cache.instance = mInstance;
+        }
+        return *cache.log;
+    }
+
+    ThreadLog &registerThread();
+
+    RecorderOptions mOptions;
+    /** Unique per Recorder object; guards the thread-local cache
+     *  against a recorder destroyed and another constructed at the
+     *  same address. */
+    std::uint64_t mInstance;
+    std::atomic<std::uint64_t> mGeneration;
+    std::atomic<std::uint64_t> mNextToken{1};
+
+    mutable std::mutex mRegistry;
+    std::vector<std::unique_ptr<ThreadLog>> mLogs;
+    std::vector<TrackInfo> mTracks;
+    std::vector<std::string> mRuns;
+    std::unordered_map<std::string, std::uint32_t> mTrackIds;
+};
+
+namespace detail
+{
+/** The process-global sink; null compiles sites to one branch. */
+inline std::atomic<Recorder *> gActive{nullptr};
+/** Current provenance scope token (0 = outside an allocation). */
+inline thread_local std::uint64_t tScopeToken = 0;
+} // namespace detail
+
+/** The active recorder, or nullptr (the null sink). */
+inline Recorder *
+active()
+{
+    return detail::gActive.load(std::memory_order_acquire);
+}
+
+/** Token attributing nested device-API work to an allocation. */
+inline std::uint64_t scopeToken() { return detail::tScopeToken; }
+
+/** RAII scope-token setter used by the allocator entry point. */
+class ScopeToken
+{
+  public:
+    explicit ScopeToken(std::uint64_t token)
+        : mOld(detail::tScopeToken)
+    {
+        detail::tScopeToken = token;
+    }
+    ~ScopeToken() { detail::tScopeToken = mOld; }
+    ScopeToken(const ScopeToken &) = delete;
+    ScopeToken &operator=(const ScopeToken &) = delete;
+
+  private:
+    std::uint64_t mOld;
+};
+
+} // namespace gmlake::obs
+
+#endif // GMLAKE_OBS_RECORDER_HH

@@ -1,6 +1,7 @@
 #include "sim/chaos.hh"
 
 #include <algorithm>
+#include <fstream>
 #include <memory>
 #include <utility>
 
@@ -200,6 +201,57 @@ ChaosReport::exitCode() const
             code = kChaosExitOom;
     }
     return code;
+}
+
+void
+writeChaosJson(const ChaosReport &report,
+               const ChaosOptions &options, const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        GMLAKE_FATAL("cannot open JSON for writing: ", path);
+    out << "{\n"
+        << "  \"scenario\": \"" << report.scenario << "\",\n"
+        << "  \"mode\": \"chaos\",\n"
+        << "  \"allocator\": \"" << report.allocator << "\",\n"
+        << "  \"config\": {"
+        << "\"workload_seed\": " << report.workloadSeed << ", "
+        << "\"fault_seed\": " << report.faultSeed << ", "
+        << "\"fault_spec\": \"" << report.faultSpec << "\", "
+        << "\"soak\": " << report.trials.size() << ", "
+        << "\"iterations\": " << options.iterations << ", "
+        << "\"kill_chance\": " << options.killChance << ", "
+        << "\"engine_threads\": " << options.engineThreads << "},\n"
+        << "  \"exit_code\": " << report.exitCode() << ",\n"
+        << "  \"failures\": " << report.failures() << ",\n"
+        << "  \"total_wall_ns\": " << report.totalWallNs << ",\n"
+        << "  \"trials\": [";
+    bool first = true;
+    for (const ChaosTrialRecord &t : report.trials) {
+        const RunResult &r = t.result;
+        out << (first ? "" : ",") << "\n    {"
+            << "\"fault_seed\": " << t.faultSeed << ", "
+            << "\"audit_passed\": "
+            << (t.auditPassed ? "true" : "false") << ", "
+            << "\"internal_error\": "
+            << (t.internalError ? "true" : "false") << ", "
+            << "\"injected_faults\": " << r.injectedFaults << ", "
+            << "\"recovered\": " << r.recovered << ", "
+            << "\"rollbacks\": " << r.rollbacks << ", "
+            << "\"aborted_sessions\": " << r.abortedSessions << ", "
+            << "\"oom_sessions\": " << t.oomSessions << ", "
+            << "\"scripted_kills\": " << t.scriptedKills << ", "
+            << "\"capacity_lost_bytes\": " << t.capacityLost << ", "
+            << "\"oom\": " << (r.oom ? "true" : "false") << ", "
+            << "\"fragmentation\": " << r.fragmentation << ", "
+            << "\"peak_reserved_bytes\": " << r.peakReserved << ", "
+            << "\"sim_time_ns\": " << r.simTime << ", "
+            << "\"alloc_count\": " << r.allocCount << ", "
+            << "\"free_count\": " << r.freeCount << ", "
+            << "\"wall_ns\": " << t.wallNs << "}";
+        first = false;
+    }
+    out << "\n  ]\n}\n";
 }
 
 } // namespace gmlake::sim

@@ -121,6 +121,15 @@ ChaosTrialRecord runChaosTrial(const ChaosOptions &options,
 /** Run the full soak: options.trials trials, derived seeds. */
 ChaosReport runChaos(const ChaosOptions &options);
 
+/**
+ * Write the machine-readable soak report. Lives in the library (not
+ * the CLI) so the artifact-format regression test pins the exact
+ * key set downstream consumers parse.
+ */
+void writeChaosJson(const ChaosReport &report,
+                    const ChaosOptions &options,
+                    const std::string &path);
+
 } // namespace gmlake::sim
 
 #endif // GMLAKE_SIM_CHAOS_HH

@@ -6,8 +6,13 @@
 #include <fstream>
 #include <iostream>
 #include <limits>
+#include <memory>
 #include <sstream>
+#include <utility>
 
+#include "obs/export_chrome.hh"
+#include "obs/export_columnar.hh"
+#include "obs/recorder.hh"
 #include "support/logging.hh"
 #include "support/thread_pool.hh"
 #include "support/units.hh"
@@ -87,9 +92,14 @@ ExperimentContext::run(const workload::TrainConfig &cfg,
 {
     const workload::TrainConfig adjusted = adjust(cfg);
     const ScenarioOptions opts = adjust(scenario);
+    const std::string row =
+        label.empty() ? adjusted.describe() : label;
+    if (mRecorder != nullptr) {
+        mRecorder->beginRun(row + " [" +
+                            allocatorKindName(kind) + "]");
+    }
     RunResult result = runScenario(adjusted, kind, opts);
-    record(label.empty() ? adjusted.describe() : label,
-           result.allocator, result);
+    record(row, result.allocator, result);
     return result;
 }
 
@@ -111,6 +121,10 @@ ExperimentContext::runTrace(AllocatorKind kind,
                             const ScenarioOptions &scenario)
 {
     const ScenarioOptions opts = adjust(scenario);
+    if (mRecorder != nullptr) {
+        mRecorder->beginRun(label + " [" +
+                            allocatorKindName(kind) + "]");
+    }
     vmm::Device device(opts.device);
     const auto allocator = makeAllocator(kind, device, opts.gmlake);
     RunResult result = sim::runTrace(*allocator, device, trace,
@@ -220,6 +234,49 @@ jsonDouble(double v)
         return "null";
     }
     return s;
+}
+
+/**
+ * Per-record (key, rendered value) rows of the JSON report, in
+ * emission order. writeJson() and experimentJsonRecordKeys() both
+ * derive from this one table so the golden-format test pins the
+ * real emitted key set, not a copy that can drift.
+ */
+std::vector<std::pair<std::string, std::string>>
+jsonRecordFields(const RunRecord &r)
+{
+    const RunResult &res = r.result;
+    auto u = [](std::uint64_t v) { return std::to_string(v); };
+    return {
+        {"label", "\"" + jsonEscape(r.label) + "\""},
+        {"allocator", "\"" + jsonEscape(r.allocator) + "\""},
+        {"oom", res.oom ? "true" : "false"},
+        {"utilization", jsonDouble(res.utilization)},
+        {"fragmentation", jsonDouble(res.fragmentation)},
+        {"peak_active_bytes", u(res.peakActive)},
+        {"peak_reserved_bytes", u(res.peakReserved)},
+        {"sim_time_ns", u(res.simTime)},
+        {"samples_per_sec", jsonDouble(res.samplesPerSec)},
+        {"alloc_count", u(res.allocCount)},
+        {"free_count", u(res.freeCount)},
+        {"device_api_time_ns", u(res.deviceApiTime)},
+        {"alloc_wall_ns", u(res.allocWallNs)},
+        {"alloc_wall_p50_ns", u(res.allocWallP50Ns)},
+        {"alloc_wall_p99_ns", u(res.allocWallP99Ns)},
+        {"run_wall_ns", u(res.runWallNs)},
+        {"vmm_wall_ns", u(res.vmmWallNs)},
+        {"evicted_bytes", u(res.evictedBytes)},
+        {"faulted_bytes", u(res.faultedBytes)},
+        {"stall_ns", u(res.stallNs)},
+        {"offload_wall_ns", u(res.offloadWallNs)},
+        {"lock_wait_ns", u(res.lockWaitNs)},
+        {"snapshot_publishes", u(res.snapshotPublishes)},
+        {"commit_stall_ns", u(res.commitStallNs)},
+        {"injected_faults", u(res.injectedFaults)},
+        {"recovered", u(res.recovered)},
+        {"aborted_sessions", u(res.abortedSessions)},
+        {"rollbacks", u(res.rollbacks)},
+    };
 }
 
 constexpr const char *kCsvHeader =
@@ -337,51 +394,14 @@ writeJson(const Experiment &experiment,
         << "  \"records\": [";
     bool first = true;
     for (const RunRecord &r : context.records()) {
-        out << (first ? "" : ",") << "\n    {"
-            << "\"label\": \"" << jsonEscape(r.label) << "\", "
-            << "\"allocator\": \"" << jsonEscape(r.allocator)
-            << "\", "
-            << "\"oom\": " << (r.result.oom ? "true" : "false")
-            << ", "
-            << "\"utilization\": " << jsonDouble(r.result.utilization)
-            << ", "
-            << "\"fragmentation\": "
-            << jsonDouble(r.result.fragmentation) << ", "
-            << "\"peak_active_bytes\": " << r.result.peakActive
-            << ", "
-            << "\"peak_reserved_bytes\": " << r.result.peakReserved
-            << ", "
-            << "\"sim_time_ns\": " << r.result.simTime << ", "
-            << "\"samples_per_sec\": "
-            << jsonDouble(r.result.samplesPerSec) << ", "
-            << "\"alloc_count\": " << r.result.allocCount << ", "
-            << "\"free_count\": " << r.result.freeCount << ", "
-            << "\"device_api_time_ns\": " << r.result.deviceApiTime
-            << ", "
-            << "\"alloc_wall_ns\": " << r.result.allocWallNs << ", "
-            << "\"alloc_wall_p50_ns\": " << r.result.allocWallP50Ns
-            << ", "
-            << "\"alloc_wall_p99_ns\": " << r.result.allocWallP99Ns
-            << ", "
-            << "\"run_wall_ns\": " << r.result.runWallNs << ", "
-            << "\"vmm_wall_ns\": " << r.result.vmmWallNs << ", "
-            << "\"evicted_bytes\": " << r.result.evictedBytes << ", "
-            << "\"faulted_bytes\": " << r.result.faultedBytes << ", "
-            << "\"stall_ns\": " << r.result.stallNs << ", "
-            << "\"offload_wall_ns\": " << r.result.offloadWallNs
-            << ", "
-            << "\"lock_wait_ns\": " << r.result.lockWaitNs << ", "
-            << "\"snapshot_publishes\": "
-            << r.result.snapshotPublishes << ", "
-            << "\"commit_stall_ns\": " << r.result.commitStallNs
-            << ", "
-            << "\"injected_faults\": " << r.result.injectedFaults
-            << ", "
-            << "\"recovered\": " << r.result.recovered << ", "
-            << "\"aborted_sessions\": " << r.result.abortedSessions
-            << ", "
-            << "\"rollbacks\": " << r.result.rollbacks
-            << "}";
+        out << (first ? "" : ",") << "\n    {";
+        bool firstField = true;
+        for (const auto &[key, value] : jsonRecordFields(r)) {
+            out << (firstField ? "" : ", ") << '"' << key
+                << "\": " << value;
+            firstField = false;
+        }
+        out << "}";
         first = false;
     }
     out << "\n  ],\n  \"metrics\": [";
@@ -397,6 +417,24 @@ writeJson(const Experiment &experiment,
 }
 
 } // namespace
+
+const char *
+experimentCsvHeader()
+{
+    return kCsvHeader;
+}
+
+const std::vector<std::string> &
+experimentJsonRecordKeys()
+{
+    static const std::vector<std::string> keys = [] {
+        std::vector<std::string> names;
+        for (const auto &[key, value] : jsonRecordFields(RunRecord{}))
+            names.push_back(key);
+        return names;
+    }();
+    return keys;
+}
 
 std::string
 defaultCsvPath(const Experiment &experiment)
@@ -427,7 +465,35 @@ runExperiment(const Experiment &experiment,
     ExperimentOptions experimentOptions = options.experiment;
     experimentOptions.plotFiles = !options.csvPath.empty();
     ExperimentContext context(experimentOptions, out);
+    // Timeline capture: the recorder is activated for the whole
+    // scenario; the run helpers call beginRun() per allocator run so
+    // each gets its own process lane. Deactivated before export so
+    // nothing emits while the segments merge.
+    std::unique_ptr<obs::Recorder> recorder;
+    if (!options.timelinePath.empty() ||
+        !options.timelineBinPath.empty()) {
+        recorder = std::make_unique<obs::Recorder>();
+        context.setRecorder(recorder.get());
+        recorder->activate();
+    }
     experiment.run(context);
+    if (recorder != nullptr) {
+        recorder->deactivate();
+        const obs::RecorderSnapshot snap = recorder->snapshot();
+        if (!options.timelinePath.empty()) {
+            obs::writeChromeTrace(snap, options.timelinePath);
+            out << "(timeline written to " << options.timelinePath
+                << ", " << snap.events.size() << " events";
+            if (snap.dropped > 0)
+                out << ", " << snap.dropped << " dropped";
+            out << ")\n";
+        }
+        if (!options.timelineBinPath.empty()) {
+            obs::writeColumnarTrace(snap, options.timelineBinPath);
+            out << "(binary timeline written to "
+                << options.timelineBinPath << ")\n";
+        }
+    }
     if (!options.csvPath.empty()) {
         writeCsv(experiment, context, options.csvPath);
         out << "(run records appended to " << options.csvPath
@@ -510,6 +576,17 @@ try {
                 << "                   for parallel engine runs\n"
                 << "  --csv [FILE]     append run records as CSV\n"
                 << "  --json [FILE]    write the report as JSON\n"
+                << "  --timeline FILE  record the runs and write a "
+                   "Chrome-trace/Perfetto\n"
+                << "                   timeline (open in "
+                   "ui.perfetto.dev); results are\n"
+                << "                   bit-identical with or without "
+                   "recording\n"
+                << "  --timeline-bin FILE\n"
+                << "                   also write the columnar binary "
+                   "event dump (.gmo)\n"
+                << "  --log-level L    error | warn | info | debug "
+                   "(default warn)\n"
                 << "  --out FILE       write the JSON report to FILE "
                    "(overrides the\n"
                 << "                   default BENCH_<scenario>.json "
@@ -554,6 +631,12 @@ try {
             const char *path = optional(i);
             options.jsonPath =
                 path ? path : defaultJsonPath(*experiment);
+        } else if (flag == "--timeline") {
+            options.timelinePath = need(i);
+        } else if (flag == "--timeline-bin") {
+            options.timelineBinPath = need(i);
+        } else if (flag == "--log-level") {
+            setLogLevel(parseLogLevel(need(i)));
         } else if (flag == "--out") {
             const std::filesystem::path path = need(i);
             if (const auto dir = path.parent_path();

@@ -19,6 +19,11 @@
 #include "sim/runner.hh"
 #include "workload/servegen.hh"
 
+namespace gmlake::obs
+{
+class Recorder;
+}
+
 namespace gmlake::sim
 {
 
@@ -132,6 +137,15 @@ class ExperimentContext
     void metric(const std::string &label, const std::string &name,
                 double value);
 
+    /**
+     * Attach an observability recorder (borrowed). The run helpers
+     * call beginRun() per scenario row so every allocator run gets
+     * its own process lane in the exported timeline. nullptr (the
+     * default) records nothing.
+     */
+    void setRecorder(obs::Recorder *recorder) { mRecorder = recorder; }
+    obs::Recorder *recorder() const { return mRecorder; }
+
     const std::vector<RunRecord> &records() const { return mRecords; }
     const std::vector<MetricRecord> &metrics() const
     {
@@ -143,6 +157,7 @@ class ExperimentContext
     std::ostream &mOut;
     std::vector<RunRecord> mRecords;
     std::vector<MetricRecord> mMetrics;
+    obs::Recorder *mRecorder = nullptr;
 };
 
 /** A named, registered scenario. */
@@ -191,11 +206,35 @@ struct ExperimentRunOptions
     std::string csvPath;
     /** Non-empty: write the scenario report as JSON. */
     std::string jsonPath;
+    /**
+     * Non-empty: run with the observability recorder active and
+     * export the merged timeline as Chrome-trace/Perfetto JSON.
+     * Recording never advances the simulated clock, so every
+     * decision digest and RunResult field is identical with or
+     * without it.
+     */
+    std::string timelinePath;
+    /** Non-empty: also export the columnar binary dump (.gmo). */
+    std::string timelineBinPath;
 };
 
 /** Default artifact names: BENCH_<name>.csv / BENCH_<name>.json. */
 std::string defaultCsvPath(const Experiment &experiment);
 std::string defaultJsonPath(const Experiment &experiment);
+
+/**
+ * The exact --csv column set, golden-pinned by the format
+ * regression test: adding, removing, or renaming a column must be a
+ * deliberate, test-visible act because downstream plotting scripts
+ * key on these names.
+ */
+const char *experimentCsvHeader();
+
+/**
+ * The per-record key set of the --json report, in emission order
+ * (same golden-pinning contract as experimentCsvHeader()).
+ */
+const std::vector<std::string> &experimentJsonRecordKeys();
 
 /**
  * Execute one scenario: banner, run function, artifact emission.
@@ -207,8 +246,8 @@ int runExperiment(const Experiment &experiment,
 
 /**
  * Shared main() body of the bench_* wrappers and `gmlake_sim run`:
- * parses --iterations/--capacity/--seed/--csv/--json and runs the
- * named scenario.
+ * parses --iterations/--capacity/--seed/--csv/--json/--timeline/
+ * --log-level and runs the named scenario.
  */
 int experimentMain(const std::string &name, int argc, char **argv);
 

@@ -7,6 +7,8 @@
 #include <unordered_map>
 #include <utility>
 
+#include "obs/recorder.hh"
+#include "obs/sampler.hh"
 #include "offload/offload_manager.hh"
 #include "sim/stage_queue.hh"
 #include "support/logging.hh"
@@ -262,6 +264,52 @@ SimEngine::runMerged(const workload::TrainConfig *config,
         totalEvents += cursors[i].src->sizeHint();
     }
 
+    // Observability: one lifecycle track per tenant plus the periodic
+    // memory sampler. The recorder is captured once — it only reads
+    // the simulated clock, so the replay (and every digest) is
+    // byte-identical with and without it.
+    obs::Recorder *rec = obs::active();
+    std::vector<std::uint32_t> tenantTracks;
+    std::unique_ptr<obs::MemorySampler> sampler;
+    if (rec != nullptr) {
+        obs::SamplerConfig samplerConfig;
+        samplerConfig.periodNs = mOptions.obsSamplePeriodNs;
+        tenantTracks.reserve(mSessions.size());
+        for (const Session &session : mSessions) {
+            tenantTracks.push_back(
+                rec->track("tenant:" + session.name()));
+            samplerConfig.tenants.push_back(session.name());
+        }
+        if (mOptions.obsSamplePeriodNs > 0) {
+            sampler = std::make_unique<obs::MemorySampler>(
+                *rec, samplerConfig);
+        }
+        for (std::size_t i = 0; i < mSessions.size(); ++i) {
+            rec->instant(obs::EvName::sessionStart,
+                         obs::EventCat::engine, tenantTracks[i],
+                         timeStart + mSessions[i].startTime(), i);
+        }
+    }
+    auto obsSample = [&](bool force) {
+        if (sampler == nullptr ||
+            (!force && !sampler->due(mDevice.now())))
+            return;
+        obs::MemorySample s;
+        const auto &stats = mAllocator.stats();
+        s.activeBytes = stats.activeBytes();
+        s.reservedBytes = stats.reservedBytes();
+        const auto frag = mDevice.fragStats();
+        s.inUseBytes = frag.inUse;
+        s.largestHole = frag.largestHole;
+        s.holeCount = frag.holeCount;
+        s.freeBytes = frag.capacity - frag.inUse;
+        s.holeBuckets = frag.holeBuckets;
+        s.tenantLiveBytes.reserve(cursors.size());
+        for (const Cursor &c : cursors)
+            s.tenantLiveBytes.push_back(c.liveBytes);
+        sampler->record(mDevice.now(), s);
+    };
+
     // Resume seeds: warm-start cursors mid-timeline. The seeded
     // local time overrides the session's startTime — seeds carry
     // absolute local times, paired with options.startFrontier.
@@ -374,6 +422,14 @@ SimEngine::runMerged(const workload::TrainConfig *config,
             const Status s = mAllocator.deallocate(id);
             GMLAKE_ASSERT(s.ok(), "reclaim failed: ",
                           s.ok() ? "" : s.error().message);
+            if (rec != nullptr) {
+                const auto idx = static_cast<std::size_t>(
+                    &dying - cursors.data());
+                rec->instant(obs::EvName::tensorFree,
+                             obs::EventCat::engine,
+                             tenantTracks[idx], mDevice.now(),
+                             tensor, id);
+            }
         }
         dying.live.clear();
         dying.liveBytes = 0;
@@ -414,6 +470,17 @@ SimEngine::runMerged(const workload::TrainConfig *config,
             GMLAKE_WARN(report);
         else
             GMLAKE_INFORM(report);
+        if (rec != nullptr) {
+            // The instant mirrors the log line and the SessionResult
+            // fields exactly (asserted by the agreement test).
+            const auto idx = static_cast<std::size_t>(
+                &cursor - cursors.data());
+            rec->instant(obs::EvName::sessionOom,
+                         obs::EventCat::engine, tenantTracks[idx],
+                         mDevice.now(), requested,
+                         cursor.result.oomLargestFree,
+                         cursor.result.oomEvictableBytes);
+        }
         if (!sawFirstOom) {
             sawFirstOom = true;
             result.oom = true;
@@ -438,6 +505,13 @@ SimEngine::runMerged(const workload::TrainConfig *config,
         else
             GMLAKE_INFORM("session '", cursor.result.name,
                           "' aborted: ", why);
+        if (rec != nullptr) {
+            const auto idx = static_cast<std::size_t>(
+                &cursor - cursors.data());
+            rec->instant(obs::EvName::sessionAborted,
+                         obs::EventCat::engine, tenantTracks[idx],
+                         mDevice.now(), idx);
+        }
         reclaim(cursor);
     };
 
@@ -501,6 +575,7 @@ SimEngine::runMerged(const workload::TrainConfig *config,
             mDevice.clock().advance(best->localTime - frontier);
             frontier = best->localTime;
         }
+        obsSample(false);
 
         const workload::Event event = *best->fetch();
         best->consume();
@@ -532,6 +607,12 @@ SimEngine::runMerged(const workload::TrainConfig *config,
                 best->buffer->confirmRisky();
             if (tier != nullptr)
                 tier->onAllocated(got->id, event.bytes, bestIndex);
+            if (rec != nullptr) {
+                rec->instant(obs::EvName::tensorBind,
+                             obs::EventCat::engine,
+                             tenantTracks[bestIndex], mDevice.now(),
+                             event.tensor, got->id, event.bytes);
+            }
             best->live.emplace(event.tensor,
                                LiveAlloc{got->id, event.bytes});
             best->liveBytes += event.bytes;
@@ -550,6 +631,12 @@ SimEngine::runMerged(const workload::TrainConfig *config,
             const Status s = mAllocator.deallocate(it->second.id);
             GMLAKE_ASSERT(s.ok(), "deallocate failed: ",
                           s.ok() ? "" : s.error().message);
+            if (rec != nullptr) {
+                rec->instant(obs::EvName::tensorFree,
+                             obs::EventCat::engine,
+                             tenantTracks[bestIndex], mDevice.now(),
+                             event.tensor, it->second.id);
+            }
             best->liveBytes -= it->second.bytes;
             best->live.erase(it);
             ++best->result.freeCount;
@@ -594,6 +681,12 @@ SimEngine::runMerged(const workload::TrainConfig *config,
           }
           case workload::EventKind::iterationMark:
             ++best->result.iterationsDone;
+            if (rec != nullptr) {
+                rec->instant(obs::EvName::iterationMark,
+                             obs::EventCat::engine,
+                             tenantTracks[bestIndex], mDevice.now(),
+                             best->result.iterationsDone);
+            }
             sample(true);
             break;
           case workload::EventKind::streamSync:
@@ -750,6 +843,7 @@ SimEngine::runMerged(const workload::TrainConfig *config,
             samples / (static_cast<double>(result.simTime) * 1e-9);
     }
     sample(true);
+    obsSample(true);
     return multi;
 }
 
@@ -797,6 +891,26 @@ SimEngine::runRelaxed(const workload::TrainConfig *config,
         cursors[i].localTime = mSessions[i].startTime();
         cursors[i].live.reserve(1024);
         cursors[i].result.name = mSessions[i].name();
+    }
+
+    // Observability, relaxed flavor: lifecycle instants only. Each
+    // worker emits into its own per-thread segment, so no extra
+    // synchronization is needed; the periodic sampler stays off
+    // because it reads engine-wide cursor state the racing workers
+    // own piecemeal.
+    obs::Recorder *rec = obs::active();
+    std::vector<std::uint32_t> tenantTracks;
+    if (rec != nullptr) {
+        tenantTracks.reserve(mSessions.size());
+        for (const Session &session : mSessions) {
+            tenantTracks.push_back(
+                rec->track("tenant:" + session.name()));
+        }
+        for (std::size_t i = 0; i < mSessions.size(); ++i) {
+            rec->instant(obs::EvName::sessionStart,
+                         obs::EventCat::engine, tenantTracks[i],
+                         timeStart + mSessions[i].startTime(), i);
+        }
     }
 
     // Workers race on the shared allocator; allocators without
@@ -870,6 +984,15 @@ SimEngine::runRelaxed(const workload::TrainConfig *config,
             formatBytes(cursor.result.oomLargestFree),
             " evictable=",
             formatBytes(cursor.result.oomEvictableBytes)));
+        if (rec != nullptr) {
+            const auto idx = static_cast<std::size_t>(
+                &cursor - cursors.data());
+            rec->instant(obs::EvName::sessionOom,
+                         obs::EventCat::engine, tenantTracks[idx],
+                         mDevice.now(), requested,
+                         cursor.result.oomLargestFree,
+                         cursor.result.oomEvictableBytes);
+        }
         reclaim(cursor);
     };
 

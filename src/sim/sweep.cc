@@ -1,6 +1,7 @@
 #include "sim/sweep.hh"
 
 #include <algorithm>
+#include <fstream>
 #include <memory>
 #include <utility>
 
@@ -399,6 +400,72 @@ runSweep(const SweepScenario &scenario,
 
     report.totalWallNs = totalWall.elapsedNs();
     return report;
+}
+
+void
+writeSweepJson(const SweepReport &report, const SweepJsonMeta &meta,
+               const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        GMLAKE_FATAL("cannot open JSON for writing: ", path);
+    const auto runFields = [&out](const RunResult &r) {
+        out << "\"oom\": " << (r.oom ? "true" : "false") << ", "
+            << "\"utilization\": " << r.utilization << ", "
+            << "\"fragmentation\": " << r.fragmentation << ", "
+            << "\"peak_active_bytes\": " << r.peakActive << ", "
+            << "\"peak_reserved_bytes\": " << r.peakReserved << ", "
+            << "\"sim_time_ns\": " << r.simTime << ", "
+            << "\"alloc_count\": " << r.allocCount << ", "
+            << "\"free_count\": " << r.freeCount << ", "
+            << "\"device_api_time_ns\": " << r.deviceApiTime;
+    };
+    out << "{\n"
+        << "  \"scenario\": \"" << report.scenario << "\",\n"
+        << "  \"mode\": \"sweep\",\n"
+        << "  \"allocator\": \"" << report.allocator << "\",\n"
+        << "  \"config\": {"
+        << "\"seed\": " << meta.seed << ", "
+        << "\"iterations\": " << meta.iterations << ", "
+        << "\"device_capacity_bytes\": " << meta.deviceCapacityBytes
+        << ", "
+        << "\"threads\": " << meta.threads << ", "
+        << "\"engine_threads\": " << meta.engineThreads << ", "
+        << "\"engine_commit\": \"deterministic\", "
+        << "\"warm_start\": " << (meta.warmStart ? "true" : "false")
+        << ", "
+        << "\"split_time_ns\": " << meta.splitTimeNs << "},\n"
+        << "  \"warmup\": {";
+    runFields(report.warmup);
+    out << ", \"wall_ns\": " << report.warmupWallNs << "},\n"
+        << "  \"total_wall_ns\": " << report.totalWallNs << ",\n"
+        << "  \"points\": [";
+    bool first = true;
+    for (const SweepPointRecord &rec : report.points) {
+        const core::GMLakeConfig &c = rec.point.config;
+        out << (first ? "" : ",") << "\n    {"
+            << "\"label\": \"" << rec.point.label << "\", "
+            << "\"frag_limit_bytes\": " << c.fragLimit << ", "
+            << "\"near_match_tolerance\": " << c.nearMatchTolerance
+            << ", "
+            << "\"max_cached_sblocks\": " << c.maxCachedSBlocks
+            << ", "
+            << "\"max_va_overscribe\": " << c.maxVaOverscribe << ", "
+            << "\"enable_stitching\": "
+            << (c.enableStitching ? "true" : "false") << ", ";
+        runFields(rec.tail);
+        out << ", \"point_wall_ns\": " << rec.pointWallNs
+            << ", \"pareto\": " << (rec.onFrontier ? "true" : "false")
+            << "}";
+        first = false;
+    }
+    out << "\n  ],\n  \"pareto_frontier\": [";
+    first = true;
+    for (const std::size_t index : report.frontier()) {
+        out << (first ? "" : ", ") << index;
+        first = false;
+    }
+    out << "]\n}\n";
 }
 
 } // namespace gmlake::sim

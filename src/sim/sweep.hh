@@ -164,6 +164,31 @@ SweepReport runSweep(const SweepScenario &scenario,
                      const std::vector<SweepPoint> &points,
                      const SweepRunOptions &options = {});
 
+/**
+ * Reproduction header of the sweep JSON report: the inputs a reader
+ * needs to re-run the sweep, alongside what the report itself
+ * carries.
+ */
+struct SweepJsonMeta
+{
+    std::uint64_t seed = 42;
+    int iterations = 0; //!< 0 = scenario default
+    Bytes deviceCapacityBytes = 0;
+    std::size_t threads = 1;
+    std::size_t engineThreads = 1;
+    bool warmStart = true;
+    Tick splitTimeNs = 0;
+};
+
+/**
+ * Write the machine-readable sweep report. Lives in the library
+ * (not the CLI) so the artifact-format regression test pins the
+ * exact key set downstream plotting scripts consume.
+ */
+void writeSweepJson(const SweepReport &report,
+                    const SweepJsonMeta &meta,
+                    const std::string &path);
+
 } // namespace gmlake::sim
 
 #endif // GMLAKE_SIM_SWEEP_HH

@@ -11,15 +11,73 @@ namespace gmlake
 
 namespace
 {
-// Verbosity is set once at startup but read from worker threads
-// (parallel cluster ranks), so the flag is atomic and the stream
+// The threshold is set once at startup but read from worker threads
+// (parallel cluster ranks), so the level is atomic and the stream
 // writes are serialized to keep messages whole.
-std::atomic<bool> gVerbose{false};
+std::atomic<int> gLogLevel{static_cast<int>(LogLevel::warn)};
 std::mutex gStreamMutex;
+std::vector<std::pair<LogLevel, std::string>> *gCapture = nullptr;
+
+void
+capture(LogLevel level, const std::string &msg)
+{
+    std::lock_guard<std::mutex> lock(gStreamMutex);
+    if (gCapture != nullptr)
+        gCapture->emplace_back(level, msg);
+}
 } // namespace
 
-void setVerbose(bool verbose) { gVerbose.store(verbose); }
-bool verbose() { return gVerbose.load(); }
+void setLogLevel(LogLevel level)
+{
+    gLogLevel.store(static_cast<int>(level));
+}
+
+LogLevel logLevel()
+{
+    return static_cast<LogLevel>(gLogLevel.load());
+}
+
+LogLevel
+parseLogLevel(const std::string &text)
+{
+    if (text == "error")
+        return LogLevel::error;
+    if (text == "warn")
+        return LogLevel::warn;
+    if (text == "info")
+        return LogLevel::info;
+    if (text == "debug")
+        return LogLevel::debug;
+    GMLAKE_FATAL("invalid log level '", text,
+                 "' (expected error|warn|info|debug)");
+}
+
+const char *
+logLevelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::error: return "error";
+      case LogLevel::warn: return "warn";
+      case LogLevel::info: return "info";
+      case LogLevel::debug: return "debug";
+    }
+    return "?";
+}
+
+void
+setVerbose(bool verbose)
+{
+    setLogLevel(verbose ? LogLevel::info : LogLevel::warn);
+}
+
+bool verbose() { return logLevel() >= LogLevel::info; }
+
+void
+setLogCapture(std::vector<std::pair<LogLevel, std::string>> *sink)
+{
+    std::lock_guard<std::mutex> lock(gStreamMutex);
+    gCapture = sink;
+}
 
 namespace detail
 {
@@ -53,6 +111,9 @@ fatalImpl(const char *file, int line, const std::string &msg)
 void
 warnImpl(const std::string &msg)
 {
+    capture(LogLevel::warn, msg);
+    if (logLevel() < LogLevel::warn)
+        return;
     std::lock_guard<std::mutex> lock(gStreamMutex);
     std::fprintf(stderr, "warn: %s\n", msg.c_str());
 }
@@ -60,7 +121,8 @@ warnImpl(const std::string &msg)
 void
 informImpl(const std::string &msg)
 {
-    if (!verbose())
+    capture(LogLevel::info, msg);
+    if (logLevel() < LogLevel::info)
         return;
     std::lock_guard<std::mutex> lock(gStreamMutex);
     std::fprintf(stdout, "info: %s\n", msg.c_str());

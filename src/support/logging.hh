@@ -16,6 +16,8 @@
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace gmlake
 {
@@ -56,9 +58,49 @@ concat(Args &&...args)
 
 } // namespace detail
 
-/** Global verbosity switch for inform(); warn() is always printed. */
+/**
+ * Log severities, ordered so that a threshold admits everything at
+ * or below its numeric value. `error` silences warn() and inform()
+ * (panic/fatal diagnostics are never suppressed), `warn` is the
+ * default, `info` matches the old --verbose, and `debug` is reserved
+ * headroom for chattier subsystems.
+ */
+enum class LogLevel : int
+{
+    error = 0,
+    warn = 1,
+    info = 2,
+    debug = 3,
+};
+
+/** Global log threshold; messages above it are dropped. */
+void setLogLevel(LogLevel level);
+LogLevel logLevel();
+
+/**
+ * Parse "error" / "warn" / "info" / "debug" (case-sensitive, the
+ * spelling every `gmlake_sim` verb accepts for --log-level).
+ * GMLAKE_FATAL on anything else.
+ */
+LogLevel parseLogLevel(const std::string &text);
+
+/** Level → canonical spelling. */
+const char *logLevelName(LogLevel level);
+
+/**
+ * Global verbosity switch for inform(); warn() is always printed.
+ * Compatibility shim over setLogLevel: true → info, false → warn.
+ */
 void setVerbose(bool verbose);
 bool verbose();
+
+/**
+ * Test hook: when non-null, every warn()/inform() message is also
+ * appended here (regardless of the threshold) so tests can assert on
+ * log output without scraping stderr. Not thread-safe to flip while
+ * worker threads log; set it around single-threaded sections only.
+ */
+void setLogCapture(std::vector<std::pair<LogLevel, std::string>> *sink);
 
 } // namespace gmlake
 

@@ -1,7 +1,9 @@
 #include "vmm/device.hh"
 
 #include <algorithm>
+#include <bit>
 
+#include "obs/recorder.hh"
 #include "support/logging.hh"
 #include "support/stopwatch.hh"
 #include "support/strings.hh"
@@ -34,6 +36,76 @@ class WallScope
     std::uint64_t mStart;
 };
 
+/** The device's span track of the current observability run. */
+std::uint32_t
+deviceTrack(obs::Recorder &recorder)
+{
+    thread_local std::uint64_t cachedGeneration = 0;
+    thread_local std::uint32_t cachedTrack = 0;
+    const std::uint64_t generation = recorder.generation();
+    if (cachedGeneration != generation) {
+        cachedTrack = recorder.track("device");
+        cachedGeneration = generation;
+    }
+    return cachedTrack;
+}
+
+/**
+ * RAII span over one device API call: captures the simulated clock
+ * on entry and emits a device-category span on exit, covering
+ * exactly the tick the call charged (plus any copy stall). With no
+ * recorder installed the whole thing is one predictable branch.
+ * The provenance scope token set by the allocator rides along so
+ * the ledger can attribute the cost to an allocation.
+ */
+class ObsApiSpan
+{
+  public:
+    ObsApiSpan(obs::EvName name, const SimClock &clock)
+        : mRecorder(obs::active()), mClock(clock), mName(name)
+    {
+        if (mRecorder != nullptr)
+            mT0 = clock.now();
+    }
+
+    ~ObsApiSpan()
+    {
+        if (mRecorder == nullptr)
+            return;
+        mRecorder->span(mName, obs::EventCat::device,
+                        deviceTrack(*mRecorder), mT0,
+                        mClock.now() - mT0, mArg, mFault,
+                        obs::scopeToken());
+    }
+
+    ObsApiSpan(const ObsApiSpan &) = delete;
+    ObsApiSpan &operator=(const ObsApiSpan &) = delete;
+
+    /** Primary argument (bytes or chunk count). */
+    void
+    arg(std::uint64_t value)
+    {
+        if (mRecorder != nullptr)
+            mArg = value;
+    }
+
+    /** Tag the span with an injected/organic failure code. */
+    void
+    fault(const Error &error)
+    {
+        if (mRecorder != nullptr)
+            mFault = static_cast<std::uint64_t>(error.code);
+    }
+
+  private:
+    obs::Recorder *mRecorder;
+    const SimClock &mClock;
+    obs::EvName mName;
+    Tick mT0 = 0;
+    std::uint64_t mArg = 0;
+    std::uint64_t mFault = 0;
+};
+
 } // namespace
 
 Device::Device(DeviceConfig config)
@@ -57,6 +129,8 @@ Device::memAddressReserve(Bytes size)
     const std::lock_guard<TimedMutex> state(mStateMutex);
     ++mCounters.addressReserve;
     const WallScope wall(mCounters);
+    ObsApiSpan span(obs::EvName::devAddressReserve, mClock);
+    span.arg(size);
     charge(mCost.memAddressReserve(size));
     if (size == 0)
         return makeError(Errc::invalidValue, "reserve of zero bytes");
@@ -70,6 +144,7 @@ Device::memAddressFree(VirtAddr va)
     const std::lock_guard<TimedMutex> state(mStateMutex);
     ++mCounters.addressFree;
     const WallScope wall(mCounters);
+    const ObsApiSpan span(obs::EvName::devAddressFree, mClock);
     charge(mCost.memAddressFree());
     const auto res = mVa.containing(va, 1);
     if (!res.ok())
@@ -89,13 +164,20 @@ Device::memCreate(Bytes size)
     const std::lock_guard<TimedMutex> state(mStateMutex);
     ++mCounters.create;
     const WallScope wall(mCounters);
+    ObsApiSpan span(obs::EvName::devCreate, mClock);
+    span.arg(size);
     charge(mCost.memCreate(size));
     if (mFaults) {
         applyCapacityLossLocked();
-        if (auto err = mFaults->onCall(FaultApi::memCreate))
+        if (auto err = mFaults->onCall(FaultApi::memCreate)) {
+            span.fault(*err);
             return *err;
+        }
     }
-    return mPhys.create(size);
+    auto handle = mPhys.create(size);
+    if (!handle.ok())
+        span.fault(handle.error());
+    return handle;
 }
 
 Status
@@ -104,6 +186,7 @@ Device::memRelease(PhysHandle handle)
     const std::lock_guard<TimedMutex> state(mStateMutex);
     ++mCounters.release;
     const WallScope wall(mCounters);
+    const ObsApiSpan span(obs::EvName::devRelease, mClock);
     charge(mCost.memRelease());
     return mPhys.release(handle);
 }
@@ -114,9 +197,11 @@ Device::memMap(VirtAddr va, PhysHandle handle)
     const std::lock_guard<TimedMutex> state(mStateMutex);
     ++mCounters.map;
     const WallScope wall(mCounters);
+    ObsApiSpan span(obs::EvName::devMap, mClock);
     if (mFaults) {
         if (auto err = mFaults->onCall(FaultApi::memMap)) {
             charge(mCost.memMap(granularity()));
+            span.fault(*err);
             return *err;
         }
     }
@@ -125,6 +210,7 @@ Device::memMap(VirtAddr va, PhysHandle handle)
         charge(mCost.memMap(granularity()));
         return size.error();
     }
+    span.arg(*size);
     charge(mCost.memMap(*size));
     // The whole mapped range must live inside one reservation.
     if (const auto res = mVa.containing(va, *size); !res.ok())
@@ -143,12 +229,15 @@ Device::memMapBatch(
     if (batch.empty())
         return Status::success();
     const WallScope wall(mCounters);
+    ObsApiSpan span(obs::EvName::devMapBatch, mClock);
+    span.arg(batch.size());
     if (mFaults) {
         // One rejected vectored submission: count and charge a single
         // driver call, nothing is installed.
         if (auto err = mFaults->onCall(FaultApi::memMapBatch)) {
             ++mCounters.map;
             charge(mCost.memMap(granularity()));
+            span.fault(*err);
             return *err;
         }
     }
@@ -205,7 +294,9 @@ Device::memUnmap(VirtAddr va, Bytes size)
     const std::lock_guard<TimedMutex> state(mStateMutex);
     ++mCounters.unmap;
     const WallScope wall(mCounters);
+    ObsApiSpan span(obs::EvName::devUnmap, mClock);
     const auto stats = mMap.rangeStats(va, size);
+    span.arg(stats.chunks);
     charge(mCost.memUnmap(stats.chunks == 0 ? 1 : stats.chunks));
     return mMap.unmap(va, size);
 }
@@ -216,13 +307,16 @@ Device::memSetAccess(VirtAddr va, Bytes size)
     const std::lock_guard<TimedMutex> state(mStateMutex);
     ++mCounters.setAccess;
     const WallScope wall(mCounters);
+    ObsApiSpan span(obs::EvName::devSetAccess, mClock);
     if (mFaults) {
         if (auto err = mFaults->onCall(FaultApi::memSetAccess)) {
             charge(mCost.memSetAccess(1, granularity()));
+            span.fault(*err);
             return *err;
         }
     }
     const auto stats = mMap.rangeStats(va, size);
+    span.arg(stats.chunks);
     if (stats.chunks == 0) {
         charge(mCost.memSetAccess(1, granularity()));
         return makeError(Errc::notMapped,
@@ -240,6 +334,8 @@ Device::mallocNative(Bytes size)
     const std::lock_guard<TimedMutex> state(mStateMutex);
     ++mCounters.mallocNative;
     const WallScope wall(mCounters);
+    ObsApiSpan span(obs::EvName::devMallocNative, mClock);
+    span.arg(size);
     charge(mCost.nativeAlloc(size));
     if (size == 0)
         return makeError(Errc::invalidValue, "cudaMalloc of zero bytes");
@@ -267,6 +363,7 @@ Device::freeNative(VirtAddr va)
     const std::lock_guard<TimedMutex> state(mStateMutex);
     ++mCounters.freeNative;
     const WallScope wall(mCounters);
+    const ObsApiSpan span(obs::EvName::devFreeNative, mClock);
     charge(mCost.nativeFree());
     auto it = mNative.find(va);
     if (it == mNative.end())
@@ -299,12 +396,16 @@ Device::copyD2HAsync(Bytes bytes)
 {
     const std::lock_guard<TimedMutex> state(mStateMutex);
     ++mCounters.d2hCopies;
+    ObsApiSpan span(obs::EvName::devCopyD2H, mClock);
+    span.arg(bytes);
     charge(mCost.copySubmit());
     // A failed submission charges the enqueue cost but transfers
     // nothing and leaves the lane horizon untouched.
     if (mFaults) {
-        if (auto err = mFaults->onCall(FaultApi::copyD2H))
+        if (auto err = mFaults->onCall(FaultApi::copyD2H)) {
+            span.fault(*err);
             return *err;
+        }
     }
     mCounters.d2hBytes += bytes;
     const Tick start = std::max(mD2hLaneFree, now());
@@ -317,10 +418,14 @@ Device::copyH2DAsync(Bytes bytes)
 {
     const std::lock_guard<TimedMutex> state(mStateMutex);
     ++mCounters.h2dCopies;
+    ObsApiSpan span(obs::EvName::devCopyH2D, mClock);
+    span.arg(bytes);
     charge(mCost.copySubmit());
     if (mFaults) {
-        if (auto err = mFaults->onCall(FaultApi::copyH2D))
+        if (auto err = mFaults->onCall(FaultApi::copyH2D)) {
+            span.fault(*err);
             return *err;
+        }
     }
     mCounters.h2dBytes += bytes;
     const Tick start = std::max(mH2dLaneFree, now());
@@ -369,6 +474,8 @@ Device::copyWait(Tick completion)
     if (completion <= now())
         return 0;
     const Tick stall = completion - now();
+    ObsApiSpan span(obs::EvName::devCopyWait, mClock);
+    span.arg(stall);
     mClock.advance(stall);
     mCounters.copyStallNs += stall;
     return stall;
@@ -427,6 +534,30 @@ Device::mappingSnapshot()
     if (rebuilt)
         ++mCounters.snapshotPublishes;
     return snap;
+}
+
+Device::FragStats
+Device::fragStats() const
+{
+    const std::lock_guard<TimedMutex> state(mStateMutex);
+    FragStats out;
+    out.inUse = mPhys.inUse();
+    out.capacity = mPhys.capacity();
+    out.largestHole = mPhys.largestHole();
+    out.holeCount = mPhys.holeCount();
+    std::size_t top = 0;
+    std::vector<std::uint64_t> buckets(64, 0);
+    for (const auto &hole : mPhys.holeExtents()) {
+        if (hole.size == 0)
+            continue;
+        const auto bit = static_cast<std::size_t>(
+            std::bit_width(hole.size) - 1);
+        ++buckets[bit];
+        top = std::max(top, bit + 1);
+    }
+    buckets.resize(top);
+    out.holeBuckets = std::move(buckets);
+    return out;
 }
 
 } // namespace gmlake::vmm

@@ -238,6 +238,23 @@ class Device
      */
     std::shared_ptr<const MappingSnapshot> mappingSnapshot();
 
+    /**
+     * Physical-fragmentation snapshot read under the state lock —
+     * what the observability MemorySampler polls on its cadence, so
+     * sampling never needs an allocator lock. O(holes).
+     */
+    struct FragStats
+    {
+        Bytes inUse = 0;
+        Bytes capacity = 0;
+        Bytes largestHole = 0;
+        std::uint64_t holeCount = 0;
+        /** Power-of-two histogram: bucket i counts free holes of
+         *  size in [2^i, 2^(i+1)); trailing zero buckets trimmed. */
+        std::vector<std::uint64_t> holeBuckets;
+    };
+    FragStats fragStats() const;
+
     /** Host ns threads spent blocked on the device state lock. */
     std::uint64_t lockWaitNs() const { return mStateMutex.waitNs(); }
 

@@ -126,6 +126,11 @@ class PhysMemory
 
     /** Live (base, size) ranges, sorted by base address. */
     std::vector<std::pair<Bytes, Bytes>> liveRanges() const;
+    /** Free holes (base, size), sorted by base; O(holes). */
+    std::vector<FreeExtentMap::Extent> holeExtents() const
+    {
+        return mHoles.extents();
+    }
     /** Number of free holes (physical fragmentation indicator). */
     std::size_t holeCount() const { return mHoles.count(); }
     /** High-water mark of holeCount(). */

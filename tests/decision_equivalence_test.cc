@@ -30,6 +30,7 @@
 #include <string_view>
 
 #include "core/gmlake_allocator.hh"
+#include "obs/recorder.hh"
 #include "sim/experiment.hh"
 #include "support/units.hh"
 #include "vmm/device.hh"
@@ -92,13 +93,20 @@ class Digest
  * deterministic it recorded.
  */
 std::uint64_t
-digestScenario(const Experiment &experiment)
+digestScenario(const Experiment &experiment,
+               obs::Recorder *recorder = nullptr)
 {
     ExperimentOptions options;
     options.iterations = 1;
     std::ostringstream sink;
     ExperimentContext ctx(options, sink);
+    if (recorder != nullptr) {
+        ctx.setRecorder(recorder);
+        recorder->activate();
+    }
     experiment.run(ctx);
+    if (recorder != nullptr)
+        recorder->deactivate();
 
     Digest d;
     for (const RunRecord &r : ctx.records()) {
@@ -222,6 +230,42 @@ TEST(DecisionEquivalence, ScenarioDigestsMatchRecorded)
             << scenario
             << "'. If intentional, re-record with "
                "GMLAKE_PRINT_DIGESTS=1 (see file header).";
+    }
+}
+
+TEST(DecisionEquivalence, RecorderIsDecisionNeutral)
+{
+    // The observability layer's core contract: a live recorder
+    // changes *nothing* the simulation decides — same digests as the
+    // untraced pins above. Timestamps are read from the simulated
+    // clock, never advanced by recording, so tracing on/off must be
+    // bit-identical. A representative subset keeps the suite's
+    // runtime in check: the headline path, the heaviest figure, the
+    // offload tier, the deep-pool stress run, and the sweep harness
+    // (which exercises checkpoint/restore under tracing).
+    if (printDigests())
+        GTEST_SKIP() << "re-recording digests";
+    const char *subset[] = {"headline", "fig10", "oversub-offload",
+                            "stress-allocator", "sweep-smoke"};
+    for (const char *scenario : subset) {
+        const Experiment *e = findExperiment(scenario);
+        ASSERT_NE(e, nullptr) << scenario;
+        const ExpectedDigest *pin = nullptr;
+        for (const ExpectedDigest &candidate : kExpectedDigests) {
+            if (std::string_view(candidate.scenario) == scenario)
+                pin = &candidate;
+        }
+        ASSERT_NE(pin, nullptr) << scenario;
+
+        obs::Recorder recorder;
+        const std::uint64_t traced = digestScenario(*e, &recorder);
+        EXPECT_EQ(traced, pin->digest)
+            << "recording changed allocation decisions on '"
+            << scenario << "'";
+        // The neutrality claim is only meaningful if the recorder
+        // actually captured the run.
+        EXPECT_GT(recorder.snapshot().events.size(), 0u)
+            << scenario;
     }
 }
 

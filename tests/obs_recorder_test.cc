@@ -1,0 +1,220 @@
+/**
+ * @file
+ * obs::Recorder unit tests: null-sink default, deterministic merge
+ * order, bounded rings with counted drops, blob payload round-trips,
+ * track interning across runs, and scope-token scoping.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "obs/recorder.hh"
+
+using namespace gmlake;
+using namespace gmlake::obs;
+
+TEST(ObsRecorder, NullSinkByDefault)
+{
+    // No recorder installed: every instrumentation site sees null
+    // and takes the skip branch.
+    EXPECT_EQ(obs::active(), nullptr);
+
+    Recorder rec;
+    rec.activate();
+    EXPECT_EQ(obs::active(), &rec);
+    rec.deactivate();
+    EXPECT_EQ(obs::active(), nullptr);
+}
+
+TEST(ObsRecorder, DeactivatesOnDestruction)
+{
+    {
+        Recorder rec;
+        rec.activate();
+        EXPECT_EQ(obs::active(), &rec);
+    }
+    // A destroyed recorder must never be reachable through the sink.
+    EXPECT_EQ(obs::active(), nullptr);
+}
+
+TEST(ObsRecorder, SnapshotSortsBySimTimeThenSeq)
+{
+    Recorder rec;
+    rec.beginRun("r");
+    const std::uint32_t track = rec.track("t");
+
+    // Emitted out of simulated-time order on one thread.
+    rec.instant(EvName::iterationMark, EventCat::engine, track, 300,
+                3);
+    rec.instant(EvName::iterationMark, EventCat::engine, track, 100,
+                1);
+    rec.instant(EvName::iterationMark, EventCat::engine, track, 200,
+                2);
+    // Equal timestamps keep per-thread emission (seq) order.
+    rec.instant(EvName::iterationMark, EventCat::engine, track, 200,
+                4);
+
+    const RecorderSnapshot snap = rec.snapshot();
+    ASSERT_EQ(snap.events.size(), 4u);
+    EXPECT_EQ(snap.events[0].a0, 1u);
+    EXPECT_EQ(snap.events[1].a0, 2u);
+    EXPECT_EQ(snap.events[2].a0, 4u);
+    EXPECT_EQ(snap.events[3].a0, 3u);
+    EXPECT_EQ(snap.dropped, 0u);
+}
+
+TEST(ObsRecorder, RingBoundDropsAndCounts)
+{
+    RecorderOptions options;
+    options.ringCapacity = 8;
+    Recorder rec(options);
+    rec.beginRun("r");
+    const std::uint32_t track = rec.track("t");
+
+    for (std::uint64_t i = 0; i < 20; ++i)
+        rec.instant(EvName::iterationMark, EventCat::engine, track,
+                    i);
+
+    EXPECT_EQ(rec.dropped(), 12u);
+    const RecorderSnapshot snap = rec.snapshot();
+    EXPECT_EQ(snap.events.size(), 8u);
+    EXPECT_EQ(snap.dropped, 12u);
+    // The ring keeps the head, not a random subset.
+    for (std::uint64_t i = 0; i < 8; ++i)
+        EXPECT_EQ(snap.events[i].simTime, i);
+}
+
+TEST(ObsRecorder, BlobPayloadRoundTrips)
+{
+    Recorder rec;
+    rec.beginRun("r");
+    const std::uint32_t track = rec.track("t");
+
+    const std::uint64_t members[] = {11, 22, 33};
+    Event e;
+    e.simTime = 5;
+    e.track = track;
+    e.name = EvName::stitch;
+    e.kind = EventKind::instant;
+    e.cat = EventCat::alloc;
+    e.a0 = 7;
+    rec.emitWithBlob(e, members, 3);
+    rec.instant(EvName::iterationMark, EventCat::engine, track, 6);
+
+    const RecorderSnapshot snap = rec.snapshot();
+    ASSERT_EQ(snap.events.size(), 2u);
+    const Event &stitch = snap.events[0];
+    ASSERT_EQ(stitch.blobLen, 3u);
+    const std::uint64_t *words = snap.blobOf(stitch);
+    ASSERT_NE(words, nullptr);
+    EXPECT_EQ(words[0], 11u);
+    EXPECT_EQ(words[1], 22u);
+    EXPECT_EQ(words[2], 33u);
+    // The non-blob event resolves to nothing.
+    EXPECT_EQ(snap.blobOf(snap.events[1]), nullptr);
+}
+
+TEST(ObsRecorder, BlobBoundDropsWholeRecord)
+{
+    RecorderOptions options;
+    options.blobCapacity = 4;
+    Recorder rec(options);
+    rec.beginRun("r");
+    const std::uint32_t track = rec.track("t");
+
+    const std::uint64_t words[] = {1, 2, 3};
+    Event e;
+    e.track = track;
+    e.name = EvName::stitch;
+    e.cat = EventCat::alloc;
+    rec.emitWithBlob(e, words, 3);   // fits (3 of 4)
+    rec.emitWithBlob(e, words, 3);   // would overflow: dropped whole
+    const RecorderSnapshot snap = rec.snapshot();
+    EXPECT_EQ(snap.events.size(), 1u);
+    EXPECT_EQ(snap.dropped, 1u);
+}
+
+TEST(ObsRecorder, MultiThreadMergeIsDeterministic)
+{
+    // Four threads, interleaved simulated timestamps: the merged
+    // stream must be sorted by simTime regardless of host
+    // scheduling, and hold every record.
+    Recorder rec;
+    rec.beginRun("r");
+    const std::uint32_t track = rec.track("t");
+
+    constexpr int kThreads = 4;
+    constexpr std::uint64_t kPerThread = 1000;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&rec, track, t] {
+            for (std::uint64_t i = 0; i < kPerThread; ++i) {
+                // Distinct times across threads: t, kThreads+t, ...
+                const std::uint64_t at =
+                    i * kThreads + static_cast<std::uint64_t>(t);
+                rec.instant(EvName::iterationMark, EventCat::engine,
+                            track, at, at);
+            }
+        });
+    }
+    for (std::thread &th : threads)
+        th.join();
+
+    const RecorderSnapshot snap = rec.snapshot();
+    ASSERT_EQ(snap.events.size(), kThreads * kPerThread);
+    EXPECT_EQ(snap.dropped, 0u);
+    for (std::size_t i = 0; i < snap.events.size(); ++i)
+        EXPECT_EQ(snap.events[i].simTime, i) << i;
+}
+
+TEST(ObsRecorder, TrackInterningIsStableWithinARun)
+{
+    Recorder rec;
+    rec.beginRun("first");
+    const std::uint32_t a = rec.track("device");
+    const std::uint32_t b = rec.track("alloc");
+    EXPECT_NE(a, b);
+    EXPECT_EQ(rec.track("device"), a);
+
+    const std::uint64_t gen = rec.generation();
+    rec.beginRun("second");
+    // A new run invalidates cached ids: same name, fresh track bound
+    // to the new run.
+    EXPECT_GT(rec.generation(), gen);
+    const std::uint32_t a2 = rec.track("device");
+    EXPECT_NE(a2, a);
+
+    const RecorderSnapshot snap = rec.snapshot();
+    ASSERT_EQ(snap.runs.size(), 2u);
+    EXPECT_EQ(snap.runs[0], "first");
+    EXPECT_EQ(snap.runs[1], "second");
+    ASSERT_GT(snap.tracks.size(), a2);
+    EXPECT_EQ(snap.tracks[a].run, 0u);
+    EXPECT_EQ(snap.tracks[a2].run, 1u);
+    EXPECT_EQ(snap.tracks[a].name, "device");
+    EXPECT_EQ(snap.tracks[a2].name, "device");
+}
+
+TEST(ObsRecorder, ScopeTokensNestAndRestore)
+{
+    EXPECT_EQ(obs::scopeToken(), 0u);
+    {
+        ScopeToken outer(7);
+        EXPECT_EQ(obs::scopeToken(), 7u);
+        {
+            ScopeToken inner(9);
+            EXPECT_EQ(obs::scopeToken(), 9u);
+        }
+        EXPECT_EQ(obs::scopeToken(), 7u);
+    }
+    EXPECT_EQ(obs::scopeToken(), 0u);
+
+    Recorder rec;
+    const std::uint64_t t1 = rec.nextScopeToken();
+    const std::uint64_t t2 = rec.nextScopeToken();
+    EXPECT_NE(t1, 0u);
+    EXPECT_NE(t2, t1);
+}

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <sstream>
 
+#include "obs/recorder.hh"
 #include "sim/experiment.hh"
 #include "sim/runner.hh"
 #include "support/stopwatch.hh"
@@ -232,4 +233,125 @@ TEST(StressAllocator, SmokeRunExercisesDeepPools)
     EXPECT_GT(metric("gmlake", "stitches"), 0.0);
     EXPECT_GT(metric("gmlake", "s3_multi_blocks"), 0.0);
     EXPECT_GT(metric("gmlake", "alloc_wall_ns"), 0.0);
+}
+
+// --------------------------------------- histogram merge edge cases
+
+TEST(LatencyHistogram, MergeEmptyWithEmptyStaysEmpty)
+{
+    LatencyHistogram a, b;
+    a.merge(b);
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_EQ(a.totalNs(), 0u);
+    EXPECT_EQ(a.minNs(), 0u);
+    EXPECT_EQ(a.maxNs(), 0u);
+    EXPECT_EQ(a.quantileNs(0.5), 0u);
+    for (int bucket = 0; bucket <= 64; ++bucket)
+        EXPECT_EQ(a.bucketCount(bucket), 0u);
+}
+
+TEST(LatencyHistogram, MergeSpansTheFullBucketRange)
+{
+    // The extreme buckets: a zero-ns sample (bucket 0) and the
+    // largest representable one (bucket 64) must survive a merge
+    // without the exact extremes drifting.
+    LatencyHistogram lo, hi;
+    lo.add(0);
+    hi.add(~std::uint64_t{0});
+    lo.merge(hi);
+    EXPECT_EQ(lo.count(), 2u);
+    EXPECT_EQ(lo.minNs(), 0u);
+    EXPECT_EQ(lo.maxNs(), ~std::uint64_t{0});
+    EXPECT_EQ(lo.bucketCount(0), 1u);
+    EXPECT_EQ(lo.bucketCount(64), 1u);
+    EXPECT_EQ(lo.quantileNs(0.0), 0u);
+    EXPECT_EQ(lo.quantileNs(1.0), ~std::uint64_t{0});
+}
+
+TEST(LatencyHistogram, MergeIsCommutative)
+{
+    LatencyHistogram ab1, ab2, b1, a2;
+    for (int i = 0; i < 40; ++i) {
+        ab1.add(500 + i);
+        a2.add(500 + i);
+    }
+    for (int i = 0; i < 60; ++i) {
+        b1.add(70'000 + i);
+        ab2.add(70'000 + i);
+    }
+    ab1.merge(b1); // a ⊕ b
+    ab2.merge(a2); // b ⊕ a
+    EXPECT_EQ(ab1.count(), ab2.count());
+    EXPECT_EQ(ab1.totalNs(), ab2.totalNs());
+    EXPECT_EQ(ab1.minNs(), ab2.minNs());
+    EXPECT_EQ(ab1.maxNs(), ab2.maxNs());
+    for (int bucket = 0; bucket <= 64; ++bucket)
+        EXPECT_EQ(ab1.bucketCount(bucket), ab2.bucketCount(bucket));
+    EXPECT_EQ(ab1.quantileNs(0.5), ab2.quantileNs(0.5));
+    EXPECT_EQ(ab1.quantileNs(0.99), ab2.quantileNs(0.99));
+}
+
+TEST(LatencyHistogram, MergedQuantilesRespectTheHalfwayBoundary)
+{
+    // Exactly half the merged samples in a fast bucket, half in a
+    // slow one: quantiles strictly below the boundary must resolve
+    // to the fast bucket and strictly above to the slow bucket, no
+    // matter which side contributed which half.
+    LatencyHistogram fast, slow;
+    for (int i = 0; i < 50; ++i)
+        fast.add(1000);
+    for (int i = 0; i < 50; ++i)
+        slow.add(1'000'000);
+    fast.merge(slow);
+    EXPECT_EQ(fast.count(), 100u);
+    EXPECT_LT(fast.quantileNs(0.49), 2048u);
+    EXPECT_GE(fast.quantileNs(0.51), 524288u);
+}
+
+// --------------------------------------- observability overhead
+
+TEST(StressAllocator, RecorderOverheadIsBounded)
+{
+    // The observability satellite's perf guard. Two stress-allocator
+    // runs: the null-sink run (recorder not installed — every
+    // instrumentation site is one atomic load + untaken branch) and
+    // a run with a live recorder draining every event. The alloc-path
+    // p50 with recording ON must stay within a generous envelope of
+    // the null-sink p50; anything past it means recording landed on
+    // the allocation hot path rather than beside it. The bound is
+    // deliberately loose (5x + 50 us) so CI noise cannot trip it —
+    // the honest numbers live in PERFORMANCE.md.
+    const sim::Experiment *stress =
+        sim::findExperiment("stress-allocator");
+    ASSERT_NE(stress, nullptr);
+
+    const auto p50 = [&](obs::Recorder *recorder) {
+        sim::ExperimentOptions options;
+        options.iterations = 1;
+        std::ostringstream sink;
+        sim::ExperimentContext ctx(options, sink);
+        if (recorder != nullptr) {
+            ctx.setRecorder(recorder);
+            recorder->activate();
+        }
+        stress->run(ctx);
+        if (recorder != nullptr)
+            recorder->deactivate();
+        for (const auto &r : ctx.records()) {
+            if (r.allocator == "gmlake")
+                return r.result.allocWallP50Ns;
+        }
+        ADD_FAILURE() << "no gmlake record";
+        return std::uint64_t{0};
+    };
+
+    const std::uint64_t nullSink = p50(nullptr);
+    obs::Recorder recorder;
+    const std::uint64_t recording = p50(&recorder);
+    EXPECT_GT(nullSink, 0u);
+    EXPECT_GT(recorder.snapshot().events.size(), 1000u)
+        << "recorder saw no events; the guard below is vacuous";
+    EXPECT_LE(recording, nullSink * 5 + 50'000u)
+        << "recording p50 " << recording << " ns vs null-sink p50 "
+        << nullSink << " ns";
 }

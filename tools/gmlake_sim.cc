@@ -40,9 +40,11 @@
 #include "alloc/snapshot.hh"
 #include "sim/chaos.hh"
 #include "sim/experiment.hh"
+#include "sim/probe.hh"
 #include "sim/runner.hh"
 #include "sim/session.hh"
 #include "sim/sweep.hh"
+#include "support/logging.hh"
 #include "support/strings.hh"
 #include "support/table.hh"
 #include "support/units.hh"
@@ -309,7 +311,14 @@ printHelp()
         "      --csv [FILE]    append run records as CSV\n"
         "      --json [FILE]   write report (BENCH_<name>.json)\n"
         "      --out FILE      write the JSON report to FILE instead\n"
-        "                      of the fixed BENCH_<name>.json\n\n"
+        "                      of the fixed BENCH_<name>.json\n"
+        "      --timeline FILE record the run and write a\n"
+        "                      Chrome-trace/Perfetto timeline (open\n"
+        "                      in ui.perfetto.dev); results are\n"
+        "                      bit-identical with or without it\n"
+        "      --timeline-bin FILE\n"
+        "                      also write the columnar binary event\n"
+        "                      dump (.gmo)\n\n"
         "Policy sweeps (checkpoint/restore warm-starts):\n"
         "  sweep SCENARIO [opts]\n"
         "                      replay the warmup prefix once, fork\n"
@@ -323,6 +332,17 @@ printHelp()
         "                      invariants after every trial (see\n"
         "                      gmlake_sim chaos --help; distinct\n"
         "                      exit codes, see docs/BUILDING.md)\n\n"
+        "Allocation provenance (observability ledger):\n"
+        "  probe SCENARIO [opts]\n"
+        "                      replay with the recorder active and\n"
+        "                      answer provenance queries: --tensor T\n"
+        "                      (who backed tensor T and at what\n"
+        "                      device cost) or --at TICK (what was\n"
+        "                      live and why); see gmlake_sim probe\n"
+        "                      --help\n\n"
+        "Global flags (every verb):\n"
+        "  --log-level L       error | warn | info | debug (default\n"
+        "                      warn); unknown levels are fatal\n\n"
         "Single workloads (trace subcommands):\n"
         "  trace run [opts]          generate a workload and replay "
         "it\n"
@@ -931,73 +951,6 @@ parseSweepFlags(int argc, char **argv)
     return opt;
 }
 
-void
-writeSweepJson(const sim::SweepReport &report,
-               const SweepCliOptions &opt, Tick splitTime,
-               const std::string &path)
-{
-    std::ofstream out(path);
-    if (!out)
-        GMLAKE_FATAL("cannot open JSON for writing: ", path);
-    const auto runFields = [&out](const sim::RunResult &r) {
-        out << "\"oom\": " << (r.oom ? "true" : "false") << ", "
-            << "\"utilization\": " << r.utilization << ", "
-            << "\"fragmentation\": " << r.fragmentation << ", "
-            << "\"peak_active_bytes\": " << r.peakActive << ", "
-            << "\"peak_reserved_bytes\": " << r.peakReserved << ", "
-            << "\"sim_time_ns\": " << r.simTime << ", "
-            << "\"alloc_count\": " << r.allocCount << ", "
-            << "\"free_count\": " << r.freeCount << ", "
-            << "\"device_api_time_ns\": " << r.deviceApiTime;
-    };
-    out << "{\n"
-        << "  \"scenario\": \"" << opt.scenario << "\",\n"
-        << "  \"mode\": \"sweep\",\n"
-        << "  \"allocator\": \"" << report.allocator << "\",\n"
-        << "  \"config\": {"
-        << "\"seed\": " << opt.seed << ", "
-        << "\"iterations\": " << opt.iterations << ", "
-        << "\"device_capacity_bytes\": " << opt.capacityGiB * GiB
-        << ", "
-        << "\"threads\": " << opt.threads << ", "
-        << "\"engine_threads\": " << opt.engineThreads << ", "
-        << "\"engine_commit\": \"deterministic\", "
-        << "\"warm_start\": " << (opt.cold ? "false" : "true")
-        << ", "
-        << "\"split_time_ns\": " << splitTime << "},\n"
-        << "  \"warmup\": {";
-    runFields(report.warmup);
-    out << ", \"wall_ns\": " << report.warmupWallNs << "},\n"
-        << "  \"total_wall_ns\": " << report.totalWallNs << ",\n"
-        << "  \"points\": [";
-    bool first = true;
-    for (const sim::SweepPointRecord &rec : report.points) {
-        const core::GMLakeConfig &c = rec.point.config;
-        out << (first ? "" : ",") << "\n    {"
-            << "\"label\": \"" << rec.point.label << "\", "
-            << "\"frag_limit_bytes\": " << c.fragLimit << ", "
-            << "\"near_match_tolerance\": " << c.nearMatchTolerance
-            << ", "
-            << "\"max_cached_sblocks\": " << c.maxCachedSBlocks
-            << ", "
-            << "\"max_va_overscribe\": " << c.maxVaOverscribe << ", "
-            << "\"enable_stitching\": "
-            << (c.enableStitching ? "true" : "false") << ", ";
-        runFields(rec.tail);
-        out << ", \"point_wall_ns\": " << rec.pointWallNs
-            << ", \"pareto\": " << (rec.onFrontier ? "true" : "false")
-            << "}";
-        first = false;
-    }
-    out << "\n  ],\n  \"pareto_frontier\": [";
-    first = true;
-    for (const std::size_t index : report.frontier()) {
-        out << (first ? "" : ", ") << index;
-        first = false;
-    }
-    out << "]\n}\n";
-}
-
 int
 cmdSweep(int argc, char **argv)
 {
@@ -1087,7 +1040,15 @@ cmdSweep(int argc, char **argv)
     const std::string outPath =
         opt.outPath.empty() ? "BENCH_sweep_" + opt.scenario + ".json"
                             : opt.outPath;
-    writeSweepJson(report, opt, scenario.splitTime, outPath);
+    sim::SweepJsonMeta meta;
+    meta.seed = opt.seed;
+    meta.iterations = opt.iterations;
+    meta.deviceCapacityBytes = opt.capacityGiB * GiB;
+    meta.threads = opt.threads;
+    meta.engineThreads = opt.engineThreads;
+    meta.warmStart = !opt.cold;
+    meta.splitTimeNs = scenario.splitTime;
+    sim::writeSweepJson(report, meta, outPath);
     std::cout << "(report written to " << outPath << ")\n";
     return 0;
 }
@@ -1153,57 +1114,6 @@ parseChaosFlags(int argc, char **argv)
             GMLAKE_FATAL("unexpected argument: ", arg);
     }
     return opt;
-}
-
-void
-writeChaosJson(const sim::ChaosReport &report,
-               const ChaosCliOptions &opt, const std::string &path)
-{
-    std::ofstream out(path);
-    if (!out)
-        GMLAKE_FATAL("cannot open JSON for writing: ", path);
-    out << "{\n"
-        << "  \"scenario\": \"" << report.scenario << "\",\n"
-        << "  \"mode\": \"chaos\",\n"
-        << "  \"allocator\": \"" << report.allocator << "\",\n"
-        << "  \"config\": {"
-        << "\"workload_seed\": " << report.workloadSeed << ", "
-        << "\"fault_seed\": " << report.faultSeed << ", "
-        << "\"fault_spec\": \"" << report.faultSpec << "\", "
-        << "\"soak\": " << report.trials.size() << ", "
-        << "\"iterations\": " << opt.iterations << ", "
-        << "\"kill_chance\": " << opt.killChance << ", "
-        << "\"engine_threads\": " << opt.engineThreads << "},\n"
-        << "  \"exit_code\": " << report.exitCode() << ",\n"
-        << "  \"failures\": " << report.failures() << ",\n"
-        << "  \"total_wall_ns\": " << report.totalWallNs << ",\n"
-        << "  \"trials\": [";
-    bool first = true;
-    for (const sim::ChaosTrialRecord &t : report.trials) {
-        const sim::RunResult &r = t.result;
-        out << (first ? "" : ",") << "\n    {"
-            << "\"fault_seed\": " << t.faultSeed << ", "
-            << "\"audit_passed\": "
-            << (t.auditPassed ? "true" : "false") << ", "
-            << "\"internal_error\": "
-            << (t.internalError ? "true" : "false") << ", "
-            << "\"injected_faults\": " << r.injectedFaults << ", "
-            << "\"recovered\": " << r.recovered << ", "
-            << "\"rollbacks\": " << r.rollbacks << ", "
-            << "\"aborted_sessions\": " << r.abortedSessions << ", "
-            << "\"oom_sessions\": " << t.oomSessions << ", "
-            << "\"scripted_kills\": " << t.scriptedKills << ", "
-            << "\"capacity_lost_bytes\": " << t.capacityLost << ", "
-            << "\"oom\": " << (r.oom ? "true" : "false") << ", "
-            << "\"fragmentation\": " << r.fragmentation << ", "
-            << "\"peak_reserved_bytes\": " << r.peakReserved << ", "
-            << "\"sim_time_ns\": " << r.simTime << ", "
-            << "\"alloc_count\": " << r.allocCount << ", "
-            << "\"free_count\": " << r.freeCount << ", "
-            << "\"wall_ns\": " << t.wallNs << "}";
-        first = false;
-    }
-    out << "\n  ]\n}\n";
 }
 
 int
@@ -1301,10 +1211,94 @@ cmdChaos(int argc, char **argv)
     const std::string outPath =
         opt.outPath.empty() ? "BENCH_chaos_" + opt.scenario + ".json"
                             : opt.outPath;
-    writeChaosJson(report, opt, outPath);
+    sim::writeChaosJson(report, options, outPath);
     std::cout << "(report written to " << outPath << ", exit code "
               << report.exitCode() << ")\n";
     return report.exitCode();
+}
+
+// -------------------------------------------------------- probe verb
+
+/**
+ * `gmlake_sim probe` — allocation provenance queries over a replay
+ * recorded with the observability layer (sim/probe.hh).
+ */
+int
+cmdProbe(int argc, char **argv)
+{
+    sim::ProbeOptions opt;
+    std::string allocator = "gmlake";
+    std::string scenario;
+    bool help = false;
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto value = [&]() -> std::string {
+            if (i + 1 >= argc)
+                GMLAKE_FATAL("flag ", arg, " needs a value");
+            return argv[++i];
+        };
+        if (arg == "--help" || arg == "-h")
+            help = true;
+        else if (arg == "--allocator")
+            allocator = value();
+        else if (arg == "--seed")
+            opt.seed = parseNumber("--seed", value());
+        else if (arg == "--iterations")
+            opt.iterations = static_cast<int>(
+                parseNumber("--iterations", value()));
+        else if (arg == "--engine-threads")
+            opt.engineThreads = static_cast<std::size_t>(
+                parseNumber("--engine-threads", value()));
+        else if (arg == "--tensor")
+            opt.tensor = parseNumber("--tensor", value());
+        else if (arg == "--at")
+            opt.atTick = parseNumber("--at", value());
+        else if (arg == "--timeline")
+            opt.timelinePath = value();
+        else if (arg == "--top")
+            opt.topAllocs = static_cast<std::size_t>(
+                parseNumber("--top", value()));
+        else if (!arg.empty() && arg[0] == '-')
+            GMLAKE_FATAL("unknown probe flag: ", arg,
+                         " (try --help)");
+        else if (scenario.empty())
+            scenario = arg;
+        else
+            GMLAKE_FATAL("unexpected argument: ", arg);
+    }
+    if (help || scenario.empty()) {
+        std::cerr <<
+            "usage: gmlake_sim probe <scenario> [options]\n"
+            "  scenarios: smoke | train | colocate\n"
+            "  --tensor T          which allocations backed tensor "
+            "T, which pBlocks\n"
+            "                      back each, how they were obtained "
+            "(fresh / reuse /\n"
+            "                      stitch / post-spill), and the "
+            "device time charged\n"
+            "  --at TICK           every tensor live at simulated "
+            "time TICK, with\n"
+            "                      the same provenance per binding\n"
+            "  --allocator A       allocator kind (default gmlake)\n"
+            "  --seed N            workload seed (default 42)\n"
+            "  --iterations N      scenario scale override\n"
+            "  --engine-threads N  threads inside the replay\n"
+            "  --timeline FILE     also export the recorded timeline "
+            "(Chrome JSON)\n"
+            "  --top N             summary lists the top-N "
+            "allocations (default 5)\n"
+            "(no selector prints the ledger summary)\n";
+        return help ? 0 : 1;
+    }
+    const auto kind = sim::parseAllocatorKind(allocator);
+    if (!kind)
+        GMLAKE_FATAL("unknown allocator: ", allocator);
+    opt.kind = *kind;
+    opt.scenario = scenario;
+    if (opt.tensor && opt.atTick)
+        GMLAKE_FATAL("--tensor and --at are mutually exclusive");
+    sim::runProbe(opt, std::cout);
+    return 0;
 }
 
 /** Bare-flag invocations: warn, then route to the trace verbs. */
@@ -1347,11 +1341,34 @@ legacyMain(int argc, char **argv)
     return doTraceRun(opt);
 }
 
+/**
+ * Flags every verb accepts, applied and stripped before dispatch so
+ * each verb's own table stays focused. One definition serves
+ * run/trace/sweep/chaos/probe alike; an invalid level is fatal
+ * (parseLogLevel). Returns the new argc.
+ */
+int
+stripGlobalFlags(int argc, char **argv)
+{
+    int kept = 1;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--log-level") == 0) {
+            if (i + 1 >= argc)
+                GMLAKE_FATAL("flag --log-level needs a value");
+            setLogLevel(parseLogLevel(argv[++i]));
+            continue;
+        }
+        argv[kept++] = argv[i];
+    }
+    return kept;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 try {
+    argc = stripGlobalFlags(argc, argv);
     if (argc < 2) {
         printHelp();
         return 0;
@@ -1366,6 +1383,8 @@ try {
         return cmdSweep(argc, argv);
     if (std::strcmp(argv[1], "chaos") == 0)
         return cmdChaos(argc, argv);
+    if (std::strcmp(argv[1], "probe") == 0)
+        return cmdProbe(argc, argv);
     if (argv[1][0] == '-')
         return legacyMain(argc, argv);
     std::cerr << "unknown subcommand: " << argv[1]
